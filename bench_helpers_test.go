@@ -1,0 +1,35 @@
+package uniaddr_test
+
+import (
+	"sync"
+	"testing"
+
+	"uniaddr/internal/smr"
+)
+
+var (
+	benchPoolOnce sync.Once
+	benchPool     *smr.Pool
+)
+
+// newBenchPool returns a shared native pool for the smr benchmarks.
+func newBenchPool(b *testing.B) *smr.Pool {
+	b.Helper()
+	benchPoolOnce.Do(func() { benchPool = smr.NewPool(0) })
+	return benchPool
+}
+
+// benchSpawnJoin spawns n trivial tasks and joins them all.
+func benchSpawnJoin(p *smr.Pool, n int) {
+	smr.Run(p, func(w *smr.Worker) int {
+		futs := make([]*smr.Future[int], n)
+		for i := range futs {
+			futs[i] = smr.Spawn(w, func(*smr.Worker) int { return 1 })
+		}
+		total := 0
+		for _, f := range futs {
+			total += smr.Join(w, f)
+		}
+		return total
+	})
+}

@@ -1,0 +1,257 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (§6), plus the ablations from DESIGN.md. Each
+// bench runs the corresponding experiment at test scale and reports the
+// headline quantity as custom metrics (cycles/steal, efficiency, …), so
+// `go test -bench=. -benchmem` regenerates every result in one sweep.
+// The full-size sweeps live behind cmd/uniaddr-bench -scale large.
+package uniaddr_test
+
+import (
+	"testing"
+
+	"uniaddr"
+	"uniaddr/internal/core"
+	"uniaddr/internal/harness"
+	"uniaddr/internal/rdma"
+	"uniaddr/internal/workloads"
+)
+
+// BenchmarkFig9RDMALatency regenerates the Fig. 9 latency curves and
+// reports the small-message and 1 MiB READ latencies.
+func BenchmarkFig9RDMALatency(b *testing.B) {
+	var small, big uint64
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.Fig9(rdma.DefaultParams(), core.SPARCCosts().ClockHz, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		small, big = pts[0].ReadCycles, pts[len(pts)-1].ReadCycles
+	}
+	b.ReportMetric(float64(small), "read8B-cycles")
+	b.ReportMetric(float64(big), "read1MiB-cycles")
+}
+
+// BenchmarkTable2TaskCreation measures the empty-task creation cost on
+// both machine profiles (paper: 413 and 100 cycles).
+func BenchmarkTable2TaskCreation(b *testing.B) {
+	var rows []harness.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.Table2(2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].SPARCCycles, "sparc-cycles/task")
+	b.ReportMetric(rows[0].XeonCycles, "xeon-cycles/task")
+}
+
+// BenchmarkFig10StealBreakdown regenerates the steal-time breakdown
+// (paper: ≈42K cycles total, suspend+resume ≈7.7%).
+func BenchmarkFig10StealBreakdown(b *testing.B) {
+	var bd harness.StealBreakdown
+	for i := 0; i < b.N; i++ {
+		var err error
+		bd, err = harness.Fig10(core.SchemeUni, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(bd.Total(), "cycles/steal")
+	b.ReportMetric(100*(bd.Suspend+bd.Resume)/bd.Total(), "suspend+resume-%")
+	b.ReportMetric(bd.Lock, "lock-cycles")
+}
+
+// BenchmarkIsoVsUniSteal regenerates the §6.3 comparison (paper
+// estimate: uni ≈ 0.71× iso).
+func BenchmarkIsoVsUniSteal(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, _, ratio, err = harness.IsoVsUni(12)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(ratio, "uni/iso-ratio")
+}
+
+// BenchmarkTable4StackUsage runs the Table 4 suite and reports the
+// largest uni-address footprint seen (paper: ≤147,392 bytes).
+func BenchmarkTable4StackUsage(b *testing.B) {
+	var maxStack uint64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Table4(30, "tiny", 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxStack = 0
+		for _, r := range rows {
+			if r.StackBytes > maxStack {
+				maxStack = r.StackBytes
+			}
+		}
+	}
+	b.ReportMetric(float64(maxStack), "max-stack-bytes")
+}
+
+// scalingBench runs one Fig. 11 sub-figure at bench scale and reports
+// throughput at the top worker count plus efficiency vs the base.
+func scalingBench(b *testing.B, spec workloads.Spec) {
+	b.Helper()
+	workers := []int{15, 30, 60}
+	var pts []harness.ScalingPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = harness.ScalingSweep(spec, workers, 1, 5, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	top := pts[len(pts)-1]
+	b.ReportMetric(top.Throughput.Mean(), "items/simsec")
+	b.ReportMetric(100*top.Efficiency, "efficiency-%")
+}
+
+// BenchmarkFig11aBTC1 — BTC iter=1 scaling (paper: 97–98% at 3840).
+func BenchmarkFig11aBTC1(b *testing.B) { scalingBench(b, workloads.BTC(18, 1, 0)) }
+
+// BenchmarkFig11bBTC2 — BTC iter=2 scaling (paper: 97–98%).
+func BenchmarkFig11bBTC2(b *testing.B) { scalingBench(b, workloads.BTC(9, 2, 0)) }
+
+// BenchmarkFig11cUTS — UTS scaling (paper: 97–99%).
+func BenchmarkFig11cUTS(b *testing.B) {
+	scalingBench(b, workloads.UTS(1, 13, workloads.DefaultUTSB0, 400))
+}
+
+// BenchmarkFig11dNQueens — NQueens scaling (paper: 78–95%).
+func BenchmarkFig11dNQueens(b *testing.B) { scalingBench(b, workloads.NQueens(10, 100)) }
+
+// BenchmarkSec4AddressSpace reports the measured per-process VA
+// reservations of both schemes on a 32-worker machine.
+func BenchmarkSec4AddressSpace(b *testing.B) {
+	var pt harness.Sec4MeasuredPoint
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.Sec4Measured([]int{32}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pt = pts[0]
+	}
+	b.ReportMetric(float64(pt.IsoReserved), "iso-reserved-B")
+	b.ReportMetric(float64(pt.UniReserved), "uni-reserved-B")
+}
+
+// BenchmarkAblateFAA compares software vs hardware fetch-and-add.
+func BenchmarkAblateFAA(b *testing.B) {
+	var pt harness.AblateFAAPoint
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.AblateFAA([]int{30}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pt = pts[0]
+	}
+	b.ReportMetric(pt.HardwareTput/pt.SoftwareTput, "hw/sw-speedup")
+}
+
+// BenchmarkAblateStackSize reports steal cost growth with stack size.
+func BenchmarkAblateStackSize(b *testing.B) {
+	var pts []harness.AblateStackSizePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = harness.AblateStackSize([]uint64{256, 3055, 32768}, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[len(pts)-1].StealTotal-pts[0].StealTotal, "32KiB-vs-256B-cycles")
+}
+
+// BenchmarkSimulatorThroughput measures the raw simulator speed: real
+// nanoseconds per simulated task (useful when sizing full-scale runs).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	spec := workloads.BTC(14, 1, 0) // 32767 tasks per run
+	for i := 0; i < b.N; i++ {
+		cfg := uniaddr.DefaultConfig(15)
+		cfg.Seed = uint64(i + 1)
+		m, res, err := spec.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res != spec.Expected {
+			b.Fatal("bad result")
+		}
+		_ = m
+	}
+	b.ReportMetric(float64(spec.Expected), "simtasks/op")
+}
+
+// BenchmarkNativeSMRSpawn measures the real shared-memory runtime's
+// per-task cost on this host (the living Table 2 companion).
+func BenchmarkNativeSMRSpawn(b *testing.B) {
+	pool := newBenchPool(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSpawnJoin(pool, 1000)
+	}
+	b.ReportMetric(1000, "tasks/op")
+}
+
+// BenchmarkAblateHelpFirst compares the paper's work-first scheduling
+// against help-first tied tasks (§2).
+func BenchmarkAblateHelpFirst(b *testing.B) {
+	var pts []harness.AblateHelpFirstPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = harness.AblateHelpFirst(16, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(pts[0].BytesPerSteal), "workfirst-B/steal")
+	b.ReportMetric(float64(pts[1].BytesPerSteal), "helpfirst-B/steal")
+}
+
+// BenchmarkAblateMultiWorker measures the §5.1 slots-per-process
+// utilization loss.
+func BenchmarkAblateMultiWorker(b *testing.B) {
+	var pts []harness.AblateMultiWorkerPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = harness.AblateMultiWorker(16, []int{1, 2}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[1].Tput/pts[0].Tput, "slots2-rel-tput")
+}
+
+// BenchmarkAblateLifelines compares random stealing vs lifeline-based
+// load balancing (paper ref [24]).
+func BenchmarkAblateLifelines(b *testing.B) {
+	var pts []harness.AblateLifelinesPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = harness.AblateLifelines(16, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(pts[0].FailedProbes), "random-failed-probes")
+	b.ReportMetric(float64(pts[1].FailedProbes), "lifeline-failed-probes")
+}
+
+// BenchmarkEfficiencyTrend reports BTC efficiency at an 8× worker ratio
+// for a mid-size problem (the Fig. 11 bridge experiment).
+func BenchmarkEfficiencyTrend(b *testing.B) {
+	var pts []harness.TrendPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = harness.EfficiencyTrend([]uint64{17}, 10, 8, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*pts[0].Efficiency, "efficiency-%")
+}

@@ -1,0 +1,158 @@
+// uniaddr-bench regenerates the paper's tables and figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	go run ./cmd/uniaddr-bench -exp all
+//	go run ./cmd/uniaddr-bench -exp fig11a -scale large -workers 480,960,1920,3840
+//	go run ./cmd/uniaddr-bench -exp fig10
+//
+// Experiments: fig9, table2, fig10, table4, fig11a, fig11b, fig11c,
+// fig11d, iso-vs-uni, sec4, ablate-faa, ablate-stacksize,
+// ablate-nodes, ablate-multiworker, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/harness"
+	"uniaddr/internal/rdma"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see doc comment)")
+	scale := flag.String("scale", "small", "problem scale: tiny | small | large")
+	seed := flag.Uint64("seed", 1, "base simulation seed")
+	reps := flag.Int("reps", 3, "repetitions per Fig. 11 point (for 95% CIs)")
+	workersFlag := flag.String("workers", "", "comma-separated worker counts for fig11/sec4 (default 60,120,240,480)")
+	table4Workers := flag.Int("table4-workers", 60, "worker count for table4")
+	csvDir := flag.String("csv", "", "also write data series as CSV files into this directory")
+	flag.Parse()
+
+	workers := harness.DefaultWorkerCounts
+	if *workersFlag != "" {
+		workers = nil
+		for _, s := range strings.Split(*workersFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fail(fmt.Errorf("bad -workers entry %q", s))
+			}
+			workers = append(workers, n)
+		}
+	}
+
+	run := func(name string) {
+		out := os.Stdout
+		switch name {
+		case "fig9":
+			pts, err := harness.Fig9(rdma.DefaultParams(), core.SPARCCosts().ClockHz, nil)
+			check(err)
+			harness.PrintFig9(out, pts)
+			check(harness.MaybeCSV(*csvDir, func() error { return harness.WriteFig9CSV(*csvDir, pts) }))
+		case "table2":
+			rows, err := harness.Table2(5000)
+			check(err)
+			harness.PrintTable2(out, rows)
+			check(harness.MaybeCSV(*csvDir, func() error { return harness.WriteTable2CSV(*csvDir, rows) }))
+		case "fig10":
+			bd, err := harness.Fig10(core.SchemeUni, 500)
+			check(err)
+			harness.PrintFig10(out, bd)
+			check(harness.MaybeCSV(*csvDir, func() error { return harness.WriteFig10CSV(*csvDir, "fig10", bd) }))
+		case "table4":
+			rows, err := harness.Table4(*table4Workers, *scale, *seed)
+			check(err)
+			harness.PrintTable4(out, *table4Workers, rows)
+			check(harness.MaybeCSV(*csvDir, func() error { return harness.WriteTable4CSV(*csvDir, rows) }))
+		case "fig11a", "fig11b", "fig11c", "fig11d":
+			entries := harness.Fig11Benchmarks(*scale)[name]
+			var curves []harness.Fig11Curve
+			for _, e := range entries {
+				pts, err := harness.ScalingSweep(e.Spec, workers, *reps, *seed, nil)
+				check(err)
+				curves = append(curves, harness.Fig11Curve{Label: e.Label, Points: pts})
+			}
+			harness.PrintFig11(out, name, curves, core.SPARCCosts().ClockHz)
+			check(harness.MaybeCSV(*csvDir, func() error { return harness.WriteFig11CSV(*csvDir, name, curves) }))
+		case "iso-vs-uni":
+			uni, iso, ratio, err := harness.IsoVsUni(13)
+			check(err)
+			harness.PrintFig10(out, uni)
+			harness.PrintFig10(out, iso)
+			harness.PrintIsoVsUni(out, uni, iso, ratio)
+		case "sec4":
+			pts, err := harness.Sec4Measured([]int{8, 16, 32, 64}, *seed)
+			check(err)
+			harness.PrintSec4(out, harness.Sec4Paper(), pts)
+		case "ablate-faa":
+			pts, err := harness.AblateFAA([]int{15, 30, 60, 120}, *seed)
+			check(err)
+			harness.PrintAblateFAA(out, pts)
+		case "ablate-stacksize":
+			pts, err := harness.AblateStackSize(nil, 200)
+			check(err)
+			harness.PrintAblateStackSize(out, pts)
+		case "ablate-nodes":
+			pts, err := harness.AblateWorkersPerNode(60, []int{1, 5, 15, 30}, *seed)
+			check(err)
+			harness.PrintAblateWorkersPerNode(out, 60, pts)
+		case "ablate-lifelines":
+			pts, err := harness.AblateLifelines(30, *seed)
+			check(err)
+			harness.PrintAblateLifelines(out, 30, pts)
+		case "ablate-straggler":
+			pts, err := harness.AblateStraggler(30, *seed)
+			check(err)
+			harness.PrintAblateStraggler(out, 30, pts)
+		case "trend":
+			pts, err := harness.EfficiencyTrend([]uint64{16, 18, 20, 22}, 15, 8, *seed)
+			check(err)
+			harness.PrintTrend(out, 15, 8, pts)
+		case "ablate-helpfirst":
+			pts, err := harness.AblateHelpFirst(30, *seed)
+			check(err)
+			harness.PrintAblateHelpFirst(out, 30, pts)
+		case "ablate-victim":
+			pts, err := harness.AblateVictim(30, 0.3, *seed)
+			check(err)
+			harness.PrintAblateVictim(out, 30, 0.3, pts)
+		case "ablate-multiworker":
+			pts, err := harness.AblateMultiWorker(24, []int{1, 2, 4}, *seed)
+			check(err)
+			harness.PrintAblateMultiWorker(out, 24, pts)
+		default:
+			fail(fmt.Errorf("unknown experiment %q", name))
+		}
+		fmt.Fprintln(out)
+	}
+
+	defer harness.FprintCSVNote(os.Stdout, *csvDir)
+	if *exp == "all" {
+		for _, name := range []string{
+			"fig9", "table2", "fig10", "iso-vs-uni", "table4",
+			"fig11a", "fig11b", "fig11c", "fig11d", "trend",
+			"sec4", "ablate-faa", "ablate-stacksize", "ablate-nodes", "ablate-victim", "ablate-multiworker", "ablate-helpfirst", "ablate-straggler", "ablate-lifelines",
+		} {
+			fmt.Printf("==== %s ====\n", name)
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func check(err error) {
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "uniaddr-bench:", err)
+	os.Exit(1)
+}

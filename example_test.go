@@ -1,0 +1,71 @@
+package uniaddr_test
+
+import (
+	"fmt"
+
+	"uniaddr"
+)
+
+// sumFID computes 1+2+...+n by spawning a child for n-1 and joining it
+// — the smallest complete task function.
+//
+// Frame slots: 0 = n, 1 = child handle.
+var sumFID uniaddr.FuncID
+
+func init() {
+	sumFID = uniaddr.Register("example-sum", func(e *uniaddr.Env) uniaddr.Status {
+		switch e.RP() {
+		case 0:
+			n := e.U64(0)
+			if n == 0 {
+				e.ReturnU64(0)
+				return uniaddr.Done
+			}
+			// Child-first: the child runs immediately; our continuation
+			// (resume point 1) becomes stealable while it does.
+			if !e.Spawn(1, 1, sumFID, 2*8, func(c *uniaddr.Env) { c.SetU64(0, n-1) }) {
+				return uniaddr.Unwound
+			}
+			fallthrough
+		case 1:
+			r, ok := e.Join(1, e.HandleAt(1))
+			if !ok {
+				return uniaddr.Unwound
+			}
+			e.ReturnU64(e.U64(0) + r)
+			return uniaddr.Done
+		}
+		panic("bad resume point")
+	})
+}
+
+// Example runs a task tree on a 4-worker simulated cluster. Runs are
+// deterministic for a fixed Config.Seed.
+func Example() {
+	cfg := uniaddr.DefaultConfig(4)
+	cfg.Seed = 1
+	res, m, err := uniaddr.Run(cfg, sumFID, 2*8, func(e *uniaddr.Env) { e.SetU64(0, 100) })
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sum(1..100) =", res)
+	fmt.Println("tasks =", m.TotalStats().TasksExecuted)
+	// Output:
+	// sum(1..100) = 5050
+	// tasks = 101
+}
+
+// Example_isoAddress runs the same computation under the iso-address
+// baseline; results match, but the scheme pays page faults and reserves
+// address space proportional to the machine size.
+func Example_isoAddress() {
+	cfg := uniaddr.DefaultConfig(4)
+	cfg.Scheme = uniaddr.SchemeIso
+	res, _, err := uniaddr.Run(cfg, sumFID, 2*8, func(e *uniaddr.Env) { e.SetU64(0, 50) })
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sum(1..50) =", res)
+	// Output:
+	// sum(1..50) = 1275
+}

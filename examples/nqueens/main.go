@@ -1,0 +1,60 @@
+// NQueens example: BOTS-style NQueens (§6.1) run under BOTH schemes —
+// uni-address and the iso-address baseline — on the same simulated
+// machine, printing the side-by-side cost of thread migration.
+//
+//	go run ./examples/nqueens -n 10 -workers 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uniaddr"
+	"uniaddr/internal/stats"
+	"uniaddr/internal/workloads"
+)
+
+func main() {
+	n := flag.Uint64("n", 10, "board size N")
+	work := flag.Uint64("work", 100, "cycles per placement attempt")
+	workers := flag.Int("workers", 30, "simulated worker processes")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	spec := workloads.NQueens(*n, *work)
+	wantSol, wantNodes := workloads.UnpackNQ(spec.Expected)
+	fmt.Printf("NQueens N=%d — sequential reference: %d solutions, %d placements\n",
+		*n, wantSol, wantNodes)
+
+	for _, scheme := range []uniaddr.SchemeKind{uniaddr.SchemeUni, uniaddr.SchemeIso} {
+		cfg := uniaddr.DefaultConfig(*workers)
+		cfg.Scheme = scheme
+		cfg.Seed = *seed
+		m, res, err := spec.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s run failed: %v\n", scheme, err)
+			os.Exit(1)
+		}
+		sol, nodes := workloads.UnpackNQ(res)
+		if sol != wantSol || nodes != wantNodes {
+			fmt.Fprintf(os.Stderr, "%s VALIDATION FAILED: (%d,%d) != (%d,%d)\n",
+				scheme, sol, nodes, wantSol, wantNodes)
+			os.Exit(1)
+		}
+		st := m.TotalStats()
+		fmt.Printf("\n%s:\n", scheme)
+		fmt.Printf("  validated %d solutions in %.4f simulated seconds (%s placements/s)\n",
+			sol, m.ElapsedSeconds(), stats.HumanCount(float64(nodes)/m.ElapsedSeconds()))
+		fmt.Printf("  steals %d, migrated %s of board-carrying stacks\n",
+			st.StealsOK, stats.HumanBytes(st.BytesStolen))
+		switch scheme {
+		case uniaddr.SchemeUni:
+			fmt.Printf("  peak uni-address usage %d B; per-process VA reserved %s\n",
+				m.MaxStackUsage(), stats.HumanBytes(m.MaxReservedBytes()))
+		default:
+			fmt.Printf("  page faults %d; per-process VA reserved %s (grows with machine size)\n",
+				st.PageFaults, stats.HumanBytes(m.MaxReservedBytes()))
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Quickstart: fork-join fib on a simulated uni-address cluster.
+//
+// Run with:
+//
+//	go run ./examples/quickstart -n 20 -workers 30
+//
+// The program registers a fib task, runs it on an FX10-flavoured
+// simulated machine, and reports the result plus what the runtime did
+// to balance the load: one-sided steals, migrated stack bytes,
+// suspensions, and the peak uni-address region usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uniaddr"
+)
+
+// fib's frame layout: slot 0 = n, slots 1–2 = child handles,
+// slot 3 = first child's result.
+const fibLocals = 4 * 8
+
+var fibFID uniaddr.FuncID
+
+func init() {
+	fibFID = uniaddr.Register("fib", fibTask)
+}
+
+func fibTask(e *uniaddr.Env) uniaddr.Status {
+	switch e.RP() {
+	case 0:
+		n := e.I64(0)
+		if n < 2 {
+			e.ReturnI64(n)
+			return uniaddr.Done
+		}
+		// Child-first spawn: fib(n-1) runs immediately; our
+		// continuation (resume point 1) becomes stealable.
+		if !e.Spawn(1, 1, fibFID, fibLocals, func(c *uniaddr.Env) { c.SetI64(0, n-1) }) {
+			return uniaddr.Unwound // we migrated; unwind this worker
+		}
+		fallthrough
+	case 1:
+		n := e.I64(0)
+		if !e.Spawn(2, 2, fibFID, fibLocals, func(c *uniaddr.Env) { c.SetI64(0, n-2) }) {
+			return uniaddr.Unwound
+		}
+		fallthrough
+	case 2:
+		r1, ok := e.Join(2, e.HandleAt(1))
+		if !ok {
+			return uniaddr.Unwound // suspended; we resume at case 2
+		}
+		e.SetU64(3, r1)
+		fallthrough
+	case 3:
+		r2, ok := e.Join(3, e.HandleAt(2))
+		if !ok {
+			return uniaddr.Unwound
+		}
+		e.ReturnU64(e.U64(3) + r2)
+		return uniaddr.Done
+	}
+	panic("fib: bad resume point")
+}
+
+func main() {
+	n := flag.Int64("n", 20, "fib argument")
+	workers := flag.Int("workers", 30, "simulated worker processes")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	cfg := uniaddr.DefaultConfig(*workers)
+	cfg.Seed = *seed
+	res, m, err := uniaddr.Run(cfg, fibFID, fibLocals, func(e *uniaddr.Env) { e.SetI64(0, *n) })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run failed:", err)
+		os.Exit(1)
+	}
+	st := m.TotalStats()
+	fmt.Printf("fib(%d) = %d\n", *n, res)
+	fmt.Printf("simulated time: %.3f ms on %d workers (%d nodes)\n",
+		m.ElapsedSeconds()*1e3, *workers, (*workers+14)/15)
+	fmt.Printf("tasks executed: %d (spawns %d)\n", st.TasksExecuted, st.Spawns)
+	fmt.Printf("steals: %d ok / %d attempts, %d stack bytes migrated one-sidedly\n",
+		st.StealsOK, st.StealAttempts, st.BytesStolen)
+	fmt.Printf("suspensions: %d (join misses), wait-queue resumes: %d\n",
+		st.Suspends, st.ResumesWait)
+	fmt.Printf("peak uni-address region usage: %d bytes (region: %d)\n",
+		m.MaxStackUsage(), cfg.UniSize)
+}

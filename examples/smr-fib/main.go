@@ -1,0 +1,59 @@
+// Native shared-memory baseline: fib on the real (non-simulated)
+// work-stealing pool in internal/smr — the role MassiveThreads/Cilk
+// play in the paper's Table 2, here executing on actual OS threads.
+//
+//	go run ./examples/smr-fib -n 32 -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"uniaddr/internal/smr"
+)
+
+func fib(w *smr.Worker, n, cutoff int) int {
+	if n < 2 {
+		return n
+	}
+	if n < cutoff {
+		return fibSeq(n)
+	}
+	f1 := smr.Spawn(w, func(w *smr.Worker) int { return fib(w, n-1, cutoff) })
+	r2 := fib(w, n-2, cutoff)
+	return smr.Join(w, f1) + r2
+}
+
+func fibSeq(n int) int {
+	if n < 2 {
+		return n
+	}
+	return fibSeq(n-1) + fibSeq(n-2)
+}
+
+func main() {
+	n := flag.Int("n", 30, "fib argument")
+	workers := flag.Int("workers", 0, "pool size (0 = GOMAXPROCS)")
+	cutoff := flag.Int("cutoff", 16, "serial cutoff")
+	flag.Parse()
+
+	pool := smr.NewPool(*workers)
+	defer pool.Close()
+
+	start := time.Now()
+	got := smr.Run(pool, func(w *smr.Worker) int { return fib(w, *n, *cutoff) })
+	elapsed := time.Since(start)
+
+	want := fibSeq(*n)
+	status := "ok"
+	if got != want {
+		status = fmt.Sprintf("MISMATCH (want %d)", want)
+	}
+	fmt.Printf("fib(%d) = %d [%s]\n", *n, got, status)
+	fmt.Printf("wall time %v on %d workers; %d tasks spawned, %d steals\n",
+		elapsed, pool.Size(), pool.Spawns(), pool.Steals())
+	if pool.Spawns() > 0 {
+		fmt.Printf("≈%v per spawned task\n", elapsed/time.Duration(pool.Spawns()))
+	}
+}

@@ -1,0 +1,3 @@
+module uniaddr
+
+go 1.22

@@ -1,0 +1,156 @@
+// Package atomictasks implements the "atomic tasks" programming model
+// of the paper's §2 taxonomy (Fig. 1 left, after Cilk-NOW [4]): a task
+// never blocks — it runs to completion, and a logically sequential
+// computation is split at every synchronisation point into explicit
+// continuation tasks whose arguments are sent with send_argument. The
+// paper argues this style is "not for human programmers"; this package
+// exists so the claim is executable — compare fib here against the
+// four-line fork-join version in workloads.Fib.
+//
+// A continuation is a record in the global heap: a fetch-and-add
+// counter, the argument slots, and the FuncID to launch when the last
+// argument arrives. Senders on any process deliver arguments with
+// one-sided Puts and detect readiness with the fabric's fetch-and-add;
+// whoever sends the last argument spawns the continuation task.
+//
+// Tasks in this model are spawned and immediately joined by their
+// spawner (they are atomic: by the time the child-first Spawn returns,
+// the child has completed — or the spawner was migrated, in which case
+// the Join suspends exactly like any fork-join join would).
+package atomictasks
+
+import (
+	"encoding/binary"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/gas"
+)
+
+// Continuation record layout in the global heap (little-endian):
+//
+//	+0   arrived  u64 (fetch-and-add counter)
+//	+8   nargs    u64
+//	+16  fid      u64 (FuncID of the continuation task)
+//	+24  extra1   u64 (opaque; usually the next continuation — Fig. 1's
+//	                   "cont int k" parameter)
+//	+32  extra2   u64 (opaque; usually the argument index to send to)
+//	+40  args[nargs] u64
+const (
+	crArrived = 0
+	crNArgs   = 8
+	crFid     = 16
+	crExtra1  = 24
+	crExtra2  = 32
+	crArgs    = 40
+)
+
+// Cont names a continuation record.
+type Cont = gas.Ref
+
+// ContBytes returns the heap footprint of a continuation with n args.
+func ContBytes(n int) uint64 { return crArgs + uint64(n)*8 }
+
+// SpawnNext allocates a continuation that will run fid once nargs
+// arguments have been sent to it (Fig. 1's spawn_next). extra is an
+// opaque word the continuation can read (typically the continuation it
+// must itself send to — the "cont int k" parameter of Fig. 1).
+func SpawnNext(e *core.Env, fid core.FuncID, nargs int, extra1, extra2 uint64) Cont {
+	h := e.Gas()
+	k := h.MustAlloc(e.Worker().Proc(), ContBytes(nargs))
+	var b [crArgs]byte
+	binary.LittleEndian.PutUint64(b[crNArgs:], uint64(nargs))
+	binary.LittleEndian.PutUint64(b[crFid:], uint64(fid))
+	binary.LittleEndian.PutUint64(b[crExtra1:], extra1)
+	binary.LittleEndian.PutUint64(b[crExtra2:], extra2)
+	e.GasPut(k, b[:])
+	return k
+}
+
+// continuation task frame layout: slot 0 holds the Cont ref; the task
+// function reads its arguments through it.
+const contLocals = 2 * 8
+
+// Env wraps the continuation access helpers available to an atomic
+// task's function.
+type Env struct {
+	*core.Env
+}
+
+// Arg returns argument i of the running continuation task.
+func (e Env) Arg(i int) uint64 {
+	k := Cont(e.U64(0))
+	return e.GasGetU64(k.Add(crArgs + uint64(i)*8))
+}
+
+// Extra1 returns the continuation's first opaque word.
+func (e Env) Extra1() uint64 {
+	k := Cont(e.U64(0))
+	return e.GasGetU64(k.Add(crExtra1))
+}
+
+// Extra2 returns the continuation's second opaque word.
+func (e Env) Extra2() uint64 {
+	k := Cont(e.U64(0))
+	return e.GasGetU64(k.Add(crExtra2))
+}
+
+// Free releases the running task's continuation record (call once, at
+// the end of the task).
+func (e Env) Free() {
+	k := Cont(e.U64(0))
+	if k.Rank() == e.Worker().Rank() {
+		e.Gas().Free(k)
+		return
+	}
+	// Cross-process record release is bookkeeping, like task records.
+	e.Worker().PeerGas(k.Rank()).Free(k)
+}
+
+// Fn is an atomic task body: it may send arguments and spawn
+// continuations but never joins or suspends of its own accord. The
+// returned status must be propagated (sends can migrate the task).
+type Fn func(e Env) core.Status
+
+// Register wraps an atomic task function for the core registry.
+func Register(name string, fn Fn) core.FuncID {
+	return core.Register(name, func(ce *core.Env) core.Status {
+		return fn(Env{ce})
+	})
+}
+
+// SendArgument delivers v as argument i of k (Fig. 1's send_argument):
+// a one-sided Put plus a fetch-and-add on the arrival counter. If this
+// was the last outstanding argument, the sender launches the
+// continuation task (child-first: it runs immediately, which preserves
+// depth-first order exactly as a fork-join runtime would).
+//
+// rp/handleSlot/joinRP follow the core.Env.Spawn discipline: on a false
+// return the caller must return core.Unwound, and the resume points
+// must re-enter at this SendArgument.
+func SendArgument(e *core.Env, spawnRP, joinRP, handleSlot int, k Cont, i int, v uint64) bool {
+	if e.RP() != spawnRP && e.RP() != joinRP {
+		// Fresh execution of this send (not a migration/suspension
+		// retry, which must not repeat the Put or the fetch-and-add).
+		h := e.Gas()
+		w := e.Worker()
+		h.PutU64(w.Proc(), k.Add(crArgs+uint64(i)*8), v)
+		nargs := h.GetU64(w.Proc(), k.Add(crNArgs))
+		arrived := h.FetchAdd(w.Proc(), k.Add(crArrived), 1)
+		if arrived+1 < nargs {
+			return true // another sender will launch the continuation
+		}
+		fid := core.FuncID(h.GetU64(w.Proc(), k.Add(crFid)))
+		kk := uint64(k)
+		if !e.Spawn(spawnRP, handleSlot, fid, contLocals, func(c *core.Env) {
+			c.SetU64(0, kk)
+		}) {
+			return false
+		}
+	}
+	// Reached fresh after a launch, or resumed at spawnRP (migrated
+	// while the continuation ran) or joinRP (suspended at the join).
+	if _, ok := e.Join(joinRP, e.HandleAt(handleSlot)); !ok {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,51 @@
+package atomictasks
+
+import (
+	"testing"
+
+	"uniaddr/internal/core"
+)
+
+func fibSeq(n uint64) uint64 {
+	a, b := uint64(0), uint64(1)
+	for i := uint64(0); i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+func runAtomicFib(t *testing.T, workers int, n uint64, seed uint64) uint64 {
+	t.Helper()
+	cfg := core.DefaultConfig(workers)
+	cfg.Seed = seed
+	res, _, err := RunFib(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAtomicTasksFib(t *testing.T) {
+	for _, n := range []uint64{0, 1, 2, 7, 12} {
+		if got, want := runAtomicFib(t, 1, n, 1), fibSeq(n); got != want {
+			t.Fatalf("atomic fib(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestAtomicTasksFibParallel(t *testing.T) {
+	want := fibSeq(13)
+	for _, workers := range []int{4, 9} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			if got := runAtomicFib(t, workers, 13, seed); got != want {
+				t.Fatalf("workers=%d seed=%d: atomic fib(13) = %d, want %d", workers, seed, got, want)
+			}
+		}
+	}
+}
+
+func TestContinuationRecordLayout(t *testing.T) {
+	if ContBytes(2) != 56 {
+		t.Fatalf("ContBytes(2) = %d", ContBytes(2))
+	}
+}

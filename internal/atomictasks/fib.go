@@ -1,0 +1,159 @@
+package atomictasks
+
+import (
+	"uniaddr/internal/core"
+	"uniaddr/internal/gas"
+)
+
+// Fibonacci in the atomic-tasks model — the executable version of the
+// paper's Fig. 1 (left). Note the contortions relative to the fork-join
+// version (workloads.Fib): the sum must be a separate continuation
+// task, its inputs travel through heap records, and every logical
+// "wait" is a split point. This is the programmability cost §2 argues
+// against.
+
+var (
+	fibATFID core.FuncID
+	sumATFID core.FuncID
+	finFID   core.FuncID
+)
+
+// fib task frame: 0=k (Cont), 1=argIdx, 2=n, 3=sum cont, 4..5 handles.
+const fibATLocals = 6 * 8
+
+func init() {
+	fibATFID = core.Register("fib-atomic", fibAT)
+	sumATFID = Register("sum-atomic", sumAT)
+	finFID = Register("finish-atomic", finishAT)
+}
+
+func fibAT(e *core.Env) core.Status {
+	k := Cont(e.U64(0))
+	idx := int(e.U64(1))
+	n := e.U64(2)
+	switch e.RP() {
+	case 0:
+		if n < 2 {
+			if !SendArgument(e, 1, 2, 4, k, idx, n) {
+				return core.Unwound
+			}
+			e.ReturnU64(0)
+			return core.Done
+		}
+		// spawn_next Sum(k, ?x, ?y)
+		sum := SpawnNext(e, sumATFID, 2, uint64(k), uint64(idx))
+		e.SetU64(3, uint64(sum))
+		// spawn Fib(x, n-1)
+		if !e.Spawn(3, 4, fibATFID, fibATLocals, fibATInit(sum, 0, n-1)) {
+			return core.Unwound
+		}
+		fallthrough
+	case 3:
+		if _, ok := e.Join(3, e.HandleAt(4)); !ok {
+			return core.Unwound
+		}
+		// spawn Fib(y, n-2)
+		sum := Cont(e.U64(3))
+		if !e.Spawn(4, 5, fibATFID, fibATLocals, fibATInit(sum, 1, n-2)) {
+			return core.Unwound
+		}
+		fallthrough
+	case 4:
+		if _, ok := e.Join(4, e.HandleAt(5)); !ok {
+			return core.Unwound
+		}
+		e.ReturnU64(0)
+		return core.Done
+	case 1, 2:
+		// resumed inside the leaf send
+		if !SendArgument(e, 1, 2, 4, k, idx, n) {
+			return core.Unwound
+		}
+		e.ReturnU64(0)
+		return core.Done
+	}
+	panic("fib-atomic: bad resume point")
+}
+
+func fibATInit(k Cont, idx int, n uint64) func(*core.Env) {
+	return func(c *core.Env) {
+		c.SetU64(0, uint64(k))
+		c.SetU64(1, uint64(idx))
+		c.SetU64(2, n)
+	}
+}
+
+// sumAT is the Sum continuation of Fig. 1: send x+y onward.
+func sumAT(e Env) core.Status {
+	k := Cont(e.Extra1())
+	idx := int(e.Extra2())
+	v := e.Arg(0) + e.Arg(1)
+	if !SendArgument(e.Env, 1, 2, 1, k, idx, v) {
+		return core.Unwound
+	}
+	e.Free()
+	e.ReturnU64(0)
+	return core.Done
+}
+
+// finishAT writes the final value into the result cell named by extra1
+// and flips the flag at extra2.
+func finishAT(e Env) core.Status {
+	cell := gas.Ref(e.Extra1())
+	flag := gas.Ref(e.Extra2())
+	e.GasPutU64(cell, e.Arg(0))
+	e.GasPutU64(flag, 1)
+	e.Free()
+	e.ReturnU64(0)
+	return core.Done
+}
+
+// rootAT drives the dag: allocate the result cell + finish
+// continuation, fire Fib(n), then poll until the final send lands.
+// Frame: 0=flag ref, 1=cell ref, 2=n, 3=h, 4=h2.
+var rootATFID core.FuncID
+
+func init() { rootATFID = core.Register("root-atomic", rootAT) }
+
+func rootAT(e *core.Env) core.Status {
+	switch e.RP() {
+	case 0:
+		flag := e.GasAlloc(8)
+		cell := e.GasAlloc(8)
+		e.GasPutU64(flag, 0)
+		e.SetU64(0, uint64(flag))
+		e.SetU64(1, uint64(cell))
+		fin := SpawnNext(e, finFID, 1, uint64(cell), uint64(flag))
+		n := e.U64(2)
+		if !e.Spawn(1, 3, fibATFID, fibATLocals, fibATInit(fin, 0, n)) {
+			return core.Unwound
+		}
+		fallthrough
+	case 1:
+		if _, ok := e.Join(1, e.HandleAt(3)); !ok {
+			return core.Unwound
+		}
+		fallthrough
+	case 2:
+		// Poll for the dag's completion (atomic tasks have no join; the
+		// root is the only place allowed to wait, and it does so by
+		// burning cycles like a driver program would).
+		for e.GasGetU64(gas.Ref(e.U64(0))) == 0 {
+			e.Work(500)
+		}
+		e.ReturnU64(e.GasGetU64(gas.Ref(e.U64(1))))
+		return core.Done
+	}
+	panic("root-atomic: bad resume point")
+}
+
+// RunFib computes fib(n) in the atomic-tasks model on cfg's machine —
+// the executable Fig. 1 (left).
+func RunFib(cfg core.Config, n uint64) (uint64, *core.Machine, error) {
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	res, err := m.Run(rootATFID, 5*8, func(e *core.Env) { e.SetU64(2, n) })
+	return res, m, err
+}

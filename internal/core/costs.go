@@ -1,0 +1,102 @@
+package core
+
+// Costs are the CPU-side cost parameters of the runtime, in cycles.
+// Together with the fabric parameters (rdma.Params) they form a machine
+// profile. Two calibrated profiles mirror the paper's test machines
+// (Table 1): SPARC64IXfx (FX10) and Xeon E5-2660.
+type Costs struct {
+	// SaveContext is the register save at task creation (Fig. 4 /
+	// Appendix A) plus task-record setup.
+	SaveContext uint64
+	// RestoreContext is the context restore when a parent resumes after
+	// an un-stolen child returns.
+	RestoreContext uint64
+	// DequePush / DequePop are the local THE-protocol queue operations.
+	DequePush uint64
+	DequePop  uint64
+	// TryJoinLocal is a local record poll; RecordWriteLocal a local
+	// record completion.
+	TryJoinLocal     uint64
+	RecordWriteLocal uint64
+	// SuspendCPU / ResumeCPU are the fixed parts of packing a thread
+	// out of / back into the uni-address region (Fig. 8); the memcpy
+	// part scales with MemCopyPerByte.
+	SuspendCPU     uint64
+	ResumeCPU      uint64
+	MemCopyPerByte float64
+	// VictimSelect is the cost of picking a random victim.
+	VictimSelect uint64
+	// IdleBackoff is the pause between scheduler rounds with no work.
+	IdleBackoff uint64
+	// PageFaultCycles is the demand-paging fault cost (21K cycles on
+	// SPARC64IXfx per the paper §4), charged by the iso-address scheme.
+	PageFaultCycles uint64
+	// IsoVictimAssist models the remote-CPU involvement iso-address
+	// stack transfer needs (paper footnote 2: it cannot be one-sided).
+	IsoVictimAssist uint64
+	// ClockHz converts cycles to seconds for reporting.
+	ClockHz float64
+}
+
+// SPARCCosts is the FX10 SPARC64IXfx profile. The full cost of
+// creating, running and retiring an empty task — save context, deque
+// push/pop, context restore, the child's record write and the parent's
+// try_join — sums to the paper's measured 413 cycles, and
+// suspend+resume of the 3055-byte microbenchmark stack come to ≈3.5K
+// cycles (Table 2, §6.3).
+func SPARCCosts() Costs {
+	return Costs{
+		SaveContext:      120,
+		RestoreContext:   93,
+		DequePush:        50,
+		DequePop:         50,
+		TryJoinLocal:     60,
+		RecordWriteLocal: 40,
+		SuspendCPU:       1200,
+		ResumeCPU:        1450,
+		MemCopyPerByte:   0.25,
+		VictimSelect:     100,
+		IdleBackoff:      2000,
+		PageFaultCycles:  21000,
+		IsoVictimAssist:  2000,
+		ClockHz:          1.848e9,
+	}
+}
+
+// XeonCosts is the Xeon E5-2660 profile; the empty-task components sum
+// to the paper's 100 cycles.
+func XeonCosts() Costs {
+	return Costs{
+		SaveContext:      30,
+		RestoreContext:   22,
+		DequePush:        12,
+		DequePop:         12,
+		TryJoinLocal:     14,
+		RecordWriteLocal: 10,
+		SuspendCPU:       300,
+		ResumeCPU:        350,
+		MemCopyPerByte:   0.06,
+		VictimSelect:     30,
+		IdleBackoff:      600,
+		PageFaultCycles:  4000,
+		IsoVictimAssist:  700,
+		ClockHz:          2.2e9,
+	}
+}
+
+// SpawnCost returns the modelled cost of creating and synchronising one
+// empty task (the Table 2 quantity) for the profile.
+func (c Costs) SpawnCost() uint64 {
+	return c.SaveContext + c.DequePush + c.DequePop + c.RestoreContext +
+		c.TryJoinLocal + c.RecordWriteLocal
+}
+
+// copyCycles converts a memcpy size to cycles.
+func (c Costs) copyCycles(n uint64) uint64 {
+	return uint64(float64(n) * c.MemCopyPerByte)
+}
+
+// Seconds converts cycles to seconds under this profile's clock.
+func (c Costs) Seconds(cycles uint64) float64 {
+	return float64(cycles) / c.ClockHz
+}

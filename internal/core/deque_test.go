@@ -1,0 +1,294 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uniaddr/internal/mem"
+	"uniaddr/internal/rdma"
+	"uniaddr/internal/sim"
+)
+
+// dequeRig builds an engine with two endpoints sharing the deque
+// layout: rank 0 is the owner, rank 1 the thief.
+type dequeRig struct {
+	eng    *sim.Engine
+	fab    *rdma.Fabric
+	owner  *Deque
+	spaces []*mem.AddressSpace
+}
+
+func newDequeRig(t *testing.T, cap uint64) *dequeRig {
+	t.Helper()
+	rig := &dequeRig{eng: sim.NewEngine()}
+	params := rdma.DefaultParams()
+	params.HardwareFAA = true // no comm server needed for these tests
+	rig.fab = rdma.NewFabric(rig.eng, params)
+	for i := 0; i < 2; i++ {
+		s := mem.NewAddressSpace("p")
+		rig.fab.AddEndpoint(s)
+		rig.spaces = append(rig.spaces, s)
+	}
+	var err error
+	rig.owner, err = NewDeque(rig.spaces[0], DefaultDequeBase, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The thief needs the layout mapped locally too (for symmetry; it
+	// only issues remote ops here).
+	if _, err := NewDeque(rig.spaces[1], DefaultDequeBase, cap); err != nil {
+		t.Fatal(err)
+	}
+	return rig
+}
+
+func TestDequeLocalPushPopLIFO(t *testing.T) {
+	rig := newDequeRig(t, 16)
+	rig.eng.Spawn("owner", func(p *sim.Proc) {
+		ep := rig.fab.Endpoint(0)
+		for i := uint64(1); i <= 5; i++ {
+			if err := rig.owner.Push(Entry{FrameBase: mem.VA(i * 0x100), FrameSize: i}); err != nil {
+				t.Error(err)
+			}
+		}
+		for i := uint64(5); i >= 1; i-- {
+			e, ok := rig.owner.Pop(p, ep, 0)
+			if !ok || e.FrameSize != i {
+				t.Errorf("pop %d: ok=%v size=%d", i, ok, e.FrameSize)
+			}
+		}
+		if _, ok := rig.owner.Pop(p, ep, 0); ok {
+			t.Error("pop from empty succeeded")
+		}
+	})
+	if _, err := rig.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDequeOverflowReported(t *testing.T) {
+	rig := newDequeRig(t, 4)
+	rig.eng.Spawn("owner", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			if err := rig.owner.Push(Entry{FrameBase: 1, FrameSize: 1}); err != nil {
+				t.Error(err)
+			}
+		}
+		if err := rig.owner.Push(Entry{FrameBase: 1, FrameSize: 1}); err == nil {
+			t.Error("overflow not reported")
+		}
+	})
+	if _, err := rig.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDequeRemoteStealFIFO(t *testing.T) {
+	rig := newDequeRig(t, 16)
+	rig.eng.Spawn("owner", func(p *sim.Proc) {
+		for i := uint64(1); i <= 3; i++ {
+			rig.owner.Push(Entry{FrameBase: mem.VA(i), FrameSize: i})
+		}
+		p.Advance(1_000_000) // stay alive while the thief works
+	})
+	rig.eng.Spawn("thief", func(p *sim.Proc) {
+		p.Advance(1000) // let the owner push first
+		ep := rig.fab.Endpoint(1)
+		var ph StealPhases
+		for i := uint64(1); i <= 3; i++ {
+			e, out := rig.owner.StealRemote(p, ep, 0, &ph, nil)
+			if out != StealOK || e.FrameSize != i {
+				t.Errorf("steal %d: out=%v size=%d", i, out, e.FrameSize)
+			}
+			rig.owner.Unlock(p, ep, 0, &ph)
+		}
+		if _, out := rig.owner.StealRemote(p, ep, 0, &ph, nil); out != StealEmpty {
+			t.Errorf("steal from empty: %v", out)
+		}
+	})
+	if _, err := rig.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDequeStealLockBusy(t *testing.T) {
+	rig := newDequeRig(t, 16)
+	rig.eng.Spawn("setup", func(p *sim.Proc) {
+		rig.owner.Push(Entry{FrameBase: 1, FrameSize: 1})
+		// Simulate a lock holder.
+		rig.spaces[0].MustWriteU64(DefaultDequeBase+dqLockOff, 1)
+	})
+	rig.eng.Spawn("thief", func(p *sim.Proc) {
+		p.Advance(100)
+		var ph StealPhases
+		if _, out := rig.owner.StealRemote(p, rig.fab.Endpoint(1), 0, &ph, nil); out != StealLockBusy {
+			t.Errorf("outcome %v, want lock-busy", out)
+		}
+	})
+	if _, err := rig.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDequeStealRejectLeavesEntry(t *testing.T) {
+	rig := newDequeRig(t, 16)
+	rig.eng.Spawn("owner", func(p *sim.Proc) {
+		rig.owner.Push(Entry{FrameBase: 0xabc, FrameSize: 7})
+		p.Advance(1_000_000)
+	})
+	rig.eng.Spawn("thief", func(p *sim.Proc) {
+		p.Advance(1000)
+		ep := rig.fab.Endpoint(1)
+		var ph StealPhases
+		e, out := rig.owner.StealRemote(p, ep, 0, &ph, func(Entry) bool { return false })
+		if out != StealReject || e.FrameBase != 0xabc {
+			t.Errorf("outcome %v entry %+v", out, e)
+		}
+		// The rejected entry must still be stealable.
+		e, out = rig.owner.StealRemote(p, ep, 0, &ph, nil)
+		if out != StealOK || e.FrameSize != 7 {
+			t.Errorf("entry lost after reject: %v %+v", out, e)
+		}
+		rig.owner.Unlock(p, ep, 0, &ph)
+	})
+	if _, err := rig.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDequeTHELastElementRace drives the classic THE conflict: the
+// owner pops while a thief steals the only entry. Exactly one must win.
+func TestDequeTHELastElementRace(t *testing.T) {
+	for delay := uint64(0); delay < 30000; delay += 1500 {
+		rig := newDequeRig(t, 16)
+		var ownerGot, thiefGot int
+		rig.eng.Spawn("owner", func(p *sim.Proc) {
+			rig.owner.Push(Entry{FrameBase: 0x42, FrameSize: 42})
+			p.Advance(delay) // vary the interleaving against the steal
+			if _, ok := rig.owner.Pop(p, rig.fab.Endpoint(0), 0); ok {
+				ownerGot++
+			}
+		})
+		rig.eng.Spawn("thief", func(p *sim.Proc) {
+			p.Advance(10)
+			var ph StealPhases
+			e, out := rig.owner.StealRemote(p, rig.fab.Endpoint(1), 0, &ph, nil)
+			switch out {
+			case StealOK:
+				if e.FrameSize != 42 {
+					t.Errorf("stole corrupt entry %+v", e)
+				}
+				thiefGot++
+				rig.owner.Unlock(p, rig.fab.Endpoint(1), 0, &ph)
+			case StealLockBusy, StealEmpty, StealEmptyLocked:
+			}
+		})
+		if _, err := rig.eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if ownerGot+thiefGot != 1 {
+			t.Fatalf("delay %d: entry taken %d times (owner %d, thief %d)",
+				delay, ownerGot+thiefGot, ownerGot, thiefGot)
+		}
+	}
+}
+
+// Property: randomized owner pushes/pops against a stealing thief never
+// lose or duplicate an entry.
+func TestDequeNoLossNoDupProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rig := newDequeRig(t, 256)
+		const total = 60
+		taken := make(map[uint64]int)
+		rig.eng.Spawn("owner", func(p *sim.Proc) {
+			rng := sim.NewRNG(seed | 1)
+			next := uint64(1)
+			live := 0
+			for next <= total || live > 0 {
+				if next <= total && (live == 0 || rng.Intn(2) == 0) {
+					if err := rig.owner.Push(Entry{FrameBase: mem.VA(next), FrameSize: next}); err == nil {
+						next++
+						live++
+					}
+				} else {
+					if e, ok := rig.owner.Pop(p, rig.fab.Endpoint(0), 0); ok {
+						taken[e.FrameSize]++
+						live--
+					} else {
+						live = 0 // rest were stolen
+					}
+				}
+				p.Advance(uint64(rng.Intn(3000)))
+			}
+			p.Advance(200_000) // let the thief finish draining
+		})
+		rig.eng.Spawn("thief", func(p *sim.Proc) {
+			rng := sim.NewRNG(seed | 2)
+			for i := 0; i < 400; i++ {
+				var ph StealPhases
+				e, out := rig.owner.StealRemote(p, rig.fab.Endpoint(1), 0, &ph, nil)
+				if out == StealOK {
+					taken[e.FrameSize]++
+					rig.owner.Unlock(p, rig.fab.Endpoint(1), 0, &ph)
+				}
+				p.Advance(uint64(rng.Intn(2000)))
+			}
+		})
+		if _, err := rig.eng.Run(); err != nil {
+			return false
+		}
+		for i := uint64(1); i <= total; i++ {
+			if taken[i] != 1 {
+				t.Logf("seed %d: entry %d taken %d times", seed, i, taken[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDequeRingWrap(t *testing.T) {
+	rig := newDequeRig(t, 4)
+	rig.eng.Spawn("owner", func(p *sim.Proc) {
+		ep := rig.fab.Endpoint(0)
+		// Push/pop more entries than the capacity: indices keep rising,
+		// the ring wraps, nothing corrupts.
+		for round := uint64(0); round < 10; round++ {
+			for i := uint64(0); i < 3; i++ {
+				if err := rig.owner.Push(Entry{FrameBase: mem.VA(round), FrameSize: round*10 + i}); err != nil {
+					t.Error(err)
+				}
+			}
+			for i := uint64(3); i > 0; i-- {
+				e, ok := rig.owner.Pop(p, ep, 0)
+				if !ok || e.FrameSize != round*10+i-1 {
+					t.Errorf("round %d: pop got %+v ok=%v", round, e, ok)
+				}
+			}
+		}
+	})
+	if _, err := rig.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDequeMaxDepthTracked(t *testing.T) {
+	rig := newDequeRig(t, 64)
+	rig.eng.Spawn("owner", func(p *sim.Proc) {
+		for i := 0; i < 7; i++ {
+			rig.owner.Push(Entry{FrameBase: 1, FrameSize: 1})
+		}
+		for i := 0; i < 7; i++ {
+			rig.owner.Pop(p, rig.fab.Endpoint(0), 0)
+		}
+	})
+	if _, err := rig.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rig.owner.MaxDepth() != 7 {
+		t.Fatalf("max depth %d, want 7", rig.owner.MaxDepth())
+	}
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"uniaddr/internal/gas"
+	"uniaddr/internal/mem"
+)
+
+// Task functions and frames.
+//
+// The paper runs ordinary C functions on migratable native stacks and
+// switches contexts with a few lines of assembly (Appendix A). Go's
+// runtime owns goroutine stacks — they move during growth and cannot be
+// pinned at chosen virtual addresses — so the migratable stack here is
+// explicit: a frame of raw bytes inside the (simulated) uni-address
+// region. A task body is a registered Go function; every value that
+// must survive a migration lives in frame slots, and the saved
+// "register context" is a resume point stored in the frame header.
+// Because the frame bytes are the complete thread state, a steal is the
+// paper's steal: a byte-for-byte RDMA READ of the stack into the same
+// virtual address on another process, after which stored intra-stack
+// addresses are still valid.
+
+// FuncID identifies a registered task function. IDs are assigned in
+// registration order, so programs that register functions in the same
+// order (normal init-time registration) agree across processes, exactly
+// like function pointers agree across identical binaries.
+type FuncID uint32
+
+// Status is returned by task functions and by the runtime internals.
+type Status uint8
+
+const (
+	// Done means the task function completed; its result is in its task
+	// record.
+	Done Status = iota
+	// Unwound means this thread cannot continue on this worker: it
+	// suspended at a join, or its continuation was stolen. The function
+	// must return Unwound immediately when Spawn or Join report it.
+	Unwound
+)
+
+func (s Status) String() string {
+	switch s {
+	case Done:
+		return "Done"
+	case Unwound:
+		return "Unwound"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Fn is a task function. It runs with an Env giving access to its frame
+// and to spawn/join primitives. It must return Done after calling a
+// Return method (or with the default zero result), or propagate Unwound
+// when a primitive reports it.
+type Fn func(e *Env) Status
+
+var (
+	regMu    sync.Mutex
+	regFns   []Fn
+	regNames []string
+)
+
+// Register adds fn to the global function table and returns its id.
+// Call it from package init or test setup; ids are stable for the
+// process lifetime.
+func Register(name string, fn Fn) FuncID {
+	regMu.Lock()
+	defer regMu.Unlock()
+	regFns = append(regFns, fn)
+	regNames = append(regNames, name)
+	return FuncID(len(regFns) - 1)
+}
+
+func lookupFn(id FuncID) Fn {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if int(id) >= len(regFns) {
+		panic(fmt.Sprintf("core: unregistered FuncID %d", id))
+	}
+	return regFns[int(id)]
+}
+
+// FuncName returns the registered name of id (for traces).
+func FuncName(id FuncID) string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if int(id) >= len(regNames) {
+		return fmt.Sprintf("fn#%d", id)
+	}
+	return regNames[int(id)]
+}
+
+// Frame header layout (little-endian), stored at the base (lowest
+// address) of each thread's stack in the uni-address region:
+//
+//	+0   funcID     u32
+//	+4   resumePt   u32  (the "saved instruction pointer")
+//	+8   localsLen  u32  (bytes of locals following the header)
+//	+12  reserved   u32
+//	+16  record     u64  (Handle of this task's completion record)
+//	+24  reserved   u64
+const (
+	frameHdrSize   = 32
+	fhFuncIDOff    = 0
+	fhResumeOff    = 4
+	fhLocalsLenOff = 8
+	fhRecordOff    = 16
+)
+
+// FrameBytes returns the stack footprint of a task with localsLen bytes
+// of locals (header + locals, 16-byte aligned).
+func FrameBytes(localsLen uint32) uint64 {
+	return (frameHdrSize + uint64(localsLen) + 15) &^ 15
+}
+
+// writeFrameHeader initialises a fresh frame: the whole footprint is
+// zeroed (stack addresses are reused constantly, and a task must never
+// observe a predecessor's bytes) and the header written.
+func writeFrameHeader(space *mem.AddressSpace, base mem.VA, fid FuncID, localsLen uint32, rec Handle) {
+	b, err := space.Slice(base, FrameBytes(localsLen))
+	if err != nil {
+		panic(err)
+	}
+	for i := range b {
+		b[i] = 0
+	}
+	binary.LittleEndian.PutUint32(b[fhFuncIDOff:], uint32(fid))
+	binary.LittleEndian.PutUint32(b[fhLocalsLenOff:], localsLen)
+	binary.LittleEndian.PutUint64(b[fhRecordOff:], uint64(rec))
+}
+
+// Env is a task function's view of its own frame plus the runtime
+// primitives. Envs are created by the worker for each (re-)entry into a
+// task function and must not be retained across returns.
+type Env struct {
+	w    *Worker
+	base mem.VA
+	size uint64
+	rp   uint32
+
+	returned bool
+}
+
+// Worker returns the worker currently executing the task.
+func (e *Env) Worker() *Worker { return e.w }
+
+// FrameBase returns the base VA of this thread's stack.
+func (e *Env) FrameBase() mem.VA { return e.base }
+
+// FrameSize returns the stack footprint in bytes.
+func (e *Env) FrameSize() uint64 { return e.size }
+
+// RP returns the resume point: 0 on first entry, otherwise the value
+// passed to the Spawn or Join the thread last suspended or migrated at.
+func (e *Env) RP() int { return int(e.rp) }
+
+// Self returns the Handle of this task's completion record.
+func (e *Env) Self() Handle {
+	return Handle(e.w.space.MustReadU64(e.base + fhRecordOff))
+}
+
+func (e *Env) setRP(rp uint32) {
+	b, err := e.w.space.Slice(e.base+fhResumeOff, 4)
+	if err != nil {
+		panic(err)
+	}
+	binary.LittleEndian.PutUint32(b, rp)
+}
+
+// slotVA returns the address of 8-byte local slot i.
+func (e *Env) slotVA(i int) mem.VA {
+	va := e.base + frameHdrSize + mem.VA(i*8)
+	if uint64(va)+8 > uint64(e.base)+e.size {
+		panic(fmt.Sprintf("core: slot %d outside frame of %d bytes", i, e.size))
+	}
+	return va
+}
+
+// U64 loads local slot i.
+func (e *Env) U64(i int) uint64 { return e.w.space.MustReadU64(e.slotVA(i)) }
+
+// SetU64 stores local slot i.
+func (e *Env) SetU64(i int, v uint64) { e.w.space.MustWriteU64(e.slotVA(i), v) }
+
+// I64 loads local slot i as a signed integer.
+func (e *Env) I64(i int) int64 { return int64(e.U64(i)) }
+
+// SetI64 stores a signed integer in local slot i.
+func (e *Env) SetI64(i int, v int64) { e.SetU64(i, uint64(v)) }
+
+// HandleAt loads a Handle from local slot i.
+func (e *Env) HandleAt(i int) Handle { return Handle(e.U64(i)) }
+
+// SetHandle stores a Handle in local slot i.
+func (e *Env) SetHandle(i int, h Handle) { e.SetU64(i, uint64(h)) }
+
+// PtrAt loads a simulated address from slot i. Tasks may store
+// addresses of their own frame bytes (intra-stack pointers); the
+// uni-address guarantee is that they remain valid after migration.
+func (e *Env) PtrAt(i int) mem.VA { return mem.VA(e.U64(i)) }
+
+// SetPtr stores a simulated address in slot i.
+func (e *Env) SetPtr(i int, va mem.VA) { e.SetU64(i, uint64(va)) }
+
+// LocalAddr returns the simulated address of byte off of the locals
+// area — for building intra-stack pointers.
+func (e *Env) LocalAddr(off int) mem.VA { return e.base + frameHdrSize + mem.VA(off) }
+
+// Bytes returns a direct view of locals [off, off+n) for bulk data
+// (e.g. an NQueens board). The view is invalidated by any migration, so
+// it must not be retained across Spawn or Join.
+func (e *Env) Bytes(off, n int) []byte {
+	if off < 0 || n < 0 || frameHdrSize+uint64(off)+uint64(n) > e.size {
+		panic(fmt.Sprintf("core: Bytes(%d,%d) outside frame of %d bytes", off, n, e.size))
+	}
+	b, err := e.w.space.Slice(e.base+frameHdrSize+mem.VA(off), uint64(n))
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Gas returns the global heap for cross-thread data. Refs obtained
+// from it are plain integers: store them in frame slots with SetU64
+// and they migrate with the thread.
+func (e *Env) Gas() *gas.Heap {
+	if e.w.gas == nil {
+		panic("core: global heap disabled (Config.GasSize = 0)")
+	}
+	return e.w.gas
+}
+
+// GasGet dereferences a global reference into buf, charging local-copy
+// or RDMA cost as appropriate.
+func (e *Env) GasGet(r gas.Ref, buf []byte) { e.Gas().Get(e.w.proc, r, buf) }
+
+// GasPut stores buf through a global reference.
+func (e *Env) GasPut(r gas.Ref, buf []byte) { e.Gas().Put(e.w.proc, r, buf) }
+
+// GasGetU64 loads one word through a global reference.
+func (e *Env) GasGetU64(r gas.Ref) uint64 { return e.Gas().GetU64(e.w.proc, r) }
+
+// GasPutU64 stores one word through a global reference.
+func (e *Env) GasPutU64(r gas.Ref, v uint64) { e.Gas().PutU64(e.w.proc, r, v) }
+
+// GasAlloc allocates on this worker's segment of the global heap.
+func (e *Env) GasAlloc(n uint64) gas.Ref { return e.Gas().MustAlloc(e.w.proc, n) }
+
+// Work advances simulated time by cycles of task computation (scaled
+// on straggler workers).
+func (e *Env) Work(cycles uint64) {
+	e.w.stats.WorkCycles += cycles
+	e.w.adv(cycles)
+}
+
+// ReturnU64 records the task's result and marks its record done. Call
+// it (at most once) before returning Done; returning Done without a
+// Return records a zero result.
+func (e *Env) ReturnU64(v uint64) {
+	if e.returned {
+		panic("core: duplicate ReturnU64")
+	}
+	e.returned = true
+	e.w.completeRecord(e.Self(), v)
+}
+
+// ReturnI64 is ReturnU64 for signed results.
+func (e *Env) ReturnI64(v int64) { e.ReturnU64(uint64(v)) }

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uniaddr/internal/mem"
+)
+
+func TestHandleRoundTrip(t *testing.T) {
+	f := func(rank uint16, va48 uint64) bool {
+		va := mem.VA(va48 & (1<<48 - 1))
+		h := MakeHandle(int(rank), va)
+		return h.Valid() && h.Rank() == int(rank) && h.VA() == va
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleZeroInvalid(t *testing.T) {
+	var h Handle
+	if h.Valid() {
+		t.Fatal("zero handle is valid")
+	}
+	if MakeHandle(0, 0).Valid() != true {
+		t.Fatal("rank 0, va 0 should still be a valid handle (rank biased by 1)")
+	}
+}
+
+func TestHandleOversizedVAPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 49-bit VA")
+		}
+	}()
+	MakeHandle(0, mem.VA(1)<<48)
+}
+
+func TestFrameBytesRounding(t *testing.T) {
+	cases := map[uint32]uint64{
+		0:   32,
+		1:   48,
+		16:  48,
+		17:  64,
+		100: 144,
+	}
+	for locals, want := range cases {
+		if got := FrameBytes(locals); got != want {
+			t.Fatalf("FrameBytes(%d) = %d, want %d", locals, got, want)
+		}
+	}
+	// Always 16-aligned and big enough.
+	f := func(locals uint16) bool {
+		n := FrameBytes(uint32(locals))
+		return n%16 == 0 && n >= frameHdrSize+uint64(locals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	space := mem.NewAddressSpace("t")
+	space.MustReserve("stack", 0x1000, 4096, true)
+	rec := MakeHandle(7, 0xabcd)
+	writeFrameHeader(space, 0x1000, FuncID(3), 64, rec)
+	b, _ := space.Slice(0x1000, frameHdrSize)
+	if got := FuncID(leU64(b[0:8]) & 0xffffffff); got != 3 {
+		t.Fatalf("funcID = %d", got)
+	}
+	if got := Handle(leU64(b[fhRecordOff : fhRecordOff+8])); got != rec {
+		t.Fatalf("record = %v", got)
+	}
+}
+
+func TestFrameHeaderZeroesLocals(t *testing.T) {
+	space := mem.NewAddressSpace("t")
+	space.MustReserve("stack", 0x1000, 4096, true)
+	// Dirty the memory first (stack reuse).
+	junk := make([]byte, 256)
+	for i := range junk {
+		junk[i] = 0xff
+	}
+	space.Write(0x1000, junk)
+	writeFrameHeader(space, 0x1000, FuncID(1), 64, MakeHandle(0, 1))
+	b, _ := space.Slice(0x1000+frameHdrSize, 64)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("local byte %d not zeroed: %#x", i, v)
+		}
+	}
+}
+
+func TestRegisterAndName(t *testing.T) {
+	id := Register("test-named-fn", func(e *Env) Status { return Done })
+	if FuncName(id) != "test-named-fn" {
+		t.Fatalf("name = %q", FuncName(id))
+	}
+	if FuncName(FuncID(1<<30)) == "" {
+		t.Fatal("unknown id should still format")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Done.String() != "Done" || Unwound.String() != "Unwound" {
+		t.Fatal("status strings")
+	}
+	if Status(9).String() == "" {
+		t.Fatal("unknown status must format")
+	}
+}
+
+func TestSchemeKindString(t *testing.T) {
+	if SchemeUni.String() != "uni-address" || SchemeIso.String() != "iso-address" {
+		t.Fatal("scheme strings")
+	}
+}
+
+// envRig builds a 1-worker machine and runs fn as the body of a task
+// with the given locals, for direct Env testing.
+func envRig(t *testing.T, locals uint32, fn func(e *Env)) {
+	t.Helper()
+	fid := Register("env-rig", func(e *Env) Status {
+		fn(e)
+		e.ReturnU64(1)
+		return Done
+	})
+	m, err := NewMachine(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(fid, locals, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvSlotAccessors(t *testing.T) {
+	envRig(t, 8*8, func(e *Env) {
+		e.SetI64(0, -42)
+		if e.I64(0) != -42 {
+			t.Error("I64 round trip")
+		}
+		e.SetU64(1, 1<<63)
+		if e.U64(1) != 1<<63 {
+			t.Error("U64 round trip")
+		}
+		h := MakeHandle(3, 0x123)
+		e.SetHandle(2, h)
+		if e.HandleAt(2) != h {
+			t.Error("handle round trip")
+		}
+		e.SetPtr(3, e.LocalAddr(32))
+		if e.PtrAt(3) != e.FrameBase()+frameHdrSize+32 {
+			t.Error("ptr round trip")
+		}
+	})
+}
+
+func TestEnvBytesView(t *testing.T) {
+	envRig(t, 128, func(e *Env) {
+		b := e.Bytes(16, 32)
+		for i := range b {
+			b[i] = byte(i)
+		}
+		again := e.Bytes(16, 32)
+		for i := range again {
+			if again[i] != byte(i) {
+				t.Error("bytes view not stable")
+			}
+		}
+	})
+}
+
+func TestEnvBytesOutOfRangePanics(t *testing.T) {
+	envRig(t, 64, func(e *Env) {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range Bytes did not panic")
+			}
+		}()
+		e.Bytes(60, 16)
+	})
+}
+
+func TestEnvSlotOutOfRangePanics(t *testing.T) {
+	envRig(t, 16, func(e *Env) {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range slot did not panic")
+			}
+		}()
+		e.SetU64(2, 1) // slots 0..1 fit in 16 bytes
+	})
+}
+
+func TestEnvDoubleReturnPanics(t *testing.T) {
+	fid := Register("double-return", func(e *Env) Status {
+		e.ReturnU64(1)
+		defer func() {
+			if recover() == nil {
+				t.Error("double return did not panic")
+			}
+			panic("unwind-run") // keep the machine failing fast
+		}()
+		e.ReturnU64(2)
+		return Done
+	})
+	m, err := NewMachine(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(fid, 8, nil); err == nil {
+		t.Fatal("expected run error")
+	}
+}
+
+func TestEnvWorkAdvancesClock(t *testing.T) {
+	fid := Register("worker-cost", func(e *Env) Status {
+		e.Work(12345)
+		e.ReturnU64(0)
+		return Done
+	})
+	m, err := NewMachine(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(fid, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.ElapsedCycles() < 12345 {
+		t.Fatalf("elapsed %d < work cost", m.ElapsedCycles())
+	}
+	if m.TotalStats().WorkCycles != 12345 {
+		t.Fatalf("work cycles = %d", m.TotalStats().WorkCycles)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"uniaddr/internal/mem"
+	"uniaddr/internal/rdma"
+	"uniaddr/internal/sim"
+)
+
+// Fuzz targets: byte-string-driven interleavings of the THE deque and
+// the region's stack discipline. `go test` runs the seed corpus as unit
+// tests; `go test -fuzz=FuzzDequeInterleavings ./internal/core` explores
+// further. Every finding reduces to a deterministic byte string.
+
+// FuzzDequeInterleavings drives an owner and a thief with delays and
+// operation choices taken from the fuzz input, and checks exactly-once
+// delivery of every entry.
+func FuzzDequeInterleavings(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 255, 255})
+	f.Add([]byte{10, 200, 30, 40, 7, 7, 7, 7, 90, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 256 {
+			t.Skip()
+		}
+		eng := sim.NewEngine()
+		params := rdma.DefaultParams()
+		params.HardwareFAA = true // no comm server needed
+		fab := rdma.NewFabric(eng, params)
+		space0 := mem.NewAddressSpace("owner")
+		fab.AddEndpoint(space0)
+		space1 := mem.NewAddressSpace("thief")
+		fab.AddEndpoint(space1)
+		d, err := NewDeque(space0, DefaultDequeBase, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewDeque(space1, DefaultDequeBase, 64); err != nil {
+			t.Fatal(err)
+		}
+		taken := map[uint64]int{}
+		const total = 12
+		eng.Spawn("owner", func(p *sim.Proc) {
+			next := uint64(1)
+			live := 0
+			k := 0
+			for next <= total || live > 0 {
+				b := data[k%len(data)]
+				k++
+				if next <= total && (live == 0 || b%2 == 0) {
+					if err := d.Push(Entry{FrameBase: mem.VA(next), FrameSize: next}); err == nil {
+						next++
+						live++
+					}
+				} else if e, ok := d.Pop(p, fab.Endpoint(0), 0); ok {
+					taken[e.FrameSize]++
+					live--
+				} else {
+					live = 0
+				}
+				p.Advance(uint64(b) * 37)
+			}
+			p.Advance(100_000)
+		})
+		eng.Spawn("thief", func(p *sim.Proc) {
+			k := 0
+			for i := 0; i < 200; i++ {
+				b := data[(k+i)%len(data)]
+				var ph StealPhases
+				e, out := d.StealRemote(p, fab.Endpoint(1), 0, &ph, nil)
+				if out == StealOK {
+					taken[e.FrameSize]++
+					d.Unlock(p, fab.Endpoint(1), 0, &ph)
+				}
+				p.Advance(uint64(b)*53 + 1)
+			}
+		})
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(1); i <= total; i++ {
+			if taken[i] != 1 {
+				t.Fatalf("entry %d taken %d times (input %v)", i, taken[i], data)
+			}
+		}
+	})
+}
+
+// FuzzRegionStackDiscipline drives alloc/free/install sequences from
+// the fuzz input and checks the invariant after every operation.
+func FuzzRegionStackDiscipline(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{200, 100, 50, 25})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			t.Skip()
+		}
+		space := mem.NewAddressSpace("t")
+		r, err := NewRegion(space, DefaultUniBase, 1<<14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type stk struct {
+			base mem.VA
+			size uint64
+		}
+		var live []stk
+		for _, b := range data {
+			switch b % 3 {
+			case 0, 1:
+				size := uint64(b)*8 + 16
+				base, err := r.AllocBelow(size)
+				if err != nil {
+					continue
+				}
+				live = append(live, stk{base, size})
+			case 2:
+				if len(live) > 0 {
+					s := live[len(live)-1]
+					if err := r.FreeLowest(s.base, s.size); err != nil {
+						t.Fatal(err)
+					}
+					live = live[:len(live)-1]
+				} else if r.Empty() {
+					// Install anywhere in an empty region.
+					at := r.Base() + mem.VA(uint64(b)*16%(1<<13))
+					if err := r.Install(at, 64); err != nil {
+						t.Fatal(err)
+					}
+					live = append(live, stk{at, 64})
+				}
+			}
+			if err := r.CheckInvariant(); err != nil {
+				t.Fatalf("%v (input %v)", err, data)
+			}
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"uniaddr/internal/mem"
+)
+
+// Fixed virtual layout items shared by all processes. Deques live at the
+// same VA everywhere so a thief computes a victim's queue address from
+// the rank alone (Fig. 6: get_remote_taskq).
+const (
+	// DefaultDequeBase is the base VA of the pinned work-stealing deque.
+	DefaultDequeBase mem.VA = 0x6800_0000_0000
+	// DefaultDequeCap is the entry capacity of the deque (entries track
+	// the running chain's ancestors, so a few thousand is generous).
+	DefaultDequeCap uint64 = 1 << 13
+)
+
+// Handle identifies a task record: the rank of the process whose RDMA
+// region holds the record, plus the record's virtual address. Handles
+// are plain integers so they can be stored in task frames and migrate
+// with the stack.
+type Handle uint64
+
+// MakeHandle packs (rank, va) into a Handle. rank+1 is stored so that
+// the zero Handle is invalid and catches uninitialised frame slots.
+func MakeHandle(rank int, va mem.VA) Handle {
+	if uint64(va) >= 1<<48 {
+		panic(fmt.Sprintf("core: record VA %#x exceeds 48 bits", va))
+	}
+	return Handle(uint64(rank+1)<<48 | uint64(va))
+}
+
+// Valid reports whether h was produced by MakeHandle.
+func (h Handle) Valid() bool { return h != 0 }
+
+// Rank returns the home rank of the record.
+func (h Handle) Rank() int { return int(h>>48) - 1 }
+
+// VA returns the record's virtual address in the home process.
+func (h Handle) VA() mem.VA { return mem.VA(h & (1<<48 - 1)) }
+
+func (h Handle) String() string {
+	if !h.Valid() {
+		return "handle<invalid>"
+	}
+	return fmt.Sprintf("handle<rank %d va %#x>", h.Rank(), h.VA())
+}

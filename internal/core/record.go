@@ -1,0 +1,69 @@
+package core
+
+import "encoding/binary"
+
+// Task records implement inter-thread synchronisation (join, §5.4).
+// A record lives in the pinned RDMA heap of the process that executed
+// the spawn, so a child that finishes on another process (it was stolen)
+// can publish its result with a single one-sided RDMA WRITE, and a
+// parent that migrated away can poll it with a one-sided RDMA READ —
+// try_join in Fig. 7 never needs the home CPU.
+//
+// Layout (little-endian): +0 done u64 (0/1), +8 result u64.
+const recordBytes = 16
+
+// newRecord allocates and zeroes a record in this worker's RDMA heap.
+func (w *Worker) newRecord() Handle {
+	va := w.heap.MustAlloc(recordBytes)
+	w.space.MustWriteU64(va, 0)
+	w.space.MustWriteU64(va+8, 0)
+	return MakeHandle(w.rank, va)
+}
+
+// completeRecord publishes a result and the done flag. Local when the
+// record lives here, otherwise a single 16-byte RDMA WRITE (the done
+// word and result land atomically at completion time).
+func (w *Worker) completeRecord(h Handle, result uint64) {
+	if h.Rank() == w.rank {
+		w.adv(w.costs.RecordWriteLocal)
+		w.space.MustWriteU64(h.VA()+8, result)
+		w.space.MustWriteU64(h.VA(), 1)
+	} else {
+		var b [recordBytes]byte
+		binary.LittleEndian.PutUint64(b[0:], 1)
+		binary.LittleEndian.PutUint64(b[8:], result)
+		w.ep.Write(w.proc, h.Rank(), h.VA(), b[:])
+	}
+	if h == w.m.rootRecord {
+		w.m.finish(result)
+	}
+}
+
+// tryJoin polls a record. Local records cost a few cycles; remote ones
+// a 16-byte one-sided READ.
+func (w *Worker) tryJoin(h Handle) (done bool, result uint64) {
+	if !h.Valid() {
+		panic("core: join on invalid handle")
+	}
+	if h.Rank() == w.rank {
+		w.adv(w.costs.TryJoinLocal)
+		if w.space.MustReadU64(h.VA()) == 0 {
+			return false, 0
+		}
+		return true, w.space.MustReadU64(h.VA() + 8)
+	}
+	var b [recordBytes]byte
+	w.ep.Read(w.proc, h.Rank(), h.VA(), b[:])
+	if binary.LittleEndian.Uint64(b[0:]) == 0 {
+		return false, 0
+	}
+	return true, binary.LittleEndian.Uint64(b[8:])
+}
+
+// freeRecord releases a record after a successful join. When the joiner
+// migrated away from the record's home, the release is cross-process
+// bookkeeping only (a real implementation would use an RDMA free-list;
+// the reclamation path is not load-bearing for any measured quantity).
+func (w *Worker) freeRecord(h Handle) {
+	w.m.workers[h.Rank()].heap.Free(h.VA())
+}

@@ -1,0 +1,207 @@
+// Package core implements the paper's primary contribution: the
+// uni-address thread-management scheme (§5) and the RDMA-based
+// work-stealing runtime built on it — the uni-address region manager
+// (this file), the THE-protocol deque laid out in pinned memory
+// (deque.go), worker processes with child-first task creation (Fig. 4),
+// join/suspend (Figs. 7–8), and one-sided stealing (Fig. 6).
+package core
+
+import (
+	"fmt"
+
+	"uniaddr/internal/mem"
+)
+
+// Default virtual layout shared by every simulated process. The whole
+// point of uni-address is that UniBase is the SAME virtual address in
+// all processes, so stacks move between nodes without pointer fix-up.
+const (
+	// DefaultUniBase is the base VA of the uni-address region.
+	DefaultUniBase mem.VA = 0x7f00_0000_0000
+	// DefaultUniSize accommodates the deepest benchmark in the paper
+	// (UTS d=18 used 147,392 bytes; Table 4) with headroom. Every
+	// simulated process backs its region eagerly, so the default stays
+	// small enough for 3840-worker machines on a laptop.
+	DefaultUniSize uint64 = 256 << 10
+	// DefaultRDMABase is the base VA of the pinned RDMA region holding
+	// suspended stacks, task records and the work-stealing deque.
+	DefaultRDMABase mem.VA = 0x6000_0000_0000
+	// DefaultRDMASize sizes the RDMA region (task records + swapped-out
+	// stacks; a few MiB is ample at simulation scale, and it is backed
+	// eagerly per process).
+	DefaultRDMASize uint64 = 2 << 20
+)
+
+// Region is one process's uni-address region (paper §5.2, Fig. 3).
+//
+// The used part of the region is always a single contiguous range
+// [p, top): stacks are pushed below p like frames of a linear stack
+// (the running task occupies the lowest used addresses), and only the
+// lowest stack is ever freed or swapped out, so the range never
+// fragments. When the region is empty a stolen or saved thread may be
+// installed at its original address anywhere inside [base, end); top
+// then becomes that thread's upper bound.
+type Region struct {
+	space *mem.AddressSpace
+	reg   *mem.Region
+	base  mem.VA // S
+	end   mem.VA // E
+	p     mem.VA // next free address (stacks grow down); used = [p, top)
+	top   mem.VA
+	max   uint64 // high-water usage in bytes (Table 4 "stack usage")
+}
+
+// NewRegion reserves and pins the uni-address region [base, base+size)
+// in space. It is pinned because thieves RDMA-READ stacks directly out
+// of it (§5.3).
+func NewRegion(space *mem.AddressSpace, base mem.VA, size uint64) (*Region, error) {
+	reg, err := space.Reserve("uniaddr", base, size, true)
+	if err != nil {
+		return nil, err
+	}
+	end := base + mem.VA(size)
+	return &Region{space: space, reg: reg, base: base, end: end, p: end, top: end}, nil
+}
+
+// Space returns the owning address space.
+func (r *Region) Space() *mem.AddressSpace { return r.space }
+
+// Base returns S, the lowest address of the region.
+func (r *Region) Base() mem.VA { return r.base }
+
+// End returns E, one past the highest address.
+func (r *Region) End() mem.VA { return r.end }
+
+// Lowest returns p, the base of the lowest (running) stack. When the
+// region is empty Lowest == Top.
+func (r *Region) Lowest() mem.VA { return r.p }
+
+// Top returns the upper bound of the used range.
+func (r *Region) Top() mem.VA { return r.top }
+
+// Used returns the number of bytes currently occupied.
+func (r *Region) Used() uint64 { return uint64(r.top - r.p) }
+
+// MaxUsed returns the high-water occupancy in bytes.
+func (r *Region) MaxUsed() uint64 { return r.max }
+
+// Contains reports whether va lies inside the region — the slot-match
+// test thieves apply in §5.1 multi-worker mode.
+func (r *Region) Contains(va mem.VA) bool { return va >= r.base && va < r.end }
+
+// Empty reports whether no stacks occupy the region. Work stealing is
+// only permitted in this state (§5.2 rule 5), which guarantees the
+// region can host a stolen thread at whatever address it was created.
+func (r *Region) Empty() bool { return r.p == r.top }
+
+// AllocBelow pushes a new stack of size bytes immediately below the
+// current lowest stack and returns its base address (§5.2 rule 3).
+func (r *Region) AllocBelow(size uint64) (mem.VA, error) {
+	if uint64(r.p-r.base) < size {
+		return 0, fmt.Errorf("core: uni-address region exhausted: need %d, have %d free below p", size, r.p-r.base)
+	}
+	r.p -= mem.VA(size)
+	if u := r.Used(); u > r.max {
+		r.max = u
+	}
+	return r.p, nil
+}
+
+// FreeLowest releases the lowest stack, which must start at base and be
+// size bytes (the invariant that only the running, lowest thread is
+// ever removed). When the region becomes empty, p and top snap back to
+// E so the next fresh task starts at the region's top.
+func (r *Region) FreeLowest(base mem.VA, size uint64) error {
+	if base != r.p {
+		return fmt.Errorf("core: FreeLowest(%#x) but lowest stack is %#x", base, r.p)
+	}
+	if uint64(r.top-r.p) < size {
+		return fmt.Errorf("core: FreeLowest size %d exceeds used %d", size, r.Used())
+	}
+	r.p += mem.VA(size)
+	if r.p == r.top {
+		r.p, r.top = r.end, r.end
+	}
+	return nil
+}
+
+// Install places a thread occupying [base, base+size) into an empty
+// region — the landing step of a steal (the RDMA READ target) or of
+// resuming a saved context. The address is the thread's original
+// creation address; because every process maps the region at the same
+// VA, this always succeeds when the region is empty.
+func (r *Region) Install(base mem.VA, size uint64) error {
+	if !r.Empty() {
+		return fmt.Errorf("core: Install into non-empty region (used %d bytes)", r.Used())
+	}
+	if base < r.base || base+mem.VA(size) > r.end {
+		return fmt.Errorf("core: Install [%#x,+%d) outside region [%#x,%#x)", base, size, r.base, r.end)
+	}
+	r.p = base
+	r.top = base + mem.VA(size)
+	if u := r.Used(); u > r.max {
+		r.max = u
+	}
+	return nil
+}
+
+// CopyOut copies the lowest stack's bytes [base, base+size) to dst in
+// the same address space (the swap-out of Fig. 8; dst is a pinned
+// buffer in the RDMA region) and frees the range.
+func (r *Region) CopyOut(base mem.VA, size uint64, dst mem.VA) error {
+	if base != r.p {
+		return fmt.Errorf("core: CopyOut of non-lowest stack %#x (lowest %#x)", base, r.p)
+	}
+	src, err := r.space.Slice(base, size)
+	if err != nil {
+		return err
+	}
+	dstb, err := r.space.Slice(dst, size)
+	if err != nil {
+		return err
+	}
+	copy(dstb, src)
+	return r.FreeLowest(base, size)
+}
+
+// CopyIn restores a saved stack from src (a pinned buffer) back to its
+// original address base in an empty region (resume_saved_context,
+// Fig. 7).
+func (r *Region) CopyIn(base mem.VA, size uint64, src mem.VA) error {
+	if err := r.Install(base, size); err != nil {
+		return err
+	}
+	srcb, err := r.space.Slice(src, size)
+	if err != nil {
+		return err
+	}
+	dstb, err := r.space.Slice(base, size)
+	if err != nil {
+		return err
+	}
+	copy(dstb, srcb)
+	return nil
+}
+
+// Clear empties the region, reclaiming space held by the dead local
+// copies of stolen threads. The scheduler calls it once the deque is
+// empty and no thread is running, at which point everything left in the
+// region belongs to threads that now live elsewhere.
+func (r *Region) Clear() {
+	r.p, r.top = r.end, r.end
+}
+
+// CheckInvariant verifies internal consistency; tests call it after
+// every mutation.
+func (r *Region) CheckInvariant() error {
+	if r.p > r.top {
+		return fmt.Errorf("core: p %#x above top %#x", r.p, r.top)
+	}
+	if r.p < r.base || r.top > r.end {
+		return fmt.Errorf("core: used range [%#x,%#x) escapes region [%#x,%#x)", r.p, r.top, r.base, r.end)
+	}
+	if r.p == r.top && r.p != r.end {
+		return fmt.Errorf("core: empty region not reset to end (p=%#x)", r.p)
+	}
+	return nil
+}

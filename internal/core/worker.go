@@ -1,0 +1,427 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"uniaddr/internal/gas"
+	"uniaddr/internal/mem"
+	"uniaddr/internal/rdma"
+	"uniaddr/internal/sim"
+	"uniaddr/internal/trace"
+)
+
+// WorkerStats counts one worker's activity over a run.
+type WorkerStats struct {
+	TasksExecuted uint64 // task functions run to completion here
+	Spawns        uint64
+	JoinsFast     uint64 // try_join succeeded immediately
+	JoinsMiss     uint64 // join had to suspend
+	Suspends      uint64
+	ResumesLocal  uint64 // in-place resumes of deque entries
+	ResumesWait   uint64 // resumes from the wait queue
+	ParentStolen  uint64 // pops that failed because the parent migrated
+
+	StealAttempts   uint64
+	StealsOK        uint64
+	StealAbortEmpty uint64
+	StealAbortLock  uint64
+	StealAbortSlot  uint64 // §5.1 multi-worker mode: address mismatch
+	// Phases accumulates per-phase cycles of *successful* steals only
+	// (the Fig. 10 quantity); aborted attempts go to StealAbortCycles.
+	Phases           StealPhases
+	StealAbortCycles uint64
+	SuspendCycles    uint64
+	ResumeCycles     uint64
+	BytesStolen      uint64
+	PageFaults       uint64 // iso-address demand-paging faults
+
+	LifelinePushes   uint64 // threads pushed to quiescent neighbours
+	LifelineReceives uint64 // threads received over a lifeline
+
+	WorkCycles uint64
+	IdleCycles uint64
+}
+
+// Worker is one simulated process: a single core running the
+// uni-address threads scheduler in its own address space
+// (process-per-core, §5.1).
+type Worker struct {
+	m     *Machine
+	rank  int
+	node  int
+	slot  int // uni-address region slot (§5.1 multi-worker mode)
+	proc  *sim.Proc
+	space *mem.AddressSpace
+	ep    *rdma.Endpoint
+	deque *Deque
+	heap  *mem.Allocator // pinned RDMA-region heap (saved stacks, records)
+	costs *Costs
+	sch   scheme
+
+	// uni-address state
+	region *Region
+	// iso-address state
+	isoAlloc *mem.Allocator
+	isoSlabs map[int]*mem.Region
+
+	gas        *gas.Heap
+	waitq      []saved
+	stats      WorkerStats
+	lastVictim int     // last successful victim (VictimLastSuccess), -1 none
+	slowFactor float64 // >1 = straggler (CPU costs scaled)
+
+	// help-first staging buffer (see helpFirstStaging)
+	hfStaging    mem.VA
+	hfStagingLen uint64
+
+	// lifeline state (Config.Lifelines)
+	llOut          []int // hypercube out-links (-1 = unused axis)
+	llRegistered   bool
+	llSpawnCounter uint64
+	llIdleRounds   uint64
+}
+
+// Gas returns the worker's global-heap handle (nil when disabled).
+func (w *Worker) Gas() *gas.Heap { return w.gas }
+
+// PeerGas returns another rank's global-heap handle — for bookkeeping
+// releases of remotely-owned objects (cf. freeRecord).
+func (w *Worker) PeerGas(rank int) *gas.Heap { return w.m.workers[rank].gas }
+
+// Proc returns the worker's simulated process (for libraries layered on
+// the runtime that issue their own fabric operations).
+func (w *Worker) Proc() *sim.Proc { return w.proc }
+
+// adv advances simulated time by c CPU cycles, scaled by the worker's
+// speed factor (straggler modeling; fabric latencies are unaffected).
+func (w *Worker) adv(c uint64) {
+	if w.slowFactor > 1 {
+		c = uint64(float64(c) * w.slowFactor)
+	}
+	w.proc.Advance(c)
+}
+
+// mark records a timeline state change when tracing is enabled.
+func (w *Worker) mark(s trace.State) {
+	if w.m.tracer != nil {
+		w.m.tracer.Switch(w.rank, w.proc.Now(), s)
+	}
+}
+
+// Rank returns the worker's process rank.
+func (w *Worker) Rank() int { return w.rank }
+
+// Stats returns a snapshot of the worker's counters.
+func (w *Worker) Stats() WorkerStats { return w.stats }
+
+// Space returns the worker's address space (for memory accounting).
+func (w *Worker) Space() *mem.AddressSpace { return w.space }
+
+// Region returns the uni-address region (nil under iso-address).
+func (w *Worker) Region() *Region { return w.region }
+
+// Deque returns the worker's task queue.
+func (w *Worker) Deque() *Deque { return w.deque }
+
+// NetStats returns the worker's fabric counters.
+func (w *Worker) NetStats() rdma.Stats { return w.ep.Stats() }
+
+// run is the worker's simulated-process body.
+func (w *Worker) run(p *sim.Proc) {
+	w.proc = p
+	p.SeedRNG(w.m.cfg.Seed*0x9e3779b97f4a7c15 + uint64(w.rank) + 1)
+	if w.rank == 0 {
+		base, size := w.newThread(w.m.rootFid, w.m.rootLocals, w.m.rootInit, true)
+		w.invoke(base, size)
+	}
+	if w.m.cfg.HelpFirst {
+		w.helpFirstSchedulerLoop()
+		return
+	}
+	w.schedulerLoop()
+}
+
+func errMaxCycles(max uint64) error {
+	return fmt.Errorf("core: exceeded MaxCycles=%d without completing (deadlock or undersized budget)", max)
+}
+
+// newThread creates a fresh thread: record, stack, header, arguments.
+func (w *Worker) newThread(fid FuncID, localsLen uint32, init func(*Env), root bool) (mem.VA, uint64) {
+	rec := w.newRecord()
+	if root {
+		w.m.rootRecord = rec
+	}
+	size := FrameBytes(localsLen)
+	base := w.sch.newFrame(w, size)
+	writeFrameHeader(w.space, base, fid, localsLen, rec)
+	if init != nil {
+		init(&Env{w: w, base: base, size: size})
+	}
+	return base, size
+}
+
+// invoke runs (or resumes) the thread whose stack starts at base. On
+// return the thread's stack is no longer occupied on this worker: a
+// Done thread was retired, an Unwound thread was either swapped out by
+// a suspend or released after a steal.
+func (w *Worker) invoke(base mem.VA, size uint64) Status {
+	w.mark(trace.Work)
+	hb, err := w.space.Slice(base, frameHdrSize)
+	if err != nil {
+		panic(err)
+	}
+	fid := FuncID(binary.LittleEndian.Uint32(hb[fhFuncIDOff:]))
+	rp := binary.LittleEndian.Uint32(hb[fhResumeOff:])
+	e := Env{w: w, base: base, size: size, rp: rp}
+	st := lookupFn(fid)(&e)
+	if st == Done {
+		if !e.returned {
+			w.completeRecord(e.Self(), 0)
+		}
+		w.stats.TasksExecuted++
+		w.sch.retireFrame(w, base, size)
+	}
+	return st
+}
+
+// Spawn creates a child task and runs it immediately (child-first,
+// Fig. 4): the parent's context is saved (resumeRP), its continuation
+// is pushed on the deque where any thief can take it, and the child
+// executes like a procedure call. On return true the parent was not
+// stolen and continues. On false the parent's continuation now runs on
+// another process — the caller must immediately `return core.Unwound`.
+//
+// The child's handle is stored into parent local slot handleSlot
+// *before* the continuation is published, so a migrated parent finds it
+// in its stack.
+func (e *Env) Spawn(resumeRP, handleSlot int, fid FuncID, localsLen uint32, init func(child *Env)) bool {
+	w := e.w
+	if w.m.cfg.HelpFirst {
+		return e.spawnHelpFirst(handleSlot, fid, localsLen, init)
+	}
+	w.stats.Spawns++
+	w.adv(w.costs.SaveContext + w.costs.DequePush)
+	e.setRP(uint32(resumeRP))
+	size := FrameBytes(localsLen)
+	rec := w.newRecord()
+	e.SetHandle(handleSlot, rec)
+	if err := w.deque.Push(Entry{FrameBase: e.base, FrameSize: e.size}); err != nil {
+		panic(err)
+	}
+	if w.m.cfg.Lifelines {
+		w.llSpawnCounter++
+		if w.llSpawnCounter%8 == 0 {
+			w.llServe()
+		}
+	}
+	cbase := w.sch.newFrame(w, size)
+	writeFrameHeader(w.space, cbase, fid, localsLen, rec)
+	if init != nil {
+		init(&Env{w: w, base: cbase, size: size})
+	}
+	w.invoke(cbase, size)
+	// Pop the continuation we pushed (Fig. 4 line 14).
+	w.adv(w.costs.DequePop + w.costs.RestoreContext)
+	if ent, ok := w.deque.Pop(w.proc, w.ep, w.rank); ok {
+		if ent.FrameBase != e.base || ent.FrameSize != e.size {
+			panic(fmt.Sprintf("core: deque corruption: popped %#x/%d, expected %#x/%d",
+				ent.FrameBase, ent.FrameSize, e.base, e.size))
+		}
+		return true
+	}
+	// The pop failed: this thread's continuation (and, by FIFO order,
+	// every ancestor's) was stolen. Unwind to the scheduler.
+	w.stats.ParentStolen++
+	w.sch.releaseStolen(w, e.base, e.size)
+	return false
+}
+
+// Join waits for the task behind h (Fig. 7). If the task has finished,
+// Join frees its record and returns (result, true). Otherwise the
+// current thread suspends — it is swapped out of the uni-address region
+// into pinned memory and parked on the wait queue — and Join returns
+// false: the caller must immediately `return core.Unwound`. When the
+// thread is later resumed it re-enters the task function at resumeRP,
+// which must re-execute this Join.
+func (e *Env) Join(resumeRP int, h Handle) (uint64, bool) {
+	w := e.w
+	if w.m.cfg.HelpFirst {
+		return e.helpFirstJoin(h), true
+	}
+	if done, v := w.tryJoin(h); done {
+		w.stats.JoinsFast++
+		w.freeRecord(h)
+		return v, true
+	}
+	w.stats.JoinsMiss++
+	e.setRP(uint32(resumeRP))
+	w.mark(trace.Suspend)
+	sc := w.sch.suspend(w, e.base, e.size)
+	w.waitq = append(w.waitq, sc)
+	return 0, false
+}
+
+// schedulerLoop is the idle engine (Fig. 7's fallback chain): resume a
+// ready thread from the deque, else steal, else resume a waiter, else
+// back off.
+func (w *Worker) schedulerLoop() {
+	p := w.proc
+	for !w.m.done {
+		if p.Now() > w.m.cfg.MaxCycles {
+			w.m.fail(errMaxCycles(w.m.cfg.MaxCycles))
+			return
+		}
+		if ent, ok := w.deque.Pop(p, w.ep, w.rank); ok {
+			w.adv(w.costs.RestoreContext)
+			w.stats.ResumesLocal++
+			w.invoke(ent.FrameBase, ent.FrameSize)
+			continue
+		}
+		w.sch.clearDead(w)
+		if w.m.done {
+			return
+		}
+		if w.m.cfg.Lifelines && w.sch.canSteal(w) {
+			// Deliveries must be drained whenever the region can host
+			// them: a registration left on one axis keeps producing
+			// pushes even after other work arrived, and an unconsumed
+			// delivery is a lost (live!) thread.
+			if w.llConsume() {
+				continue
+			}
+			if len(w.waitq) == 0 {
+				// Lifeline idle protocol: register once, then wait for
+				// a push, probing randomly only every 8th round.
+				if !w.llRegistered {
+					w.llRegister()
+				}
+				w.llIdleRounds++
+				if w.llIdleRounds%8 == 0 && w.trySteal() {
+					w.llIdleRounds = 0
+					continue
+				}
+				w.mark(trace.Idle)
+				w.stats.IdleCycles += w.costs.IdleBackoff
+				w.adv(w.costs.IdleBackoff)
+				continue
+			}
+		}
+		if w.sch.canSteal(w) && w.trySteal() {
+			continue
+		}
+		if len(w.waitq) > 0 {
+			// FIFO: a waiter that re-suspends goes to the back, so every
+			// suspended thread gets rescheduled and chains of dependent
+			// waiters always make progress (a LIFO here can spin on the
+			// most recent waiter forever and deadlock the run).
+			sc := w.waitq[0]
+			w.waitq = w.waitq[1:]
+			w.mark(trace.Suspend)
+			w.sch.resumeSaved(w, sc)
+			w.stats.ResumesWait++
+			w.invoke(sc.base, sc.size)
+			continue
+		}
+		w.mark(trace.Idle)
+		w.stats.IdleCycles += w.costs.IdleBackoff
+		w.adv(w.costs.IdleBackoff)
+	}
+}
+
+// pickVictim chooses a victim rank per the configured policy, or -1
+// when there is no candidate.
+func (w *Worker) pickVictim(n int) int {
+	rng := w.proc.RNG()
+	randomGlobal := func() int {
+		v := rng.Intn(n - 1)
+		if v >= w.rank {
+			v++
+		}
+		return v
+	}
+	switch w.m.cfg.Victim {
+	case VictimLocalFirst:
+		// Alternate: odd attempts go to a random same-node peer (cheap
+		// when IntraNodeFactor < 1), even attempts roam globally so
+		// remote imbalance is still found.
+		if w.stats.StealAttempts%2 == 1 {
+			per := w.m.cfg.WorkersPerNode
+			lo := w.node * per
+			hi := lo + per
+			if hi > n {
+				hi = n
+			}
+			if hi-lo > 1 {
+				v := lo + rng.Intn(hi-lo-1)
+				if v >= w.rank {
+					v++
+				}
+				return v
+			}
+		}
+		return randomGlobal()
+	case VictimLastSuccess:
+		if w.lastVictim >= 0 && w.lastVictim != w.rank {
+			return w.lastVictim
+		}
+		return randomGlobal()
+	default:
+		return randomGlobal()
+	}
+}
+
+// trySteal picks a victim per the configured policy and attempts the
+// one-sided steal of Fig. 6. On success the stolen thread is installed
+// at its original virtual address and executed.
+func (w *Worker) trySteal() bool {
+	n := len(w.m.workers)
+	if n < 2 {
+		return false
+	}
+	w.stats.StealAttempts++
+	w.mark(trace.Steal)
+	w.adv(w.costs.VictimSelect)
+	victim := w.pickVictim(n)
+	if victim < 0 {
+		return false
+	}
+	var ph StealPhases
+	var accept func(Entry) bool
+	if w.m.cfg.SlotsPerProcess > 1 {
+		// §5.1 multi-worker mode: a thread's stack address binds it to
+		// one region slot; this worker can only host matching threads.
+		accept = func(e Entry) bool {
+			return w.region.Contains(e.FrameBase)
+		}
+	}
+	ent, outcome := w.deque.StealRemote(w.proc, w.ep, victim, &ph, accept)
+	switch outcome {
+	case StealEmpty, StealEmptyLocked:
+		w.stats.StealAbortEmpty++
+		w.stats.StealAbortCycles += ph.Total()
+		w.lastVictim = -1
+		return false
+	case StealLockBusy:
+		w.stats.StealAbortLock++
+		w.stats.StealAbortCycles += ph.Total()
+		return false
+	case StealReject:
+		w.stats.StealAbortSlot++
+		w.stats.StealAbortCycles += ph.Total()
+		w.lastVictim = -1
+		return false
+	}
+	w.lastVictim = victim
+	// Transfer the stack while still holding the victim's queue lock,
+	// then unlock and resume (resume_remote_context in Fig. 6).
+	w.sch.transferStolen(w, victim, ent, &ph)
+	w.deque.Unlock(w.proc, w.ep, victim, &ph)
+	w.stats.Phases.Merge(ph)
+	start := w.proc.Now()
+	w.adv(w.costs.ResumeCPU)
+	w.stats.ResumeCycles += w.proc.Now() - start
+	w.stats.StealsOK++
+	w.invoke(ent.FrameBase, ent.FrameSize)
+	return true
+}

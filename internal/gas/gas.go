@@ -1,0 +1,209 @@
+// Package gas is the global address space library the paper's memory
+// model assumes (§5.1): stacks may not be the target of cross-thread
+// pointers, so "objects potentially referenced by multiple threads are
+// always referenced by a global pointer. To dereference a global
+// pointer, a function must be called, which can trigger data transfer."
+//
+// Each process contributes a pinned heap segment; a Ref names (rank,
+// address) and Get/Put move bytes through the one-sided fabric exactly
+// like the scheduler's stack transfers. Refs are plain integers, so
+// they live happily in task frames and migrate with the thread —
+// unlike raw pointers, they stay meaningful on every process.
+package gas
+
+import (
+	"fmt"
+
+	"uniaddr/internal/mem"
+	"uniaddr/internal/rdma"
+	"uniaddr/internal/sim"
+)
+
+// DefaultBase is the base VA of the global-heap segment in every
+// process.
+const DefaultBase mem.VA = 0x5000_0000_0000
+
+// Ref is a global reference: 16 bits of rank+1, 48 bits of address.
+// The zero Ref is nil.
+type Ref uint64
+
+// MakeRef packs (rank, va).
+func MakeRef(rank int, va mem.VA) Ref {
+	if uint64(va) >= 1<<48 {
+		panic(fmt.Sprintf("gas: VA %#x exceeds 48 bits", va))
+	}
+	return Ref(uint64(rank+1)<<48 | uint64(va))
+}
+
+// Nil reports whether r is the nil reference.
+func (r Ref) Nil() bool { return r == 0 }
+
+// Rank returns the owning process.
+func (r Ref) Rank() int { return int(r>>48) - 1 }
+
+// VA returns the address within the owner's segment.
+func (r Ref) VA() mem.VA { return mem.VA(r & (1<<48 - 1)) }
+
+// Add offsets the reference by n bytes (within the same segment).
+func (r Ref) Add(n uint64) Ref { return MakeRef(r.Rank(), r.VA()+mem.VA(n)) }
+
+func (r Ref) String() string {
+	if r.Nil() {
+		return "gas<nil>"
+	}
+	return fmt.Sprintf("gas<rank %d va %#x>", r.Rank(), r.VA())
+}
+
+// Costs are the CPU-side costs of local heap operations, in cycles.
+type Costs struct {
+	Alloc       uint64
+	LocalGet    uint64 // fixed part; bulk data adds CopyPerByte
+	LocalPut    uint64
+	CopyPerByte float64
+}
+
+// DefaultCosts returns costs in line with the SPARC profile.
+func DefaultCosts() Costs {
+	return Costs{Alloc: 120, LocalGet: 40, LocalPut: 40, CopyPerByte: 0.25}
+}
+
+// Heap is one process's view of the global heap: its own segment plus
+// one-sided access to every other segment.
+type Heap struct {
+	rank  int
+	space *mem.AddressSpace
+	ep    *rdma.Endpoint
+	alloc *mem.Allocator
+	costs Costs
+	base  mem.VA
+	size  uint64
+}
+
+// NewHeap reserves and pins the segment [base, base+size) in space.
+func NewHeap(space *mem.AddressSpace, ep *rdma.Endpoint, base mem.VA, size uint64, costs Costs) (*Heap, error) {
+	reg, err := space.Reserve("gasheap", base, size, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Heap{
+		rank:  ep.Rank(),
+		space: space,
+		ep:    ep,
+		alloc: mem.NewAllocator(reg),
+		costs: costs,
+		base:  base,
+		size:  size,
+	}, nil
+}
+
+// Rank returns the owning process rank.
+func (h *Heap) Rank() int { return h.rank }
+
+// Base returns the segment base (identical across processes).
+func (h *Heap) Base() mem.VA { return h.base }
+
+// Size returns the segment size.
+func (h *Heap) Size() uint64 { return h.size }
+
+// Used returns locally allocated bytes.
+func (h *Heap) Used() uint64 { return h.alloc.Used() }
+
+// Live returns the number of live local allocations.
+func (h *Heap) Live() int { return h.alloc.Live() }
+
+// Alloc allocates n bytes on this process's segment. Allocation is
+// always local (like malloc); share the Ref to publish the object.
+func (h *Heap) Alloc(p *sim.Proc, n uint64) (Ref, error) {
+	if p != nil {
+		p.Advance(h.costs.Alloc)
+	}
+	va, err := h.alloc.Alloc(n)
+	if err != nil {
+		return 0, err
+	}
+	return MakeRef(h.rank, va), nil
+}
+
+// MustAlloc is Alloc that panics on exhaustion.
+func (h *Heap) MustAlloc(p *sim.Proc, n uint64) Ref {
+	r, err := h.Alloc(p, n)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Free releases a local allocation. Only the owning process may free.
+func (h *Heap) Free(r Ref) error {
+	if r.Rank() != h.rank {
+		return fmt.Errorf("gas: rank %d cannot free %v", h.rank, r)
+	}
+	h.alloc.Free(r.VA())
+	return nil
+}
+
+// Get dereferences r into buf: a cheap local copy when r lives here, a
+// one-sided RDMA READ otherwise — the "function call that can trigger
+// data transfer".
+func (h *Heap) Get(p *sim.Proc, r Ref, buf []byte) {
+	if r.Nil() {
+		panic("gas: Get through nil reference")
+	}
+	if r.Rank() == h.rank {
+		p.Advance(h.costs.LocalGet + uint64(float64(len(buf))*h.costs.CopyPerByte))
+		if _, err := h.space.Read(r.VA(), buf); err != nil {
+			panic(err)
+		}
+		return
+	}
+	h.ep.Read(p, r.Rank(), r.VA(), buf)
+}
+
+// Put stores buf at r (local copy or one-sided RDMA WRITE).
+func (h *Heap) Put(p *sim.Proc, r Ref, buf []byte) {
+	if r.Nil() {
+		panic("gas: Put through nil reference")
+	}
+	if r.Rank() == h.rank {
+		p.Advance(h.costs.LocalPut + uint64(float64(len(buf))*h.costs.CopyPerByte))
+		if _, err := h.space.Write(r.VA(), buf); err != nil {
+			panic(err)
+		}
+		return
+	}
+	h.ep.Write(p, r.Rank(), r.VA(), buf)
+}
+
+// GetU64 dereferences an 8-byte word.
+func (h *Heap) GetU64(p *sim.Proc, r Ref) uint64 {
+	var b [8]byte
+	h.Get(p, r, b[:])
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// PutU64 stores an 8-byte word.
+func (h *Heap) PutU64(p *sim.Proc, r Ref, v uint64) {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Put(p, r, b[:])
+}
+
+// FetchAdd atomically adds delta to the word at r and returns the old
+// value (local atomic or remote FAA via the fabric, including the
+// software communication-server path).
+func (h *Heap) FetchAdd(p *sim.Proc, r Ref, delta uint64) uint64 {
+	if r.Nil() {
+		panic("gas: FetchAdd through nil reference")
+	}
+	return h.ep.FetchAdd(p, r.Rank(), r.VA(), delta)
+}
+
+// StageLocal writes bytes into this process's segment at va without
+// simulated cost — input staging before a run (host-side data load).
+func (h *Heap) StageLocal(va mem.VA, data []byte) error {
+	_, err := h.space.Write(va, data)
+	return err
+}

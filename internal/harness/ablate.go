@@ -1,0 +1,381 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/stats"
+	"uniaddr/internal/workloads"
+)
+
+// AblateFAAPoint compares software fetch-and-add (the paper's FX10
+// scheme, one core per node sacrificed to a communication server)
+// against hypothetical hardware remote atomics.
+type AblateFAAPoint struct {
+	Workers      int
+	SoftwareTput float64
+	HardwareTput float64
+}
+
+// AblateFAA sweeps worker counts under both fetch-and-add
+// implementations on the same workload.
+func AblateFAA(workers []int, seed uint64) ([]AblateFAAPoint, error) {
+	spec := workloads.BTC(13, 1, 0)
+	var out []AblateFAAPoint
+	for _, p := range workers {
+		run := func(hw bool) (float64, error) {
+			cfg := core.DefaultConfig(p)
+			cfg.Seed = seed
+			cfg.Net.HardwareFAA = hw
+			m, res, err := spec.Run(cfg)
+			if err != nil {
+				return 0, err
+			}
+			if res != spec.Expected {
+				return 0, fmt.Errorf("bad result")
+			}
+			return float64(spec.Items(res)) / m.ElapsedSeconds(), nil
+		}
+		sw, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		hw, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblateFAAPoint{Workers: p, SoftwareTput: sw, HardwareTput: hw})
+	}
+	return out, nil
+}
+
+// PrintAblateFAA renders the comparison.
+func PrintAblateFAA(w io.Writer, pts []AblateFAAPoint) {
+	fmt.Fprintf(w, "Ablation: software vs hardware remote fetch-and-add (BTC iter=1)\n")
+	fmt.Fprintf(w, "  %8s %16s %16s %8s\n", "workers", "software tput/s", "hardware tput/s", "hw/sw")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %8d %16s %16s %8.2f\n",
+			p.Workers, stats.HumanCount(p.SoftwareTput), stats.HumanCount(p.HardwareTput),
+			p.HardwareTput/p.SoftwareTput)
+	}
+}
+
+// AblateStackSizePoint measures steal cost as a function of the stolen
+// stack's size — the knob behind the paper's footnote that stack
+// transfer is one RDMA READ.
+type AblateStackSizePoint struct {
+	StackBytes uint64
+	StealTotal float64
+	Transfer   float64
+}
+
+// AblateStackSize runs the ping-pong microbenchmark with growing stack
+// padding.
+func AblateStackSize(sizes []uint64, iters uint64) ([]AblateStackSizePoint, error) {
+	if len(sizes) == 0 {
+		sizes = []uint64{256, 1024, 3055, 8192, 32768, 131072}
+	}
+	var out []AblateStackSizePoint
+	for _, s := range sizes {
+		spec := workloads.PingPong(iters, 120_000, s)
+		cfg := twoNodeConfig(core.SchemeUni, 42)
+		m, res, err := spec.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if res != spec.Expected {
+			return nil, fmt.Errorf("ping-pong %d bytes: bad result", s)
+		}
+		st := m.TotalStats()
+		if st.StealsOK == 0 {
+			return nil, fmt.Errorf("ping-pong %d bytes: no steals", s)
+		}
+		n := float64(st.StealsOK)
+		out = append(out, AblateStackSizePoint{
+			StackBytes: s,
+			StealTotal: float64(st.Phases.Total()) / n,
+			Transfer:   float64(st.Phases.StackTransfer) / n,
+		})
+	}
+	return out, nil
+}
+
+// PrintAblateStackSize renders the curve.
+func PrintAblateStackSize(w io.Writer, pts []AblateStackSizePoint) {
+	fmt.Fprintf(w, "Ablation: steal cost vs stolen stack size (uni-address)\n")
+	fmt.Fprintf(w, "  %12s %16s %16s\n", "stack bytes", "steal cycles", "transfer cycles")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %12d %16.0f %16.0f\n", p.StackBytes, p.StealTotal, p.Transfer)
+	}
+}
+
+// AblateVictimLocalityPoint compares per-node worker grouping: the
+// paper dedicates one core per 16-core node to the comm server; this
+// ablation varies workers-per-node, which changes how many FAA servers
+// exist and how much they are shared.
+type AblateVictimLocalityPoint struct {
+	WorkersPerNode int
+	Tput           float64
+}
+
+// AblateWorkersPerNode sweeps the node grouping at a fixed total core
+// count.
+func AblateWorkersPerNode(total int, groupings []int, seed uint64) ([]AblateVictimLocalityPoint, error) {
+	if len(groupings) == 0 {
+		groupings = []int{1, 5, 15, 30}
+	}
+	spec := workloads.BTC(13, 1, 0)
+	var out []AblateVictimLocalityPoint
+	for _, g := range groupings {
+		cfg := core.DefaultConfig(total)
+		cfg.WorkersPerNode = g
+		cfg.Seed = seed
+		m, res, err := spec.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if res != spec.Expected {
+			return nil, fmt.Errorf("grouping %d: bad result", g)
+		}
+		out = append(out, AblateVictimLocalityPoint{
+			WorkersPerNode: g,
+			Tput:           float64(spec.Items(res)) / m.ElapsedSeconds(),
+		})
+	}
+	return out, nil
+}
+
+// PrintAblateWorkersPerNode renders the sweep.
+func PrintAblateWorkersPerNode(w io.Writer, total int, pts []AblateVictimLocalityPoint) {
+	fmt.Fprintf(w, "Ablation: comm-server sharing (total %d workers)\n", total)
+	fmt.Fprintf(w, "  %16s %16s\n", "workers/node", "throughput/s")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %16d %16s\n", p.WorkersPerNode, stats.HumanCount(p.Tput))
+	}
+}
+
+// AblateVictimPoint compares victim-selection policies on a
+// hierarchical machine (cheap intra-node fabric).
+type AblateVictimPoint struct {
+	Policy core.VictimPolicy
+	Tput   float64
+	Steals uint64
+}
+
+// AblateVictim sweeps victim policies at a fixed machine size, with
+// IntraNodeFactor < 1 so locality can pay off.
+func AblateVictim(workers int, intraNodeFactor float64, seed uint64) ([]AblateVictimPoint, error) {
+	spec := workloads.BTC(14, 1, 200)
+	var out []AblateVictimPoint
+	for _, pol := range []core.VictimPolicy{core.VictimRandom, core.VictimLocalFirst, core.VictimLastSuccess} {
+		cfg := core.DefaultConfig(workers)
+		cfg.Victim = pol
+		cfg.Net.IntraNodeFactor = intraNodeFactor
+		cfg.Seed = seed
+		m, res, err := spec.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("policy %v: %w", pol, err)
+		}
+		if res != spec.Expected {
+			return nil, fmt.Errorf("policy %v: bad result", pol)
+		}
+		out = append(out, AblateVictimPoint{
+			Policy: pol,
+			Tput:   float64(spec.Items(res)) / m.ElapsedSeconds(),
+			Steals: m.TotalStats().StealsOK,
+		})
+	}
+	return out, nil
+}
+
+// PrintAblateVictim renders the sweep.
+func PrintAblateVictim(w io.Writer, workers int, factor float64, pts []AblateVictimPoint) {
+	fmt.Fprintf(w, "Ablation: victim selection policy (%d workers, intra-node latency ×%.2f)\n", workers, factor)
+	fmt.Fprintf(w, "  %-14s %16s %10s\n", "policy", "throughput/s", "steals")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-14s %16s %10d\n", p.Policy, stats.HumanCount(p.Tput), p.Steals)
+	}
+}
+
+// AblateHelpFirstPoint compares the paper's work-first (child-first)
+// scheduling against help-first "tied tasks" (§2) on one workload.
+type AblateHelpFirstPoint struct {
+	Mode          string
+	Tput          float64
+	Steals        uint64
+	BytesPerSteal uint64
+	MaxStack      uint64
+	JoinsMiss     uint64
+}
+
+// AblateHelpFirst runs the same workload both ways at a fixed size.
+func AblateHelpFirst(workers int, seed uint64) ([]AblateHelpFirstPoint, error) {
+	spec := workloads.BTCPadded(14, 1, 200, 2048)
+	var out []AblateHelpFirstPoint
+	for _, hf := range []bool{false, true} {
+		cfg := core.DefaultConfig(workers)
+		cfg.HelpFirst = hf
+		cfg.Seed = seed
+		m, res, err := spec.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("helpFirst=%v: %w", hf, err)
+		}
+		if res != spec.Expected {
+			return nil, fmt.Errorf("helpFirst=%v: bad result", hf)
+		}
+		st := m.TotalStats()
+		mode := "work-first (paper)"
+		if hf {
+			mode = "help-first (tied)"
+		}
+		pt := AblateHelpFirstPoint{
+			Mode:      mode,
+			Tput:      float64(spec.Items(res)) / m.ElapsedSeconds(),
+			Steals:    st.StealsOK,
+			MaxStack:  m.MaxStackUsage(),
+			JoinsMiss: st.JoinsMiss,
+		}
+		if st.StealsOK > 0 {
+			pt.BytesPerSteal = st.BytesStolen / st.StealsOK
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// PrintAblateHelpFirst renders the comparison.
+func PrintAblateHelpFirst(w io.Writer, workers int, pts []AblateHelpFirstPoint) {
+	fmt.Fprintf(w, "Ablation (§2): work-first vs help-first scheduling (%d workers, 2 KiB task stacks)\n", workers)
+	fmt.Fprintf(w, "  %-20s %14s %8s %12s %12s %10s\n",
+		"mode", "throughput/s", "steals", "bytes/steal", "max region", "join-miss")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-20s %14s %8d %12d %12d %10d\n",
+			p.Mode, stats.HumanCount(p.Tput), p.Steals, p.BytesPerSteal, p.MaxStack, p.JoinsMiss)
+	}
+}
+
+// AblateStragglerPoint measures how work stealing absorbs performance
+// variability (the intro's motivation): some workers run their CPU
+// work slower; random stealing should keep throughput near the
+// machine's aggregate capacity instead of collapsing to the slowest
+// worker's pace (which is what a static partition would do).
+type AblateStragglerPoint struct {
+	Label        string
+	Tput         float64
+	RelToUniform float64 // measured throughput / uniform-machine throughput
+	CapacityRel  float64 // aggregate capacity / uniform capacity (the ideal)
+	StaticRel    float64 // what a static partition would achieve (slowest-bound)
+}
+
+// AblateStraggler compares a uniform machine against machines where
+// every k-th worker is f× slower.
+func AblateStraggler(workers int, seed uint64) ([]AblateStragglerPoint, error) {
+	spec := workloads.BTC(15, 1, 300)
+	run := func(every int, factor float64) (float64, error) {
+		cfg := core.DefaultConfig(workers)
+		cfg.Seed = seed
+		cfg.SlowWorkerEvery = every
+		cfg.SlowWorkerFactor = factor
+		m, res, err := spec.Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		if res != spec.Expected {
+			return 0, fmt.Errorf("bad result")
+		}
+		return float64(spec.Items(res)) / m.ElapsedSeconds(), nil
+	}
+	uniform, err := run(0, 1)
+	if err != nil {
+		return nil, err
+	}
+	out := []AblateStragglerPoint{{Label: "uniform", Tput: uniform, RelToUniform: 1, CapacityRel: 1, StaticRel: 1}}
+	for _, cse := range []struct {
+		every  int
+		factor float64
+		label  string
+	}{
+		{4, 4, "25% of workers 4x slower"},
+		{2, 2, "50% of workers 2x slower"},
+	} {
+		tput, err := run(cse.every, cse.factor)
+		if err != nil {
+			return nil, err
+		}
+		slowFrac := 1.0 / float64(cse.every)
+		capacity := (1 - slowFrac) + slowFrac/cse.factor
+		out = append(out, AblateStragglerPoint{
+			Label:        cse.label,
+			Tput:         tput,
+			RelToUniform: tput / uniform,
+			CapacityRel:  capacity,
+			StaticRel:    1 / cse.factor, // a static partition finishes with the slowest
+		})
+	}
+	return out, nil
+}
+
+// PrintAblateStraggler renders the comparison.
+func PrintAblateStraggler(w io.Writer, workers int, pts []AblateStragglerPoint) {
+	fmt.Fprintf(w, "Ablation: absorbing performance variability (%d workers, BTC iter=1)\n", workers)
+	fmt.Fprintf(w, "  %-28s %14s %10s %10s %12s\n", "machine", "throughput/s", "rel", "capacity", "static part.")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-28s %14s %9.2fx %9.2fx %11.2fx\n",
+			p.Label, stats.HumanCount(p.Tput), p.RelToUniform, p.CapacityRel, p.StaticRel)
+	}
+	fmt.Fprintf(w, "  (work stealing should land near 'capacity'; a static partition lands at\n")
+	fmt.Fprintf(w, "   'static part.' — the dynamic-load-balancing motivation of the paper's intro)\n")
+}
+
+// AblateLifelinesPoint compares the paper's pure one-sided random
+// stealing against lifeline-based global load balancing ([24]) as the
+// idle protocol.
+type AblateLifelinesPoint struct {
+	Mode         string
+	Tput         float64
+	FailedProbes uint64 // steal attempts that came back empty/locked
+	Pushes       uint64
+}
+
+// AblateLifelines runs the same workload under both idle protocols.
+func AblateLifelines(workers int, seed uint64) ([]AblateLifelinesPoint, error) {
+	spec := workloads.BTC(15, 1, 300)
+	var out []AblateLifelinesPoint
+	for _, ll := range []bool{false, true} {
+		cfg := core.DefaultConfig(workers)
+		cfg.Lifelines = ll
+		cfg.Seed = seed
+		m, res, err := spec.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("lifelines=%v: %w", ll, err)
+		}
+		if res != spec.Expected {
+			return nil, fmt.Errorf("lifelines=%v: bad result", ll)
+		}
+		st := m.TotalStats()
+		mode := "random stealing (paper)"
+		if ll {
+			mode = "lifelines [24]"
+		}
+		out = append(out, AblateLifelinesPoint{
+			Mode:         mode,
+			Tput:         float64(spec.Items(res)) / m.ElapsedSeconds(),
+			FailedProbes: st.StealAbortEmpty + st.StealAbortLock,
+			Pushes:       st.LifelinePushes,
+		})
+	}
+	return out, nil
+}
+
+// PrintAblateLifelines renders the comparison.
+func PrintAblateLifelines(w io.Writer, workers int, pts []AblateLifelinesPoint) {
+	fmt.Fprintf(w, "Ablation ([24]): random one-sided stealing vs lifeline push (%d workers)\n", workers)
+	fmt.Fprintf(w, "  %-26s %14s %14s %10s\n", "idle protocol", "throughput/s", "failed probes", "pushes")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-26s %14s %14d %10d\n",
+			p.Mode, stats.HumanCount(p.Tput), p.FailedProbes, p.Pushes)
+	}
+	fmt.Fprintf(w, "  (lifelines trade one-sidedness — the victim's CPU serialises the push —\n")
+	fmt.Fprintf(w, "   for probe-free idling at the tails; the paper keeps steals one-sided)\n")
+}

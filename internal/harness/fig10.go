@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/workloads"
+)
+
+// StealBreakdown is the Fig. 10 / Table 3 result: average cycles per
+// successful inter-node steal, split by operation.
+type StealBreakdown struct {
+	Scheme     core.SchemeKind
+	Steals     uint64
+	EmptyCheck float64
+	Lock       float64
+	Steal      float64
+	Suspend    float64
+	Transfer   float64
+	Unlock     float64
+	Resume     float64
+	AvgBytes   float64
+}
+
+// Total returns the average end-to-end steal time.
+func (b StealBreakdown) Total() float64 {
+	return b.EmptyCheck + b.Lock + b.Steal + b.Suspend + b.Transfer + b.Unlock + b.Resume
+}
+
+// Fig10 runs the two-worker ping-pong microbenchmark (§6.3): the
+// paper's setup where two workers steal a single thread — stack padded
+// to 3055 bytes — from each other, and the per-phase times of the steal
+// are measured. childWork controls how long the child computes, giving
+// the other worker time to steal the parent.
+func Fig10(scheme core.SchemeKind, iters uint64) (StealBreakdown, error) {
+	spec := workloads.PingPong(iters, 120_000, workloads.PingPongStackBytes)
+	cfg := twoNodeConfig(scheme, 42)
+	m, res, err := spec.Run(cfg)
+	if err != nil {
+		return StealBreakdown{}, err
+	}
+	if res != spec.Expected {
+		return StealBreakdown{}, fmt.Errorf("harness: ping-pong returned %d, want %d", res, spec.Expected)
+	}
+	st := m.TotalStats()
+	if st.StealsOK == 0 {
+		return StealBreakdown{}, fmt.Errorf("harness: ping-pong produced no steals")
+	}
+	n := float64(st.StealsOK)
+	bd := StealBreakdown{
+		Scheme:     scheme,
+		Steals:     st.StealsOK,
+		EmptyCheck: float64(st.Phases.EmptyCheck) / n,
+		Lock:       float64(st.Phases.Lock) / n,
+		Steal:      float64(st.Phases.Steal) / n,
+		Transfer:   float64(st.Phases.StackTransfer) / n,
+		Unlock:     float64(st.Phases.Unlock) / n,
+		AvgBytes:   float64(st.BytesStolen) / n,
+	}
+	if st.Suspends > 0 {
+		bd.Suspend = float64(st.SuspendCycles) / float64(st.Suspends)
+	}
+	if resumes := st.StealsOK + st.ResumesWait; resumes > 0 {
+		bd.Resume = float64(st.ResumeCycles) / float64(resumes)
+	}
+	return bd, nil
+}
+
+// PrintFig10 renders the breakdown like Fig. 10's stacked bar plus the
+// Table 3 operation list.
+func PrintFig10(w io.Writer, b StealBreakdown) {
+	fmt.Fprintf(w, "Figure 10 / Table 3: work stealing breakdown (%s, %d steals, avg stolen stack %.0f B)\n",
+		b.Scheme, b.Steals, b.AvgBytes)
+	total := b.Total()
+	row := func(name string, v float64) {
+		fmt.Fprintf(w, "  %-15s %9.0f cycles  %5.1f%%\n", name, v, 100*v/total)
+	}
+	row("empty check", b.EmptyCheck)
+	row("lock", b.Lock)
+	row("steal", b.Steal)
+	row("suspend", b.Suspend)
+	row("stack transfer", b.Transfer)
+	row("unlock", b.Unlock)
+	row("resume", b.Resume)
+	fmt.Fprintf(w, "  %-15s %9.0f cycles (paper: ~42K; suspend+resume %.1f%%, paper: 7.7%%)\n",
+		"TOTAL", total, 100*(b.Suspend+b.Resume)/total)
+}
+
+// migrationBreakdown runs a padded BTC tree on a small machine so that
+// every steal migrates a *different* thread at a different address —
+// unlike the ping-pong, whose single thread would let iso-address
+// amortise its first-touch faults after one round trip. This matches
+// the paper's §4 premise for the 71% estimate: iso migrations keep
+// faulting because live stacks spread over the reserved range.
+func migrationBreakdown(scheme core.SchemeKind, depth uint64) (StealBreakdown, error) {
+	spec := workloads.BTCPadded(depth, 1, 20_000, workloads.PingPongStackBytes)
+	cfg := core.DefaultConfig(8)
+	cfg.WorkersPerNode = 1
+	cfg.Scheme = scheme
+	cfg.Seed = 42
+	m, res, err := spec.Run(cfg)
+	if err != nil {
+		return StealBreakdown{}, err
+	}
+	if res != spec.Expected {
+		return StealBreakdown{}, fmt.Errorf("harness: migration bench returned %d, want %d", res, spec.Expected)
+	}
+	st := m.TotalStats()
+	if st.StealsOK == 0 {
+		return StealBreakdown{}, fmt.Errorf("harness: migration bench produced no steals")
+	}
+	n := float64(st.StealsOK)
+	bd := StealBreakdown{
+		Scheme:     scheme,
+		Steals:     st.StealsOK,
+		EmptyCheck: float64(st.Phases.EmptyCheck) / n,
+		Lock:       float64(st.Phases.Lock) / n,
+		Steal:      float64(st.Phases.Steal) / n,
+		Transfer:   float64(st.Phases.StackTransfer) / n,
+		Unlock:     float64(st.Phases.Unlock) / n,
+		AvgBytes:   float64(st.BytesStolen) / n,
+	}
+	if st.Suspends > 0 {
+		bd.Suspend = float64(st.SuspendCycles) / float64(st.Suspends)
+	}
+	if resumes := st.StealsOK + st.ResumesWait; resumes > 0 {
+		bd.Resume = float64(st.ResumeCycles) / float64(resumes)
+	}
+	return bd, nil
+}
+
+// IsoVsUni measures the per-steal migration cost under both schemes and
+// returns (uni, iso, ratio): the paper's §6.3 estimate is uni ≈ 71% of
+// iso, driven by iso's 21K-cycle page faults and two-sided transfer.
+func IsoVsUni(depth uint64) (uni, iso StealBreakdown, ratio float64, err error) {
+	if depth == 0 {
+		depth = 12
+	}
+	uni, err = migrationBreakdown(core.SchemeUni, depth)
+	if err != nil {
+		return
+	}
+	iso, err = migrationBreakdown(core.SchemeIso, depth)
+	if err != nil {
+		return
+	}
+	ratio = uni.Total() / iso.Total()
+	return
+}
+
+// PrintIsoVsUni renders the comparison.
+func PrintIsoVsUni(w io.Writer, uni, iso StealBreakdown, ratio float64) {
+	fmt.Fprintf(w, "§6.3: uni-address vs iso-address steal time\n")
+	fmt.Fprintf(w, "  uni-address: %8.0f cycles/steal\n", uni.Total())
+	fmt.Fprintf(w, "  iso-address: %8.0f cycles/steal (incl. %0.f-cycle page faults + victim assist)\n",
+		iso.Total(), 21000.0)
+	fmt.Fprintf(w, "  ratio uni/iso = %.2f (paper's estimate: 0.71)\n", ratio)
+}

@@ -1,0 +1,91 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated cluster: Fig. 9 (RDMA latencies),
+// Table 2 (task-creation overhead), Fig. 10 / Table 3 (work-stealing
+// breakdown), Table 4 (benchmark footprints), Fig. 11 (load-balancing
+// scalability), the §6.3 uni-vs-iso steal-time comparison and the §4
+// address-space analysis, plus the ablations called out in DESIGN.md.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/mem"
+	"uniaddr/internal/rdma"
+	"uniaddr/internal/sim"
+)
+
+// Fig9Point is one message size on the Fig. 9 latency curves.
+type Fig9Point struct {
+	Bytes       int
+	ReadCycles  uint64
+	WriteCycles uint64
+	ReadMicros  float64
+	WriteMicros float64
+}
+
+// Fig9Sizes are the measured message sizes (8 B – 1 MiB, powers of 4ish
+// like the paper's sweep).
+var Fig9Sizes = []int{8, 32, 128, 512, 2048, 8192, 32768, 131072, 524288, 1048576}
+
+// Fig9 measures one-sided READ and WRITE latencies on a two-node
+// simulated fabric by actually issuing the operations and timing them
+// on the virtual clock (not just evaluating the model).
+func Fig9(params rdma.Params, clockHz float64, sizes []int) ([]Fig9Point, error) {
+	if len(sizes) == 0 {
+		sizes = Fig9Sizes
+	}
+	var out []Fig9Point
+	for _, n := range sizes {
+		n := n
+		eng := sim.NewEngine()
+		fab := rdma.NewFabric(eng, params)
+		for i := 0; i < 2; i++ {
+			s := mem.NewAddressSpace(fmt.Sprintf("n%d", i))
+			s.MustReserve("rdma", 0x100000, 4<<20, true)
+			fab.AddEndpoint(s)
+		}
+		var rd, wr uint64
+		eng.Spawn("bench", func(p *sim.Proc) {
+			buf := make([]byte, n)
+			start := p.Now()
+			fab.Endpoint(0).Read(p, 1, 0x100000, buf)
+			rd = p.Now() - start
+			start = p.Now()
+			fab.Endpoint(0).Write(p, 1, 0x100000, buf)
+			wr = p.Now() - start
+		})
+		if _, err := eng.Run(); err != nil {
+			return nil, err
+		}
+		out = append(out, Fig9Point{
+			Bytes:       n,
+			ReadCycles:  rd,
+			WriteCycles: wr,
+			ReadMicros:  float64(rd) / clockHz * 1e6,
+			WriteMicros: float64(wr) / clockHz * 1e6,
+		})
+	}
+	return out, nil
+}
+
+// PrintFig9 renders the curve as a table.
+func PrintFig9(w io.Writer, pts []Fig9Point) {
+	fmt.Fprintf(w, "Figure 9: RDMA READ/WRITE latency vs message size (FX10/Tofu model)\n")
+	fmt.Fprintf(w, "%10s %14s %14s %12s %12s\n", "bytes", "READ cycles", "WRITE cycles", "READ µs", "WRITE µs")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%10d %14d %14d %12.2f %12.2f\n",
+			p.Bytes, p.ReadCycles, p.WriteCycles, p.ReadMicros, p.WriteMicros)
+	}
+}
+
+// Fig10Config tweaks shared by microbenchmarks: a fresh FX10-flavoured
+// two-node machine, one worker per node.
+func twoNodeConfig(scheme core.SchemeKind, seed uint64) core.Config {
+	cfg := core.DefaultConfig(2)
+	cfg.WorkersPerNode = 1
+	cfg.Scheme = scheme
+	cfg.Seed = seed
+	return cfg
+}

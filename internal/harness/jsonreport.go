@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/trace"
+)
+
+// RunReport is the machine-readable post-mortem of one simulated run
+// (the -json output of cmd/uniaddr-sim).
+type RunReport struct {
+	Workers        int     `json:"workers"`
+	WorkersPerNode int     `json:"workers_per_node"`
+	Scheme         string  `json:"scheme"`
+	Victim         string  `json:"victim_policy"`
+	HelpFirst      bool    `json:"help_first"`
+	Seed           uint64  `json:"seed"`
+	ElapsedCycles  uint64  `json:"elapsed_cycles"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Items          uint64  `json:"items"`
+	Throughput     float64 `json:"items_per_second"`
+
+	Tasks        uint64 `json:"tasks_executed"`
+	Spawns       uint64 `json:"spawns"`
+	JoinsFast    uint64 `json:"joins_fast"`
+	JoinsMiss    uint64 `json:"joins_miss"`
+	Suspends     uint64 `json:"suspends"`
+	ResumesWait  uint64 `json:"resumes_wait"`
+	ParentStolen uint64 `json:"parents_stolen"`
+
+	StealAttempts   uint64  `json:"steal_attempts"`
+	StealsOK        uint64  `json:"steals_ok"`
+	StealAbortEmpty uint64  `json:"steal_abort_empty"`
+	StealAbortLock  uint64  `json:"steal_abort_lock"`
+	StealAbortSlot  uint64  `json:"steal_abort_slot"`
+	BytesStolen     uint64  `json:"bytes_stolen"`
+	AvgStealCycles  float64 `json:"avg_steal_cycles"`
+
+	PageFaults     uint64 `json:"page_faults"`
+	MaxStackBytes  uint64 `json:"max_stack_bytes"`
+	MaxReservedVA  uint64 `json:"max_reserved_bytes"`
+	CommittedBytes uint64 `json:"committed_bytes"`
+
+	UtilizationWork  float64 `json:"utilization_work,omitempty"`
+	UtilizationSteal float64 `json:"utilization_steal,omitempty"`
+	UtilizationIdle  float64 `json:"utilization_idle,omitempty"`
+}
+
+// BuildRunReport assembles the report from a completed machine run.
+func BuildRunReport(m *core.Machine, items uint64) RunReport {
+	st := m.TotalStats()
+	cfg := m.Config()
+	r := RunReport{
+		Workers:        cfg.Workers,
+		WorkersPerNode: cfg.WorkersPerNode,
+		Scheme:         cfg.Scheme.String(),
+		Victim:         cfg.Victim.String(),
+		HelpFirst:      cfg.HelpFirst,
+		Seed:           cfg.Seed,
+		ElapsedCycles:  m.ElapsedCycles(),
+		ElapsedSeconds: m.ElapsedSeconds(),
+		Items:          items,
+
+		Tasks:        st.TasksExecuted,
+		Spawns:       st.Spawns,
+		JoinsFast:    st.JoinsFast,
+		JoinsMiss:    st.JoinsMiss,
+		Suspends:     st.Suspends,
+		ResumesWait:  st.ResumesWait,
+		ParentStolen: st.ParentStolen,
+
+		StealAttempts:   st.StealAttempts,
+		StealsOK:        st.StealsOK,
+		StealAbortEmpty: st.StealAbortEmpty,
+		StealAbortLock:  st.StealAbortLock,
+		StealAbortSlot:  st.StealAbortSlot,
+		BytesStolen:     st.BytesStolen,
+
+		PageFaults:     st.PageFaults,
+		MaxStackBytes:  m.MaxStackUsage(),
+		MaxReservedVA:  m.MaxReservedBytes(),
+		CommittedBytes: m.TotalCommittedBytes(),
+	}
+	if r.ElapsedSeconds > 0 {
+		r.Throughput = float64(items) / r.ElapsedSeconds
+	}
+	if st.StealsOK > 0 {
+		r.AvgStealCycles = float64(st.Phases.Total()) / float64(st.StealsOK)
+	}
+	if tr := m.Tracer(); tr != nil {
+		u := tr.Utilization()
+		r.UtilizationWork = u.Fraction(trace.Work)
+		r.UtilizationSteal = u.Fraction(trace.Steal)
+		r.UtilizationIdle = u.Fraction(trace.Idle)
+	}
+	return r
+}
+
+// WriteJSONReport writes the report, indented, to w.
+func WriteJSONReport(w io.Writer, r RunReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

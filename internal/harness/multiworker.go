@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/stats"
+	"uniaddr/internal/workloads"
+)
+
+// AblateMultiWorkerPoint is one slots-per-process setting of the §5.1
+// ablation: several workers (and uni-address regions) share an address
+// space, and a stolen task must land in a region with its own address.
+type AblateMultiWorkerPoint struct {
+	Slots       int
+	Tput        float64
+	SlotAborts  uint64
+	BusyWorkers int // workers that executed at least one task
+}
+
+// AblateMultiWorker sweeps slots-per-process at a fixed total worker
+// count. Under single-root fork-join, every task is created in the
+// running worker's own region, so all work stays in the root's slot:
+// the paper's "may lower processor utilization" is maximally pessimal
+// here, and throughput degrades toward 1/slots.
+func AblateMultiWorker(total int, slots []int, seed uint64) ([]AblateMultiWorkerPoint, error) {
+	if len(slots) == 0 {
+		slots = []int{1, 2, 4}
+	}
+	spec := workloads.BTC(14, 1, 200)
+	var out []AblateMultiWorkerPoint
+	for _, k := range slots {
+		cfg := core.DefaultConfig(total)
+		cfg.SlotsPerProcess = k
+		cfg.Seed = seed
+		m, res, err := spec.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("slots=%d: %w", k, err)
+		}
+		if res != spec.Expected {
+			return nil, fmt.Errorf("slots=%d: result %d != %d", k, res, spec.Expected)
+		}
+		busy := 0
+		for _, w := range m.Workers() {
+			if w.Stats().TasksExecuted > 0 {
+				busy++
+			}
+		}
+		out = append(out, AblateMultiWorkerPoint{
+			Slots:       k,
+			Tput:        float64(spec.Items(res)) / m.ElapsedSeconds(),
+			SlotAborts:  m.TotalStats().StealAbortSlot,
+			BusyWorkers: busy,
+		})
+	}
+	return out, nil
+}
+
+// PrintAblateMultiWorker renders the sweep.
+func PrintAblateMultiWorker(w io.Writer, total int, pts []AblateMultiWorkerPoint) {
+	fmt.Fprintf(w, "Ablation (§5.1 future work): workers per address space (total %d workers)\n", total)
+	fmt.Fprintf(w, "  %8s %16s %12s %14s %10s\n", "slots", "throughput/s", "slot-aborts", "busy workers", "rel tput")
+	base := pts[0].Tput
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %8d %16s %12d %14d %9.2fx\n",
+			p.Slots, stats.HumanCount(p.Tput), p.SlotAborts, p.BusyWorkers, p.Tput/base)
+	}
+	fmt.Fprintf(w, "  (single-root fork-join keeps all tasks in the root's slot — the paper's\n")
+	fmt.Fprintf(w, "   predicted utilization loss is maximal: only 1/slots of the workers can help)\n")
+}

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/stats"
+	"uniaddr/internal/workloads"
+)
+
+// Sec4Analytic reproduces the paper's §4 back-of-envelope: with W
+// workers, task-tree depth D and per-task stack S, iso-address must
+// reserve W·D·S bytes of virtual address space in EVERY process (each
+// live stack's address is globally unique and reserved everywhere),
+// while uni-address reserves only D·S (the deepest chain that can be
+// simultaneously live in one address space).
+type Sec4Analysis struct {
+	Workers    uint64
+	Depth      uint64
+	StackBytes uint64
+	IsoBytes   uint64 // per-process reservation under iso-address
+	UniBytes   uint64 // per-process reservation under uni-address
+	ExceedsX86 bool   // iso reservation > 2^48 (x86-64 VA limit)
+}
+
+// Sec4Paper returns the paper's example: 2^22 workers, tree depth 2^13,
+// 16 KiB stacks → 2^49 bytes, past the 2^48 x86-64 limit.
+func Sec4Paper() Sec4Analysis {
+	return Sec4Analytic(1<<22, 1<<13, 1<<14)
+}
+
+// Sec4Analytic computes the analysis for arbitrary parameters.
+func Sec4Analytic(workers, depth, stack uint64) Sec4Analysis {
+	return Sec4Analysis{
+		Workers:    workers,
+		Depth:      depth,
+		StackBytes: stack,
+		IsoBytes:   workers * depth * stack,
+		UniBytes:   depth * stack,
+		ExceedsX86: workers*depth*stack > 1<<48,
+	}
+}
+
+// Sec4MeasuredPoint is a measured per-process reservation at one
+// machine size.
+type Sec4MeasuredPoint struct {
+	Workers       int
+	IsoReserved   uint64 // max per-process reserved bytes
+	UniReserved   uint64
+	IsoCommitted  uint64 // total committed (physical) bytes, all processes
+	UniCommitted  uint64
+	IsoPageFaults uint64
+}
+
+// Sec4Measured builds real simulated machines of growing size, runs the
+// same workload under both schemes, and reports the actual address-
+// space accounting: iso reservations grow linearly with the worker
+// count while uni-address stays flat.
+func Sec4Measured(workerCounts []int, seed uint64) ([]Sec4MeasuredPoint, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{8, 16, 32, 64}
+	}
+	var out []Sec4MeasuredPoint
+	for _, p := range workerCounts {
+		spec := workloads.BTC(10, 1, 0)
+		run := func(k core.SchemeKind) (*core.Machine, error) {
+			cfg := core.DefaultConfig(p)
+			cfg.Scheme = k
+			cfg.Seed = seed
+			m, res, err := spec.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if res != spec.Expected {
+				return nil, fmt.Errorf("scheme %v on %d workers: bad result", k, p)
+			}
+			return m, nil
+		}
+		mi, err := run(core.SchemeIso)
+		if err != nil {
+			return nil, err
+		}
+		mu, err := run(core.SchemeUni)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Sec4MeasuredPoint{
+			Workers:       p,
+			IsoReserved:   mi.MaxReservedBytes(),
+			UniReserved:   mu.MaxReservedBytes(),
+			IsoCommitted:  mi.TotalCommittedBytes(),
+			UniCommitted:  mu.TotalCommittedBytes(),
+			IsoPageFaults: mi.TotalStats().PageFaults,
+		})
+	}
+	return out, nil
+}
+
+// PrintSec4 renders both the analytic and the measured comparison.
+func PrintSec4(w io.Writer, an Sec4Analysis, pts []Sec4MeasuredPoint) {
+	fmt.Fprintf(w, "§4/§5: virtual address space for thread migration\n")
+	fmt.Fprintf(w, "Analytic (paper example: %d workers, depth %d, %s stacks):\n",
+		an.Workers, an.Depth, stats.HumanBytes(an.StackBytes))
+	fmt.Fprintf(w, "  iso-address per-process reservation: %s (2^%.0f bytes)%s\n",
+		stats.HumanBytes(an.IsoBytes), log2u(an.IsoBytes), exceedNote(an.ExceedsX86))
+	fmt.Fprintf(w, "  uni-address per-process reservation: %s\n", stats.HumanBytes(an.UniBytes))
+	if len(pts) > 0 {
+		fmt.Fprintf(w, "Measured on simulated machines (BTC d=10, per-process reservation incl. fixed regions):\n")
+		fmt.Fprintf(w, "  %8s %14s %14s %14s %14s %10s\n",
+			"workers", "iso reserved", "uni reserved", "iso committed", "uni committed", "iso faults")
+		for _, p := range pts {
+			fmt.Fprintf(w, "  %8d %14s %14s %14s %14s %10d\n",
+				p.Workers, stats.HumanBytes(p.IsoReserved), stats.HumanBytes(p.UniReserved),
+				stats.HumanBytes(p.IsoCommitted), stats.HumanBytes(p.UniCommitted), p.IsoPageFaults)
+		}
+	}
+}
+
+func exceedNote(b bool) string {
+	if b {
+		return "  — EXCEEDS the 2^48 x86-64 virtual address space"
+	}
+	return ""
+}
+
+func log2u(v uint64) float64 {
+	n := 0.0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

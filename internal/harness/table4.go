@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/stats"
+	"uniaddr/internal/workloads"
+)
+
+// Table4Row mirrors a row of the paper's Table 4: benchmark, parameter,
+// total tasks or nodes, execution time, and maximum uni-address region
+// usage.
+type Table4Row struct {
+	Benchmark  string
+	Param      string
+	Items      uint64
+	Seconds    float64
+	StackBytes uint64
+	PaperRef   string // the paper's stack usage at full scale, for context
+}
+
+// Table4Workloads returns the scaled benchmark set used for Table 4 and
+// Fig. 11. scale "small" keeps everything test-sized; "large" pushes
+// depths up for long runs.
+func Table4Workloads(scale string) []struct {
+	Name  string
+	Param string
+	Spec  workloads.Spec
+	Paper string
+} {
+	type w = struct {
+		Name  string
+		Param string
+		Spec  workloads.Spec
+		Paper string
+	}
+	switch scale {
+	case "tiny": // fast unit-test scale
+		return []w{
+			{"BTC (iter=1)", "depth=10", workloads.BTC(10, 1, 0), "43,568 B @ d=38"},
+			{"BTC (iter=1)", "depth=11", workloads.BTC(11, 1, 0), "44,688 B @ d=39"},
+			{"BTC (iter=2)", "depth=5", workloads.BTC(5, 2, 0), "22,288 B @ d=19"},
+			{"BTC (iter=2)", "depth=6", workloads.BTC(6, 2, 0), "23,408 B @ d=20"},
+			{"UTS", "depth=9", workloads.UTS(1, 9, workloads.DefaultUTSB0, 400), "139,536 B @ d=17"},
+			{"UTS", "depth=10", workloads.UTS(1, 10, workloads.DefaultUTSB0, 400), "147,392 B @ d=18"},
+			{"NQueens", "N=8", workloads.NQueens(8, 100), "74,272 B @ N=17"},
+			{"NQueens", "N=9", workloads.NQueens(9, 100), "79,120 B @ N=18"},
+		}
+	case "large":
+		return []w{
+			{"BTC (iter=1)", "depth=20", workloads.BTC(20, 1, 0), "43,568 B @ d=38"},
+			{"BTC (iter=1)", "depth=21", workloads.BTC(21, 1, 0), "44,688 B @ d=39"},
+			{"BTC (iter=2)", "depth=10", workloads.BTC(10, 2, 0), "22,288 B @ d=19"},
+			{"BTC (iter=2)", "depth=11", workloads.BTC(11, 2, 0), "23,408 B @ d=20"},
+			{"UTS", "depth=15", workloads.UTS(1, 15, workloads.DefaultUTSB0, 400), "139,536 B @ d=17"},
+			{"UTS", "depth=16", workloads.UTS(1, 16, workloads.DefaultUTSB0, 400), "147,392 B @ d=18"},
+			{"NQueens", "N=13", workloads.NQueens(13, 100), "74,272 B @ N=17"},
+			{"NQueens", "N=14", workloads.NQueens(14, 100), "79,120 B @ N=18"},
+		}
+	default:
+		return []w{
+			{"BTC (iter=1)", "depth=14", workloads.BTC(14, 1, 0), "43,568 B @ d=38"},
+			{"BTC (iter=1)", "depth=15", workloads.BTC(15, 1, 0), "44,688 B @ d=39"},
+			{"BTC (iter=2)", "depth=7", workloads.BTC(7, 2, 0), "22,288 B @ d=19"},
+			{"BTC (iter=2)", "depth=8", workloads.BTC(8, 2, 0), "23,408 B @ d=20"},
+			{"UTS", "depth=12", workloads.UTS(1, 12, workloads.DefaultUTSB0, 400), "139,536 B @ d=17"},
+			{"UTS", "depth=13", workloads.UTS(1, 13, workloads.DefaultUTSB0, 400), "147,392 B @ d=18"},
+			{"NQueens", "N=10", workloads.NQueens(10, 100), "74,272 B @ N=17"},
+			{"NQueens", "N=11", workloads.NQueens(11, 100), "79,120 B @ N=18"},
+		}
+	}
+}
+
+// Table4 runs every benchmark on a machine with the given worker count
+// and reports the paper's Table 4 columns.
+func Table4(workers int, scale string, seed uint64) ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, wl := range Table4Workloads(scale) {
+		cfg := core.DefaultConfig(workers)
+		cfg.Seed = seed
+		m, res, err := wl.Spec.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: %w", wl.Name, wl.Param, err)
+		}
+		if res != wl.Spec.Expected {
+			return nil, fmt.Errorf("%s %s: result %d != expected %d", wl.Name, wl.Param, res, wl.Spec.Expected)
+		}
+		rows = append(rows, Table4Row{
+			Benchmark:  wl.Name,
+			Param:      wl.Param,
+			Items:      wl.Spec.Items(res),
+			Seconds:    m.ElapsedSeconds(),
+			StackBytes: m.MaxStackUsage(),
+			PaperRef:   wl.Paper,
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable4 renders the table.
+func PrintTable4(w io.Writer, workers int, rows []Table4Row) {
+	fmt.Fprintf(w, "Table 4: benchmark footprints on %d simulated workers (scaled problem sizes)\n", workers)
+	fmt.Fprintf(w, "%-14s %-10s %14s %10s %14s   %s\n",
+		"benchmark", "param", "tasks/nodes", "time", "stack usage", "paper @ full scale")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-10s %14s %9.3fs %14s   %s\n",
+			r.Benchmark, r.Param, stats.HumanCount(float64(r.Items)), r.Seconds,
+			fmt.Sprintf("%d B", r.StackBytes), r.PaperRef)
+	}
+}

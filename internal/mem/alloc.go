@@ -1,0 +1,172 @@
+package mem
+
+import "fmt"
+
+// Allocator is a first-fit free-list allocator over a Region. The
+// scheduler uses one per process to carve the pinned RDMA region into
+// saved-thread stack buffers, task records, and deque storage (the
+// paper's pinned_malloc).
+//
+// Block metadata is kept on the Go side (not inside simulated memory):
+// real allocators store headers in memory, but the header layout is not
+// load-bearing for any experiment, while keeping the simulated bytes
+// purely payload simplifies byte-exact stack-copy assertions.
+type Allocator struct {
+	region *Region
+	free   []span // sorted by base, coalesced
+	inUse  map[VA]uint64
+	peak   uint64
+	used   uint64
+	// nextFit rotates the search start through the region instead of
+	// always reusing the lowest free addresses. The iso-address scheme
+	// uses it to model PM2-style isomalloc, where live stacks spread
+	// over the reserved range as the task tree wanders (so migrations
+	// keep touching fresh pages — the paper's §4 fault-per-migration
+	// premise).
+	nextFit bool
+	cursor  VA
+}
+
+// SetNextFit toggles next-fit (rotating) allocation.
+func (a *Allocator) SetNextFit(v bool) { a.nextFit = v }
+
+type span struct {
+	base VA
+	size uint64
+}
+
+// NewAllocator returns an allocator managing all bytes of r.
+func NewAllocator(r *Region) *Allocator {
+	return &Allocator{
+		region: r,
+		free:   []span{{base: r.Base, size: r.Size}},
+		inUse:  make(map[VA]uint64),
+	}
+}
+
+// Region returns the region being managed.
+func (a *Allocator) Region() *Region { return a.region }
+
+const allocAlign = 16
+
+func alignUp(n uint64) uint64 { return (n + allocAlign - 1) &^ (allocAlign - 1) }
+
+// Alloc returns the base address of a fresh block of at least size
+// bytes, or an error when the region is exhausted.
+func (a *Allocator) Alloc(size uint64) (VA, error) {
+	if size == 0 {
+		size = 1
+	}
+	size = alignUp(size)
+	start := 0
+	if a.nextFit {
+		// Resume from the span containing (or following) the cursor; if
+		// the cursor falls inside a span, carve from the cursor so the
+		// allocation point really advances through the region.
+		for i := range a.free {
+			sp := a.free[i]
+			if sp.base >= a.cursor {
+				start = i
+				break
+			}
+			if a.cursor < sp.base+VA(sp.size) {
+				if sp.base+VA(sp.size)-a.cursor >= VA(size) {
+					return a.take(i, a.cursor, size), nil
+				}
+				start = i + 1
+				break
+			}
+		}
+		if start >= len(a.free) {
+			start = 0 // wrap
+		}
+	}
+	n := len(a.free)
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		if a.free[i].size >= size {
+			return a.take(i, a.free[i].base, size), nil
+		}
+	}
+	return 0, fmt.Errorf("mem: allocator %q out of space (want %d, used %d of %d)",
+		a.region.Name, size, a.used, a.region.Size)
+}
+
+// take carves [at, at+size) out of free span i (at must lie inside the
+// span with room for size) and records the allocation.
+func (a *Allocator) take(i int, at VA, size uint64) VA {
+	sp := a.free[i]
+	left := span{base: sp.base, size: uint64(at - sp.base)}
+	right := span{base: at + VA(size), size: uint64(sp.base+VA(sp.size)) - uint64(at) - size}
+	switch {
+	case left.size > 0 && right.size > 0:
+		a.free[i] = left
+		a.free = append(a.free, span{})
+		copy(a.free[i+2:], a.free[i+1:])
+		a.free[i+1] = right
+	case left.size > 0:
+		a.free[i] = left
+	case right.size > 0:
+		a.free[i] = right
+	default:
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+	a.inUse[at] = size
+	a.used += size
+	if a.used > a.peak {
+		a.peak = a.used
+	}
+	a.cursor = at + VA(size)
+	return at
+}
+
+// MustAlloc is Alloc that panics on exhaustion.
+func (a *Allocator) MustAlloc(size uint64) VA {
+	va, err := a.Alloc(size)
+	if err != nil {
+		panic(err)
+	}
+	return va
+}
+
+// Free releases a block previously returned by Alloc.
+func (a *Allocator) Free(base VA) {
+	size, ok := a.inUse[base]
+	if !ok {
+		panic(fmt.Sprintf("mem: free of unallocated address %#x in %q", base, a.region.Name))
+	}
+	delete(a.inUse, base)
+	a.used -= size
+	// Insert, keeping the list sorted, then coalesce with neighbours.
+	lo, hi := 0, len(a.free)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.free[mid].base < base {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	a.free = append(a.free, span{})
+	copy(a.free[lo+1:], a.free[lo:])
+	a.free[lo] = span{base: base, size: size}
+	// Coalesce with next.
+	if lo+1 < len(a.free) && a.free[lo].base+VA(a.free[lo].size) == a.free[lo+1].base {
+		a.free[lo].size += a.free[lo+1].size
+		a.free = append(a.free[:lo+1], a.free[lo+2:]...)
+	}
+	// Coalesce with previous.
+	if lo > 0 && a.free[lo-1].base+VA(a.free[lo-1].size) == a.free[lo].base {
+		a.free[lo-1].size += a.free[lo].size
+		a.free = append(a.free[:lo], a.free[lo+1:]...)
+	}
+}
+
+// Used returns the number of bytes currently allocated.
+func (a *Allocator) Used() uint64 { return a.used }
+
+// Peak returns the high-water mark of allocated bytes.
+func (a *Allocator) Peak() uint64 { return a.peak }
+
+// Live returns the number of outstanding blocks.
+func (a *Allocator) Live() int { return len(a.inUse) }

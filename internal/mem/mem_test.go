@@ -1,0 +1,336 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestReserveAndRW(t *testing.T) {
+	s := NewAddressSpace("p0")
+	r, err := s.Reserve("heap", 0x1000, 8192, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ReservedBytes() != 8192 {
+		t.Fatalf("reserved = %d", s.ReservedBytes())
+	}
+	in := []byte("hello, uni-address")
+	if _, err := s.Write(0x1100, in); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(in))
+	if _, err := s.Read(0x1100, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Fatalf("read back %q", out)
+	}
+	if r.Faults() == 0 {
+		t.Fatal("expected first-touch fault")
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	s := NewAddressSpace("p0")
+	s.MustReserve("a", 0x1000, 4096, false)
+	cases := []struct {
+		base VA
+		size uint64
+	}{
+		{0x1000, 4096}, // identical
+		{0x0800, 4096}, // overlaps start
+		{0x1800, 4096}, // overlaps end
+		{0x1100, 16},   // inside
+	}
+	for _, c := range cases {
+		if _, err := s.Reserve("b", c.base, c.size, false); err == nil {
+			t.Fatalf("overlap [%#x,+%d) accepted", c.base, c.size)
+		}
+	}
+	// Adjacent is fine.
+	if _, err := s.Reserve("c", 0x2000, 4096, false); err != nil {
+		t.Fatalf("adjacent region rejected: %v", err)
+	}
+}
+
+func TestOutOfBoundsAccess(t *testing.T) {
+	s := NewAddressSpace("p0")
+	s.MustReserve("a", 0x1000, 4096, false)
+	if _, err := s.Read(0x0f00, make([]byte, 8)); err == nil {
+		t.Fatal("read below region succeeded")
+	}
+	if _, err := s.Read(0x1ffc, make([]byte, 8)); err == nil {
+		t.Fatal("read straddling region end succeeded")
+	}
+	if _, err := s.Write(0x3000, []byte{1}); err == nil {
+		t.Fatal("write to unmapped address succeeded")
+	}
+}
+
+func TestDemandPagingFaultAccounting(t *testing.T) {
+	s := NewAddressSpace("p0")
+	r := s.MustReserve("stacks", 0x10000, 16*4096, false)
+	// First touch of one page: exactly one fault.
+	f, _ := s.Write(0x10000, make([]byte, 8))
+	if f != 1 {
+		t.Fatalf("first touch faults = %d, want 1", f)
+	}
+	// Second touch of the same page: no fault.
+	f, _ = s.Write(0x10100, make([]byte, 8))
+	if f != 0 {
+		t.Fatalf("second touch faults = %d, want 0", f)
+	}
+	// Spanning write across 3 fresh pages: 3 faults.
+	f, _ = s.Write(0x11000, make([]byte, 2*4096+1))
+	if f != 3 {
+		t.Fatalf("spanning faults = %d, want 3", f)
+	}
+	if r.Faults() != 4 || s.Faults() != 4 {
+		t.Fatalf("cumulative faults region=%d space=%d, want 4", r.Faults(), s.Faults())
+	}
+	if got := r.CommittedBytes(); got != 4*4096 {
+		t.Fatalf("committed = %d, want %d", got, 4*4096)
+	}
+}
+
+func TestPinnedRegionNeverFaults(t *testing.T) {
+	s := NewAddressSpace("p0")
+	r := s.MustReserve("rdma", 0x100000, 8*4096, true)
+	f, _ := s.Write(0x100000, make([]byte, 4096*8))
+	if f != 0 || r.Faults() != 0 {
+		t.Fatalf("pinned region faulted: %d/%d", f, r.Faults())
+	}
+	if r.CommittedBytes() != 8*4096 {
+		t.Fatalf("pinned committed = %d", r.CommittedBytes())
+	}
+}
+
+func TestU64RoundTrip(t *testing.T) {
+	s := NewAddressSpace("p0")
+	s.MustReserve("a", 0, 4096, true)
+	f := func(va16 uint8, v uint64) bool {
+		va := VA(va16) * 8
+		if err := s.WriteU64(va, v); err != nil {
+			return false
+		}
+		got, err := s.ReadU64(va)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceAliasesBacking(t *testing.T) {
+	s := NewAddressSpace("p0")
+	s.MustReserve("a", 0x1000, 4096, true)
+	b, err := s.Slice(0x1010, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(b, []byte{1, 2, 3, 4})
+	out := make([]byte, 4)
+	s.Read(0x1010, out)
+	if !bytes.Equal(out, []byte{1, 2, 3, 4}) {
+		t.Fatalf("slice writes not visible: %v", out)
+	}
+}
+
+func TestUnreserveFreesRange(t *testing.T) {
+	s := NewAddressSpace("p0")
+	r := s.MustReserve("a", 0x1000, 4096, false)
+	s.Unreserve(r)
+	if s.ReservedBytes() != 0 {
+		t.Fatalf("reserved after unreserve = %d", s.ReservedBytes())
+	}
+	if _, err := s.Reserve("b", 0x1000, 4096, false); err != nil {
+		t.Fatalf("range not reusable: %v", err)
+	}
+}
+
+func TestLookupExactBounds(t *testing.T) {
+	s := NewAddressSpace("p0")
+	s.MustReserve("a", 0x1000, 4096, false)
+	if _, err := s.Lookup(0x1000, 4096); err != nil {
+		t.Fatalf("full-region lookup failed: %v", err)
+	}
+	if _, err := s.Lookup(0x1000, 4097); err == nil {
+		t.Fatal("oversized lookup succeeded")
+	}
+	if _, err := s.Lookup(0x1fff, 1); err != nil {
+		t.Fatalf("last-byte lookup failed: %v", err)
+	}
+}
+
+func TestAllocatorBasic(t *testing.T) {
+	s := NewAddressSpace("p0")
+	r := s.MustReserve("heap", 0x1000, 1024, true)
+	a := NewAllocator(r)
+	v1 := a.MustAlloc(100) // rounds to 112
+	v2 := a.MustAlloc(100)
+	if v1 == v2 {
+		t.Fatal("allocator returned same block twice")
+	}
+	if v1 < r.Base || v2+112 > r.End() {
+		t.Fatalf("blocks outside region: %#x %#x", v1, v2)
+	}
+	a.Free(v1)
+	a.Free(v2)
+	if a.Used() != 0 || a.Live() != 0 {
+		t.Fatalf("leak: used=%d live=%d", a.Used(), a.Live())
+	}
+	// After freeing everything the whole region should be allocatable.
+	if _, err := a.Alloc(1024); err != nil {
+		t.Fatalf("coalescing failed: %v", err)
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	s := NewAddressSpace("p0")
+	r := s.MustReserve("heap", 0, 256, true)
+	a := NewAllocator(r)
+	a.MustAlloc(128)
+	a.MustAlloc(128)
+	if _, err := a.Alloc(1); err == nil {
+		t.Fatal("allocation beyond capacity succeeded")
+	}
+}
+
+func TestAllocatorPeak(t *testing.T) {
+	s := NewAddressSpace("p0")
+	r := s.MustReserve("heap", 0, 4096, true)
+	a := NewAllocator(r)
+	v1 := a.MustAlloc(1000)
+	v2 := a.MustAlloc(1000)
+	a.Free(v1)
+	a.Free(v2)
+	if a.Peak() < 2000 {
+		t.Fatalf("peak = %d, want >= 2000", a.Peak())
+	}
+}
+
+func TestAllocatorDoubleFreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	s := NewAddressSpace("p0")
+	r := s.MustReserve("heap", 0, 256, true)
+	a := NewAllocator(r)
+	v := a.MustAlloc(16)
+	a.Free(v)
+	a.Free(v)
+}
+
+// Property: a random sequence of allocs and frees never hands out
+// overlapping blocks and coalescing restores full capacity.
+func TestAllocatorRandomizedNoOverlap(t *testing.T) {
+	f := func(seed int64) bool {
+		s := NewAddressSpace("p0")
+		r := s.MustReserve("heap", 0x4000, 64*1024, true)
+		a := NewAllocator(r)
+		rng := seed
+		next := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int(uint64(rng) >> 33)
+			return v % n
+		}
+		type blk struct {
+			base VA
+			size uint64
+		}
+		var live []blk
+		for i := 0; i < 300; i++ {
+			if len(live) == 0 || next(2) == 0 {
+				size := uint64(next(500) + 1)
+				va, err := a.Alloc(size)
+				if err != nil {
+					continue // full; acceptable
+				}
+				for _, b := range live {
+					if va < b.base+VA(alignUp(b.size)) && b.base < va+VA(alignUp(size)) {
+						return false // overlap!
+					}
+				}
+				live = append(live, blk{va, size})
+			} else {
+				i := next(len(live))
+				a.Free(live[i].base)
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		for _, b := range live {
+			a.Free(b.base)
+		}
+		_, err := a.Alloc(64 * 1024)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhantomReservationAccounting(t *testing.T) {
+	s := NewAddressSpace("p")
+	s.MustReserve("real", 0x1000, 4096, false)
+	s.AdjustPhantom(1 << 30)
+	if got := s.ReservedBytes(); got != 4096+1<<30 {
+		t.Fatalf("reserved = %d", got)
+	}
+	s.AdjustPhantom(-(1 << 20))
+	if got := s.ReservedBytes(); got != 4096+1<<30-1<<20 {
+		t.Fatalf("reserved after adjust = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative phantom did not panic")
+		}
+	}()
+	s.AdjustPhantom(-(1 << 40))
+}
+
+func TestNextFitSpreadsAllocations(t *testing.T) {
+	s := NewAddressSpace("p")
+	r := s.MustReserve("slab", 0, 64*1024, true)
+	a := NewAllocator(r)
+	a.SetNextFit(true)
+	// Alloc/free a fixed size repeatedly: first-fit would reuse the
+	// same address; next-fit must walk forward.
+	seen := map[VA]bool{}
+	for i := 0; i < 16; i++ {
+		va := a.MustAlloc(1024)
+		if seen[va] {
+			t.Fatalf("next-fit reused address %#x at iteration %d", va, i)
+		}
+		seen[va] = true
+		a.Free(va)
+	}
+	// And it must wrap instead of failing when the cursor passes the end.
+	for i := 0; i < 200; i++ {
+		va := a.MustAlloc(1024)
+		a.Free(va)
+	}
+}
+
+func TestNextFitStillUsesAllCapacity(t *testing.T) {
+	s := NewAddressSpace("p")
+	r := s.MustReserve("slab", 0, 4096, true)
+	a := NewAllocator(r)
+	a.SetNextFit(true)
+	var blocks []VA
+	for {
+		va, err := a.Alloc(256)
+		if err != nil {
+			break
+		}
+		blocks = append(blocks, va)
+	}
+	if len(blocks) != 16 {
+		t.Fatalf("allocated %d blocks of 256 from 4096", len(blocks))
+	}
+	for _, b := range blocks {
+		a.Free(b)
+	}
+}

@@ -1,0 +1,286 @@
+package rdma
+
+import (
+	"bytes"
+	"testing"
+
+	"uniaddr/internal/mem"
+	"uniaddr/internal/sim"
+)
+
+// twoNodes builds an engine with two endpoints whose spaces each have a
+// pinned 64 KiB region at 0x100000.
+func twoNodes(t *testing.T, params Params) (*sim.Engine, *Fabric, []*mem.AddressSpace) {
+	t.Helper()
+	eng := sim.NewEngine()
+	fab := NewFabric(eng, params)
+	var spaces []*mem.AddressSpace
+	for i := 0; i < 2; i++ {
+		s := mem.NewAddressSpace("p")
+		s.MustReserve("rdma", 0x100000, 64*1024, true)
+		fab.AddEndpoint(s)
+		spaces = append(spaces, s)
+	}
+	return eng, fab, spaces
+}
+
+func TestReadCopiesRemoteBytes(t *testing.T) {
+	eng, fab, spaces := twoNodes(t, DefaultParams())
+	payload := []byte("steal me")
+	if _, err := spaces[1].Write(0x100040, payload); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	var lat uint64
+	eng.Spawn("thief", func(p *sim.Proc) {
+		buf := make([]byte, len(payload))
+		start := p.Now()
+		fab.Endpoint(0).Read(p, 1, 0x100040, buf)
+		lat = p.Now() - start
+		got = buf
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("read %q", got)
+	}
+	if want := DefaultParams().ReadLatency(len(payload)); lat != want {
+		t.Fatalf("latency = %d, want %d", lat, want)
+	}
+}
+
+func TestWriteLandsAtCompletionTime(t *testing.T) {
+	eng, fab, spaces := twoNodes(t, DefaultParams())
+	eng.Spawn("writer", func(p *sim.Proc) {
+		fab.Endpoint(0).WriteU64(p, 1, 0x100000, 0xdead)
+	})
+	var sampledEarly uint64 = 1
+	eng.Spawn("sampler", func(p *sim.Proc) {
+		p.Advance(1) // long before the write completes
+		sampledEarly, _ = spaces[1].ReadU64(0x100000)
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sampledEarly != 0 {
+		t.Fatalf("write visible before completion: %#x", sampledEarly)
+	}
+	if v, _ := spaces[1].ReadU64(0x100000); v != 0xdead {
+		t.Fatalf("write lost: %#x", v)
+	}
+}
+
+func TestUnpinnedRemoteAccessPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := NewFabric(eng, DefaultParams())
+	s0 := mem.NewAddressSpace("p0")
+	s0.MustReserve("rdma", 0x100000, 4096, true)
+	fab.AddEndpoint(s0)
+	s1 := mem.NewAddressSpace("p1")
+	s1.MustReserve("private", 0x100000, 4096, false) // NOT pinned
+	fab.AddEndpoint(s1)
+	eng.Spawn("thief", func(p *sim.Proc) {
+		fab.Endpoint(0).Read(p, 1, 0x100000, make([]byte, 8))
+	})
+	if _, err := eng.Run(); err == nil {
+		t.Fatal("RDMA to unpinned region did not fail")
+	}
+}
+
+func TestHardwareFetchAdd(t *testing.T) {
+	params := DefaultParams()
+	params.HardwareFAA = true
+	eng, fab, spaces := twoNodes(t, params)
+	spaces[1].MustWriteU64(0x100000, 40)
+	var old uint64
+	eng.Spawn("thief", func(p *sim.Proc) {
+		old = fab.Endpoint(0).FetchAdd(p, 1, 0x100000, 2)
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if old != 40 {
+		t.Fatalf("old = %d, want 40", old)
+	}
+	if v, _ := spaces[1].ReadU64(0x100000); v != 42 {
+		t.Fatalf("value = %d, want 42", v)
+	}
+}
+
+func TestSoftwareFetchAddThroughServer(t *testing.T) {
+	eng, fab, spaces := twoNodes(t, DefaultParams())
+	srv := NewServer(eng, "comm0")
+	fab.Endpoint(1).SetServer(srv)
+	spaces[1].MustWriteU64(0x100008, 7)
+	var old, lat uint64
+	eng.Spawn("thief", func(p *sim.Proc) {
+		start := p.Now()
+		old = fab.Endpoint(0).FetchAdd(p, 1, 0x100008, 1)
+		lat = p.Now() - start
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if old != 7 {
+		t.Fatalf("old = %d", old)
+	}
+	if v, _ := spaces[1].ReadU64(0x100008); v != 8 {
+		t.Fatalf("value = %d", v)
+	}
+	want := DefaultParams().SoftwareFAALatency()
+	if lat != want {
+		t.Fatalf("software FAA latency = %d, want %d", lat, want)
+	}
+	// Paper: software remote fetch-and-add averages 9.8K cycles. Require
+	// the default calibration to be within 15%.
+	if lat < 8300 || lat > 11300 {
+		t.Fatalf("software FAA latency %d cycles not within 15%% of 9.8K", lat)
+	}
+	if srv.Handled() != 1 {
+		t.Fatalf("server handled %d", srv.Handled())
+	}
+}
+
+func TestSoftwareFAASerializesConcurrentRequests(t *testing.T) {
+	eng, fab, spaces := twoNodes(t, DefaultParams())
+	srv := NewServer(eng, "comm0")
+	fab.Endpoint(1).SetServer(srv)
+	// Add a third endpoint so two distinct thieves hit the same word.
+	s2 := mem.NewAddressSpace("p2")
+	s2.MustReserve("rdma", 0x100000, 4096, true)
+	fab.AddEndpoint(s2)
+	olds := make([]uint64, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		src := i * 2 // endpoints 0 and 2
+		eng.Spawn("thief", func(p *sim.Proc) {
+			olds[i] = fab.Endpoint(src).FetchAdd(p, 1, 0x100000, 1)
+		})
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := spaces[1].ReadU64(0x100000); v != 2 {
+		t.Fatalf("final value = %d, want 2", v)
+	}
+	if !(olds[0] == 0 && olds[1] == 1 || olds[0] == 1 && olds[1] == 0) {
+		t.Fatalf("non-serialized FAA results: %v", olds)
+	}
+}
+
+func TestLocalFetchAddIsCheap(t *testing.T) {
+	eng, fab, spaces := twoNodes(t, DefaultParams())
+	spaces[0].MustWriteU64(0x100000, 5)
+	var lat uint64
+	eng.Spawn("local", func(p *sim.Proc) {
+		start := p.Now()
+		fab.Endpoint(0).FetchAdd(p, 0, 0x100000, 1)
+		lat = p.Now() - start
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if lat != DefaultParams().LocalAtomic {
+		t.Fatalf("local FAA latency = %d", lat)
+	}
+}
+
+func TestReadToVARequiresPinnedLocal(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := NewFabric(eng, DefaultParams())
+	s0 := mem.NewAddressSpace("p0")
+	s0.MustReserve("unpinned", 0x200000, 4096, false)
+	fab.AddEndpoint(s0)
+	s1 := mem.NewAddressSpace("p1")
+	s1.MustReserve("rdma", 0x100000, 4096, true)
+	fab.AddEndpoint(s1)
+	eng.Spawn("thief", func(p *sim.Proc) {
+		fab.Endpoint(0).ReadToVA(p, 1, 0x100000, 0x200000, 64)
+	})
+	if _, err := eng.Run(); err == nil {
+		t.Fatal("ReadToVA into unpinned local region did not fail")
+	}
+}
+
+func TestLatencyModelMonotonicInSize(t *testing.T) {
+	p := DefaultParams()
+	last := uint64(0)
+	for _, n := range []int{0, 8, 64, 512, 4096, 32768, 1 << 20} {
+		l := p.ReadLatency(n)
+		if l < last {
+			t.Fatalf("latency not monotonic at %d bytes", n)
+		}
+		last = l
+	}
+	// Large transfers should be bandwidth-dominated: doubling the size
+	// should nearly double time.
+	l1, l2 := p.ReadLatency(1<<20), p.ReadLatency(2<<20)
+	if float64(l2) < 1.8*float64(l1)*0.9 {
+		t.Fatalf("large transfers not bandwidth-bound: %d vs %d", l1, l2)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	eng, fab, _ := twoNodes(t, DefaultParams())
+	eng.Spawn("w", func(p *sim.Proc) {
+		ep := fab.Endpoint(0)
+		ep.ReadU64(p, 1, 0x100000)
+		ep.WriteU64(p, 1, 0x100000, 1)
+		ep.Write(p, 1, 0x100010, make([]byte, 100))
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := fab.Endpoint(0).Stats()
+	if st.Reads != 1 || st.Writes != 2 {
+		t.Fatalf("ops: %+v", st)
+	}
+	if st.BytesRead != 8 || st.BytesWritten != 108 {
+		t.Fatalf("bytes: %+v", st)
+	}
+}
+
+func TestIntraNodeLatencyScaling(t *testing.T) {
+	params := DefaultParams()
+	params.IntraNodeFactor = 0.25
+	eng := sim.NewEngine()
+	fab := NewFabric(eng, params)
+	for i := 0; i < 3; i++ {
+		s := mem.NewAddressSpace("p")
+		s.MustReserve("rdma", 0x100000, 4096, true)
+		ep := fab.AddEndpoint(s)
+		if i < 2 {
+			ep.SetNode(0) // 0 and 1 share a node; 2 is remote
+		} else {
+			ep.SetNode(1)
+		}
+	}
+	var local, remote uint64
+	eng.Spawn("bench", func(p *sim.Proc) {
+		buf := make([]byte, 64)
+		start := p.Now()
+		fab.Endpoint(0).Read(p, 1, 0x100000, buf)
+		local = p.Now() - start
+		start = p.Now()
+		fab.Endpoint(0).Read(p, 2, 0x100000, buf)
+		remote = p.Now() - start
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if remote != params.ReadLatency(64) {
+		t.Fatalf("remote read latency %d, want unscaled %d", remote, params.ReadLatency(64))
+	}
+	want := uint64(float64(params.ReadLatency(64)) * 0.25)
+	if local != want {
+		t.Fatalf("intra-node read latency %d, want %d", local, want)
+	}
+}
+
+func TestIntraNodeFactorDefaultNoop(t *testing.T) {
+	p := DefaultParams()
+	if p.IntraNodeFactor != 1.0 {
+		t.Fatalf("default IntraNodeFactor = %v, want 1 (paper's flat model)", p.IntraNodeFactor)
+	}
+}

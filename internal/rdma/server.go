@@ -1,0 +1,79 @@
+package rdma
+
+import (
+	"uniaddr/internal/mem"
+	"uniaddr/internal/sim"
+)
+
+// Server is a node-local communication server: a dedicated core that
+// services software fetch-and-add requests for every process on its
+// node (paper §6: "the fetch-and-add implementation reserves a
+// processing core within a node in advance and uses it as a
+// communication server"). With one server per 16-core node, only 15
+// cores per node remain for computation — the cluster package accounts
+// for this when building machines.
+type Server struct {
+	proc    *sim.Proc
+	queue   []*faaRequest
+	handled uint64
+}
+
+type faaRequest struct {
+	fab    *Fabric
+	target int
+	addr   mem.VA
+	delta  uint64
+	from   *sim.Proc
+	scale  float64 // intra-node latency factor requester→target
+	old    uint64
+}
+
+// NewServer spawns the server process on eng. The server idles
+// (blocked, consuming no events) until a request arrives.
+func NewServer(eng *sim.Engine, name string) *Server {
+	s := &Server{}
+	s.proc = eng.Spawn(name, s.run)
+	return s
+}
+
+// Proc returns the server's simulated process.
+func (s *Server) Proc() *sim.Proc { return s.proc }
+
+// Handled returns the number of requests serviced.
+func (s *Server) Handled() uint64 { return s.handled }
+
+// request is called from the requesting proc's goroutine. It models the
+// full software FAA round trip: the request arrives at the server after
+// a WRITE-with-notice latency, waits for the server core, is applied
+// (ServerHandling cycles), and the reply returns after a WRITE latency.
+// The caller blocks for the whole round trip and receives the old value.
+func (s *Server) request(p *sim.Proc, f *Fabric, scale float64, target int, addr mem.VA, delta uint64) uint64 {
+	req := &faaRequest{fab: f, target: target, addr: addr, delta: delta, from: p, scale: scale}
+	reqLat := scaleLat(f.params.NoticeLatency(16), scale)
+	eng := p.Engine()
+	eng.After(reqLat, func() {
+		s.queue = append(s.queue, req)
+		if s.proc.Blocked() {
+			eng.UnblockProc(s.proc, 0)
+		}
+	})
+	p.Block()
+	return req.old
+}
+
+// run is the server loop: pop a request, spend the handling cost, apply
+// the atomic, send the reply.
+func (s *Server) run(p *sim.Proc) {
+	for {
+		if len(s.queue) == 0 {
+			p.Block()
+			continue
+		}
+		req := s.queue[0]
+		s.queue = s.queue[1:]
+		p.Advance(req.fab.params.ServerHandling)
+		req.old = req.fab.applyFAA(req.target, req.addr, req.delta)
+		s.handled++
+		p.Unblock(req.from, scaleLat(req.fab.params.WriteLatency(8), req.scale))
+	}
+}

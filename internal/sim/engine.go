@@ -1,0 +1,164 @@
+// Package sim implements a conservative, sequential discrete-event
+// simulation engine with coroutine-style processes.
+//
+// The engine owns a virtual clock measured in CPU cycles. Each simulated
+// process (Proc) runs in its own goroutine, but the engine guarantees
+// that exactly one process executes at a time and that processes are
+// dispatched in global (time, sequence) order. Everything a process does
+// between two scheduling points is therefore atomic at a single instant
+// of virtual time, which gives race-free, deterministic semantics to the
+// simulated shared-memory and RDMA operations built on top.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled wake-up for a process or a callback.
+type event struct {
+	at   uint64 // virtual time in cycles
+	seq  uint64 // tie-breaker: insertion order
+	proc *Proc  // process to resume (nil for callbacks)
+	fn   func() // callback to run (when proc == nil)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; create one with NewEngine.
+type Engine struct {
+	now     uint64
+	seq     uint64
+	events  eventHeap
+	procs   []*Proc
+	running bool
+	stopped bool
+	// handoff is signalled by a proc when it yields control back to the
+	// engine loop.
+	handoff chan struct{}
+	// live counts procs that have been started and have not finished.
+	live int
+	// err records the first panic propagated out of a proc.
+	err error
+	// dispatched counts processed events (simulator-performance metric).
+	dispatched uint64
+}
+
+// EventsDispatched returns the number of events the engine has
+// processed — the denominator for real-time-per-event measurements.
+func (e *Engine) EventsDispatched() uint64 { return e.dispatched }
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{handoff: make(chan struct{})}
+}
+
+// Now returns the current virtual time in cycles.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Stop requests the simulation to end. Pending events are discarded once
+// control returns to the engine loop. Procs that are still blocked are
+// abandoned (their goroutines are released).
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+func (e *Engine) schedule(at uint64, p *Proc, fn func()) {
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p, fn: fn})
+}
+
+// After schedules fn to run at now+delay. fn executes in the engine's
+// dispatch context and must not block.
+func (e *Engine) After(delay uint64, fn func()) {
+	e.schedule(e.now+delay, nil, fn)
+}
+
+// Spawn registers a new process whose body is fn. The process is
+// scheduled to start at the current virtual time. It returns the Proc,
+// which fn also receives.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		id:     len(e.procs),
+		name:   name,
+		resume: make(chan struct{}),
+		body:   fn,
+	}
+	e.procs = append(e.procs, p)
+	e.live++
+	e.schedule(e.now, p, nil)
+	return p
+}
+
+// Run dispatches events until the event queue is empty, Stop is called,
+// or every process has finished. It returns the virtual time at which
+// the simulation ended.
+func (e *Engine) Run() (uint64, error) {
+	if e.running {
+		return e.now, fmt.Errorf("sim: engine already running")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for !e.stopped && e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.at < e.now {
+			return e.now, fmt.Errorf("sim: event at %d before now %d", ev.at, e.now)
+		}
+		e.now = ev.at
+		e.dispatched++
+		if ev.proc != nil {
+			if ev.proc.cancelled {
+				continue
+			}
+			e.dispatch(ev.proc)
+			if e.err != nil {
+				return e.now, e.err
+			}
+		} else if ev.fn != nil {
+			ev.fn()
+		}
+	}
+	// Release any procs still parked so their goroutines can exit.
+	for _, p := range e.procs {
+		if p.started && !p.finished {
+			p.cancelled = true
+			select {
+			case p.resume <- struct{}{}:
+				<-e.handoff
+			default:
+			}
+		}
+	}
+	return e.now, e.err
+}
+
+// dispatch hands control to p and waits until it yields.
+func (e *Engine) dispatch(p *Proc) {
+	if !p.started {
+		p.started = true
+		go p.run()
+	} else {
+		p.resume <- struct{}{}
+	}
+	<-e.handoff
+}

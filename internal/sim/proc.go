@@ -1,0 +1,117 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a coroutine scheduled by the Engine.
+// All exported methods must be called from the proc's own goroutine
+// (i.e., from within its body function) unless documented otherwise.
+type Proc struct {
+	eng  *Engine
+	id   int
+	name string
+	body func(p *Proc)
+
+	resume    chan struct{}
+	started   bool
+	finished  bool
+	cancelled bool
+	blocked   bool
+	rng       RNG
+}
+
+// ID returns the process identifier (dense, in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the debug name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() uint64 { return p.eng.now }
+
+// RNG returns the process's deterministic random number generator.
+// Seed it with SeedRNG before first use if a non-default stream is
+// wanted.
+func (p *Proc) RNG() *RNG { return &p.rng }
+
+// SeedRNG seeds the per-process RNG.
+func (p *Proc) SeedRNG(seed uint64) { p.rng = NewRNG(seed) }
+
+func (p *Proc) run() {
+	defer func() {
+		p.finished = true
+		p.eng.live--
+		if r := recover(); r != nil {
+			if r == errCancelled {
+				// Engine tear-down: exit silently.
+				p.eng.handoff <- struct{}{}
+				return
+			}
+			if p.eng.err == nil {
+				p.eng.err = fmt.Errorf("sim: proc %d (%s) panicked: %v", p.id, p.name, r)
+			}
+		}
+		p.eng.handoff <- struct{}{}
+	}()
+	p.body(p)
+}
+
+// sentinel used to unwind cancelled procs.
+var errCancelled = new(int)
+
+// yield returns control to the engine loop and parks until resumed.
+func (p *Proc) yield() {
+	p.eng.handoff <- struct{}{}
+	<-p.resume
+	if p.cancelled {
+		panic(errCancelled)
+	}
+}
+
+// Advance moves this process's clock forward by cycles, yielding to the
+// engine so other processes with earlier timestamps run first. On
+// return, the virtual clock is exactly start+cycles and the process is
+// executing atomically at that instant.
+func (p *Proc) Advance(cycles uint64) {
+	p.eng.schedule(p.eng.now+cycles, p, nil)
+	p.yield()
+}
+
+// Block parks the process with no scheduled wake-up. Another process
+// must call Unblock (from engine context) to resume it. Returns after
+// being unblocked.
+func (p *Proc) Block() {
+	if p.blocked {
+		panic("sim: double block")
+	}
+	p.blocked = true
+	p.yield()
+}
+
+// Unblock schedules a blocked process q to resume after delay cycles.
+// It may be called by any process or callback in engine context.
+func (p *Proc) Unblock(q *Proc, delay uint64) {
+	if !q.blocked {
+		panic("sim: unblock of non-blocked proc " + q.name)
+	}
+	q.blocked = false
+	p.eng.schedule(p.eng.now+delay, q, nil)
+}
+
+// UnblockProc is Unblock callable from engine context (e.g. an After
+// callback), scheduling q to resume after delay cycles.
+func (e *Engine) UnblockProc(q *Proc, delay uint64) {
+	if !q.blocked {
+		panic("sim: unblock of non-blocked proc " + q.name)
+	}
+	q.blocked = false
+	e.schedule(e.now+delay, q, nil)
+}
+
+// Blocked reports whether q is currently parked in Block.
+func (q *Proc) Blocked() bool { return q.blocked }
+
+// Finished reports whether the proc's body has returned.
+func (q *Proc) Finished() bool { return q.finished }

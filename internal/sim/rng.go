@@ -1,0 +1,40 @@
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (xorshift64*). Each simulated process owns one so that simulation
+// outcomes are reproducible regardless of host scheduling.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns an RNG seeded with seed (zero is mapped to a fixed
+// non-zero constant, since the all-zero state is absorbing).
+func NewRNG(seed uint64) RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a pseudo-random int in [0, n). n must be > 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

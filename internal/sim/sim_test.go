@@ -1,0 +1,276 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAdvanceOrdering(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.Spawn("a", func(p *Proc) {
+		p.Advance(10)
+		order = append(order, 1)
+		p.Advance(20) // wakes at 30
+		order = append(order, 3)
+	})
+	eng.Spawn("b", func(p *Proc) {
+		p.Advance(20)
+		order = append(order, 2)
+		p.Advance(20) // wakes at 40
+		order = append(order, 4)
+	})
+	end, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 40 {
+		t.Fatalf("end time = %d, want 40", end)
+	}
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTieBreakBySpawnOrder(t *testing.T) {
+	eng := NewEngine()
+	var order []string
+	for _, name := range []string{"x", "y", "z"} {
+		name := name
+		eng.Spawn(name, func(p *Proc) {
+			p.Advance(5)
+			order = append(order, name)
+		})
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "x" || order[1] != "y" || order[2] != "z" {
+		t.Fatalf("tie-break order = %v", order)
+	}
+}
+
+func TestBlockUnblock(t *testing.T) {
+	eng := NewEngine()
+	var got uint64
+	var waiter *Proc
+	waiter = eng.Spawn("waiter", func(p *Proc) {
+		p.Block()
+		got = p.Now()
+	})
+	eng.Spawn("waker", func(p *Proc) {
+		p.Advance(100)
+		p.Unblock(waiter, 25)
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 125 {
+		t.Fatalf("waiter resumed at %d, want 125", got)
+	}
+}
+
+func TestAfterCallback(t *testing.T) {
+	eng := NewEngine()
+	fired := uint64(0)
+	eng.After(77, func() { fired = eng.Now() })
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 77 {
+		t.Fatalf("callback at %d, want 77", fired)
+	}
+}
+
+func TestStopAbandonsBlockedProcs(t *testing.T) {
+	eng := NewEngine()
+	eng.Spawn("stuck", func(p *Proc) {
+		p.Block() // never unblocked
+		t.Error("stuck proc resumed unexpectedly")
+	})
+	eng.Spawn("stopper", func(p *Proc) {
+		p.Advance(10)
+		p.Engine().Stop()
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Stopped() {
+		t.Fatal("engine not stopped")
+	}
+}
+
+func TestProcPanicSurfacesAsError(t *testing.T) {
+	eng := NewEngine()
+	eng.Spawn("boom", func(p *Proc) {
+		p.Advance(1)
+		panic("kaboom")
+	})
+	if _, err := eng.Run(); err == nil {
+		t.Fatal("expected error from panicking proc")
+	}
+}
+
+func TestTimeNeverGoesBackwards(t *testing.T) {
+	eng := NewEngine()
+	var last uint64
+	for i := 0; i < 8; i++ {
+		seed := uint64(i + 1)
+		eng.Spawn("w", func(p *Proc) {
+			p.SeedRNG(seed)
+			for j := 0; j < 50; j++ {
+				before := p.Now()
+				p.Advance(uint64(p.RNG().Intn(100)))
+				if p.Now() < before {
+					t.Errorf("time went backwards: %d -> %d", before, p.Now())
+				}
+				if p.Now() < last {
+					t.Errorf("global time went backwards: %d after %d", p.Now(), last)
+				}
+				last = p.Now()
+			}
+		})
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterminism runs the same randomized workload twice and requires
+// identical final times and event interleavings.
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, []int) {
+		eng := NewEngine()
+		var trace []int
+		for i := 0; i < 6; i++ {
+			id := i
+			eng.Spawn("w", func(p *Proc) {
+				p.SeedRNG(uint64(id)*7 + 3)
+				for j := 0; j < 40; j++ {
+					p.Advance(uint64(p.RNG().Intn(37) + 1))
+					trace = append(trace, id)
+				}
+			})
+		}
+		end, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end, trace
+	}
+	end1, tr1 := run()
+	end2, tr2 := run()
+	if end1 != end2 {
+		t.Fatalf("non-deterministic end times: %d vs %d", end1, end2)
+	}
+	for i := range tr1 {
+		if tr1[i] != tr2[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, tr1[i], tr2[i])
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Intn(int(n))
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGZeroSeedNotAbsorbing(t *testing.T) {
+	r := NewRNG(0)
+	a, b := r.Uint64(), r.Uint64()
+	if a == 0 && b == 0 {
+		t.Fatal("zero seed produced zero stream")
+	}
+	if a == b {
+		t.Fatal("RNG repeated immediately")
+	}
+}
+
+func TestRNGDistinctSeedsDistinctStreams(t *testing.T) {
+	r1, r2 := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if r1.Uint64() == r2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams for different seeds coincide %d/64 times", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestEngineEmptyRun(t *testing.T) {
+	eng := NewEngine()
+	end, err := eng.Run()
+	if err != nil || end != 0 {
+		t.Fatalf("empty run: end=%d err=%v", end, err)
+	}
+}
+
+func TestZeroCycleAdvanceKeepsFIFO(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.Spawn("a", func(p *Proc) {
+		p.Advance(0)
+		order = append(order, 0)
+		p.Advance(0)
+		order = append(order, 2)
+	})
+	eng.Spawn("b", func(p *Proc) {
+		p.Advance(0)
+		order = append(order, 1)
+		p.Advance(0)
+		order = append(order, 3)
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("zero-advance order = %v", order)
+		}
+	}
+}
+
+func TestEventsDispatchedCounts(t *testing.T) {
+	eng := NewEngine()
+	eng.Spawn("w", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Advance(5)
+		}
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 spawn event + 10 advance wake-ups.
+	if got := eng.EventsDispatched(); got != 11 {
+		t.Fatalf("events = %d, want 11", got)
+	}
+}

@@ -1,0 +1,114 @@
+// Package smr is a real (non-simulated) shared-memory work-stealing
+// runtime for fork-join parallelism in Go: per-worker Chase–Lev deques,
+// random stealing, and help-first joins.
+//
+// It plays the role MassiveThreads and MIT Cilk play in the paper's
+// Table 2: a native shared-memory baseline to compare task-management
+// overheads against. Go cannot implement the paper's work-first
+// (child-first) discipline for native code — that requires switching
+// machine contexts — so smr uses the classic help-first strategy
+// ("tied tasks", §2): a spawned task is queued, the parent continues,
+// and a join helps by running queued tasks until its target completes.
+package smr
+
+import "sync/atomic"
+
+// dqCap must be a power of two. Deques grow by chaining into a larger
+// ring when full.
+const dqInitCap = 64
+
+type ring struct {
+	buf  []atomic.Pointer[task]
+	mask int64
+}
+
+func newRing(capacity int64) *ring {
+	return &ring{buf: make([]atomic.Pointer[task], capacity), mask: capacity - 1}
+}
+
+func (r *ring) get(i int64) *task    { return r.buf[i&r.mask].Load() }
+func (r *ring) put(i int64, t *task) { r.buf[i&r.mask].Store(t) }
+func (r *ring) grow(b, t int64) *ring {
+	nr := newRing((r.mask + 1) * 2)
+	for i := t; i < b; i++ {
+		nr.put(i, r.get(i))
+	}
+	return nr
+}
+
+// deque is a Chase–Lev work-stealing deque: the owner pushes and pops
+// at the bottom without contention; thieves CAS the top.
+type deque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	ring   atomic.Pointer[ring]
+}
+
+func newDeque() *deque {
+	d := &deque{}
+	d.ring.Store(newRing(dqInitCap))
+	return d
+}
+
+// push appends a task at the bottom (owner only).
+func (d *deque) push(t *task) {
+	b := d.bottom.Load()
+	top := d.top.Load()
+	r := d.ring.Load()
+	if b-top > r.mask {
+		r = r.grow(b, top)
+		d.ring.Store(r)
+	}
+	r.put(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes the most recently pushed task (owner only).
+func (d *deque) pop() *task {
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore.
+		d.bottom.Store(b + 1)
+		return nil
+	}
+	task := r.get(b)
+	if t != b {
+		return task // more than one element; no race possible
+	}
+	// Last element: race with thieves via CAS on top.
+	won := d.top.CompareAndSwap(t, t+1)
+	d.bottom.Store(b + 1)
+	if !won {
+		return nil
+	}
+	return task
+}
+
+// steal removes the oldest task (any thread).
+func (d *deque) steal() *task {
+	for {
+		t := d.top.Load()
+		b := d.bottom.Load()
+		if t >= b {
+			return nil
+		}
+		r := d.ring.Load()
+		task := r.get(t)
+		if d.top.CompareAndSwap(t, t+1) {
+			return task
+		}
+		// Lost a race; retry (bounded by deque size).
+	}
+}
+
+// size is a racy estimate of the number of queued tasks.
+func (d *deque) size() int64 {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
+}

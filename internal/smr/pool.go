@@ -1,0 +1,243 @@
+package smr
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// task is one queued unit of work.
+type task struct {
+	fn   func(w *Worker)
+	done atomic.Bool
+}
+
+// Pool is a work-stealing thread pool. Create with NewPool, submit a
+// root computation with Run, and Close when finished.
+type Pool struct {
+	workers []*Worker
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+
+	// queued counts tasks sitting in some queue (not yet picked up);
+	// used only for idle parking.
+	queued atomic.Int64
+	parkMu sync.Mutex
+	parkCv *sync.Cond
+
+	// injector receives tasks submitted from outside the pool (Run):
+	// Chase–Lev pushes are owner-only, so external submissions cannot
+	// touch a worker's deque. injCount mirrors len(injector) for a
+	// lock-free emptiness probe.
+	injMu    sync.Mutex
+	injector []*task
+	injCount atomic.Int64
+
+	// Stats
+	spawns atomic.Uint64
+	steals atomic.Uint64
+}
+
+// Worker is a pool thread's local handle; task functions receive the
+// worker executing them and must use it for nested Spawn/Join.
+type Worker struct {
+	pool *Pool
+	id   int
+	dq   *deque
+	rng  *rand.Rand
+}
+
+// ID returns the worker index.
+func (w *Worker) ID() int { return w.id }
+
+// Pool returns the owning pool.
+func (w *Worker) Pool() *Pool { return w.pool }
+
+// NewPool starts n workers (n <= 0 selects GOMAXPROCS).
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{}
+	p.parkCv = sync.NewCond(&p.parkMu)
+	for i := 0; i < n; i++ {
+		w := &Worker{pool: p, id: i, dq: newDeque(), rng: rand.New(rand.NewSource(int64(i) + 1))}
+		p.workers = append(p.workers, w)
+	}
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go w.loop()
+	}
+	return p
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Spawns returns the total number of tasks spawned.
+func (p *Pool) Spawns() uint64 { return p.spawns.Load() }
+
+// Steals returns the number of successful steals.
+func (p *Pool) Steals() uint64 { return p.steals.Load() }
+
+// Close shuts the pool down. Outstanding tasks must have completed.
+func (p *Pool) Close() {
+	p.closed.Store(true)
+	p.parkCv.Broadcast()
+	p.wg.Wait()
+}
+
+func (w *Worker) loop() {
+	defer w.pool.wg.Done()
+	idleSpins := 0
+	for !w.pool.closed.Load() {
+		if t := w.findTask(); t != nil {
+			w.runTask(t)
+			idleSpins = 0
+			continue
+		}
+		idleSpins++
+		if idleSpins < 64 {
+			runtime.Gosched()
+			continue
+		}
+		w.pool.parkMu.Lock()
+		for w.pool.queued.Load() == 0 && !w.pool.closed.Load() {
+			w.pool.parkCv.Wait()
+		}
+		w.pool.parkMu.Unlock()
+		idleSpins = 0
+	}
+}
+
+// findTask obtains work: own deque, then the injector, then stealing.
+// The queued counter is decremented exactly when a task is obtained.
+func (w *Worker) findTask() *task {
+	if t := w.dq.pop(); t != nil {
+		w.pool.queued.Add(-1)
+		return t
+	}
+	if t := w.pool.takeInjected(); t != nil {
+		w.pool.queued.Add(-1)
+		return t
+	}
+	if t := w.stealTask(); t != nil {
+		w.pool.queued.Add(-1)
+		return t
+	}
+	return nil
+}
+
+func (p *Pool) takeInjected() *task {
+	if p.injCount.Load() == 0 {
+		return nil
+	}
+	p.injMu.Lock()
+	defer p.injMu.Unlock()
+	if len(p.injector) == 0 {
+		return nil
+	}
+	t := p.injector[len(p.injector)-1]
+	p.injector = p.injector[:len(p.injector)-1]
+	p.injCount.Add(-1)
+	return t
+}
+
+func (w *Worker) stealTask() *task {
+	n := len(w.pool.workers)
+	if n < 2 {
+		return nil
+	}
+	for i := 0; i < 2; i++ {
+		v := w.pool.workers[w.rng.Intn(n)]
+		if v != w {
+			if t := v.dq.steal(); t != nil {
+				w.pool.steals.Add(1)
+				return t
+			}
+		}
+	}
+	for _, v := range w.pool.workers {
+		if v != w {
+			if t := v.dq.steal(); t != nil {
+				w.pool.steals.Add(1)
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+func (w *Worker) runTask(t *task) {
+	t.fn(w)
+	t.done.Store(true)
+}
+
+// submitLocal queues t on w's own deque (owner push).
+func (p *Pool) submitLocal(w *Worker, t *task) {
+	p.spawns.Add(1)
+	w.dq.push(t)
+	p.queued.Add(1)
+	p.parkCv.Broadcast()
+}
+
+// submitExternal queues t from outside the pool.
+func (p *Pool) submitExternal(t *task) {
+	p.spawns.Add(1)
+	p.injMu.Lock()
+	p.injector = append(p.injector, t)
+	p.injCount.Add(1)
+	p.injMu.Unlock()
+	p.queued.Add(1)
+	p.parkCv.Broadcast()
+}
+
+// Future holds the eventual result of a spawned computation.
+type Future[T any] struct {
+	t      *task
+	result T
+}
+
+// Done reports whether the computation has finished.
+func (f *Future[T]) Done() bool { return f.t.done.Load() }
+
+// Spawn queues f for parallel execution and returns its future
+// (help-first: the caller keeps running).
+func Spawn[T any](w *Worker, f func(*Worker) T) *Future[T] {
+	fut := &Future[T]{}
+	fut.t = &task{}
+	fut.t.fn = func(w2 *Worker) { fut.result = f(w2) }
+	w.pool.submitLocal(w, fut.t)
+	return fut
+}
+
+// Join returns the future's result, helping to run other tasks while it
+// is outstanding (leapfrogging, Wagner & Calder [27]).
+func Join[T any](w *Worker, fut *Future[T]) T {
+	for !fut.t.done.Load() {
+		if t := w.findTask(); t != nil {
+			w.runTask(t)
+		} else {
+			runtime.Gosched()
+		}
+	}
+	return fut.result
+}
+
+// Run executes f as the root task and blocks until it completes.
+func Run[T any](p *Pool, f func(*Worker) T) T {
+	if p.closed.Load() {
+		panic("smr: Run on closed pool")
+	}
+	var result T
+	ch := make(chan struct{})
+	t := &task{}
+	t.fn = func(w *Worker) {
+		result = f(w)
+		close(ch)
+	}
+	p.submitExternal(t)
+	<-ch
+	return result
+}

@@ -1,0 +1,190 @@
+package smr
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func fibSMR(w *Worker, n int) int {
+	if n < 2 {
+		return n
+	}
+	if n < 12 { // serial cutoff keeps the test fast
+		return fibSMR(w, n-1) + fibSMR(w, n-2)
+	}
+	f1 := Spawn(w, func(w *Worker) int { return fibSMR(w, n-1) })
+	r2 := fibSMR(w, n-2)
+	return Join(w, f1) + r2
+}
+
+func fibSeq(n int) int {
+	if n < 2 {
+		return n
+	}
+	return fibSeq(n-1) + fibSeq(n-2)
+}
+
+func TestPoolFib(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	got := Run(p, func(w *Worker) int { return fibSMR(w, 22) })
+	if want := fibSeq(22); got != want {
+		t.Fatalf("fib(22) = %d, want %d", got, want)
+	}
+	if p.Spawns() == 0 {
+		t.Fatal("no tasks spawned")
+	}
+}
+
+func TestPoolReusableAcrossRuns(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	for i := 0; i < 5; i++ {
+		got := Run(p, func(w *Worker) int { return fibSMR(w, 15) })
+		if want := fibSeq(15); got != want {
+			t.Fatalf("run %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestPoolSingleWorker(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	got := Run(p, func(w *Worker) int { return fibSMR(w, 18) })
+	if want := fibSeq(18); got != want {
+		t.Fatalf("fib(18) = %d, want %d", got, want)
+	}
+}
+
+func TestSpawnManyIndependent(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sum atomic.Int64
+	Run(p, func(w *Worker) int {
+		futs := make([]*Future[int], 100)
+		for i := range futs {
+			i := i
+			futs[i] = Spawn(w, func(*Worker) int {
+				sum.Add(int64(i))
+				return i
+			})
+		}
+		total := 0
+		for _, f := range futs {
+			total += Join(w, f)
+		}
+		return total
+	})
+	if sum.Load() != 4950 {
+		t.Fatalf("side effects sum = %d, want 4950", sum.Load())
+	}
+}
+
+func TestDequeOwnerLIFO(t *testing.T) {
+	d := newDeque()
+	t1, t2, t3 := &task{}, &task{}, &task{}
+	d.push(t1)
+	d.push(t2)
+	d.push(t3)
+	if d.pop() != t3 || d.pop() != t2 || d.pop() != t1 {
+		t.Fatal("owner pops not LIFO")
+	}
+	if d.pop() != nil {
+		t.Fatal("pop from empty returned a task")
+	}
+}
+
+func TestDequeStealFIFO(t *testing.T) {
+	d := newDeque()
+	t1, t2 := &task{}, &task{}
+	d.push(t1)
+	d.push(t2)
+	if d.steal() != t1 || d.steal() != t2 {
+		t.Fatal("steals not FIFO")
+	}
+	if d.steal() != nil {
+		t.Fatal("steal from empty returned a task")
+	}
+}
+
+func TestDequeGrowth(t *testing.T) {
+	d := newDeque()
+	tasks := make([]*task, dqInitCap*4)
+	for i := range tasks {
+		tasks[i] = &task{}
+		d.push(tasks[i])
+	}
+	for i := len(tasks) - 1; i >= 0; i-- {
+		if d.pop() != tasks[i] {
+			t.Fatalf("lost task %d across growth", i)
+		}
+	}
+}
+
+// TestDequeConcurrentNoLossNoDup hammers one owner against several
+// thieves and checks every task is taken exactly once.
+func TestDequeConcurrentNoLossNoDup(t *testing.T) {
+	const total = 20000
+	const thieves = 3
+	d := newDeque()
+	taken := make([]atomic.Int32, total)
+	ids := make(map[*task]int, total)
+	tasks := make([]*task, total)
+	for i := range tasks {
+		tasks[i] = &task{}
+		ids[tasks[i]] = i
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if tk := d.steal(); tk != nil {
+					taken[ids[tk]].Add(1)
+				}
+			}
+		}()
+	}
+	got := 0
+	for i := 0; i < total; i++ {
+		d.push(tasks[i])
+		if i%3 == 0 {
+			if tk := d.pop(); tk != nil {
+				taken[ids[tk]].Add(1)
+				got++
+			}
+		}
+	}
+	// Drain.
+	for {
+		tk := d.pop()
+		if tk == nil {
+			if d.size() == 0 {
+				break
+			}
+			continue
+		}
+		taken[ids[tk]].Add(1)
+	}
+	stop.Store(true)
+	wg.Wait()
+	// Thieves may hold stolen tasks counted already; verify exactness.
+	for i := range taken {
+		if n := taken[i].Load(); n != 1 {
+			t.Fatalf("task %d taken %d times", i, n)
+		}
+	}
+	_ = got
+}
+
+func TestStealsHappenUnderLoad(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	Run(p, func(w *Worker) int { return fibSMR(w, 24) })
+	if p.Steals() == 0 {
+		t.Log("no steals observed (possible on 1 CPU, not an error)")
+	}
+}

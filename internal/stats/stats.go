@@ -1,0 +1,126 @@
+// Package stats provides the small statistical helpers the benchmark
+// harness uses: means, standard deviations and the 95% confidence
+// intervals the paper reports with its figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// tCritical95 holds two-sided 95% critical values of Student's t for
+// df = 1..30; beyond that the normal approximation 1.96 is used.
+var tCritical95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the
+// mean of xs (0 when fewer than two samples).
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	t := 1.96
+	if df := n - 1; df <= len(tCritical95) {
+		t = tCritical95[df-1]
+	}
+	return t * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// Sample accumulates observations and formats them paper-style.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the sample mean.
+func (s *Sample) Mean() float64 { return Mean(s.xs) }
+
+// CI95 returns the 95% confidence half-width.
+func (s *Sample) CI95() float64 { return CI95(s.xs) }
+
+// Values returns a copy of the observations.
+func (s *Sample) Values() []float64 { return append([]float64(nil), s.xs...) }
+
+// String formats "mean ± ci".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.4g ± %.2g", s.Mean(), s.CI95())
+}
+
+// HumanBytes renders a byte count the way the paper's tables do.
+func HumanBytes(b uint64) string {
+	switch {
+	case b >= 1<<40:
+		return fmt.Sprintf("%.1f TiB", float64(b)/(1<<40))
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// HumanCount renders large counts with K/M/B suffixes.
+func HumanCount(n float64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fB", n/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.2fM", n/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.2fK", n/1e3)
+	default:
+		return fmt.Sprintf("%.0f", n)
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty not 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5, 1e-12) {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestStdDevKnown(t *testing.T) {
+	// {2,4,4,4,5,5,7,9}: population sd 2; sample sd = sqrt(32/7).
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(StdDev(xs), math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("sd = %v", StdDev(xs))
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("sd of singleton not 0")
+	}
+}
+
+func TestCI95Behaviour(t *testing.T) {
+	if CI95([]float64{1}) != 0 {
+		t.Fatal("CI of singleton not 0")
+	}
+	// Constant samples: zero CI.
+	if CI95([]float64{3, 3, 3, 3}) != 0 {
+		t.Fatal("CI of constants not 0")
+	}
+	// Two samples use t=12.706.
+	ci := CI95([]float64{0, 2})
+	want := 12.706 * math.Sqrt2 / math.Sqrt2 // sd=sqrt2, /sqrt(2)
+	if !almost(ci, want, 1e-9) {
+		t.Fatalf("ci = %v, want %v", ci, want)
+	}
+	// More samples shrink the interval.
+	wide := CI95([]float64{0, 2})
+	narrow := CI95([]float64{0, 2, 0, 2, 0, 2, 0, 2, 0, 2})
+	if narrow >= wide {
+		t.Fatalf("CI did not shrink: %v vs %v", narrow, wide)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Fatal("even median")
+	}
+	in := []float64{9, 1, 5}
+	_ = Median(in)
+	if in[0] != 9 || in[2] != 5 {
+		t.Fatal("median mutated input")
+	}
+}
+
+func TestSampleAccumulates(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 5; i++ {
+		s.Add(float64(i))
+	}
+	if s.N() != 5 || !almost(s.Mean(), 3, 1e-12) {
+		t.Fatalf("sample: n=%d mean=%v", s.N(), s.Mean())
+	}
+	if s.String() == "" {
+		t.Fatal("empty format")
+	}
+}
+
+func TestMeanWithinMinMaxProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // avoid overflow in the sum itself
+			}
+		}
+		m := Mean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return m >= lo-1e-9*math.Abs(lo)-1e-9 && m <= hi+1e-9*math.Abs(hi)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[uint64]string{
+		512:        "512 B",
+		144 * 1024: "144.0 KiB",
+		3 << 30:    "3.0 GiB",
+		1 << 49:    "512.0 TiB",
+	}
+	for in, want := range cases {
+		if got := HumanBytes(in); got != want {
+			t.Fatalf("HumanBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHumanCount(t *testing.T) {
+	if got := HumanCount(1.65e10); got != "16.50B" {
+		t.Fatalf("HumanCount = %q", got)
+	}
+	if got := HumanCount(42); got != "42" {
+		t.Fatalf("HumanCount = %q", got)
+	}
+}

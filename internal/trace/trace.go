@@ -1,0 +1,230 @@
+// Package trace records per-worker execution timelines of a simulated
+// run: which of working / stealing / suspended / idle each worker was
+// in at every virtual instant. The recorder costs nothing when
+// disabled; when enabled it produces utilization breakdowns and a text
+// Gantt chart — the tool used to diagnose the load-balancing behaviour
+// behind Fig. 11.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// State classifies what a worker is doing.
+type State uint8
+
+const (
+	// Idle: no local work, steal attempts failing.
+	Idle State = iota
+	// Work: executing task code (including task management).
+	Work
+	// Steal: running the steal protocol or transferring a stack.
+	Steal
+	// Suspend: swapping threads out/in on join misses.
+	Suspend
+	numStates
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Work:
+		return "work"
+	case Steal:
+		return "steal"
+	case Suspend:
+		return "suspend"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+func (s State) glyph() byte {
+	switch s {
+	case Work:
+		return '#'
+	case Steal:
+		return 's'
+	case Suspend:
+		return 'u'
+	default:
+		return '.'
+	}
+}
+
+// Segment is a maximal run of one state on one worker.
+type Segment struct {
+	Start, End uint64 // [Start, End) in cycles
+	State      State
+}
+
+// Lane is one worker's timeline.
+type Lane struct {
+	open     State
+	openedAt uint64
+	segments []Segment
+}
+
+// Segments returns the closed segments (call Finish first).
+func (l *Lane) Segments() []Segment { return l.segments }
+
+func (l *Lane) switchTo(t uint64, s State) {
+	if s == l.open {
+		return
+	}
+	if t > l.openedAt {
+		l.segments = append(l.segments, Segment{Start: l.openedAt, End: t, State: l.open})
+	}
+	l.open = s
+	l.openedAt = t
+}
+
+func (l *Lane) finish(t uint64) {
+	if t > l.openedAt {
+		l.segments = append(l.segments, Segment{Start: l.openedAt, End: t, State: l.open})
+		l.openedAt = t
+	}
+}
+
+// Recorder collects lanes for every worker of a machine.
+type Recorder struct {
+	lanes []*Lane
+	end   uint64
+}
+
+// NewRecorder creates a recorder for n workers, all starting Idle at 0.
+func NewRecorder(n int) *Recorder {
+	r := &Recorder{lanes: make([]*Lane, n)}
+	for i := range r.lanes {
+		r.lanes[i] = &Lane{open: Idle}
+	}
+	return r
+}
+
+// Switch records that worker w entered state s at time t. Out-of-order
+// times within a worker are clamped (the runtime reports transitions
+// monotonically anyway).
+func (r *Recorder) Switch(w int, t uint64, s State) {
+	if r == nil {
+		return
+	}
+	r.lanes[w].switchTo(t, s)
+}
+
+// Finish closes all lanes at time t.
+func (r *Recorder) Finish(t uint64) {
+	if r == nil {
+		return
+	}
+	r.end = t
+	for _, l := range r.lanes {
+		l.finish(t)
+	}
+}
+
+// Lanes returns the recorded lanes.
+func (r *Recorder) Lanes() []*Lane { return r.lanes }
+
+// End returns the finish time.
+func (r *Recorder) End() uint64 { return r.end }
+
+// Utilization sums, per state, the fraction of total worker-cycles.
+type Utilization struct {
+	Cycles [numStates]uint64
+	Total  uint64
+}
+
+// Fraction returns the share of state s.
+func (u Utilization) Fraction(s State) float64 {
+	if u.Total == 0 {
+		return 0
+	}
+	return float64(u.Cycles[s]) / float64(u.Total)
+}
+
+// Utilization aggregates all lanes.
+func (r *Recorder) Utilization() Utilization {
+	var u Utilization
+	for _, l := range r.lanes {
+		for _, seg := range l.segments {
+			d := seg.End - seg.Start
+			u.Cycles[seg.State] += d
+			u.Total += d
+		}
+	}
+	return u
+}
+
+// WorkerUtilization aggregates one lane.
+func (r *Recorder) WorkerUtilization(w int) Utilization {
+	var u Utilization
+	for _, seg := range r.lanes[w].segments {
+		d := seg.End - seg.Start
+		u.Cycles[seg.State] += d
+		u.Total += d
+	}
+	return u
+}
+
+// stateAt returns the dominant state of lane l in [a, b): the state
+// holding the most cycles in the window.
+func (l *Lane) stateAt(a, b uint64) State {
+	var cyc [numStates]uint64
+	for _, seg := range l.segments {
+		lo, hi := seg.Start, seg.End
+		if lo < a {
+			lo = a
+		}
+		if hi > b {
+			hi = b
+		}
+		if lo < hi {
+			cyc[seg.State] += hi - lo
+		}
+	}
+	best, bestC := Idle, uint64(0)
+	for s := State(0); s < numStates; s++ {
+		if cyc[s] > bestC {
+			best, bestC = s, cyc[s]
+		}
+	}
+	return best
+}
+
+// RenderGantt writes a text timeline: one row per worker, width columns
+// across the run, '#'=work, 's'=steal, 'u'=suspend, '.'=idle.
+func (r *Recorder) RenderGantt(w io.Writer, width int) {
+	if width < 1 {
+		width = 80
+	}
+	if r.end == 0 {
+		fmt.Fprintln(w, "trace: empty recording")
+		return
+	}
+	fmt.Fprintf(w, "timeline: %d cycles across %d columns ('#'=work 's'=steal 'u'=suspend '.'=idle)\n",
+		r.end, width)
+	for i, l := range r.lanes {
+		var sb strings.Builder
+		for c := 0; c < width; c++ {
+			a := r.end * uint64(c) / uint64(width)
+			b := r.end * uint64(c+1) / uint64(width)
+			if b == a {
+				b = a + 1
+			}
+			sb.WriteByte(l.stateAt(a, b).glyph())
+		}
+		fmt.Fprintf(w, "w%-4d %s\n", i, sb.String())
+	}
+}
+
+// RenderUtilization writes the aggregate breakdown.
+func (r *Recorder) RenderUtilization(w io.Writer) {
+	u := r.Utilization()
+	fmt.Fprintf(w, "utilization: work %.1f%%  steal %.1f%%  suspend %.1f%%  idle %.1f%%\n",
+		100*u.Fraction(Work), 100*u.Fraction(Steal),
+		100*u.Fraction(Suspend), 100*u.Fraction(Idle))
+}

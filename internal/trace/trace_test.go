@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLaneSegments(t *testing.T) {
+	r := NewRecorder(1)
+	r.Switch(0, 10, Work)
+	r.Switch(0, 50, Steal)
+	r.Switch(0, 50, Steal) // no-op repeat
+	r.Switch(0, 80, Idle)
+	r.Finish(100)
+	segs := r.Lanes()[0].Segments()
+	want := []Segment{
+		{0, 10, Idle},
+		{10, 50, Work},
+		{50, 80, Steal},
+		{80, 100, Idle},
+	}
+	if len(segs) != len(want) {
+		t.Fatalf("segments: %+v", segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, segs[i], want[i])
+		}
+	}
+}
+
+func TestUtilizationFractions(t *testing.T) {
+	r := NewRecorder(2)
+	r.Switch(0, 0, Work)
+	r.Switch(1, 50, Work)
+	r.Finish(100)
+	u := r.Utilization()
+	if u.Total != 200 {
+		t.Fatalf("total %d", u.Total)
+	}
+	if got := u.Fraction(Work); got != 0.75 {
+		t.Fatalf("work fraction %v", got)
+	}
+	if got := u.Fraction(Idle); got != 0.25 {
+		t.Fatalf("idle fraction %v", got)
+	}
+	w0 := r.WorkerUtilization(0)
+	if w0.Fraction(Work) != 1 {
+		t.Fatalf("worker 0 work fraction %v", w0.Fraction(Work))
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	r := NewRecorder(2)
+	r.Switch(0, 0, Work)
+	r.Switch(1, 0, Steal)
+	r.Switch(1, 500, Idle)
+	r.Finish(1000)
+	var buf bytes.Buffer
+	r.RenderGantt(&buf, 10)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("gantt lines: %q", out)
+	}
+	if !strings.Contains(lines[1], "##########") {
+		t.Fatalf("worker 0 row should be all work: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "sssss") || !strings.Contains(lines[2], ".....") {
+		t.Fatalf("worker 1 row should be half steal, half idle: %q", lines[2])
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	r := NewRecorder(1)
+	var buf bytes.Buffer
+	r.RenderGantt(&buf, 10)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatalf("empty trace rendering: %q", buf.String())
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Switch(0, 1, Work) // must not panic
+	r.Finish(5)
+}
+
+func TestZeroLengthSwitchesDropped(t *testing.T) {
+	r := NewRecorder(1)
+	r.Switch(0, 0, Work)  // replaces the initial idle opening at t=0
+	r.Switch(0, 0, Steal) // and again
+	r.Finish(10)
+	segs := r.Lanes()[0].Segments()
+	if len(segs) != 1 || segs[0].State != Steal {
+		t.Fatalf("segments: %+v", segs)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{Idle: "idle", Work: "work", Steal: "steal", Suspend: "suspend"} {
+		if s.String() != want {
+			t.Fatalf("%v", s)
+		}
+	}
+	if State(99).String() == "" {
+		t.Fatal("unknown state must format")
+	}
+}
+
+func TestRenderUtilization(t *testing.T) {
+	r := NewRecorder(1)
+	r.Switch(0, 0, Work)
+	r.Finish(10)
+	var buf bytes.Buffer
+	r.RenderUtilization(&buf)
+	if !strings.Contains(buf.String(), "work 100.0%") {
+		t.Fatalf("utilization render: %q", buf.String())
+	}
+}

@@ -1,0 +1,99 @@
+package workloads
+
+import "uniaddr/internal/core"
+
+// Fib is the classic fork-join microbenchmark the paper uses to
+// introduce the task model (Fig. 1, right): fib(n) spawns fib(n-1) and
+// fib(n-2) and sums the joined results. It is the smallest complete
+// example of the resume-point discipline and doubles as a stress test
+// for spawn/join.
+//
+// Frame slots: 0=n, 1=work, 2=h1, 3=h2, 4=r1.
+const (
+	fibN      = 0
+	fibWork   = 1
+	fibH1     = 2
+	fibH2     = 3
+	fibR1     = 4
+	fibLocals = 5 * 8
+)
+
+var fibFID core.FuncID
+
+func init() { fibFID = core.Register("fib", fibTask) }
+
+func fibTask(e *core.Env) core.Status {
+	switch e.RP() {
+	case 0:
+		if w := e.U64(fibWork); w > 0 {
+			e.Work(w)
+		}
+		n := e.I64(fibN)
+		if n < 2 {
+			e.ReturnI64(n)
+			return core.Done
+		}
+		work := e.U64(fibWork)
+		if !e.Spawn(1, fibH1, fibFID, fibLocals, func(c *core.Env) {
+			c.SetI64(fibN, n-1)
+			c.SetU64(fibWork, work)
+		}) {
+			return core.Unwound
+		}
+		fallthrough
+	case 1:
+		n := e.I64(fibN)
+		work := e.U64(fibWork)
+		if !e.Spawn(2, fibH2, fibFID, fibLocals, func(c *core.Env) {
+			c.SetI64(fibN, n-2)
+			c.SetU64(fibWork, work)
+		}) {
+			return core.Unwound
+		}
+		fallthrough
+	case 2:
+		r1, ok := e.Join(2, e.HandleAt(fibH1))
+		if !ok {
+			return core.Unwound
+		}
+		e.SetU64(fibR1, r1)
+		fallthrough
+	case 3:
+		r2, ok := e.Join(3, e.HandleAt(fibH2))
+		if !ok {
+			return core.Unwound
+		}
+		e.ReturnU64(e.U64(fibR1) + r2)
+		return core.Done
+	}
+	panic("fib: bad resume point")
+}
+
+// FibSequential computes fib(n) directly.
+func FibSequential(n uint64) uint64 {
+	a, b := uint64(0), uint64(1)
+	for i := uint64(0); i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+// Fib builds the fib spec; work is cycles of simulated computation per
+// task.
+func Fib(n, work uint64) Spec {
+	return Spec{
+		Name:   "Fib",
+		Fid:    fibFID,
+		Locals: fibLocals,
+		Init: func(e *core.Env) {
+			e.SetI64(fibN, int64(n))
+			e.SetU64(fibWork, work)
+		},
+		Expected: FibSequential(n),
+		Items: func(r uint64) uint64 {
+			// Tasks in the fib call tree, not the numeric result:
+			// T(n) = 2·fib(n+1) - 1.
+			return 2*FibSequential(n+1) - 1
+		},
+	}
+}

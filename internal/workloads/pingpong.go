@@ -1,0 +1,91 @@
+package workloads
+
+import "uniaddr/internal/core"
+
+// Ping-pong steal microbenchmark (§6.3, Fig. 10): two workers steal a
+// single long-lived thread from each other. The thread repeatedly
+// spawns a child that computes for childWork cycles; while the child
+// runs, the parent's continuation sits in the deque and the other
+// (idle) worker steals it, moving the parent's whole stack — padded to
+// the paper's 3055 bytes — across the fabric. The parent then joins the
+// child (usually a remote miss → suspend/resume), and the roles swap.
+//
+// Frame slots: 0=iters, 1=i, 2=childWork, 3=h; padding bytes follow so
+// the stolen stack is stackBytes long.
+const (
+	ppIters = 0
+	ppI     = 1
+	ppWork  = 2
+	ppH     = 3
+)
+
+// PingPongStackBytes is the paper's measured stolen-stack size.
+const PingPongStackBytes = 3055
+
+var (
+	ppFID      core.FuncID
+	ppChildFID core.FuncID
+)
+
+func init() {
+	ppFID = core.Register("pingpong", ppTask)
+	ppChildFID = core.Register("pingpong-child", ppChildTask)
+}
+
+func ppChildTask(e *core.Env) core.Status {
+	if w := e.U64(0); w > 0 {
+		e.Work(w)
+	}
+	e.ReturnU64(1)
+	return core.Done
+}
+
+func ppTask(e *core.Env) core.Status {
+	rp := e.RP()
+	for {
+		switch rp {
+		case 0:
+			e.SetU64(ppI, 0)
+			rp = 1
+		case 1:
+			if e.U64(ppI) >= e.U64(ppIters) {
+				e.ReturnU64(e.U64(ppI))
+				return core.Done
+			}
+			work := e.U64(ppWork)
+			if !e.Spawn(2, ppH, ppChildFID, 8, func(c *core.Env) { c.SetU64(0, work) }) {
+				return core.Unwound
+			}
+			rp = 2
+		case 2:
+			if _, ok := e.Join(2, e.HandleAt(ppH)); !ok {
+				return core.Unwound
+			}
+			e.SetU64(ppI, e.U64(ppI)+1)
+			rp = 1
+		default:
+			panic("pingpong: bad resume point")
+		}
+	}
+}
+
+// PingPong builds the Fig. 10 microbenchmark spec: iters rounds, each
+// child computing childWork cycles, with the main thread's stack padded
+// to stackBytes (frame header included).
+func PingPong(iters, childWork, stackBytes uint64) Spec {
+	locals := uint32(4 * 8)
+	if stackBytes > 32+uint64(locals) {
+		locals = uint32(stackBytes - 32)
+	}
+	return Spec{
+		Name:   "PingPong",
+		Fid:    ppFID,
+		Locals: locals,
+		Init: func(e *core.Env) {
+			e.SetU64(ppIters, iters)
+			e.SetU64(ppWork, childWork)
+		},
+		Expected: iters,
+		Items:    func(r uint64) uint64 { return r },
+	}
+}

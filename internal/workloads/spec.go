@@ -1,0 +1,51 @@
+// Package workloads implements the paper's three benchmarks — Binary
+// Task Creation (BTC), Unbalanced Tree Search (UTS) and NQueens (§6.1)
+// — as uni-address task programs, together with exact sequential
+// references used to validate every parallel run.
+//
+// Task bodies follow the resume-point discipline of internal/core: all
+// live state sits in frame slots, so a task can be stolen at any spawn
+// and suspended at any join, and the UTS/NQueens loops are binarised
+// into divide-and-conquer ranges exactly as the paper describes
+// ("each task generates zero or two subtasks", §6.1).
+package workloads
+
+import "uniaddr/internal/core"
+
+// Spec is a runnable workload: the root function, its frame layout and
+// argument initialiser, plus the exact expected result.
+type Spec struct {
+	Name string
+	// Fid / Locals / Init describe the root task.
+	Fid    core.FuncID
+	Locals uint32
+	Init   func(*core.Env)
+	// Expected is the root task's result according to the sequential
+	// reference (0 if not precomputed).
+	Expected uint64
+	// Items extracts the throughput quantity (tasks or nodes, Fig. 11)
+	// from the root result.
+	Items func(result uint64) uint64
+	// Setup, when non-nil, stages input data on the built machine
+	// before the run (e.g. distributing an array over the global heap).
+	Setup func(m *core.Machine) error
+}
+
+// Run builds a machine from cfg, runs the spec and returns the machine
+// and the root result.
+func (s Spec) Run(cfg core.Config) (*core.Machine, uint64, error) {
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	if s.Setup != nil {
+		if err := s.Setup(m); err != nil {
+			return m, 0, err
+		}
+	}
+	res, err := m.Run(s.Fid, s.Locals, s.Init)
+	if err != nil {
+		return m, 0, err
+	}
+	return m, res, nil
+}

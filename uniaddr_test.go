@@ -1,0 +1,99 @@
+package uniaddr_test
+
+import (
+	"testing"
+
+	"uniaddr"
+	"uniaddr/internal/workloads"
+)
+
+// The facade's own doubling task: frame slot 0 = n, slot 1 = handle,
+// slot 2 = partial.
+var dblFID uniaddr.FuncID
+
+func init() {
+	dblFID = uniaddr.Register("facade-double-sum", func(e *uniaddr.Env) uniaddr.Status {
+		switch e.RP() {
+		case 0:
+			n := e.U64(0)
+			if n == 0 {
+				e.ReturnU64(0)
+				return uniaddr.Done
+			}
+			if !e.Spawn(1, 1, dblFID, 3*8, func(c *uniaddr.Env) { c.SetU64(0, n-1) }) {
+				return uniaddr.Unwound
+			}
+			fallthrough
+		case 1:
+			r, ok := e.Join(1, e.HandleAt(1))
+			if !ok {
+				return uniaddr.Unwound
+			}
+			e.ReturnU64(e.U64(0) + r)
+			return uniaddr.Done
+		}
+		panic("bad rp")
+	})
+}
+
+func TestFacadeRun(t *testing.T) {
+	cfg := uniaddr.DefaultConfig(4)
+	res, m, err := uniaddr.Run(cfg, dblFID, 3*8, func(e *uniaddr.Env) { e.SetU64(0, 50) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(50 * 51 / 2); res != want {
+		t.Fatalf("sum(1..50) = %d, want %d", res, want)
+	}
+	if m.TotalStats().TasksExecuted != 51 {
+		t.Fatalf("tasks = %d", m.TotalStats().TasksExecuted)
+	}
+	if err := m.CheckQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeConstantsAlias(t *testing.T) {
+	// The facade constants must be the internal ones (aliases, not
+	// copies of distinct types).
+	var s uniaddr.Status = uniaddr.Done
+	if s != uniaddr.Done || uniaddr.Unwound == uniaddr.Done {
+		t.Fatal("status constants broken")
+	}
+	if uniaddr.SchemeUni == uniaddr.SchemeIso {
+		t.Fatal("scheme constants broken")
+	}
+}
+
+func TestFacadeProfiles(t *testing.T) {
+	if uniaddr.SPARCCosts().SpawnCost() != 413 {
+		t.Fatal("SPARC profile")
+	}
+	if uniaddr.XeonCosts().SpawnCost() != 100 {
+		t.Fatal("Xeon profile")
+	}
+	if uniaddr.DefaultNetParams().SoftwareFAALatency() < 9000 {
+		t.Fatal("fabric calibration")
+	}
+}
+
+func TestFacadeWorkloadInterop(t *testing.T) {
+	// Specs built by the workloads package run through the facade types
+	// unchanged (aliases).
+	spec := workloads.Fib(15, 0)
+	cfg := uniaddr.DefaultConfig(5)
+	res, _, err := uniaddr.Run(cfg, spec.Fid, spec.Locals, spec.Init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != spec.Expected {
+		t.Fatalf("fib(15) = %d, want %d", res, spec.Expected)
+	}
+}
+
+func TestFacadeBadConfig(t *testing.T) {
+	cfg := uniaddr.DefaultConfig(0)
+	if _, err := uniaddr.NewMachine(cfg); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+}
