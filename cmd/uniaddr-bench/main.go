@@ -9,7 +9,13 @@
 //
 // Experiments: fig9, table2, fig10, table4, fig11a, fig11b, fig11c,
 // fig11d, iso-vs-uni, sec4, ablate-faa, ablate-stacksize,
-// ablate-nodes, ablate-multiworker, all.
+// ablate-nodes, ablate-multiworker, chaos, all.
+//
+// The chaos experiment is the robustness gate: it sweeps fib, NQueens
+// and UTS over fault-injection rates (-chaos-rates) on -chaos-workers
+// workers and fails unless every run returns the sequential reference
+// result, passes the quiescence check and replays bit-identically
+// under the same seed.
 package main
 
 import (
@@ -32,6 +38,8 @@ func main() {
 	workersFlag := flag.String("workers", "", "comma-separated worker counts for fig11/sec4 (default 60,120,240,480)")
 	table4Workers := flag.Int("table4-workers", 60, "worker count for table4")
 	csvDir := flag.String("csv", "", "also write data series as CSV files into this directory")
+	chaosWorkers := flag.Int("chaos-workers", 8, "worker count for the chaos sweep")
+	chaosRates := flag.String("chaos-rates", "", "comma-separated fault rates for chaos (default 0,0.001,0.01,0.05)")
 	flag.Parse()
 
 	workers := harness.DefaultWorkerCounts
@@ -125,6 +133,21 @@ func main() {
 			pts, err := harness.AblateMultiWorker(24, []int{1, 2, 4}, *seed)
 			check(err)
 			harness.PrintAblateMultiWorker(out, 24, pts)
+		case "chaos":
+			rates := harness.DefaultChaosRates
+			if *chaosRates != "" {
+				rates = nil
+				for _, s := range strings.Split(*chaosRates, ",") {
+					r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+					if err != nil || r < 0 || r >= 1 {
+						fail(fmt.Errorf("bad -chaos-rates entry %q", s))
+					}
+					rates = append(rates, r)
+				}
+			}
+			pts, err := harness.ChaosSweep(*chaosWorkers, harness.ChaosWorkloads(*scale), rates, *seed)
+			check(err)
+			harness.PrintChaos(out, *chaosWorkers, pts)
 		default:
 			fail(fmt.Errorf("unknown experiment %q", name))
 		}

@@ -209,7 +209,31 @@ const (
 	// entry (e.g. a uni-address slot mismatch, §5.1); the entry was
 	// left in place and the lock released.
 	StealReject
+	// StealFault means a fabric operation of the attempt hit an
+	// injected fault. Any partial progress (a taken lock, a claimed
+	// top) was rolled back before returning: the victim's deque is
+	// consistent and the entry is still there. The caller may retry.
+	StealFault
 )
+
+func (o StealOutcome) String() string {
+	switch o {
+	case StealOK:
+		return "ok"
+	case StealEmpty:
+		return "empty"
+	case StealLockBusy:
+		return "lock-busy"
+	case StealEmptyLocked:
+		return "empty-locked"
+	case StealReject:
+		return "reject"
+	case StealFault:
+		return "fault"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
 
 // StealRemote runs the thief side of Fig. 6 up to and including the
 // entry removal: empty check (RDMA READ), lock (remote FAA), then the
@@ -221,21 +245,39 @@ const (
 // the paper's ordering (resume_remote_context unlocks after RDMA_GET).
 // accept, when non-nil, is consulted with the candidate entry before it
 // is removed; declining leaves the entry for a matching thief.
+// Fabric faults surface here as StealFault after an internal rollback.
+// The rollback path itself uses the reliable (retry-until-success)
+// endpoint operations: a taken lock or a claimed top MUST be restored
+// or the victim's deque would be wedged/corrupted forever, and retrying
+// is safe because injected failures have no remote effect.
 func (d *Deque) StealRemote(p *sim.Proc, ep *rdma.Endpoint, victim int, ph *StealPhases, accept func(Entry) bool) (Entry, StealOutcome) {
+	// unlock releases the victim's lock, charging ph.Unlock.
+	unlock := func() {
+		start := p.Now()
+		ep.WriteU64(p, victim, d.lockVA(), 0)
+		ph.Unlock += p.Now() - start
+	}
 	// Phase 1: empty check — one RDMA READ covering top and bottom.
 	start := p.Now()
 	var idx [16]byte
-	ep.Read(p, victim, d.topVA(), idx[:])
+	err := ep.TryRead(p, victim, d.topVA(), idx[:])
+	ph.EmptyCheck += p.Now() - start
+	if err != nil {
+		return Entry{}, StealFault
+	}
 	t := leU64(idx[0:8])
 	b := leU64(idx[8:16])
-	ph.EmptyCheck += p.Now() - start
 	if t >= b {
 		return Entry{}, StealEmpty
 	}
-	// Phase 2: lock — remote fetch-and-add.
+	// Phase 2: lock — remote fetch-and-add. A failed FAA never acquired
+	// the lock (fail-before-effect), so there is nothing to undo.
 	start = p.Now()
-	old := ep.FetchAdd(p, victim, d.lockVA(), 1)
+	old, err := ep.TryFetchAdd(p, victim, d.lockVA(), 1)
 	ph.Lock += p.Now() - start
+	if err != nil {
+		return Entry{}, StealFault
+	}
 	if old != 0 {
 		return Entry{}, StealLockBusy
 	}
@@ -247,7 +289,11 @@ func (d *Deque) StealRemote(p *sim.Proc, ep *rdma.Endpoint, victim int, ph *Stea
 	// other's claim and backs off.
 	start = p.Now()
 	var w8 [8]byte
-	ep.Read(p, victim, d.topVA(), w8[:])
+	if err := ep.TryRead(p, victim, d.topVA(), w8[:]); err != nil {
+		ph.Steal += p.Now() - start
+		unlock()
+		return Entry{}, StealFault
+	}
 	t = leU64(w8[:])
 	// Claim BEFORE reading anything else: once top = t+1 is visible and
 	// bottom confirms b >= t+1, slot t is exclusively ours — the owner
@@ -256,20 +302,35 @@ func (d *Deque) StealRemote(p *sim.Proc, ep *rdma.Endpoint, victim int, ph *Stea
 	// b'-t < cap). Reading the entry before the claim is a TOCTOU: the
 	// owner may pop that entry and push a new one into the recycled
 	// slot while our reads are in flight.
-	ep.WriteU64(p, victim, d.topVA(), t+1)
-	ep.Read(p, victim, d.bottomVA(), w8[:])
+	if err := ep.TryWriteU64(p, victim, d.topVA(), t+1); err != nil {
+		// The claim never landed: only the lock needs releasing.
+		ph.Steal += p.Now() - start
+		unlock()
+		return Entry{}, StealFault
+	}
+	if err := ep.TryRead(p, victim, d.bottomVA(), w8[:]); err != nil {
+		// Half-completed: the claim is visible. Roll it back (reliable)
+		// before releasing the lock — the THE abort path.
+		ep.WriteU64(p, victim, d.topVA(), t)
+		ph.Steal += p.Now() - start
+		unlock()
+		return Entry{}, StealFault
+	}
 	b = leU64(w8[:])
 	if b < t+1 {
 		// Lost the race to the owner: undo the claim and bail.
 		ep.WriteU64(p, victim, d.topVA(), t)
 		ph.Steal += p.Now() - start
-		start = p.Now()
-		ep.WriteU64(p, victim, d.lockVA(), 0)
-		ph.Unlock += p.Now() - start
+		unlock()
 		return Entry{}, StealEmptyLocked
 	}
 	var eb [dqEntrySize]byte
-	ep.Read(p, victim, d.entryVA(t), eb[:])
+	if err := ep.TryRead(p, victim, d.entryVA(t), eb[:]); err != nil {
+		ep.WriteU64(p, victim, d.topVA(), t)
+		ph.Steal += p.Now() - start
+		unlock()
+		return Entry{}, StealFault
+	}
 	e := Entry{FrameBase: mem.VA(leU64(eb[0:8])), FrameSize: leU64(eb[8:16])}
 	if accept != nil && !accept(e) {
 		// Give the entry back: while we hold the lock, restoring top is
@@ -277,19 +338,54 @@ func (d *Deque) StealRemote(p *sim.Proc, ep *rdma.Endpoint, victim int, ph *Stea
 		// lock and will re-check afterwards.
 		ep.WriteU64(p, victim, d.topVA(), t)
 		ph.Steal += p.Now() - start
-		start = p.Now()
-		ep.WriteU64(p, victim, d.lockVA(), 0)
-		ph.Unlock += p.Now() - start
+		unlock()
 		return e, StealReject
 	}
 	ph.Steal += p.Now() - start
 	return e, StealOK
 }
 
+// AbortRemote rolls back a steal that returned StealOK but whose stack
+// transfer failed: with the lock still held, the claimed top is moved
+// back over the entry and the lock is released — the entry is again
+// stealable and the victim's own pop will find it. Uses reliable
+// (retrying) operations: a dangling claim or lock would wedge the
+// victim.
+func (d *Deque) AbortRemote(p *sim.Proc, ep *rdma.Endpoint, victim int, ph *StealPhases) {
+	start := p.Now()
+	t := ep.ReadU64(p, victim, d.topVA())
+	ep.WriteU64(p, victim, d.topVA(), t-1)
+	ph.Steal += p.Now() - start
+	start = p.Now()
+	ep.WriteU64(p, victim, d.lockVA(), 0)
+	ph.Unlock += p.Now() - start
+}
+
 // TakeTop removes the oldest entry from the owner's OWN deque — the
 // victim side of a lifeline push. Same claim-then-verify protocol as a
 // remote steal, but against local memory under the local lock.
 func (d *Deque) TakeTop(p *sim.Proc, ep *rdma.Endpoint, self int) (Entry, bool) {
+	e, tk, ok := d.TakeTopBegin(p, ep, self)
+	if ok {
+		tk.Commit()
+	}
+	return e, ok
+}
+
+// TopTake is an open claim of the owner's oldest entry: the local lock
+// is still held until Commit or Abort.
+type TopTake struct {
+	d *Deque
+	t uint64
+}
+
+// TakeTopBegin claims the oldest entry while KEEPING the local lock
+// held, so the caller can push the entry over the fabric and still
+// abort the take if delivery fails. On ok the caller must call exactly
+// one of tk.Commit (the entry is gone for good) or tk.Abort (top is
+// restored; the entry is back in the deque). On !ok the deque was
+// empty and the lock has been released.
+func (d *Deque) TakeTopBegin(p *sim.Proc, ep *rdma.Endpoint, self int) (Entry, TopTake, bool) {
 	d.lockLocal(p, ep, self)
 	t := d.space.MustReadU64(d.topVA())
 	d.space.MustWriteU64(d.topVA(), t+1) // claim
@@ -297,11 +393,20 @@ func (d *Deque) TakeTop(p *sim.Proc, ep *rdma.Endpoint, self int) (Entry, bool) 
 	if b < t+1 {
 		d.space.MustWriteU64(d.topVA(), t)
 		d.unlockLocal()
-		return Entry{}, false
+		return Entry{}, TopTake{}, false
 	}
-	e := d.readEntry(t)
-	d.unlockLocal()
-	return e, true
+	return d.readEntry(t), TopTake{d: d, t: t}, true
+}
+
+// Commit finalises the take and releases the lock.
+func (tk TopTake) Commit() { tk.d.unlockLocal() }
+
+// Abort restores the claimed top — safe because the lock was held
+// throughout, so neither the owner's pop nor any thief has moved the
+// indices — and releases the lock.
+func (tk TopTake) Abort() {
+	tk.d.space.MustWriteU64(tk.d.topVA(), tk.t)
+	tk.d.unlockLocal()
 }
 
 // Unlock releases a victim's deque lock after a successful steal's

@@ -292,3 +292,186 @@ func TestDequeMaxDepthTracked(t *testing.T) {
 		t.Fatalf("max depth %d, want 7", rig.owner.MaxDepth())
 	}
 }
+
+// scriptInjector fails exactly the remote ops whose 1-based decision
+// index is listed; every other op passes untouched. In these tests all
+// remote traffic comes from the thief, so indices count its fabric ops
+// in program order.
+type scriptInjector struct {
+	n    int
+	fail map[int]bool
+}
+
+func (s *scriptInjector) Decide(op rdma.OpKind, from, target, bytes int, now uint64) (uint64, bool) {
+	s.n++
+	return 0, s.fail[s.n]
+}
+
+// TestDequeStealFaultRollback drives one injected fault into each
+// fabric op of the steal protocol in turn and checks the invariant
+// StealFault promises: the victim's deque is left consistent (lock
+// free, entry still present) and a clean retry succeeds.
+//
+// Thief op indices: 1 empty-check READ, 2 lock FAA, 3 top re-read,
+// 4 claiming top WRITE, 5 bottom READ, 6 entry READ. Ops 5 and 6 fail
+// *after* the claim landed, exercising the THE abort path.
+func TestDequeStealFaultRollback(t *testing.T) {
+	cases := []struct {
+		name   string
+		failOp int
+	}{
+		{"empty-check-read", 1},
+		{"lock-faa", 2},
+		{"top-reread", 3},
+		{"claim-write", 4},
+		{"bottom-read-after-claim", 5},
+		{"entry-read-after-claim", 6},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rig := newDequeRig(t, 16)
+			rig.fab.SetInjector(&scriptInjector{fail: map[int]bool{tc.failOp: true}})
+			rig.eng.Spawn("owner", func(p *sim.Proc) {
+				rig.owner.Push(Entry{FrameBase: 0x7a57, FrameSize: 99})
+				p.Advance(5_000_000)
+			})
+			rig.eng.Spawn("thief", func(p *sim.Proc) {
+				p.Advance(1000)
+				ep := rig.fab.Endpoint(1)
+				var ph StealPhases
+				if _, out := rig.owner.StealRemote(p, ep, 0, &ph, nil); out != StealFault {
+					t.Fatalf("fail op %d: outcome %v, want fault", tc.failOp, out)
+				}
+				// Rollback invariant: lock released, indices restored.
+				if l := rig.spaces[0].MustReadU64(DefaultDequeBase + dqLockOff); l != 0 {
+					t.Fatalf("fail op %d: lock left held (%d)", tc.failOp, l)
+				}
+				// The script is exhausted, so a retry must find the entry
+				// untouched.
+				e, out := rig.owner.StealRemote(p, ep, 0, &ph, nil)
+				if out != StealOK || e.FrameBase != 0x7a57 || e.FrameSize != 99 {
+					t.Fatalf("fail op %d: retry got %v %+v", tc.failOp, out, e)
+				}
+				rig.owner.Unlock(p, ep, 0, &ph)
+			})
+			if _, err := rig.eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDequeStealFaultVictimPops checks exactly-once delivery when the
+// steal faults mid-protocol and the victim then pops: the rolled-back
+// entry must go to the owner, and the thief's retry must find the
+// deque empty — never a duplicate, never a loss.
+func TestDequeStealFaultVictimPops(t *testing.T) {
+	for _, failOp := range []int{4, 5, 6} { // at and after the claim
+		rig := newDequeRig(t, 16)
+		rig.fab.SetInjector(&scriptInjector{fail: map[int]bool{failOp: true}})
+		got := 0
+		rig.eng.Spawn("owner", func(p *sim.Proc) {
+			rig.owner.Push(Entry{FrameBase: 0xbeef, FrameSize: 7})
+			p.Advance(3_000_000) // thief faults and rolls back in here
+			if e, ok := rig.owner.Pop(p, rig.fab.Endpoint(0), 0); ok {
+				if e.FrameSize != 7 {
+					t.Errorf("fail op %d: owner popped corrupt entry %+v", failOp, e)
+				}
+				got++
+			}
+		})
+		rig.eng.Spawn("thief", func(p *sim.Proc) {
+			p.Advance(1000)
+			ep := rig.fab.Endpoint(1)
+			var ph StealPhases
+			if e, out := rig.owner.StealRemote(p, ep, 0, &ph, nil); out != StealFault {
+				if out == StealOK {
+					got++
+					rig.owner.Unlock(p, ep, 0, &ph)
+					_ = e
+				}
+				t.Errorf("fail op %d: outcome %v, want fault", failOp, out)
+			}
+			p.Advance(4_000_000) // after the owner's pop
+			if _, out := rig.owner.StealRemote(p, ep, 0, &ph, nil); out != StealEmpty {
+				t.Errorf("fail op %d: post-pop steal outcome %v, want empty", failOp, out)
+			}
+		})
+		if _, err := rig.eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got != 1 {
+			t.Fatalf("fail op %d: entry delivered %d times, want exactly once", failOp, got)
+		}
+	}
+}
+
+// TestDequeAbortRemote exercises the caller-side rollback used when the
+// stack transfer fails after StealOK: AbortRemote must return the
+// claimed entry to the victim and release the lock.
+func TestDequeAbortRemote(t *testing.T) {
+	rig := newDequeRig(t, 16)
+	rig.eng.Spawn("owner", func(p *sim.Proc) {
+		rig.owner.Push(Entry{FrameBase: 0xf00d, FrameSize: 13})
+		p.Advance(2_000_000)
+		// After the thief aborted, the entry is ours again.
+		e, ok := rig.owner.Pop(p, rig.fab.Endpoint(0), 0)
+		if !ok || e.FrameBase != 0xf00d || e.FrameSize != 13 {
+			t.Errorf("owner pop after abort: ok=%v %+v", ok, e)
+		}
+	})
+	rig.eng.Spawn("thief", func(p *sim.Proc) {
+		p.Advance(1000)
+		ep := rig.fab.Endpoint(1)
+		var ph StealPhases
+		e, out := rig.owner.StealRemote(p, ep, 0, &ph, nil)
+		if out != StealOK || e.FrameSize != 13 {
+			t.Fatalf("steal: %v %+v", out, e)
+		}
+		// Simulate a failed stack transfer: give the entry back.
+		rig.owner.AbortRemote(p, ep, 0, &ph)
+		if l := rig.spaces[0].MustReadU64(DefaultDequeBase + dqLockOff); l != 0 {
+			t.Fatalf("lock left held after abort")
+		}
+	})
+	if _, err := rig.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDequeTakeTopAbort checks the lifeline-push rollback: TakeTopBegin
+// claims the oldest entry under the held local lock; Abort must restore
+// it so both owner pop and remote steal still see it exactly once.
+func TestDequeTakeTopAbort(t *testing.T) {
+	rig := newDequeRig(t, 16)
+	rig.eng.Spawn("owner", func(p *sim.Proc) {
+		ep := rig.fab.Endpoint(0)
+		rig.owner.Push(Entry{FrameBase: 0x1, FrameSize: 1})
+		rig.owner.Push(Entry{FrameBase: 0x2, FrameSize: 2})
+		e, take, ok := rig.owner.TakeTopBegin(p, ep, 0)
+		if !ok || e.FrameSize != 1 {
+			t.Fatalf("take-top: ok=%v %+v", ok, e)
+		}
+		take.Abort()
+		if n := rig.owner.Size(); n != 2 {
+			t.Fatalf("size %d after abort, want 2", n)
+		}
+		// Commit path: the entry leaves for good.
+		e, take, ok = rig.owner.TakeTopBegin(p, ep, 0)
+		if !ok || e.FrameSize != 1 {
+			t.Fatalf("take-top after abort: ok=%v %+v", ok, e)
+		}
+		take.Commit()
+		if n := rig.owner.Size(); n != 1 {
+			t.Fatalf("size %d after commit, want 1", n)
+		}
+		e, ok2 := rig.owner.Pop(p, ep, 0)
+		if !ok2 || e.FrameSize != 2 {
+			t.Fatalf("pop after commit: ok=%v %+v", ok2, e)
+		}
+	})
+	if _, err := rig.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

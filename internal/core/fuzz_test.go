@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"uniaddr/internal/fault"
 	"uniaddr/internal/mem"
 	"uniaddr/internal/rdma"
 	"uniaddr/internal/sim"
@@ -134,6 +135,117 @@ func FuzzRegionStackDiscipline(f *testing.F) {
 			if err := r.CheckInvariant(); err != nil {
 				t.Fatalf("%v (input %v)", err, data)
 			}
+		}
+	})
+}
+
+// --- chaos fuzzing ---------------------------------------------------
+
+// fuzzFib is the in-package fib task used by FuzzChaosFib (core_test's
+// fib lives in the external test package and is not visible here).
+// Frame slots: 0=n, 1=handle(fib(n-1)), 2=handle(fib(n-2)), 3=r1.
+var fuzzFibFID FuncID
+
+const fuzzFibLocals = 4 * 8
+
+func init() { fuzzFibFID = Register("fuzz-chaos-fib", fuzzFibTask) }
+
+func fuzzFibTask(e *Env) Status {
+	switch e.RP() {
+	case 0:
+		n := e.I64(0)
+		if n < 2 {
+			e.ReturnI64(n)
+			return Done
+		}
+		if !e.Spawn(1, 1, fuzzFibFID, fuzzFibLocals, func(c *Env) { c.SetI64(0, n-1) }) {
+			return Unwound
+		}
+		fallthrough
+	case 1:
+		n := e.I64(0)
+		if !e.Spawn(2, 2, fuzzFibFID, fuzzFibLocals, func(c *Env) { c.SetI64(0, n-2) }) {
+			return Unwound
+		}
+		fallthrough
+	case 2:
+		r1, ok := e.Join(2, e.HandleAt(1))
+		if !ok {
+			return Unwound
+		}
+		e.SetU64(3, r1)
+		fallthrough
+	case 3:
+		r2, ok := e.Join(3, e.HandleAt(2))
+		if !ok {
+			return Unwound
+		}
+		e.ReturnU64(e.U64(3) + r2)
+		return Done
+	}
+	panic("fuzz-fib: bad resume point")
+}
+
+// FuzzChaosFib feeds arbitrary fault-injection configurations into a
+// small fib run on 4 workers and checks the robustness contract: the
+// run either completes with the correct result and a clean quiescence
+// check, or fails with a reported error (the MaxCycles guard) — never
+// a hang, never a silently wrong answer. Completed runs are replayed
+// with the same seed and must reproduce result and virtual time
+// exactly.
+func FuzzChaosFib(f *testing.F) {
+	f.Add(uint64(1), uint16(0), uint16(0), uint16(0), uint16(0), uint16(0), uint8(0), false)
+	f.Add(uint64(7), uint16(33), uint16(33), uint16(33), uint16(33), uint16(50), uint8(2), false)
+	f.Add(uint64(9), uint16(999), uint16(999), uint16(999), uint16(999), uint16(999), uint8(7), true)
+	f.Add(uint64(42), uint16(0), uint16(0), uint16(0), uint16(500), uint16(0), uint8(0), false)
+	f.Fuzz(func(t *testing.T, seed uint64, readP, writeP, faaP, dropP, spikeP uint16, brown uint8, hwFAA bool) {
+		// Probabilities capped below 0.3: the contract is recovery from
+		// lossy fabrics, not livelock-freedom at adversarial rates.
+		prob := func(x uint16) float64 { return float64(x%1000) / 3334 }
+		run := func() (uint64, uint64, error) {
+			cfg := DefaultConfig(4)
+			cfg.Seed = seed | 1
+			cfg.MaxCycles = 1 << 31
+			cfg.Net.HardwareFAA = hwFAA
+			cfg.Fault = fault.Config{
+				Seed:             seed*2 + 1,
+				ReadFailProb:     prob(readP),
+				WriteFailProb:    prob(writeP),
+				FAAFailProb:      prob(faaP),
+				ServerDropProb:   prob(dropP),
+				SpikeProb:        prob(spikeP),
+				SpikeMinCycles:   500,
+				SpikeMaxCycles:   5_000,
+				BrownoutDuration: uint64(brown%8) * 1_000,
+			}
+			m, err := NewMachine(cfg)
+			if err != nil {
+				t.Fatalf("config rejected: %v", err)
+			}
+			got, err := m.Run(fuzzFibFID, fuzzFibLocals, func(e *Env) { e.SetI64(0, 10) })
+			if err != nil {
+				return 0, 0, err
+			}
+			if err := m.CheckQuiescence(); err != nil {
+				t.Fatalf("quiescence after recovery: %v", err)
+			}
+			return got, m.ElapsedCycles(), nil
+		}
+		got, elapsed, err := run()
+		if err != nil {
+			// A reported failure is within contract; log it so corpus
+			// entries that trip the guard are visible.
+			t.Logf("run failed cleanly: %v", err)
+			return
+		}
+		const want = 55 // fib(10)
+		if got != want {
+			t.Fatalf("fib(10) = %d, want %d", got, want)
+		}
+		got2, elapsed2, err := run()
+		if err != nil || got2 != got || elapsed2 != elapsed {
+			t.Fatalf("same-seed replay diverged: result %d/%d cycles %d/%d err %v",
+				got, got2, elapsed, elapsed2, err)
 		}
 	})
 }

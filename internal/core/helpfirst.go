@@ -220,7 +220,23 @@ func (w *Worker) tryStealHelpFirst() bool {
 		return false
 	}
 	var ph StealPhases
-	ent, outcome := w.deque.StealRemote(w.proc, w.ep, victim, &ph, nil)
+	var ent Entry
+	var outcome StealOutcome
+	for attempt := 0; ; attempt++ {
+		ent, outcome = w.deque.StealRemote(w.proc, w.ep, victim, &ph, nil)
+		if outcome != StealFault {
+			break
+		}
+		w.stats.StealFaults++
+		w.noteStealFault(victim)
+		if attempt >= w.m.cfg.StealMaxRetries || w.victimBanned(victim) {
+			w.stats.StealAbortsFault++
+			w.stats.StealAbortCycles += ph.Total()
+			return false
+		}
+		w.stealBackoff(attempt)
+		w.stats.StealRetries++
+	}
 	switch outcome {
 	case StealEmpty, StealEmptyLocked:
 		w.stats.StealAbortEmpty++
@@ -237,6 +253,9 @@ func (w *Worker) tryStealHelpFirst() bool {
 		return false
 	}
 	w.lastVictim = victim
+	if w.victimFails != nil {
+		delete(w.victimFails, victim)
+	}
 	if !isDescEntry(ent) {
 		panic("core: continuation entry stolen under help-first")
 	}

@@ -65,15 +65,23 @@ func lifelineNeighbors(rank, workers, z int) []int {
 }
 
 // llRegister writes this worker's rank into the request slot of each
-// lifeline neighbour (one small RDMA WRITE per axis).
+// lifeline neighbour (one small RDMA WRITE per axis). A write that the
+// fabric drops landed nothing (fail-before-effect), so the axis simply
+// stays unregistered; llRegistered is left false so the idle loop tries
+// again on its next pass (re-registering an already-written axis is
+// idempotent).
 func (w *Worker) llRegister() {
+	ok := true
 	for j, n := range w.llOut {
 		if n < 0 {
 			continue
 		}
-		w.ep.WriteU64(w.proc, n, llReqVA(w.m.cfg.LifelineBase, j), uint64(w.rank)+1)
+		if err := w.ep.TryWriteU64(w.proc, n, llReqVA(w.m.cfg.LifelineBase, j), uint64(w.rank)+1); err != nil {
+			w.stats.LifelineFaults++
+			ok = false
+		}
 	}
-	w.llRegistered = true
+	w.llRegistered = ok
 }
 
 // llServe is called from the spawn path every few task creations: if a
@@ -93,7 +101,7 @@ func (w *Worker) llServe() bool {
 		if w.deque.Size() < 2 {
 			return served
 		}
-		ent, ok := w.deque.TakeTop(w.proc, w.ep, w.rank)
+		ent, take, ok := w.deque.TakeTopBegin(w.proc, w.ep, w.rank)
 		if !ok {
 			return served
 		}
@@ -126,7 +134,24 @@ func (w *Worker) llServe() bool {
 		// its completion instant (atomic in the DES), so a single
 		// WRITE with the flag included is safe.
 		copy(buf[:llSlotHdr], hdr[:])
-		w.ep.Write(w.proc, requester, slot, buf)
+		if w.m.injector == nil {
+			// No faults possible: release the deque lock before the
+			// delivery write, like the pre-injection protocol — holding
+			// it across a fabric op would perturb fault-free timings.
+			take.Commit()
+			w.ep.Write(w.proc, requester, slot, buf)
+		} else if err := w.ep.TryWrite(w.proc, requester, slot, buf); err != nil {
+			// Delivery failed with nothing landed: restore the request
+			// flag (the requester is still waiting) and put the thread
+			// back — the take held the deque lock throughout, so the
+			// abort is race-free.
+			w.space.MustWriteU64(llReqVA(base, j), req)
+			take.Abort()
+			w.stats.LifelineFaults++
+			continue
+		} else {
+			take.Commit()
+		}
 		w.stats.LifelinePushes++
 		served = true
 		// The pushed thread's local bytes are dead; like a stolen

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"uniaddr/internal/fault"
 	"uniaddr/internal/gas"
 	"uniaddr/internal/mem"
 	"uniaddr/internal/rdma"
@@ -90,6 +91,29 @@ type Config struct {
 	// references). GasSize 0 disables the heap.
 	GasBase mem.VA
 	GasSize uint64
+
+	// Fault configures deterministic fabric fault injection
+	// (internal/fault). The zero value disables it entirely: no injector
+	// is attached and the fabric's fast path is byte-identical to a
+	// fault-free build.
+	Fault fault.Config
+
+	// StealMaxRetries bounds how often a thief retries a steal against
+	// the same victim after an injected fabric fault before giving up
+	// (0 = default 3; negative = no retries).
+	StealMaxRetries int
+	// StealBackoffBase/StealBackoffCap shape the capped exponential
+	// virtual-time backoff between steal retries: the n-th retry waits
+	// min(StealBackoffBase<<n, StealBackoffCap) cycles (0 = defaults
+	// 2000 and 1<<17).
+	StealBackoffBase uint64
+	StealBackoffCap  uint64
+	// VictimBlacklistAfter consecutive steal faults against one victim
+	// blacklist it for VictimBlacklistCycles of virtual time; pickVictim
+	// redraws around blacklisted ranks (0 = defaults 3 and 2_000_000;
+	// VictimBlacklistAfter < 0 disables blacklisting).
+	VictimBlacklistAfter  int
+	VictimBlacklistCycles uint64
 }
 
 // VictimPolicy picks how an idle worker chooses whom to rob.
@@ -142,6 +166,12 @@ func DefaultConfig(workers int) Config {
 		LifelineBase:    DefaultLifelineBase,
 		LifelineMaxPush: 16 << 10,
 		MaxCycles:       1 << 42,
+
+		StealMaxRetries:       3,
+		StealBackoffBase:      2000,
+		StealBackoffCap:       1 << 17,
+		VictimBlacklistAfter:  3,
+		VictimBlacklistCycles: 2_000_000,
 	}
 }
 
@@ -163,6 +193,7 @@ type Machine struct {
 	elapsed    uint64
 	ran        bool
 	tracer     *trace.Recorder
+	injector   *fault.Injector
 }
 
 // NewMachine builds the cluster: one address space, deque, RDMA heap
@@ -195,8 +226,44 @@ func NewMachine(cfg Config) (*Machine, error) {
 			cfg.LifelineMaxPush = 16 << 10
 		}
 	}
-	m := &Machine{cfg: cfg, eng: sim.NewEngine()}
+	if cfg.StealMaxRetries == 0 {
+		cfg.StealMaxRetries = 3
+	}
+	if cfg.StealBackoffBase == 0 {
+		cfg.StealBackoffBase = 2000
+	}
+	if cfg.StealBackoffCap == 0 {
+		cfg.StealBackoffCap = 1 << 17
+	}
+	if cfg.VictimBlacklistAfter == 0 {
+		cfg.VictimBlacklistAfter = 3
+	}
+	if cfg.VictimBlacklistCycles == 0 {
+		cfg.VictimBlacklistCycles = 2_000_000
+	}
+	var inj *fault.Injector
+	if cfg.Fault.Enabled() {
+		if cfg.Fault.Seed == 0 {
+			// Fault patterns follow the run seed unless pinned: equal
+			// seeds reproduce the exact same fault schedule.
+			cfg.Fault.Seed = cfg.Seed ^ 0x6661756c74 // "fault"
+		}
+		if cfg.Fault.ServerDropProb > 0 && !cfg.Net.HardwareFAA && cfg.Net.FAATimeout == 0 {
+			// Dropped software-FAA notices need a timeout or the
+			// initiator wedges forever. Must be set before NewFabric
+			// copies the params.
+			cfg.Net.FAATimeout = 4 * cfg.Net.SoftwareFAALatency()
+		}
+		var err error
+		if inj, err = fault.New(cfg.Fault); err != nil {
+			return nil, err
+		}
+	}
+	m := &Machine{cfg: cfg, eng: sim.NewEngine(), injector: inj}
 	m.fab = rdma.NewFabric(m.eng, cfg.Net)
+	if inj != nil {
+		m.fab.SetInjector(inj)
+	}
 	if cfg.Trace {
 		m.tracer = trace.NewRecorder(cfg.Workers)
 	}
@@ -390,8 +457,33 @@ func (m *Machine) TotalStats() WorkerStats {
 		t.LifelineReceives += s.LifelineReceives
 		t.WorkCycles += s.WorkCycles
 		t.IdleCycles += s.IdleCycles
+		t.StealFaults += s.StealFaults
+		t.StealRetries += s.StealRetries
+		t.StealAbortsFault += s.StealAbortsFault
+		t.StealRollbacks += s.StealRollbacks
+		t.BackoffCycles += s.BackoffCycles
+		t.VictimBlacklists += s.VictimBlacklists
+		t.LifelineFaults += s.LifelineFaults
 	}
 	return t
+}
+
+// TotalNetStats sums the fabric counters over every endpoint.
+func (m *Machine) TotalNetStats() rdma.Stats {
+	var t rdma.Stats
+	for _, w := range m.workers {
+		t.Merge(w.ep.Stats())
+	}
+	return t
+}
+
+// FaultStats returns the injector's decision counters (zero value if
+// fault injection is disabled).
+func (m *Machine) FaultStats() fault.Stats {
+	if m.injector == nil {
+		return fault.Stats{}
+	}
+	return m.injector.Stats()
 }
 
 // MaxStackUsage returns the largest uni-address region occupancy seen

@@ -55,8 +55,11 @@ type scheme interface {
 	suspend(w *Worker, base mem.VA, size uint64) saved
 	// resumeSaved makes a parked thread's stack addressable again.
 	resumeSaved(w *Worker, sc saved)
-	// transferStolen brings a stolen thread's stack to w.
-	transferStolen(w *Worker, victim int, ent Entry, ph *StealPhases)
+	// transferStolen brings a stolen thread's stack to w. A non-nil
+	// error means the transfer failed on the fabric and all local state
+	// was rolled back; the caller must then abort the steal remotely
+	// (Deque.AbortRemote) so the victim keeps the thread.
+	transferStolen(w *Worker, victim int, ent Entry, ph *StealPhases) error
 	// clearDead reclaims stacks left behind by stolen threads once the
 	// worker is idle.
 	clearDead(w *Worker)
@@ -115,16 +118,24 @@ func (uniScheme) resumeSaved(w *Worker, sc saved) {
 	w.stats.ResumeCycles += w.proc.Now() - start
 }
 
-func (uniScheme) transferStolen(w *Worker, victim int, ent Entry, ph *StealPhases) {
+func (uniScheme) transferStolen(w *Worker, victim int, ent Entry, ph *StealPhases) error {
 	start := w.proc.Now()
 	if err := w.region.Install(ent.FrameBase, ent.FrameSize); err != nil {
 		panic(err)
 	}
 	// One-sided stack transfer straight into the uni-address region at
-	// the thread's own address (Fig. 6 RDMA_GET).
-	w.ep.ReadToVA(w.proc, victim, ent.FrameBase, ent.FrameBase, ent.FrameSize)
+	// the thread's own address (Fig. 6 RDMA_GET). On an injected fault
+	// nothing landed: release the just-installed range (the region was
+	// empty before — stealing requires it, §5.2 rule 5) and report so
+	// the caller rolls the victim's deque back.
+	if err := w.ep.TryReadToVA(w.proc, victim, ent.FrameBase, ent.FrameBase, ent.FrameSize); err != nil {
+		w.region.Clear()
+		ph.StackTransfer += w.proc.Now() - start
+		return err
+	}
 	ph.StackTransfer += w.proc.Now() - start
 	w.stats.BytesStolen += ent.FrameSize
+	return nil
 }
 
 func (uniScheme) clearDead(w *Worker) {
@@ -211,7 +222,7 @@ func (isoScheme) resumeSaved(w *Worker, sc saved) {
 	w.stats.ResumeCycles += w.costs.RestoreContext
 }
 
-func (isoScheme) transferStolen(w *Worker, victim int, ent Entry, ph *StealPhases) {
+func (isoScheme) transferStolen(w *Worker, victim int, ent Entry, ph *StealPhases) error {
 	start := w.proc.Now()
 	// The stack area is not pinned (it is far too large to pin, §4
 	// item 3), so the transfer cannot be a one-sided RDMA READ: the
@@ -237,6 +248,9 @@ func (isoScheme) transferStolen(w *Worker, victim int, ent Entry, ph *StealPhase
 	copy(dst, src)
 	ph.StackTransfer += w.proc.Now() - start
 	w.stats.BytesStolen += ent.FrameSize
+	// The iso transfer is two-sided (victim CPU assists) and not part
+	// of the injected one-sided fault model, so it cannot fail.
+	return nil
 }
 
 func (isoScheme) clearDead(w *Worker) {}

@@ -39,6 +39,15 @@ type WorkerStats struct {
 	LifelinePushes   uint64 // threads pushed to quiescent neighbours
 	LifelineReceives uint64 // threads received over a lifeline
 
+	// Failure-handling counters (all zero without fault injection).
+	StealFaults      uint64 // steal attempts that hit an injected fault
+	StealRetries     uint64 // faulted attempts retried after backoff
+	StealAbortsFault uint64 // attempts abandoned after exhausting retries
+	StealRollbacks   uint64 // half-completed steals rolled back (THE abort)
+	BackoffCycles    uint64 // virtual cycles spent backing off after faults
+	VictimBlacklists uint64 // victims temporarily blacklisted
+	LifelineFaults   uint64 // lifeline register/push ops that hit a fault
+
 	WorkCycles uint64
 	IdleCycles uint64
 }
@@ -70,6 +79,12 @@ type Worker struct {
 	stats      WorkerStats
 	lastVictim int     // last successful victim (VictimLastSuccess), -1 none
 	slowFactor float64 // >1 = straggler (CPU costs scaled)
+
+	// Graceful-degradation state, populated lazily and only under fault
+	// injection: consecutive fabric failures per victim, and the virtual
+	// time until which a repeatedly-failing victim is skipped.
+	victimFails       map[int]int
+	victimBannedUntil map[int]uint64
 
 	// help-first staging buffer (see helpFirstStaging)
 	hfStaging    mem.VA
@@ -329,9 +344,75 @@ func (w *Worker) schedulerLoop() {
 	}
 }
 
+// victimBanned reports whether v is inside its blacklist window.
+// Free (no map lookup, no RNG) unless faults have actually banned
+// someone.
+func (w *Worker) victimBanned(v int) bool {
+	if len(w.victimBannedUntil) == 0 {
+		return false
+	}
+	until, ok := w.victimBannedUntil[v]
+	if !ok {
+		return false
+	}
+	if w.proc.Now() >= until {
+		delete(w.victimBannedUntil, v)
+		return false
+	}
+	return true
+}
+
+// noteStealFault records a fabric failure against victim v; after
+// VictimBlacklistAfter consecutive failures v is skipped for
+// VictimBlacklistCycles of virtual time (graceful degradation: stop
+// hammering a browned-out endpoint).
+func (w *Worker) noteStealFault(v int) {
+	w.lastVictim = -1
+	if w.victimFails == nil {
+		w.victimFails = make(map[int]int)
+		w.victimBannedUntil = make(map[int]uint64)
+	}
+	w.victimFails[v]++
+	if w.victimFails[v] >= w.m.cfg.VictimBlacklistAfter {
+		delete(w.victimFails, v)
+		w.victimBannedUntil[v] = w.proc.Now() + w.m.cfg.VictimBlacklistCycles
+		w.stats.VictimBlacklists++
+	}
+}
+
+// stealBackoff parks the worker for the attempt-th capped exponential
+// backoff delay (virtual time, deterministic) after a faulted steal.
+func (w *Worker) stealBackoff(attempt int) {
+	d := w.m.cfg.StealBackoffCap
+	if attempt < 63 {
+		if d = w.m.cfg.StealBackoffBase << uint(attempt); d > w.m.cfg.StealBackoffCap {
+			d = w.m.cfg.StealBackoffCap
+		}
+	}
+	w.stats.BackoffCycles += d
+	w.proc.Advance(d)
+}
+
 // pickVictim chooses a victim rank per the configured policy, or -1
-// when there is no candidate.
+// when there is no candidate. Blacklisted victims are re-drawn a few
+// times; if the machine is so degraded that every draw is blacklisted,
+// the last draw is used anyway so a recovering endpoint is eventually
+// probed again.
 func (w *Worker) pickVictim(n int) int {
+	v := w.pickVictimOnce(n)
+	if v < 0 || !w.victimBanned(v) {
+		return v
+	}
+	for i := 0; i < 3; i++ {
+		v = w.pickVictimOnce(n)
+		if v < 0 || !w.victimBanned(v) {
+			return v
+		}
+	}
+	return v
+}
+
+func (w *Worker) pickVictimOnce(n int) int {
 	rng := w.proc.RNG()
 	randomGlobal := func() int {
 		v := rng.Intn(n - 1)
@@ -374,6 +455,13 @@ func (w *Worker) pickVictim(n int) int {
 // trySteal picks a victim per the configured policy and attempts the
 // one-sided steal of Fig. 6. On success the stolen thread is installed
 // at its original virtual address and executed.
+//
+// Fabric faults are retried against the same victim up to
+// Config.StealMaxRetries times with capped exponential virtual-time
+// backoff (transient faults heal; persistent ones trip the victim
+// blacklist via noteStealFault, steering future attempts elsewhere). A
+// fault after the entry was claimed rolls the victim's deque back over
+// the THE abort path, so the thread is never lost.
 func (w *Worker) trySteal() bool {
 	n := len(w.m.workers)
 	if n < 2 {
@@ -395,7 +483,23 @@ func (w *Worker) trySteal() bool {
 			return w.region.Contains(e.FrameBase)
 		}
 	}
-	ent, outcome := w.deque.StealRemote(w.proc, w.ep, victim, &ph, accept)
+	var ent Entry
+	var outcome StealOutcome
+	for attempt := 0; ; attempt++ {
+		ent, outcome = w.deque.StealRemote(w.proc, w.ep, victim, &ph, accept)
+		if outcome != StealFault {
+			break
+		}
+		w.stats.StealFaults++
+		w.noteStealFault(victim)
+		if attempt >= w.m.cfg.StealMaxRetries || w.victimBanned(victim) {
+			w.stats.StealAbortsFault++
+			w.stats.StealAbortCycles += ph.Total()
+			return false
+		}
+		w.stealBackoff(attempt)
+		w.stats.StealRetries++
+	}
 	switch outcome {
 	case StealEmpty, StealEmptyLocked:
 		w.stats.StealAbortEmpty++
@@ -412,10 +516,24 @@ func (w *Worker) trySteal() bool {
 		w.lastVictim = -1
 		return false
 	}
-	w.lastVictim = victim
 	// Transfer the stack while still holding the victim's queue lock,
 	// then unlock and resume (resume_remote_context in Fig. 6).
-	w.sch.transferStolen(w, victim, ent, &ph)
+	if err := w.sch.transferStolen(w, victim, ent, &ph); err != nil {
+		// Half-completed steal: the entry is claimed and the lock held,
+		// but the stack never arrived. Roll the victim's deque back so
+		// it keeps the thread, and give up on this victim for now.
+		w.stats.StealFaults++
+		w.stats.StealRollbacks++
+		w.deque.AbortRemote(w.proc, w.ep, victim, &ph)
+		w.noteStealFault(victim)
+		w.stats.StealAbortsFault++
+		w.stats.StealAbortCycles += ph.Total()
+		return false
+	}
+	w.lastVictim = victim
+	if w.victimFails != nil {
+		delete(w.victimFails, victim)
+	}
 	w.deque.Unlock(w.proc, w.ep, victim, &ph)
 	w.stats.Phases.Merge(ph)
 	start := w.proc.Now()

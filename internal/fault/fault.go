@@ -1,0 +1,201 @@
+// Package fault provides deterministic fault injection for the
+// simulated RDMA fabric. An Injector implements rdma.Injector: the
+// fabric consults it before every remote operation and the injector
+// decides — from its own seeded RNG stream and the virtual clock —
+// whether the op completes, completes late (latency spike), or fails.
+//
+// Determinism: the simulation engine is sequential, so the injector is
+// consulted in a globally deterministic order; with a fixed Config
+// (including Seed) every run reproduces the exact same fault pattern,
+// making chaos findings replayable. All injected delays are virtual
+// time, so injection never perturbs host-clock-dependent behaviour.
+//
+// The model is fail-before-effect (see internal/rdma/inject.go): a
+// failed op had no effect on the target, which is what makes the
+// runtime's retry policies sound.
+package fault
+
+import (
+	"fmt"
+
+	"uniaddr/internal/rdma"
+	"uniaddr/internal/sim"
+)
+
+// Config are the injector knobs. The zero value disables injection
+// entirely (Enabled() == false) and costs nothing.
+type Config struct {
+	// Seed seeds the injector's private RNG stream. Zero lets the
+	// machine derive one from its simulation seed, so fault patterns
+	// follow the run seed unless pinned explicitly.
+	Seed uint64
+
+	// Per-op failure probabilities in [0, 1): a failed READ/WRITE
+	// completes after its model latency with no remote effect; a failed
+	// hardware FAA is not applied.
+	ReadFailProb  float64
+	WriteFailProb float64
+	FAAFailProb   float64
+
+	// ServerDropProb drops the request notice of a software
+	// fetch-and-add before it reaches the comm server; the initiator
+	// times out (rdma.Params.FAATimeout) and must retry.
+	ServerDropProb float64
+
+	// Latency-spike distribution: with probability SpikeProb an op's
+	// latency grows by a uniform draw from [SpikeMinCycles,
+	// SpikeMaxCycles].
+	SpikeProb      float64
+	SpikeMinCycles uint64
+	SpikeMaxCycles uint64
+
+	// Endpoint brown-out windows: every BrownoutPeriod cycles each
+	// endpoint goes dark for BrownoutDuration cycles — every remote op
+	// *targeting* it fails while the window is open. Windows are
+	// staggered per endpoint (a deterministic hash of Seed and rank), so
+	// at most a few endpoints are dark at once. BrownoutDuration 0
+	// disables; BrownoutPeriod 0 defaults to 8× the duration.
+	BrownoutPeriod   uint64
+	BrownoutDuration uint64
+}
+
+// Enabled reports whether any knob is set; a disabled Config must not
+// be attached to a fabric (the nil injector fast path is free).
+func (c Config) Enabled() bool {
+	return c.ReadFailProb > 0 || c.WriteFailProb > 0 || c.FAAFailProb > 0 ||
+		c.ServerDropProb > 0 || c.SpikeProb > 0 || c.BrownoutDuration > 0
+}
+
+// Validate rejects out-of-range knobs.
+func (c Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"ReadFailProb", c.ReadFailProb},
+		{"WriteFailProb", c.WriteFailProb},
+		{"FAAFailProb", c.FAAFailProb},
+		{"ServerDropProb", c.ServerDropProb},
+		{"SpikeProb", c.SpikeProb},
+	} {
+		if p.v < 0 || p.v >= 1 {
+			return fmt.Errorf("fault: %s %v outside [0, 1)", p.name, p.v)
+		}
+	}
+	if c.SpikeMaxCycles < c.SpikeMinCycles {
+		return fmt.Errorf("fault: SpikeMaxCycles %d < SpikeMinCycles %d", c.SpikeMaxCycles, c.SpikeMinCycles)
+	}
+	if c.BrownoutDuration > 0 && c.BrownoutPeriod > 0 && c.BrownoutDuration >= c.BrownoutPeriod {
+		return fmt.Errorf("fault: BrownoutDuration %d >= BrownoutPeriod %d", c.BrownoutDuration, c.BrownoutPeriod)
+	}
+	return nil
+}
+
+// Stats counts the injector's decisions.
+type Stats struct {
+	Decisions   uint64 // remote ops consulted
+	Faults      uint64 // ops failed (probability draws)
+	Brownouts   uint64 // ops failed because the target was browned out
+	NoticeDrops uint64 // software-FAA request notices dropped
+	Spikes      uint64 // ops delayed
+	SpikeCycles uint64 // total injected delay
+}
+
+// Injector is a seeded, sim-clock-driven rdma.Injector.
+type Injector struct {
+	cfg    Config
+	rng    sim.RNG
+	period uint64
+	stats  Stats
+}
+
+// New builds an injector from cfg (which must be Enabled and valid).
+func New(cfg Config) (*Injector, error) {
+	if !cfg.Enabled() {
+		return nil, fmt.Errorf("fault: config has no fault source enabled")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	period := cfg.BrownoutPeriod
+	if cfg.BrownoutDuration > 0 && period == 0 {
+		period = 8 * cfg.BrownoutDuration
+	}
+	return &Injector{cfg: cfg, rng: sim.NewRNG(cfg.Seed), period: period}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Injector {
+	in, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Config returns the injector's configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Stats returns a snapshot of the decision counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// splitmix64 is the stateless mixer used to stagger brown-out phases.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// brownedOut reports whether target's endpoint is inside its brown-out
+// window at virtual time now. Pure function of (seed, target, now) —
+// no RNG stream is consumed, so brown-outs do not shift the per-op
+// probability draws.
+func (in *Injector) brownedOut(target int, now uint64) bool {
+	if in.cfg.BrownoutDuration == 0 {
+		return false
+	}
+	phase := splitmix64(in.cfg.Seed^uint64(target)*0x2545f4914f6cdd1d) % in.period
+	return (now+phase)%in.period < in.cfg.BrownoutDuration
+}
+
+// Decide implements rdma.Injector.
+func (in *Injector) Decide(op rdma.OpKind, from, target, bytes int, now uint64) (uint64, bool) {
+	in.stats.Decisions++
+	var extra uint64
+	if in.cfg.SpikeProb > 0 && in.rng.Float64() < in.cfg.SpikeProb {
+		span := in.cfg.SpikeMaxCycles - in.cfg.SpikeMinCycles
+		extra = in.cfg.SpikeMinCycles
+		if span > 0 {
+			extra += in.rng.Uint64() % (span + 1)
+		}
+		in.stats.Spikes++
+		in.stats.SpikeCycles += extra
+	}
+	if in.brownedOut(target, now) {
+		in.stats.Brownouts++
+		return extra, true
+	}
+	var p float64
+	switch op {
+	case rdma.OpRead:
+		p = in.cfg.ReadFailProb
+	case rdma.OpWrite:
+		p = in.cfg.WriteFailProb
+	case rdma.OpFAA:
+		p = in.cfg.FAAFailProb
+	case rdma.OpNotice:
+		p = in.cfg.ServerDropProb
+	}
+	if p > 0 && in.rng.Float64() < p {
+		if op == rdma.OpNotice {
+			in.stats.NoticeDrops++
+		} else {
+			in.stats.Faults++
+		}
+		return extra, true
+	}
+	return extra, false
+}
+
+var _ rdma.Injector = (*Injector)(nil)

@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"testing"
+
+	"uniaddr/internal/rdma"
+)
+
+func TestNewRejectsDisabledConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestValidateRejectsBadKnobs(t *testing.T) {
+	bad := []Config{
+		{ReadFailProb: -0.1},
+		{WriteFailProb: 1.0},
+		{FAAFailProb: 1.5},
+		{ServerDropProb: -1},
+		{SpikeProb: 1},
+		{SpikeProb: 0.1, SpikeMinCycles: 100, SpikeMaxCycles: 50},
+		{BrownoutDuration: 100, BrownoutPeriod: 100},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: bad config %+v validated", i, c)
+		}
+	}
+	good := Config{ReadFailProb: 0.5, SpikeProb: 0.1, SpikeMinCycles: 10, SpikeMaxCycles: 10,
+		BrownoutDuration: 10, BrownoutPeriod: 100}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+// TestDecideDeterministic: two injectors built from the same config
+// must produce identical decision streams for identical call sequences.
+func TestDecideDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed:          99,
+		ReadFailProb:  0.2,
+		WriteFailProb: 0.1,
+		FAAFailProb:   0.05,
+		SpikeProb:     0.3, SpikeMinCycles: 100, SpikeMaxCycles: 900,
+		BrownoutDuration: 500,
+	}
+	a, b := MustNew(cfg), MustNew(cfg)
+	ops := []rdma.OpKind{rdma.OpRead, rdma.OpWrite, rdma.OpFAA, rdma.OpNotice}
+	for i := 0; i < 10_000; i++ {
+		op := ops[i%len(ops)]
+		target := i % 7
+		now := uint64(i) * 131
+		e1, f1 := a.Decide(op, 0, target, 64, now)
+		e2, f2 := b.Decide(op, 0, target, 64, now)
+		if e1 != e2 || f1 != f2 {
+			t.Fatalf("call %d diverged: (%d,%v) vs (%d,%v)", i, e1, f1, e2, f2)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Decisions != 10_000 {
+		t.Fatalf("decisions %d, want 10000", a.Stats().Decisions)
+	}
+}
+
+// TestBrownoutWindows: with only brown-outs configured the failure
+// pattern is a pure function of (target, now) — the duration fraction
+// of every period fails, windows differ between targets, and no RNG
+// state is consumed (two scans give identical answers).
+func TestBrownoutWindows(t *testing.T) {
+	cfg := Config{Seed: 5, BrownoutDuration: 1_000, BrownoutPeriod: 10_000}
+	in := MustNew(cfg)
+	failsPerTarget := make(map[int]int)
+	for target := 0; target < 4; target++ {
+		for now := uint64(0); now < 10_000; now++ {
+			if _, fail := in.Decide(rdma.OpRead, 9, target, 8, now); fail {
+				failsPerTarget[target]++
+			}
+		}
+	}
+	firstDark := make(map[int]uint64)
+	for target := 0; target < 4; target++ {
+		// Exactly duration cycles of each period are dark.
+		if got := failsPerTarget[target]; got != 1_000 {
+			t.Errorf("target %d: %d dark cycles per period, want 1000", target, got)
+		}
+		for now := uint64(0); now < 10_000; now++ {
+			if _, fail := in.Decide(rdma.OpRead, 9, target, 8, now); fail {
+				firstDark[target] = now
+				break
+			}
+		}
+	}
+	// Windows are staggered: not every target starts its window at the
+	// same phase.
+	same := true
+	for target := 1; target < 4; target++ {
+		if firstDark[target] != firstDark[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("all brown-out windows share phase %d — staggering broken", firstDark[0])
+	}
+	// 1000 per target in the full scan, plus the single hit at which
+	// each first-dark scan stopped.
+	if got := in.Stats().Brownouts; got != 4*1_000+4 {
+		t.Errorf("brownout stat %d, want %d", got, 4*1_000+4)
+	}
+}
+
+// TestSpikeRange: injected spike delays stay inside the configured
+// bounds and are counted.
+func TestSpikeRange(t *testing.T) {
+	cfg := Config{Seed: 3, SpikeProb: 0.5, SpikeMinCycles: 200, SpikeMaxCycles: 300}
+	in := MustNew(cfg)
+	spikes := 0
+	for i := 0; i < 5_000; i++ {
+		extra, fail := in.Decide(rdma.OpWrite, 0, 1, 8, uint64(i))
+		if fail {
+			t.Fatalf("call %d failed with no failure source configured", i)
+		}
+		if extra != 0 {
+			if extra < 200 || extra > 300 {
+				t.Fatalf("spike %d outside [200, 300]", extra)
+			}
+			spikes++
+		}
+	}
+	if spikes < 2_000 || spikes > 3_000 {
+		t.Errorf("%d spikes out of 5000 at p=0.5", spikes)
+	}
+	if got := in.Stats().Spikes; got != uint64(spikes) {
+		t.Errorf("spike stat %d, want %d", got, spikes)
+	}
+}
+
+// TestPeriodDefault: BrownoutPeriod 0 defaults to 8x the duration.
+func TestPeriodDefault(t *testing.T) {
+	in := MustNew(Config{BrownoutDuration: 500})
+	fails := 0
+	for now := uint64(0); now < 4_000; now++ {
+		if _, fail := in.Decide(rdma.OpRead, 0, 1, 8, now); fail {
+			fails++
+		}
+	}
+	if fails != 500 {
+		t.Fatalf("%d dark cycles in one default period, want 500", fails)
+	}
+}

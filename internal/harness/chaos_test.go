@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/workloads"
+)
+
+// TestChaosSweepTiny runs the full chaos gate at the tiny scale: every
+// workload × rate point must return the sequential reference, pass
+// quiescence and replay bit-identically (ChaosSweep errors otherwise).
+func TestChaosSweepTiny(t *testing.T) {
+	pts, err := ChaosSweep(8, ChaosWorkloads("tiny"), DefaultChaosRates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * len(DefaultChaosRates); len(pts) != want {
+		t.Fatalf("%d points, want %d", len(pts), want)
+	}
+	faulted := false
+	for _, p := range pts {
+		if !p.Deterministic {
+			t.Errorf("%s rate %g: not deterministic", p.Workload, p.Rate)
+		}
+		if p.Rate == 0 && p.InjectedFaults+p.StealFaults+p.FAATimeouts != 0 {
+			t.Errorf("%s rate 0: spurious faults (%d/%d/%d)",
+				p.Workload, p.InjectedFaults, p.StealFaults, p.FAATimeouts)
+		}
+		if p.InjectedFaults > 0 {
+			faulted = true
+		}
+	}
+	if !faulted {
+		t.Error("no point injected any fault — the sweep tests nothing")
+	}
+	var buf bytes.Buffer
+	PrintChaos(&buf, 8, pts)
+	if !strings.Contains(buf.String(), "Chaos sweep") {
+		t.Error("render missing header")
+	}
+}
+
+// TestChaosFib30 is the headline robustness criterion: fib(30) on 8
+// workers with every fault source firing at 1% completes with the
+// correct result, passes the quiescence check after recovery, and two
+// same-seed runs produce identical traces. ~15s of host time, so
+// skipped under -short.
+func TestChaosFib30(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fib(30) chaos run takes ~15s")
+	}
+	pts, err := ChaosSweep(8, []workloads.Spec{workloads.Fib(30, 0)}, []float64{0.01}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pts[0]
+	if !p.Deterministic {
+		t.Error("replay diverged")
+	}
+	if p.InjectedFaults == 0 || p.StealFaults == 0 {
+		t.Errorf("rate 0.01 injected %d fabric faults, %d steal faults — sweep not exercising recovery",
+			p.InjectedFaults, p.StealFaults)
+	}
+}
+
+// TestChaosFaultConfigScaling pins the knob derivation.
+func TestChaosFaultConfigScaling(t *testing.T) {
+	if ChaosFaultConfig(0).Enabled() {
+		t.Error("rate 0 produced an enabled config")
+	}
+	c := ChaosFaultConfig(0.01)
+	if !c.Enabled() || c.Validate() != nil {
+		t.Fatalf("rate 0.01 config unusable: %+v", c)
+	}
+	if c.BrownoutDuration != 40_000 {
+		t.Errorf("brownout duration %d, want rate-sized 40000", c.BrownoutDuration)
+	}
+}
+
+// TestChaosJSONReportCounters checks that a faulted run surfaces its
+// failure counters through the JSON report.
+func TestChaosJSONReportCounters(t *testing.T) {
+	cfg := core.DefaultConfig(8)
+	cfg.Seed = 3
+	cfg.Fault = ChaosFaultConfig(0.05)
+	spec := workloads.Fib(16, 100)
+	m, res, err := spec.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != spec.Expected {
+		t.Fatalf("result %d != %d", res, spec.Expected)
+	}
+	r := BuildRunReport(m, spec.Items(res))
+	if r.InjectedFaults == 0 {
+		t.Error("report shows no injected faults at rate 0.05")
+	}
+	if r.NetRetries == 0 && r.StealFaults == 0 {
+		t.Error("report shows neither retries nor steal faults")
+	}
+}

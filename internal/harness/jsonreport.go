@@ -43,6 +43,19 @@ type RunReport struct {
 	MaxReservedVA  uint64 `json:"max_reserved_bytes"`
 	CommittedBytes uint64 `json:"committed_bytes"`
 
+	// Failure counters, all zero unless fault injection was enabled.
+	InjectedFaults   uint64 `json:"injected_faults,omitempty"`
+	SpikeCycles      uint64 `json:"spike_cycles,omitempty"`
+	NetRetries       uint64 `json:"net_retries,omitempty"`
+	FAATimeouts      uint64 `json:"faa_timeouts,omitempty"`
+	StealFaults      uint64 `json:"steal_faults,omitempty"`
+	StealRetries     uint64 `json:"steal_retries,omitempty"`
+	StealAbortsFault uint64 `json:"steal_aborts_fault,omitempty"`
+	StealRollbacks   uint64 `json:"steal_rollbacks,omitempty"`
+	BackoffCycles    uint64 `json:"backoff_cycles,omitempty"`
+	VictimBlacklists uint64 `json:"victim_blacklists,omitempty"`
+	LifelineFaults   uint64 `json:"lifeline_faults,omitempty"`
+
 	UtilizationWork  float64 `json:"utilization_work,omitempty"`
 	UtilizationSteal float64 `json:"utilization_steal,omitempty"`
 	UtilizationIdle  float64 `json:"utilization_idle,omitempty"`
@@ -82,7 +95,20 @@ func BuildRunReport(m *core.Machine, items uint64) RunReport {
 		MaxStackBytes:  m.MaxStackUsage(),
 		MaxReservedVA:  m.MaxReservedBytes(),
 		CommittedBytes: m.TotalCommittedBytes(),
+
+		StealFaults:      st.StealFaults,
+		StealRetries:     st.StealRetries,
+		StealAbortsFault: st.StealAbortsFault,
+		StealRollbacks:   st.StealRollbacks,
+		BackoffCycles:    st.BackoffCycles,
+		VictimBlacklists: st.VictimBlacklists,
+		LifelineFaults:   st.LifelineFaults,
 	}
+	ns := m.TotalNetStats()
+	r.InjectedFaults = ns.InjectedFaults
+	r.SpikeCycles = ns.SpikeCycles
+	r.NetRetries = ns.Retries
+	r.FAATimeouts = ns.FAATimeouts
 	if r.ElapsedSeconds > 0 {
 		r.Throughput = float64(items) / r.ElapsedSeconds
 	}

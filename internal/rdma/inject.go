@@ -1,0 +1,78 @@
+package rdma
+
+import "errors"
+
+// Fault injection hooks. The fabric itself stays oblivious to *why* an
+// operation fails — it consults an Injector (normally internal/fault's
+// seeded, sim-clock-driven implementation) before every remote
+// operation and either completes it, completes it late, or aborts it
+// with an error.
+//
+// The model guarantees fail-before-effect: an operation that reports
+// failure has had NO effect on the target's memory. Failed READs copied
+// nothing, failed WRITEs landed nothing, and a failed (dropped or
+// timed-out) fetch-and-add was never applied by the communication
+// server. This makes blind retries of any fabric operation safe, which
+// the reliable (non-Try) endpoint methods rely on.
+
+// OpKind classifies a fabric operation for the injector.
+type OpKind int
+
+const (
+	// OpRead is a one-sided READ.
+	OpRead OpKind = iota
+	// OpWrite is a one-sided WRITE.
+	OpWrite
+	// OpFAA is a hardware remote fetch-and-add.
+	OpFAA
+	// OpNotice is the request half of a software fetch-and-add (the
+	// "RDMA WRITE with remote notice" carrying the request to the comm
+	// server). A failed OpNotice models a dropped request: the server
+	// never sees it and the initiator times out.
+	OpNotice
+)
+
+// String returns the op name.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "READ"
+	case OpWrite:
+		return "WRITE"
+	case OpFAA:
+		return "FAA"
+	case OpNotice:
+		return "NOTICE"
+	default:
+		return "OP?"
+	}
+}
+
+// Injector decides the fate of remote operations. Implementations must
+// be deterministic functions of their own seeded state and the
+// arguments: the simulation engine serialises all calls, so a fixed
+// seed reproduces the exact same fault pattern.
+type Injector interface {
+	// Decide is consulted once per remote operation. extra is added to
+	// the operation's model latency (a latency spike); fail aborts the
+	// operation after that latency with no remote effect.
+	Decide(op OpKind, from, target, bytes int, now uint64) (extra uint64, fail bool)
+}
+
+// ErrInjected is the sentinel wrapped by all injector-caused failures.
+var ErrInjected = errors.New("rdma: injected fabric fault")
+
+// ErrFAATimeout is returned when a software fetch-and-add request
+// received no reply within Params.FAATimeout cycles (the request notice
+// was dropped, or the server backlog exceeded the timeout). The
+// operation was not applied: the server skips abandoned requests, so
+// retrying is safe.
+var ErrFAATimeout = errors.New("rdma: software fetch-and-add timed out")
+
+// SetInjector attaches a fault injector to the fabric. nil (the
+// default) disables injection entirely; the fast paths then cost
+// nothing extra.
+func (f *Fabric) SetInjector(inj Injector) { f.injector = inj }
+
+// InjectorAttached reports whether a fault injector is active.
+func (f *Fabric) InjectorAttached() bool { return f.injector != nil }

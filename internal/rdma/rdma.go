@@ -53,6 +53,18 @@ type Params struct {
 	// default, matching the paper's flat treatment — disables the
 	// effect; values < 1 enable hierarchical-stealing experiments.
 	IntraNodeFactor float64
+	// FAATimeout bounds how long a software fetch-and-add waits for its
+	// reply, in cycles. 0 (the default) waits forever — correct on a
+	// lossless fabric. Under fault injection a dropped request notice
+	// would otherwise wedge the initiator, so machines with a non-zero
+	// comm-server drop rate must set this (core.NewMachine does).
+	FAATimeout uint64
+	// RetryBackoff / RetryBackoffCap shape the capped exponential
+	// virtual-time backoff of the reliable (auto-retrying) endpoint
+	// operations after an injected fault. Zero selects the defaults
+	// (1000 / 131072 cycles). Irrelevant without an injector.
+	RetryBackoff    uint64
+	RetryBackoffCap uint64
 }
 
 // DefaultParams returns parameters calibrated to the paper's FX10
@@ -103,15 +115,36 @@ type Stats struct {
 	BytesRead           uint64
 	BytesWritten        uint64
 	CyclesBlocked       uint64
+
+	// Failure counters (all zero without an injector).
+	InjectedFaults uint64 // remote ops aborted by the fault injector
+	SpikeCycles    uint64 // extra latency injected into ops (spikes)
+	Retries        uint64 // reliable-wrapper retries after faults
+	FAATimeouts    uint64 // software FAAs that timed out awaiting a reply
+}
+
+// Merge adds q's counters into s.
+func (s *Stats) Merge(q Stats) {
+	s.Reads += q.Reads
+	s.Writes += q.Writes
+	s.FAAs += q.FAAs
+	s.BytesRead += q.BytesRead
+	s.BytesWritten += q.BytesWritten
+	s.CyclesBlocked += q.CyclesBlocked
+	s.InjectedFaults += q.InjectedFaults
+	s.SpikeCycles += q.SpikeCycles
+	s.Retries += q.Retries
+	s.FAATimeouts += q.FAATimeouts
 }
 
 // Fabric is the interconnect: a set of endpoints, one per simulated
 // process, plus one communication server per node when software
 // fetch-and-add is in use.
 type Fabric struct {
-	eng    *sim.Engine
-	params Params
-	eps    []*Endpoint
+	eng      *sim.Engine
+	params   Params
+	eps      []*Endpoint
+	injector Injector
 }
 
 // NewFabric creates a fabric on the given engine.
@@ -203,83 +236,214 @@ func (ep *Endpoint) pinnedSlice(va mem.VA, n uint64) []byte {
 	return b
 }
 
-// Read performs a one-sided READ of len(buf) bytes from (target, raddr)
-// into buf. p blocks for the model latency; the remote bytes are
-// sampled at completion time. The target region must be pinned.
-func (ep *Endpoint) Read(p *sim.Proc, target int, raddr mem.VA, buf []byte) {
+// inject consults the fabric's injector for a remote op, returning the
+// extra (spike) latency and whether the op must fail. Local loopback
+// (target == own rank) is never injected: the NIC is not involved.
+func (ep *Endpoint) inject(op OpKind, target, bytes int) (uint64, bool) {
+	inj := ep.fab.injector
+	if inj == nil || target == ep.rank {
+		return 0, false
+	}
+	extra, fail := inj.Decide(op, ep.rank, target, bytes, ep.fab.eng.Now())
+	if extra > 0 {
+		ep.stats.SpikeCycles += extra
+	}
+	if fail {
+		ep.stats.InjectedFaults++
+	}
+	return extra, fail
+}
+
+// retryBackoff parks p for the attempt-th capped exponential backoff
+// delay of a reliable wrapper (virtual time, deterministic).
+func (ep *Endpoint) retryBackoff(p *sim.Proc, attempt int) {
+	base, limit := ep.fab.params.RetryBackoff, ep.fab.params.RetryBackoffCap
+	if base == 0 {
+		base = 1000
+	}
+	if limit == 0 {
+		limit = 1 << 17
+	}
+	d := limit
+	if attempt < 63 {
+		if d = base << uint(attempt); d > limit {
+			d = limit
+		}
+	}
+	ep.stats.Retries++
+	ep.stats.CyclesBlocked += d
+	p.Advance(d)
+}
+
+// TryRead performs a one-sided READ of len(buf) bytes from (target,
+// raddr) into buf. p blocks for the model latency; the remote bytes are
+// sampled at completion time. The target region must be pinned. Under
+// fault injection the READ may fail (buf is then untouched) or complete
+// late.
+func (ep *Endpoint) TryRead(p *sim.Proc, target int, raddr mem.VA, buf []byte) error {
 	lat := scaleLat(ep.fab.params.ReadLatency(len(buf)), ep.scaleTo(target))
+	extra, fail := ep.inject(OpRead, target, len(buf))
+	lat += extra
 	ep.stats.Reads++
 	ep.stats.BytesRead += uint64(len(buf))
 	ep.stats.CyclesBlocked += lat
 	p.Advance(lat)
+	if fail {
+		return fmt.Errorf("%w: READ rank %d → rank %d", ErrInjected, ep.rank, target)
+	}
 	src := ep.fab.eps[target].pinnedSlice(raddr, uint64(len(buf)))
 	copy(buf, src)
+	return nil
 }
 
-// Write performs a one-sided WRITE of buf to (target, raddr). The bytes
-// land at completion time.
-func (ep *Endpoint) Write(p *sim.Proc, target int, raddr mem.VA, buf []byte) {
+// Read is the reliable form of TryRead: it retries with capped
+// exponential virtual-time backoff until the READ completes. Safe
+// because reads are idempotent and injected failures have no remote
+// effect. Identical to TryRead when no injector is attached.
+func (ep *Endpoint) Read(p *sim.Proc, target int, raddr mem.VA, buf []byte) {
+	for attempt := 0; ; attempt++ {
+		if err := ep.TryRead(p, target, raddr, buf); err == nil {
+			return
+		}
+		ep.retryBackoff(p, attempt)
+	}
+}
+
+// TryWrite performs a one-sided WRITE of buf to (target, raddr). The
+// bytes land at completion time; a failed WRITE lands nothing.
+func (ep *Endpoint) TryWrite(p *sim.Proc, target int, raddr mem.VA, buf []byte) error {
 	lat := scaleLat(ep.fab.params.WriteLatency(len(buf)), ep.scaleTo(target))
+	extra, fail := ep.inject(OpWrite, target, len(buf))
+	lat += extra
 	ep.stats.Writes++
 	ep.stats.BytesWritten += uint64(len(buf))
 	ep.stats.CyclesBlocked += lat
 	p.Advance(lat)
+	if fail {
+		return fmt.Errorf("%w: WRITE rank %d → rank %d", ErrInjected, ep.rank, target)
+	}
 	dst := ep.fab.eps[target].pinnedSlice(raddr, uint64(len(buf)))
 	copy(dst, buf)
+	return nil
 }
 
-// ReadToVA is Read with a pinned local destination region (the form used
-// for stack transfer into the uni-address region, §5.3).
-func (ep *Endpoint) ReadToVA(p *sim.Proc, target int, raddr mem.VA, laddr mem.VA, n uint64) {
+// Write is the reliable form of TryWrite (retry until success).
+func (ep *Endpoint) Write(p *sim.Proc, target int, raddr mem.VA, buf []byte) {
+	for attempt := 0; ; attempt++ {
+		if err := ep.TryWrite(p, target, raddr, buf); err == nil {
+			return
+		}
+		ep.retryBackoff(p, attempt)
+	}
+}
+
+// TryReadToVA is TryRead with a pinned local destination region (the
+// form used for stack transfer into the uni-address region, §5.3). A
+// failed READ leaves the destination untouched.
+func (ep *Endpoint) TryReadToVA(p *sim.Proc, target int, raddr mem.VA, laddr mem.VA, n uint64) error {
 	lat := scaleLat(ep.fab.params.ReadLatency(int(n)), ep.scaleTo(target))
+	extra, fail := ep.inject(OpRead, target, int(n))
+	lat += extra
 	ep.stats.Reads++
 	ep.stats.BytesRead += n
 	ep.stats.CyclesBlocked += lat
 	p.Advance(lat)
+	if fail {
+		return fmt.Errorf("%w: READ rank %d → rank %d (%d bytes)", ErrInjected, ep.rank, target, n)
+	}
 	src := ep.fab.eps[target].pinnedSlice(raddr, n)
 	dst := ep.pinnedSlice(laddr, n)
 	copy(dst, src)
+	return nil
 }
 
-// ReadU64 reads a little-endian uint64 at (target, raddr).
+// ReadToVA is the reliable form of TryReadToVA (retry until success).
+func (ep *Endpoint) ReadToVA(p *sim.Proc, target int, raddr mem.VA, laddr mem.VA, n uint64) {
+	for attempt := 0; ; attempt++ {
+		if err := ep.TryReadToVA(p, target, raddr, laddr, n); err == nil {
+			return
+		}
+		ep.retryBackoff(p, attempt)
+	}
+}
+
+// TryReadU64 reads a little-endian uint64 at (target, raddr).
+func (ep *Endpoint) TryReadU64(p *sim.Proc, target int, raddr mem.VA) (uint64, error) {
+	var b [8]byte
+	if err := ep.TryRead(p, target, raddr, b[:]); err != nil {
+		return 0, err
+	}
+	return leU64(b[:]), nil
+}
+
+// ReadU64 reads a little-endian uint64 at (target, raddr), reliably.
 func (ep *Endpoint) ReadU64(p *sim.Proc, target int, raddr mem.VA) uint64 {
 	var b [8]byte
 	ep.Read(p, target, raddr, b[:])
 	return leU64(b[:])
 }
 
-// WriteU64 writes a little-endian uint64 to (target, raddr).
+// TryWriteU64 writes a little-endian uint64 to (target, raddr).
+func (ep *Endpoint) TryWriteU64(p *sim.Proc, target int, raddr mem.VA, v uint64) error {
+	var b [8]byte
+	putLeU64(b[:], v)
+	return ep.TryWrite(p, target, raddr, b[:])
+}
+
+// WriteU64 writes a little-endian uint64 to (target, raddr), reliably.
 func (ep *Endpoint) WriteU64(p *sim.Proc, target int, raddr mem.VA, v uint64) {
 	var b [8]byte
 	putLeU64(b[:], v)
 	ep.Write(p, target, raddr, b[:])
 }
 
-// FetchAdd atomically adds delta to the uint64 at (target, raddr) and
-// returns the previous value. With HardwareFAA it is a single fabric
-// atomic; otherwise the request is serviced by the target node's
+// TryFetchAdd atomically adds delta to the uint64 at (target, raddr)
+// and returns the previous value. With HardwareFAA it is a single
+// fabric atomic; otherwise the request is serviced by the target node's
 // communication server (the paper's software scheme). If target is the
-// caller's own rank the operation is a local CPU atomic.
-func (ep *Endpoint) FetchAdd(p *sim.Proc, target int, raddr mem.VA, delta uint64) uint64 {
+// caller's own rank the operation is a local CPU atomic and never
+// fails. A returned error guarantees the add was NOT applied
+// (fail-before-effect), so retrying is safe.
+func (ep *Endpoint) TryFetchAdd(p *sim.Proc, target int, raddr mem.VA, delta uint64) (uint64, error) {
 	if target == ep.rank {
 		p.Advance(ep.fab.params.LocalAtomic)
-		return ep.fab.applyFAA(target, raddr, delta)
+		return ep.fab.applyFAA(target, raddr, delta), nil
 	}
 	ep.stats.FAAs++
 	if ep.fab.params.HardwareFAA {
 		lat := scaleLat(ep.fab.params.HardwareFAALatency, ep.scaleTo(target))
+		extra, fail := ep.inject(OpFAA, target, 8)
+		lat += extra
 		ep.stats.CyclesBlocked += lat
 		p.Advance(lat)
-		return ep.fab.applyFAA(target, raddr, delta)
+		if fail {
+			return 0, fmt.Errorf("%w: FAA rank %d → rank %d", ErrInjected, ep.rank, target)
+		}
+		return ep.fab.applyFAA(target, raddr, delta), nil
 	}
 	srv := ep.fab.eps[target].server
 	if srv == nil {
 		panic(fmt.Sprintf("rdma: rank %d has no comm server for software FAA", target))
 	}
 	start := p.Now()
-	old := srv.request(p, ep.fab, ep.scaleTo(target), target, raddr, delta)
+	old, err := srv.request(p, ep.fab, ep.scaleTo(target), ep.rank, target, raddr, delta)
 	ep.stats.CyclesBlocked += p.Now() - start
-	return old
+	if err != nil {
+		ep.stats.FAATimeouts++
+	}
+	return old, err
+}
+
+// FetchAdd is the reliable form of TryFetchAdd (retry until success —
+// safe because failed FAAs were never applied).
+func (ep *Endpoint) FetchAdd(p *sim.Proc, target int, raddr mem.VA, delta uint64) uint64 {
+	for attempt := 0; ; attempt++ {
+		old, err := ep.TryFetchAdd(p, target, raddr, delta)
+		if err == nil {
+			return old
+		}
+		ep.retryBackoff(p, attempt)
+	}
 }
 
 // applyFAA performs the read-modify-write on the target memory. It must

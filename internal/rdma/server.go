@@ -16,6 +16,7 @@ type Server struct {
 	proc    *sim.Proc
 	queue   []*faaRequest
 	handled uint64
+	dropped uint64
 }
 
 type faaRequest struct {
@@ -26,6 +27,13 @@ type faaRequest struct {
 	from   *sim.Proc
 	scale  float64 // intra-node latency factor requester→target
 	old    uint64
+	// done is set by the server the instant it applies the add;
+	// abandoned is set by the initiator's timeout. Exactly one of them
+	// ends the request: the server skips abandoned requests (so a timed-
+	// out FAA is never applied — fail-before-effect), and the timeout
+	// callback ignores done requests.
+	done      bool
+	abandoned bool
 }
 
 // NewServer spawns the server process on eng. The server idles
@@ -42,27 +50,76 @@ func (s *Server) Proc() *sim.Proc { return s.proc }
 // Handled returns the number of requests serviced.
 func (s *Server) Handled() uint64 { return s.handled }
 
+// Dropped returns the number of requests whose notice the injector
+// dropped before they reached the server.
+func (s *Server) Dropped() uint64 { return s.dropped }
+
 // request is called from the requesting proc's goroutine. It models the
 // full software FAA round trip: the request arrives at the server after
 // a WRITE-with-notice latency, waits for the server core, is applied
 // (ServerHandling cycles), and the reply returns after a WRITE latency.
-// The caller blocks for the whole round trip and receives the old value.
-func (s *Server) request(p *sim.Proc, f *Fabric, scale float64, target int, addr mem.VA, delta uint64) uint64 {
+// The caller blocks for the whole round trip and receives the old
+// value.
+//
+// Under fault injection the request notice may be dropped (OpNotice
+// failure) or arrive late (spike). With Params.FAATimeout > 0 the
+// caller gives up after that many cycles and receives ErrFAATimeout;
+// the server skips abandoned requests, so the add is guaranteed
+// unapplied and the caller may blindly retry. A dropped notice with no
+// timeout configured fails after the request latency instead of
+// wedging the caller forever.
+func (s *Server) request(p *sim.Proc, f *Fabric, scale float64, from, target int, addr mem.VA, delta uint64) (uint64, error) {
 	req := &faaRequest{fab: f, target: target, addr: addr, delta: delta, from: p, scale: scale}
 	reqLat := scaleLat(f.params.NoticeLatency(16), scale)
+	var dropped bool
+	if inj := f.injector; inj != nil {
+		var extra uint64
+		extra, dropped = inj.Decide(OpNotice, from, target, 16, p.Now())
+		reqLat += extra
+	}
 	eng := p.Engine()
-	eng.After(reqLat, func() {
-		s.queue = append(s.queue, req)
-		if s.proc.Blocked() {
-			eng.UnblockProc(s.proc, 0)
-		}
-	})
+	if dropped {
+		s.dropped++
+	} else {
+		eng.After(reqLat, func() {
+			if req.abandoned {
+				return
+			}
+			s.queue = append(s.queue, req)
+			if s.proc.Blocked() {
+				eng.UnblockProc(s.proc, 0)
+			}
+		})
+	}
+	timeout := f.params.FAATimeout
+	switch {
+	case timeout > 0:
+		eng.After(timeout, func() {
+			if req.done || req.abandoned {
+				return
+			}
+			req.abandoned = true
+			eng.UnblockProc(req.from, 0)
+		})
+	case dropped:
+		// No timeout configured: the lost request would block the
+		// caller forever. Report the failure as soon as the NIC-side
+		// send completes.
+		eng.After(reqLat, func() {
+			req.abandoned = true
+			eng.UnblockProc(req.from, 0)
+		})
+	}
 	p.Block()
-	return req.old
+	if req.abandoned {
+		return 0, ErrFAATimeout
+	}
+	return req.old, nil
 }
 
 // run is the server loop: pop a request, spend the handling cost, apply
-// the atomic, send the reply.
+// the atomic, send the reply. Requests abandoned by a timed-out
+// initiator are skipped without applying the add.
 func (s *Server) run(p *sim.Proc) {
 	for {
 		if len(s.queue) == 0 {
@@ -71,7 +128,16 @@ func (s *Server) run(p *sim.Proc) {
 		}
 		req := s.queue[0]
 		s.queue = s.queue[1:]
+		if req.abandoned {
+			continue
+		}
 		p.Advance(req.fab.params.ServerHandling)
+		if req.abandoned {
+			// The initiator gave up while we were busy: do not apply
+			// (it may already be retrying) and do not unblock.
+			continue
+		}
+		req.done = true
 		req.old = req.fab.applyFAA(req.target, req.addr, req.delta)
 		s.handled++
 		p.Unblock(req.from, scaleLat(req.fab.params.WriteLatency(8), req.scale))

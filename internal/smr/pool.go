@@ -1,10 +1,11 @@
 package smr
 
 import (
-	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"uniaddr/internal/sim"
 )
 
 // task is one queued unit of work.
@@ -45,7 +46,12 @@ type Worker struct {
 	pool *Pool
 	id   int
 	dq   *deque
-	rng  *rand.Rand
+	// rng drives victim selection. sim.RNG (xorshift64*) rather than
+	// math/rand so the victim sequence each worker draws is a pure
+	// function of the pool seed — host scheduling still interleaves
+	// workers nondeterministically, but the per-worker streams are
+	// reproducible and dependency-free.
+	rng sim.RNG
 }
 
 // ID returns the worker index.
@@ -56,13 +62,19 @@ func (w *Worker) Pool() *Pool { return w.pool }
 
 // NewPool starts n workers (n <= 0 selects GOMAXPROCS).
 func NewPool(n int) *Pool {
+	return NewPoolSeeded(n, 1)
+}
+
+// NewPoolSeeded is NewPool with an explicit seed for the per-worker
+// victim-selection RNG streams (worker i draws from seed+i).
+func NewPoolSeeded(n int, seed uint64) *Pool {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
 	p := &Pool{}
 	p.parkCv = sync.NewCond(&p.parkMu)
 	for i := 0; i < n; i++ {
-		w := &Worker{pool: p, id: i, dq: newDeque(), rng: rand.New(rand.NewSource(int64(i) + 1))}
+		w := &Worker{pool: p, id: i, dq: newDeque(), rng: sim.NewRNG(seed + uint64(i))}
 		p.workers = append(p.workers, w)
 	}
 	for _, w := range p.workers {
