@@ -40,7 +40,31 @@ func main() {
 	csvDir := flag.String("csv", "", "also write data series as CSV files into this directory")
 	chaosWorkers := flag.Int("chaos-workers", 8, "worker count for the chaos sweep")
 	chaosRates := flag.String("chaos-rates", "", "comma-separated fault rates for chaos (default 0,0.001,0.01,0.05)")
+	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of a representative faulted chaos run to this file (chaos only; view in Perfetto)")
+	obsOut := flag.Bool("obs", false, "print an observability summary of a representative faulted chaos run (chaos only)")
 	flag.Parse()
+
+	// Output sinks are validated up front: a bad -csv directory or an
+	// unwritable -trace path must fail now, not after a long sweep.
+	if *csvDir != "" {
+		if err := harness.EnsureWritableDir(*csvDir); err != nil {
+			fail(fmt.Errorf("-csv: %w", err))
+		}
+	}
+	if *traceOut != "" && *exp != "chaos" {
+		fail(fmt.Errorf("-trace is only supported with -exp chaos"))
+	}
+	if *obsOut && *exp != "chaos" {
+		fail(fmt.Errorf("-obs is only supported with -exp chaos"))
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(fmt.Errorf("-trace: %w", err))
+		}
+		traceFile = f
+	}
 
 	workers := harness.DefaultWorkerCounts
 	if *workersFlag != "" {
@@ -145,9 +169,24 @@ func main() {
 					rates = append(rates, r)
 				}
 			}
-			pts, err := harness.ChaosSweep(*chaosWorkers, harness.ChaosWorkloads(*scale), rates, *seed)
+			var obsv *harness.ChaosObserve
+			if traceFile != nil || *obsOut {
+				obsv = &harness.ChaosObserve{}
+				if traceFile != nil {
+					obsv.Trace = traceFile
+				}
+				if *obsOut {
+					obsv.Summary = out
+				}
+			}
+			pts, err := harness.ChaosSweepObserved(*chaosWorkers, harness.ChaosWorkloads(*scale), rates, *seed, obsv)
 			check(err)
 			harness.PrintChaos(out, *chaosWorkers, pts)
+			if traceFile != nil {
+				check(traceFile.Close())
+				traceFile = nil
+				fmt.Fprintf(out, "(Chrome trace written to %s — open in https://ui.perfetto.dev)\n", *traceOut)
+			}
 		default:
 			fail(fmt.Errorf("unknown experiment %q", name))
 		}

@@ -19,6 +19,7 @@ import (
 
 	"uniaddr/internal/core"
 	"uniaddr/internal/harness"
+	"uniaddr/internal/obs"
 	"uniaddr/internal/workloads"
 )
 
@@ -44,7 +45,19 @@ func main() {
 	ganttWidth := flag.Int("gantt-width", 100, "timeline width in characters")
 	perWorker := flag.Bool("per-worker", false, "print the per-worker table")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
+	doObs := flag.Bool("obs", false, "record observability events and print the text summary")
+	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON to this file (implies -obs recording; view in Perfetto)")
 	flag.Parse()
+
+	// The export target must be writable before the run, not after.
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(fmt.Errorf("-trace-out: %w", err))
+		}
+		traceFile = f
+	}
 
 	var spec workloads.Spec
 	switch *workload {
@@ -81,6 +94,7 @@ func main() {
 	cfg.SlowWorkerEvery = *slowEvery
 	cfg.SlowWorkerFactor = *slowFactor
 	cfg.Trace = *doTrace
+	cfg.Obs = *doObs || traceFile != nil
 	if *xeon {
 		cfg.Costs = core.XeonCosts()
 	}
@@ -105,6 +119,16 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	funcName := func(id uint32) string { return core.FuncName(core.FuncID(id)) }
+	if traceFile != nil {
+		opts := &obs.ChromeOpts{FuncName: funcName, Label: spec.Name}
+		if err := obs.WriteChromeTrace(traceFile, m.Obs(), opts); err != nil {
+			fail(fmt.Errorf("-trace-out: %w", err))
+		}
+		if err := traceFile.Close(); err != nil {
+			fail(fmt.Errorf("-trace-out: %w", err))
+		}
+	}
 	status := "validated against sequential reference"
 	if res != spec.Expected {
 		status = fmt.Sprintf("VALIDATION FAILED (got %d, want %d)", res, spec.Expected)
@@ -127,6 +151,13 @@ func main() {
 	if tr := m.Tracer(); tr != nil {
 		fmt.Println()
 		tr.RenderGantt(os.Stdout, *ganttWidth)
+	}
+	if *doObs {
+		fmt.Println()
+		obs.WriteSummary(os.Stdout, m.Obs(), funcName)
+	}
+	if *traceOut != "" {
+		fmt.Printf("(Chrome trace written to %s — open in https://ui.perfetto.dev)\n", *traceOut)
 	}
 	if res != spec.Expected {
 		os.Exit(1)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"uniaddr/internal/mem"
+	"uniaddr/internal/obs"
 	"uniaddr/internal/rdma"
 	"uniaddr/internal/sim"
 )
@@ -50,7 +51,14 @@ type Deque struct {
 	cap   uint64
 	// maxDepth tracks the high-water number of simultaneous entries.
 	maxDepth uint64
+	// log, when attached, receives deque-depth counter samples after
+	// local push/pop/take operations (nil-safe).
+	log *obs.WorkerLog
 }
+
+// SetLog attaches the owner's observability log; subsequent local
+// push/pop/take operations sample the deque depth into it.
+func (d *Deque) SetLog(l *obs.WorkerLog) { d.log = l }
 
 // NewDeque reserves and pins the deque region in space at base.
 func NewDeque(space *mem.AddressSpace, base mem.VA, cap uint64) (*Deque, error) {
@@ -114,6 +122,13 @@ func (d *Deque) Push(e Entry) error {
 			d.maxDepth = depth
 		}
 	}
+	if d.log != nil {
+		var depth uint64
+		if b+1 > t {
+			depth = b + 1 - t
+		}
+		d.log.Depth(depth)
+	}
 	return nil
 }
 
@@ -162,7 +177,13 @@ func (d *Deque) Pop(p *sim.Proc, ep *rdma.Endpoint, self int) (Entry, bool) {
 		}
 		e := d.readEntry(b)
 		d.unlockLocal()
+		if d.log != nil {
+			d.log.Depth(b - t)
+		}
 		return e, true
+	}
+	if d.log != nil {
+		d.log.Depth(b - t)
 	}
 	return d.readEntry(b), true
 }
@@ -399,7 +420,12 @@ func (d *Deque) TakeTopBegin(p *sim.Proc, ep *rdma.Endpoint, self int) (Entry, T
 }
 
 // Commit finalises the take and releases the lock.
-func (tk TopTake) Commit() { tk.d.unlockLocal() }
+func (tk TopTake) Commit() {
+	if tk.d.log != nil {
+		tk.d.log.Depth(tk.d.Size())
+	}
+	tk.d.unlockLocal()
+}
 
 // Abort restores the claimed top — safe because the lock was held
 // throughout, so neither the owner's pop nor any thief has moved the

@@ -104,14 +104,32 @@ func FuncName(id FuncID) string {
 //	+8   localsLen  u32  (bytes of locals following the header)
 //	+12  reserved   u32
 //	+16  record     u64  (Handle of this task's completion record)
-//	+24  reserved   u64
+//	+24  taskID     u64  (obs.TaskID for lineage tracking; 0 when
+//	                      observability is disabled)
+//
+// The task ID lives in the frame header on purpose: the frame bytes
+// are the complete migratable thread state, so the ID travels with
+// every steal, suspend swap and lifeline push for free, and any worker
+// holding the stack can attribute events to the task.
 const (
 	frameHdrSize   = 32
 	fhFuncIDOff    = 0
 	fhResumeOff    = 4
 	fhLocalsLenOff = 8
 	fhRecordOff    = 16
+	fhTaskIDOff    = 24
 )
+
+// frameTaskID reads the lineage ID stored in the frame header at base
+// (0 when observability was off at spawn time).
+func frameTaskID(space *mem.AddressSpace, base mem.VA) uint64 {
+	return space.MustReadU64(base + fhTaskIDOff)
+}
+
+// setFrameTaskID stamps the lineage ID into the frame header.
+func setFrameTaskID(space *mem.AddressSpace, base mem.VA, id uint64) {
+	space.MustWriteU64(base+fhTaskIDOff, id)
+}
 
 // FrameBytes returns the stack footprint of a task with localsLen bytes
 // of locals (header + locals, 16-byte aligned).

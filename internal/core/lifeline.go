@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"uniaddr/internal/mem"
+	"uniaddr/internal/obs"
 	"uniaddr/internal/trace"
 )
 
@@ -154,6 +155,11 @@ func (w *Worker) llServe() bool {
 		}
 		w.stats.LifelinePushes++
 		served = true
+		if w.obs != nil {
+			tid := obs.TaskID(frameTaskID(w.space, ent.FrameBase))
+			w.obs.Instant(obs.KLifelinePush, ent.FrameSize, tid, requester)
+			w.m.obs.TaskMoved(tid, w.rank, requester)
+		}
 		// The pushed thread's local bytes are dead; like a stolen
 		// thread they are reclaimed by clearDead when we go idle.
 	}
@@ -190,6 +196,10 @@ func (w *Worker) llConsume() bool {
 		}
 		copy(dst, src)
 		w.stats.LifelineReceives++
+		if w.obs != nil {
+			w.obs.Instant(obs.KLifelineRecv, frameSize,
+				obs.TaskID(frameTaskID(w.space, frameBase)), w.llOut[j])
+		}
 		w.llRegistered = false // re-register next time we idle
 		w.mark(trace.Work)
 		w.invoke(frameBase, frameSize)

@@ -6,6 +6,7 @@ import (
 	"uniaddr/internal/fault"
 	"uniaddr/internal/gas"
 	"uniaddr/internal/mem"
+	"uniaddr/internal/obs"
 	"uniaddr/internal/rdma"
 	"uniaddr/internal/sim"
 	"uniaddr/internal/trace"
@@ -58,7 +59,19 @@ type Config struct {
 
 	// Trace enables the per-worker execution timeline recorder
 	// (internal/trace); retrieve it with Machine.Tracer after Run.
+	// The Gantt timeline is derived from the observability event
+	// stream, so Trace implies the obs recorder.
 	Trace bool
+
+	// Obs enables the structured event recorder (internal/obs):
+	// per-worker typed event rings, task lineage and latency
+	// histograms; retrieve it with Machine.Obs after Run. Recording is
+	// host-side only — it never perturbs virtual time, so a run with
+	// Obs on is cycle-identical to the same run with it off.
+	Obs bool
+	// ObsRingCap bounds each worker's event ring (<= 0 selects
+	// obs.DefaultRingCap; oldest events are dropped on overflow).
+	ObsRingCap int
 
 	// Victim selects the victim-selection policy for work stealing.
 	Victim VictimPolicy
@@ -193,6 +206,7 @@ type Machine struct {
 	elapsed    uint64
 	ran        bool
 	tracer     *trace.Recorder
+	obs        *obs.Recorder
 	injector   *fault.Injector
 }
 
@@ -264,8 +278,11 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if inj != nil {
 		m.fab.SetInjector(inj)
 	}
-	if cfg.Trace {
-		m.tracer = trace.NewRecorder(cfg.Workers)
+	if cfg.Trace || cfg.Obs {
+		// One recorder serves both consumers: the typed event stream
+		// (Machine.Obs) and, post-run, the Gantt timeline
+		// (Machine.Tracer) replayed from its state transitions.
+		m.obs = obs.NewRecorder(cfg.Workers, cfg.ObsRingCap, m.eng.Now)
 	}
 	var sch scheme
 	if cfg.Scheme == SchemeIso {
@@ -288,8 +305,10 @@ func NewMachine(cfg Config) (*Machine, error) {
 		if cfg.SlowWorkerEvery > 0 && rank%cfg.SlowWorkerEvery == cfg.SlowWorkerEvery-1 && cfg.SlowWorkerFactor > 1 {
 			w.slowFactor = cfg.SlowWorkerFactor
 		}
+		w.obs = m.obs.Worker(rank)
 		w.ep = m.fab.AddEndpoint(space)
 		w.ep.SetNode(w.node)
+		w.ep.SetLog(w.obs)
 		heapReg, err := space.Reserve("rdmaheap", cfg.RDMABase, cfg.RDMASize, true)
 		if err != nil {
 			return nil, err
@@ -298,6 +317,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		if w.deque, err = NewDeque(space, cfg.DequeBase, cfg.DequeCap); err != nil {
 			return nil, err
 		}
+		w.deque.SetLog(w.obs)
 		if cfg.GasSize > 0 {
 			if w.gas, err = gas.NewHeap(space, w.ep, cfg.GasBase, cfg.GasSize, gas.DefaultCosts()); err != nil {
 				return nil, err
@@ -406,7 +426,19 @@ func (m *Machine) Run(fid FuncID, localsLen uint32, init func(*Env)) (uint64, er
 	}
 	end, err := m.eng.Run()
 	m.elapsed = end
-	m.tracer.Finish(end)
+	if m.cfg.Trace {
+		// Build the Gantt timeline by replaying the obs state stream.
+		// Transitions are recorded per worker in time order and
+		// deduplicated exactly like the old direct-mark path, so the
+		// rendered Gantt is byte-identical to it.
+		m.tracer = trace.NewRecorder(m.cfg.Workers)
+		for rank, l := range m.obs.Logs() {
+			for _, sc := range l.StateChanges() {
+				m.tracer.Switch(rank, sc.Time, trace.State(sc.State))
+			}
+		}
+		m.tracer.Finish(end)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -420,8 +452,12 @@ func (m *Machine) Run(fid FuncID, localsLen uint32, init func(*Env)) (uint64, er
 }
 
 // Tracer returns the execution-timeline recorder (nil unless
-// Config.Trace was set).
+// Config.Trace was set; populated by Run).
 func (m *Machine) Tracer() *trace.Recorder { return m.tracer }
+
+// Obs returns the structured event recorder (nil unless Config.Obs or
+// Config.Trace was set).
+func (m *Machine) Obs() *obs.Recorder { return m.obs }
 
 // ElapsedCycles returns the virtual time the run took.
 func (m *Machine) ElapsedCycles() uint64 { return m.elapsed }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"uniaddr/internal/mem"
+	"uniaddr/internal/obs"
 )
 
 // SchemeKind selects the thread-management scheme under test.
@@ -98,6 +99,10 @@ func (uniScheme) releaseStolen(w *Worker, base mem.VA, size uint64) {
 
 func (uniScheme) suspend(w *Worker, base mem.VA, size uint64) saved {
 	start := w.proc.Now()
+	var tid obs.TaskID
+	if w.obs != nil {
+		tid = obs.TaskID(frameTaskID(w.space, base))
+	}
 	w.adv(w.costs.SuspendCPU + w.costs.copyCycles(size))
 	buf := w.heap.MustAlloc(size)
 	if err := w.region.CopyOut(base, size, buf); err != nil {
@@ -105,6 +110,11 @@ func (uniScheme) suspend(w *Worker, base mem.VA, size uint64) saved {
 	}
 	w.stats.Suspends++
 	w.stats.SuspendCycles += w.proc.Now() - start
+	if w.obs != nil {
+		d := w.proc.Now() - start
+		w.m.obs.SuspendSwap.Record(d)
+		w.obs.Emit(obs.KSuspend, start, d, size, tid, -1)
+	}
 	return saved{base: base, size: size, buf: buf}
 }
 
@@ -133,8 +143,15 @@ func (uniScheme) transferStolen(w *Worker, victim int, ent Entry, ph *StealPhase
 		ph.StackTransfer += w.proc.Now() - start
 		return err
 	}
-	ph.StackTransfer += w.proc.Now() - start
+	xfer := w.proc.Now() - start
+	ph.StackTransfer += xfer
 	w.stats.BytesStolen += ent.FrameSize
+	if w.obs != nil {
+		w.m.obs.StackXfer.Record(xfer)
+		w.m.obs.StackBytes.Record(ent.FrameSize)
+		w.obs.Emit(obs.KXfer, start, xfer, ent.FrameSize,
+			obs.TaskID(frameTaskID(w.space, ent.FrameBase)), victim)
+	}
 	return nil
 }
 
@@ -211,9 +228,16 @@ func (isoScheme) releaseStolen(w *Worker, base mem.VA, size uint64) {
 func (isoScheme) suspend(w *Worker, base mem.VA, size uint64) saved {
 	// Iso-address never moves a suspended stack; parking is just a
 	// context save.
+	start := w.proc.Now()
 	w.adv(w.costs.SaveContext)
 	w.stats.Suspends++
 	w.stats.SuspendCycles += w.costs.SaveContext
+	if w.obs != nil {
+		d := w.proc.Now() - start
+		w.m.obs.SuspendSwap.Record(d)
+		w.obs.Emit(obs.KSuspend, start, d, size,
+			obs.TaskID(frameTaskID(w.space, base)), -1)
+	}
 	return saved{base: base, size: size}
 }
 
@@ -246,8 +270,15 @@ func (isoScheme) transferStolen(w *Worker, victim int, ent Entry, ph *StealPhase
 	w.stats.PageFaults += faults
 	w.proc.Advance(lat)
 	copy(dst, src)
-	ph.StackTransfer += w.proc.Now() - start
+	xfer := w.proc.Now() - start
+	ph.StackTransfer += xfer
 	w.stats.BytesStolen += ent.FrameSize
+	if w.obs != nil {
+		w.m.obs.StackXfer.Record(xfer)
+		w.m.obs.StackBytes.Record(ent.FrameSize)
+		w.obs.Emit(obs.KXfer, start, xfer, ent.FrameSize,
+			obs.TaskID(frameTaskID(w.space, ent.FrameBase)), victim)
+	}
 	// The iso transfer is two-sided (victim CPU assists) and not part
 	// of the injected one-sided fault model, so it cannot fail.
 	return nil

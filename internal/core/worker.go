@@ -6,6 +6,7 @@ import (
 
 	"uniaddr/internal/gas"
 	"uniaddr/internal/mem"
+	"uniaddr/internal/obs"
 	"uniaddr/internal/rdma"
 	"uniaddr/internal/sim"
 	"uniaddr/internal/trace"
@@ -77,6 +78,7 @@ type Worker struct {
 	gas        *gas.Heap
 	waitq      []saved
 	stats      WorkerStats
+	obs        *obs.WorkerLog // nil unless Config.Obs/Trace (nil-safe)
 	lastVictim int     // last successful victim (VictimLastSuccess), -1 none
 	slowFactor float64 // >1 = straggler (CPU costs scaled)
 
@@ -117,18 +119,34 @@ func (w *Worker) adv(c uint64) {
 	w.proc.Advance(c)
 }
 
-// mark records a timeline state change when tracing is enabled.
+// mark records a timeline state change when observability is enabled.
+// The transitions feed both the typed event stream and, post-run, the
+// Gantt recorder (Machine.Run replays them into internal/trace).
 func (w *Worker) mark(s trace.State) {
-	if w.m.tracer != nil {
-		w.m.tracer.Switch(w.rank, w.proc.Now(), s)
-	}
+	w.obs.State(uint8(s))
 }
 
 // Rank returns the worker's process rank.
 func (w *Worker) Rank() int { return w.rank }
 
 // Stats returns a snapshot of the worker's counters.
+//
+// The snapshot is only coherent at quiescence: while the simulation is
+// running the counters mutate between events, so a mid-run read (e.g.
+// from an Engine.After callback) can observe a half-updated pair such
+// as StealAttempts without the matching outcome counter. Read it after
+// Machine.Run returns, or use StatsAtQuiescence to have that checked.
 func (w *Worker) Stats() WorkerStats { return w.stats }
+
+// StatsAtQuiescence returns the worker's counters, panicking if the
+// simulation is still running (when a coherent snapshot cannot be
+// guaranteed).
+func (w *Worker) StatsAtQuiescence() WorkerStats {
+	if w.m.eng.Running() {
+		panic("core: StatsAtQuiescence called while the simulation is running")
+	}
+	return w.stats
+}
 
 // Space returns the worker's address space (for memory accounting).
 func (w *Worker) Space() *mem.AddressSpace { return w.space }
@@ -170,6 +188,11 @@ func (w *Worker) newThread(fid FuncID, localsLen uint32, init func(*Env), root b
 	size := FrameBytes(localsLen)
 	base := w.sch.newFrame(w, size)
 	writeFrameHeader(w.space, base, fid, localsLen, rec)
+	if w.obs != nil {
+		id := w.m.obs.NewTask(0, w.rank, uint32(fid), uint64(rec))
+		setFrameTaskID(w.space, base, uint64(id))
+		w.obs.Instant(obs.KSpawn, 0, id, -1)
+	}
 	if init != nil {
 		init(&Env{w: w, base: base, size: size})
 	}
@@ -189,12 +212,25 @@ func (w *Worker) invoke(base mem.VA, size uint64) Status {
 	fid := FuncID(binary.LittleEndian.Uint32(hb[fhFuncIDOff:]))
 	rp := binary.LittleEndian.Uint32(hb[fhResumeOff:])
 	e := Env{w: w, base: base, size: size, rp: rp}
+	var tid obs.TaskID
+	var tstart uint64
+	if w.obs != nil {
+		tid = obs.TaskID(frameTaskID(w.space, base))
+		tstart = w.proc.Now()
+	}
 	st := lookupFn(fid)(&e)
+	if w.obs != nil {
+		w.obs.Emit(obs.KTask, tstart, w.proc.Now()-tstart, uint64(fid), tid, -1)
+	}
 	if st == Done {
 		if !e.returned {
 			w.completeRecord(e.Self(), 0)
 		}
 		w.stats.TasksExecuted++
+		if w.obs != nil {
+			w.m.obs.TaskDone(tid, w.rank)
+			w.obs.Instant(obs.KTaskDone, 0, tid, -1)
+		}
 		w.sch.retireFrame(w, base, size)
 	}
 	return st
@@ -232,6 +268,12 @@ func (e *Env) Spawn(resumeRP, handleSlot int, fid FuncID, localsLen uint32, init
 	}
 	cbase := w.sch.newFrame(w, size)
 	writeFrameHeader(w.space, cbase, fid, localsLen, rec)
+	if w.obs != nil {
+		parent := obs.TaskID(frameTaskID(w.space, e.base))
+		id := w.m.obs.NewTask(parent, w.rank, uint32(fid), uint64(rec))
+		setFrameTaskID(w.space, cbase, uint64(id))
+		w.obs.Instant(obs.KSpawn, uint64(parent), id, -1)
+	}
 	if init != nil {
 		init(&Env{w: w, base: cbase, size: size})
 	}
@@ -248,6 +290,9 @@ func (e *Env) Spawn(resumeRP, handleSlot int, fid FuncID, localsLen uint32, init
 	// The pop failed: this thread's continuation (and, by FIFO order,
 	// every ancestor's) was stolen. Unwind to the scheduler.
 	w.stats.ParentStolen++
+	if w.obs != nil {
+		w.obs.Instant(obs.KPopFail, 0, obs.TaskID(frameTaskID(w.space, e.base)), -1)
+	}
 	w.sch.releaseStolen(w, e.base, e.size)
 	return false
 }
@@ -266,10 +311,17 @@ func (e *Env) Join(resumeRP int, h Handle) (uint64, bool) {
 	}
 	if done, v := w.tryJoin(h); done {
 		w.stats.JoinsFast++
+		if w.obs != nil {
+			jid := w.m.obs.TaskJoined(uint64(h), w.rank)
+			w.obs.Instant(obs.KJoinFast, 0, jid, -1)
+		}
 		w.freeRecord(h)
 		return v, true
 	}
 	w.stats.JoinsMiss++
+	if w.obs != nil {
+		w.obs.Instant(obs.KJoinMiss, 0, obs.TaskID(frameTaskID(w.space, e.base)), -1)
+	}
 	e.setRP(uint32(resumeRP))
 	w.mark(trace.Suspend)
 	sc := w.sch.suspend(w, e.base, e.size)
@@ -333,8 +385,16 @@ func (w *Worker) schedulerLoop() {
 			sc := w.waitq[0]
 			w.waitq = w.waitq[1:]
 			w.mark(trace.Suspend)
+			var rstart uint64
+			if w.obs != nil {
+				rstart = p.Now()
+			}
 			w.sch.resumeSaved(w, sc)
 			w.stats.ResumesWait++
+			if w.obs != nil {
+				w.obs.Emit(obs.KResumeWait, rstart, p.Now()-rstart, 0,
+					obs.TaskID(frameTaskID(w.space, sc.base)), -1)
+			}
 			w.invoke(sc.base, sc.size)
 			continue
 		}
@@ -469,10 +529,14 @@ func (w *Worker) trySteal() bool {
 	}
 	w.stats.StealAttempts++
 	w.mark(trace.Steal)
+	stealStart := w.proc.Now()
 	w.adv(w.costs.VictimSelect)
 	victim := w.pickVictim(n)
 	if victim < 0 {
 		return false
+	}
+	if w.obs != nil {
+		w.obs.Emit(obs.KStealBegin, stealStart, 0, 0, 0, victim)
 	}
 	var ph StealPhases
 	var accept func(Entry) bool
@@ -491,29 +555,48 @@ func (w *Worker) trySteal() bool {
 			break
 		}
 		w.stats.StealFaults++
+		if w.obs != nil {
+			w.obs.Instant(obs.KStealFault, uint64(attempt), 0, victim)
+		}
 		w.noteStealFault(victim)
 		if attempt >= w.m.cfg.StealMaxRetries || w.victimBanned(victim) {
 			w.stats.StealAbortsFault++
 			w.stats.StealAbortCycles += ph.Total()
+			if w.obs != nil {
+				w.obs.Emit(obs.KStealAbandon, stealStart, w.proc.Now()-stealStart, 0, 0, victim)
+			}
 			return false
 		}
+		bstart := w.proc.Now()
 		w.stealBackoff(attempt)
 		w.stats.StealRetries++
+		if w.obs != nil {
+			w.obs.Emit(obs.KStealRetry, bstart, w.proc.Now()-bstart, uint64(attempt+1), 0, victim)
+		}
 	}
 	switch outcome {
 	case StealEmpty, StealEmptyLocked:
 		w.stats.StealAbortEmpty++
 		w.stats.StealAbortCycles += ph.Total()
 		w.lastVictim = -1
+		if w.obs != nil {
+			w.obs.Emit(obs.KStealEmpty, stealStart, w.proc.Now()-stealStart, 0, 0, victim)
+		}
 		return false
 	case StealLockBusy:
 		w.stats.StealAbortLock++
 		w.stats.StealAbortCycles += ph.Total()
+		if w.obs != nil {
+			w.obs.Emit(obs.KStealBusy, stealStart, w.proc.Now()-stealStart, 0, 0, victim)
+		}
 		return false
 	case StealReject:
 		w.stats.StealAbortSlot++
 		w.stats.StealAbortCycles += ph.Total()
 		w.lastVictim = -1
+		if w.obs != nil {
+			w.obs.Emit(obs.KStealReject, stealStart, w.proc.Now()-stealStart, 0, 0, victim)
+		}
 		return false
 	}
 	// Transfer the stack while still holding the victim's queue lock,
@@ -524,10 +607,19 @@ func (w *Worker) trySteal() bool {
 		// it keeps the thread, and give up on this victim for now.
 		w.stats.StealFaults++
 		w.stats.StealRollbacks++
+		if w.obs != nil {
+			w.obs.Instant(obs.KStealFault, 0, 0, victim)
+		}
 		w.deque.AbortRemote(w.proc, w.ep, victim, &ph)
+		if w.obs != nil {
+			w.obs.Instant(obs.KStealRollback, 0, 0, victim)
+		}
 		w.noteStealFault(victim)
 		w.stats.StealAbortsFault++
 		w.stats.StealAbortCycles += ph.Total()
+		if w.obs != nil {
+			w.obs.Emit(obs.KStealAbandon, stealStart, w.proc.Now()-stealStart, 0, 0, victim)
+		}
 		return false
 	}
 	w.lastVictim = victim
@@ -540,6 +632,13 @@ func (w *Worker) trySteal() bool {
 	w.adv(w.costs.ResumeCPU)
 	w.stats.ResumeCycles += w.proc.Now() - start
 	w.stats.StealsOK++
+	if w.obs != nil {
+		lat := w.proc.Now() - stealStart
+		tid := obs.TaskID(frameTaskID(w.space, ent.FrameBase))
+		w.m.obs.StealLatency.Record(lat)
+		w.obs.Emit(obs.KStealOK, stealStart, lat, ent.FrameSize, tid, victim)
+		w.m.obs.TaskMoved(tid, victim, w.rank)
+	}
 	w.invoke(ent.FrameBase, ent.FrameSize)
 	return true
 }

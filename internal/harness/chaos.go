@@ -8,6 +8,7 @@ import (
 
 	"uniaddr/internal/core"
 	"uniaddr/internal/fault"
+	"uniaddr/internal/obs"
 	"uniaddr/internal/workloads"
 )
 
@@ -146,14 +147,38 @@ func chaosRun(spec workloads.Spec, workers int, seed uint64, rate float64) (*cor
 	return spec.Run(cfg)
 }
 
+// ChaosObserve requests observability artifacts from a chaos sweep:
+// the Chrome trace-event JSON (Perfetto-loadable) and/or compact text
+// summary of one representative faulted run. The sweep prefers a run
+// that exhibits the full failure story — at least one injected steal
+// fault, a retry, and an eventual successful steal — falling back to
+// any faulted run, so the exported timeline shows the fault, its
+// retries and the recovery side by side on the victim's and thief's
+// tracks.
+type ChaosObserve struct {
+	Trace   io.Writer // Chrome trace JSON destination (nil = skip)
+	Summary io.Writer // text summary destination (nil = skip)
+}
+
 // ChaosSweep runs every workload at every fault rate, each point twice
 // with the same seed, asserting the three invariants. It errors out on
 // the first violation.
 func ChaosSweep(workers int, specs []workloads.Spec, rates []float64, seed uint64) ([]ChaosPoint, error) {
+	return ChaosSweepObserved(workers, specs, rates, seed, nil)
+}
+
+// ChaosSweepObserved is ChaosSweep with optional artifact export (see
+// ChaosObserve; nil behaves exactly like ChaosSweep).
+func ChaosSweepObserved(workers int, specs []workloads.Spec, rates []float64, seed uint64, obsv *ChaosObserve) ([]ChaosPoint, error) {
 	if len(rates) == 0 {
 		rates = DefaultChaosRates
 	}
 	var pts []ChaosPoint
+	// Representative faulted run for artifact export: highest score
+	// wins, earliest sweep order breaks ties (deterministic).
+	var obsM *core.Machine
+	var obsTag string
+	obsScore := 0
 	for _, spec := range specs {
 		for _, rate := range rates {
 			tag := fmt.Sprintf("%s at rate %g on %d workers", spec.Name, rate, workers)
@@ -197,6 +222,35 @@ func ChaosSweep(workers int, specs []workloads.Spec, rates []float64, seed uint6
 				NetRetries:     ns.Retries,
 				FAATimeouts:    ns.FAATimeouts,
 			})
+			if obsv != nil && rate > 0 && ns.InjectedFaults > 0 {
+				score := 1
+				if st.StealFaults > 0 {
+					score = 2
+				}
+				if st.StealFaults > 0 && st.StealRetries > 0 && st.StealsOK > 0 {
+					score = 3
+				}
+				if score > obsScore {
+					obsScore = score
+					obsM = m
+					obsTag = tag
+				}
+			}
+		}
+	}
+	if obsv != nil && obsM != nil {
+		opts := &obs.ChromeOpts{
+			FuncName: func(id uint32) string { return core.FuncName(core.FuncID(id)) },
+			Label:    "chaos: " + obsTag,
+		}
+		if obsv.Trace != nil {
+			if err := obs.WriteChromeTrace(obsv.Trace, obsM.Obs(), opts); err != nil {
+				return pts, fmt.Errorf("chaos: trace export: %w", err)
+			}
+		}
+		if obsv.Summary != nil {
+			fmt.Fprintf(obsv.Summary, "chaos artifact: %s\n", obsTag)
+			obs.WriteSummary(obsv.Summary, obsM.Obs(), opts.FuncName)
 		}
 	}
 	return pts, nil

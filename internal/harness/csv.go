@@ -105,6 +105,22 @@ func WriteFig11CSV(dir, fig string, curves []Fig11Curve) error {
 		[]string{"series", "workers", "items", "throughput", "ci95", "efficiency", "steals"}, rows)
 }
 
+// EnsureWritableDir creates dir if needed and proves a file can be
+// created inside it, so a long experiment fails before running rather
+// than after when the output location is bad.
+func EnsureWritableDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".writable-*")
+	if err != nil {
+		return fmt.Errorf("directory %s is not writable: %w", dir, err)
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
+}
+
 // MaybeCSV runs fn when dir is non-empty, creating the directory first.
 func MaybeCSV(dir string, fn func() error) error {
 	if dir == "" {

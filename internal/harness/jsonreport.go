@@ -38,6 +38,15 @@ type RunReport struct {
 	BytesStolen     uint64  `json:"bytes_stolen"`
 	AvgStealCycles  float64 `json:"avg_steal_cycles"`
 
+	// Steal-latency tail percentiles in virtual cycles (begin → stolen
+	// thread runnable), measured by the observability recorder. Present
+	// only when Config.Obs or Config.Trace was set and steals happened,
+	// so reports from runs without observability are byte-identical to
+	// pre-observability ones.
+	StealLatencyP50 uint64 `json:"steal_latency_p50,omitempty"`
+	StealLatencyP95 uint64 `json:"steal_latency_p95,omitempty"`
+	StealLatencyP99 uint64 `json:"steal_latency_p99,omitempty"`
+
 	PageFaults     uint64 `json:"page_faults"`
 	MaxStackBytes  uint64 `json:"max_stack_bytes"`
 	MaxReservedVA  uint64 `json:"max_reserved_bytes"`
@@ -114,6 +123,11 @@ func BuildRunReport(m *core.Machine, items uint64) RunReport {
 	}
 	if st.StealsOK > 0 {
 		r.AvgStealCycles = float64(st.Phases.Total()) / float64(st.StealsOK)
+	}
+	if rec := m.Obs(); rec != nil && rec.StealLatency.Count > 0 {
+		r.StealLatencyP50 = rec.StealLatency.Quantile(0.50)
+		r.StealLatencyP95 = rec.StealLatency.Quantile(0.95)
+		r.StealLatencyP99 = rec.StealLatency.Quantile(0.99)
 	}
 	if tr := m.Tracer(); tr != nil {
 		u := tr.Utilization()

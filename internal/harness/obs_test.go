@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"uniaddr/internal/workloads"
+)
+
+// TestChaosTraceExport is the observability acceptance gate: a chaos
+// sweep at a 1% fault rate must export a Perfetto-loadable Chrome
+// trace that shows at least one injected fault (on both the initiator's
+// and the target's tracks), the retries, and an eventual successful
+// steal.
+func TestChaosTraceExport(t *testing.T) {
+	var trace, summary bytes.Buffer
+	obsv := &ChaosObserve{Trace: &trace, Summary: &summary}
+	pts, err := ChaosSweepObserved(8,
+		[]workloads.Spec{workloads.Fib(14, 50)}, []float64{0.01}, 1, obsv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].InjectedFaults == 0 {
+		t.Fatalf("sweep point did not inject faults: %+v", pts)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int32  `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	faultTids := map[int32]bool{}
+	var retries, stealsOK int
+	for _, e := range doc.TraceEvents {
+		switch e.Name {
+		case "fault":
+			faultTids[e.Tid] = true
+		case "net-retry", "steal-retry":
+			retries++
+		case "steal":
+			if e.Ph == "X" {
+				stealsOK++
+			}
+		}
+	}
+	if len(faultTids) < 2 {
+		t.Errorf("injected faults visible on %d tracks, want both ends (>= 2)", len(faultTids))
+	}
+	if retries == 0 {
+		t.Error("no retry events in the trace")
+	}
+	if stealsOK == 0 {
+		t.Error("no successful steal slices in the trace")
+	}
+	if !strings.Contains(summary.String(), "chaos artifact:") {
+		t.Errorf("summary missing artifact header:\n%s", summary.String())
+	}
+	if !strings.Contains(summary.String(), "steal latency") {
+		t.Errorf("summary missing steal-latency histogram:\n%s", summary.String())
+	}
+}
+
+// TestEnsureWritableDir covers the fail-early output validation used by
+// cmd/uniaddr-bench for -csv and -trace.
+func TestEnsureWritableDir(t *testing.T) {
+	if err := EnsureWritableDir(t.TempDir() + "/new/nested"); err != nil {
+		t.Fatalf("creatable directory rejected: %v", err)
+	}
+	// A path through an existing *file* can never become a directory.
+	f := t.TempDir() + "/occupied"
+	if err := writeCSV(f, []string{"x"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := EnsureWritableDir(f + "/sub"); err == nil {
+		t.Fatal("want error for a directory path through a file")
+	}
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteSummary renders the compact text post-mortem: per-kind event
+// counts, the latency histograms with tail percentiles, and the task
+// lineage digest (migrated tasks, hop distribution). fname resolves
+// task FuncIDs to names (nil allowed).
+func WriteSummary(w io.Writer, r *Recorder, fname func(uint32) string) {
+	if r == nil {
+		fmt.Fprintln(w, "obs: disabled")
+		return
+	}
+	var counts [numKinds]uint64
+	var total, dropped uint64
+	for _, l := range r.Logs() {
+		for _, e := range l.Events() {
+			counts[e.Kind]++
+		}
+		total += l.Total()
+		dropped += l.Dropped()
+	}
+	fmt.Fprintf(w, "obs: %d events recorded on %d workers", total, len(r.Logs()))
+	if dropped > 0 {
+		fmt.Fprintf(w, " (%d dropped by full rings — oldest first)", dropped)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  events by kind:")
+	n := 0
+	for k := Kind(0); k < numKinds; k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		if n%4 == 0 {
+			fmt.Fprintf(w, "\n   ")
+		}
+		n++
+		fmt.Fprintf(w, " %-14s %10d", k.String(), counts[k])
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "  latency histograms (virtual cycles):\n")
+	fmt.Fprintf(w, "    %-18s %9s %12s %10s %10s %10s %10s\n",
+		"quantity", "count", "mean", "p50", "p95", "p99", "max")
+	hist := func(name string, h *Hist) {
+		if h.Count == 0 {
+			return
+		}
+		fmt.Fprintf(w, "    %-18s %9d %12.1f %10d %10d %10d %10d\n",
+			name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max)
+	}
+	hist("steal latency", &r.StealLatency)
+	hist("stack transfer", &r.StackXfer)
+	hist("stack bytes", &r.StackBytes)
+	hist("software FAA", &r.FAARoundTrip)
+	hist("suspend swap", &r.SuspendSwap)
+
+	tasks := r.Tasks()
+	migrated, hops, maxHops := 0, 0, 0
+	var farthest *Lineage
+	for _, ln := range tasks {
+		if len(ln.Hops) == 0 {
+			continue
+		}
+		migrated++
+		hops += len(ln.Hops)
+		if len(ln.Hops) > maxHops {
+			maxHops = len(ln.Hops)
+			farthest = ln
+		}
+	}
+	fmt.Fprintf(w, "  tasks: %d spawned, %d migrated (%d hops total, max %d per task)\n",
+		len(tasks), migrated, hops, maxHops)
+	if farthest != nil {
+		name := "task"
+		if fname != nil {
+			name = fname(farthest.Func)
+		}
+		fmt.Fprintf(w, "    most-travelled: task %d (%s) spawned on w%d:",
+			farthest.ID, name, farthest.Spawn.Worker)
+		for _, h := range farthest.Hops {
+			fmt.Fprintf(w, " →w%d@%d", h.To, h.Time)
+		}
+		if farthest.Done.Worker >= 0 {
+			fmt.Fprintf(w, ", finished on w%d", farthest.Done.Worker)
+		}
+		if farthest.Joiner >= 0 {
+			fmt.Fprintf(w, ", joined by w%d", farthest.Joiner)
+		}
+		fmt.Fprintln(w)
+	}
+	// Per-worker migration balance: where stolen work landed.
+	recv := map[int32]int{}
+	for _, ln := range tasks {
+		for _, h := range ln.Hops {
+			recv[h.To]++
+		}
+	}
+	if len(recv) > 0 {
+		ranks := make([]int, 0, len(recv))
+		for r := range recv {
+			ranks = append(ranks, int(r))
+		}
+		sort.Ints(ranks)
+		fmt.Fprintf(w, "    migrations received:")
+		for _, rk := range ranks {
+			fmt.Fprintf(w, " w%d:%d", rk, recv[int32(rk)])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"uniaddr/internal/mem"
+	"uniaddr/internal/obs"
 	"uniaddr/internal/sim"
 )
 
@@ -178,6 +179,7 @@ type Endpoint struct {
 	space  *mem.AddressSpace
 	server *Server // the node-local comm server handling software FAA
 	stats  Stats
+	log    *obs.WorkerLog // nil unless observability is on (nil-safe)
 }
 
 // SetNode assigns the endpoint to a node for intra-node latency
@@ -213,7 +215,41 @@ func (ep *Endpoint) Rank() int { return ep.rank }
 func (ep *Endpoint) Space() *mem.AddressSpace { return ep.space }
 
 // Stats returns a snapshot of the endpoint's traffic counters.
+//
+// The snapshot is only coherent at quiescence: while the simulation is
+// running, counters are bumped before the op's latency elapses, so a
+// mid-run read (from an Engine.After callback, say) can see an op
+// counted whose bytes never land. Read it after the engine's Run
+// returns, or use StatsAtQuiescence to have that checked.
 func (ep *Endpoint) Stats() Stats { return ep.stats }
+
+// StatsAtQuiescence returns the traffic counters, panicking if the
+// simulation is still running (when a coherent snapshot cannot be
+// guaranteed).
+func (ep *Endpoint) StatsAtQuiescence() Stats {
+	if ep.fab.eng.Running() {
+		panic("rdma: StatsAtQuiescence called while the simulation is running")
+	}
+	return ep.stats
+}
+
+// SetLog attaches an observability log; every subsequent remote op the
+// endpoint initiates is recorded into it (issue time, latency, bytes,
+// target, injected-failure flag). A nil log disables recording.
+func (ep *Endpoint) SetLog(l *obs.WorkerLog) { ep.log = l }
+
+// logOp records one fabric op into the attached log, marking injected
+// failures.
+func (ep *Endpoint) logOp(k obs.Kind, start, lat uint64, bytes, target int, failed bool) {
+	if ep.log == nil {
+		return
+	}
+	var fl uint8
+	if failed {
+		fl = obs.FFailed
+	}
+	ep.log.EmitFlags(k, start, lat, uint64(bytes), 0, target, fl)
+}
 
 // SetServer attaches the node-local communication server that handles
 // software fetch-and-add requests targeting this endpoint's memory.
@@ -272,7 +308,11 @@ func (ep *Endpoint) retryBackoff(p *sim.Proc, attempt int) {
 	}
 	ep.stats.Retries++
 	ep.stats.CyclesBlocked += d
+	start := p.Now()
 	p.Advance(d)
+	if ep.log != nil {
+		ep.log.Emit(obs.KNetRetry, start, d, uint64(attempt+1), 0, -1)
+	}
 }
 
 // TryRead performs a one-sided READ of len(buf) bytes from (target,
@@ -287,7 +327,9 @@ func (ep *Endpoint) TryRead(p *sim.Proc, target int, raddr mem.VA, buf []byte) e
 	ep.stats.Reads++
 	ep.stats.BytesRead += uint64(len(buf))
 	ep.stats.CyclesBlocked += lat
+	start := p.Now()
 	p.Advance(lat)
+	ep.logOp(obs.KRead, start, lat, len(buf), target, fail)
 	if fail {
 		return fmt.Errorf("%w: READ rank %d → rank %d", ErrInjected, ep.rank, target)
 	}
@@ -318,7 +360,9 @@ func (ep *Endpoint) TryWrite(p *sim.Proc, target int, raddr mem.VA, buf []byte) 
 	ep.stats.Writes++
 	ep.stats.BytesWritten += uint64(len(buf))
 	ep.stats.CyclesBlocked += lat
+	start := p.Now()
 	p.Advance(lat)
+	ep.logOp(obs.KWrite, start, lat, len(buf), target, fail)
 	if fail {
 		return fmt.Errorf("%w: WRITE rank %d → rank %d", ErrInjected, ep.rank, target)
 	}
@@ -347,7 +391,9 @@ func (ep *Endpoint) TryReadToVA(p *sim.Proc, target int, raddr mem.VA, laddr mem
 	ep.stats.Reads++
 	ep.stats.BytesRead += n
 	ep.stats.CyclesBlocked += lat
+	start := p.Now()
 	p.Advance(lat)
+	ep.logOp(obs.KRead, start, lat, int(n), target, fail)
 	if fail {
 		return fmt.Errorf("%w: READ rank %d → rank %d (%d bytes)", ErrInjected, ep.rank, target, n)
 	}
@@ -415,7 +461,9 @@ func (ep *Endpoint) TryFetchAdd(p *sim.Proc, target int, raddr mem.VA, delta uin
 		extra, fail := ep.inject(OpFAA, target, 8)
 		lat += extra
 		ep.stats.CyclesBlocked += lat
+		start := p.Now()
 		p.Advance(lat)
+		ep.logOp(obs.KFAA, start, lat, 8, target, fail)
 		if fail {
 			return 0, fmt.Errorf("%w: FAA rank %d → rank %d", ErrInjected, ep.rank, target)
 		}
@@ -427,9 +475,16 @@ func (ep *Endpoint) TryFetchAdd(p *sim.Proc, target int, raddr mem.VA, delta uin
 	}
 	start := p.Now()
 	old, err := srv.request(p, ep.fab, ep.scaleTo(target), ep.rank, target, raddr, delta)
-	ep.stats.CyclesBlocked += p.Now() - start
+	rtt := p.Now() - start
+	ep.stats.CyclesBlocked += rtt
 	if err != nil {
 		ep.stats.FAATimeouts++
+	}
+	ep.logOp(obs.KFAA, start, rtt, 8, target, err != nil)
+	if err == nil && ep.log != nil {
+		// The software round trip (notice + server handling + reply) is
+		// the paper's measured 9.8K-cycle quantity — histogram it.
+		ep.log.Recorder().FAARoundTrip.Record(rtt)
 	}
 	return old, err
 }

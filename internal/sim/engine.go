@@ -74,6 +74,11 @@ func NewEngine() *Engine {
 // Now returns the current virtual time in cycles.
 func (e *Engine) Now() uint64 { return e.now }
 
+// Running reports whether the engine is inside Run — i.e. simulated
+// processes may still mutate state. Snapshot accessors that are only
+// meaningful at quiescence assert !Running().
+func (e *Engine) Running() bool { return e.running }
+
 // Stop requests the simulation to end. Pending events are discarded once
 // control returns to the engine loop. Procs that are still blocked are
 // abandoned (their goroutines are released).
