@@ -1,15 +1,22 @@
 // uniaddr-bench regenerates the paper's tables and figures on the
-// simulated cluster.
+// simulated cluster, and measures the real-parallelism backend on
+// actual cores.
 //
 // Usage:
 //
 //	go run ./cmd/uniaddr-bench -exp all
 //	go run ./cmd/uniaddr-bench -exp fig11a -scale large -workers 480,960,1920,3840
 //	go run ./cmd/uniaddr-bench -exp fig10
+//	go run ./cmd/uniaddr-bench -backend rt -scale small
+//	go run ./cmd/uniaddr-bench -backend rt -exp diff
+//	go run ./cmd/uniaddr-bench -list
 //
-// Experiments: fig9, table2, fig10, table4, fig11a, fig11b, fig11c,
-// fig11d, iso-vs-uni, sec4, ablate-faa, ablate-stacksize,
-// ablate-nodes, ablate-multiworker, chaos, all.
+// Experiments (sim backend): fig9, table2, fig10, table4, fig11a,
+// fig11b, fig11c, fig11d, iso-vs-uni, sec4, ablate-faa,
+// ablate-stacksize, ablate-nodes, ablate-multiworker, chaos, all.
+//
+// Experiments (rt backend): bench (wall-clock scaling, written to
+// BENCH_rt.json) and diff (the sim-vs-rt differential matrix).
 //
 // The chaos experiment is the robustness gate: it sweeps fib, NQueens
 // and UTS over fault-injection rates (-chaos-rates) on -chaos-workers
@@ -22,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -30,19 +39,51 @@ import (
 	"uniaddr/internal/rdma"
 )
 
+// simExperiments is the canonical experiment order for -exp all and
+// -list (chaos is opt-in: it is a gate, not a figure).
+var simExperiments = []string{
+	"fig9", "table2", "fig10", "iso-vs-uni", "table4",
+	"fig11a", "fig11b", "fig11c", "fig11d", "trend",
+	"sec4", "ablate-faa", "ablate-stacksize", "ablate-nodes", "ablate-victim", "ablate-multiworker", "ablate-helpfirst", "ablate-straggler", "ablate-lifelines",
+}
+
+var rtExperiments = []string{"bench", "diff"}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (see doc comment)")
+	backend := flag.String("backend", "sim", "execution backend: sim (virtual-time simulator) | rt (real goroutines, wall clock)")
+	exp := flag.String("exp", "", "experiment to run (default: all for -backend sim, bench for -backend rt; see -list)")
 	scale := flag.String("scale", "small", "problem scale: tiny | small | large")
 	seed := flag.Uint64("seed", 1, "base simulation seed")
-	reps := flag.Int("reps", 3, "repetitions per Fig. 11 point (for 95% CIs)")
-	workersFlag := flag.String("workers", "", "comma-separated worker counts for fig11/sec4 (default 60,120,240,480)")
+	reps := flag.Int("reps", 3, "repetitions per Fig. 11 / rt-bench point")
+	workersFlag := flag.String("workers", "", "comma-separated worker counts for fig11/sec4/rt (sim default 60,120,240,480; rt default 1,2,4,8)")
 	table4Workers := flag.Int("table4-workers", 60, "worker count for table4")
 	csvDir := flag.String("csv", "", "also write data series as CSV files into this directory")
 	chaosWorkers := flag.Int("chaos-workers", 8, "worker count for the chaos sweep")
 	chaosRates := flag.String("chaos-rates", "", "comma-separated fault rates for chaos (default 0,0.001,0.01,0.05)")
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of a representative faulted chaos run to this file (chaos only; view in Perfetto)")
 	obsOut := flag.Bool("obs", false, "print an observability summary of a representative faulted chaos run (chaos only)")
+	rtJSON := flag.String("rt-json", "BENCH_rt.json", "output path for the rt bench report (-backend rt -exp bench)")
+	list := flag.Bool("list", false, "list available experiments, workloads and backends, then exit")
 	flag.Parse()
+
+	if *list {
+		printList(os.Stdout)
+		return
+	}
+	switch *backend {
+	case "sim":
+		if *exp == "" {
+			*exp = "all"
+		}
+	case "rt":
+		if *exp == "" {
+			*exp = "bench"
+		}
+		runRT(*exp, *scale, *seed, *reps, *workersFlag, *rtJSON)
+		return
+	default:
+		fail(fmt.Errorf("unknown backend %q (sim | rt); -list shows what exists", *backend))
+	}
 
 	// Output sinks are validated up front: a bad -csv directory or an
 	// unwritable -trace path must fail now, not after a long sweep.
@@ -66,17 +107,7 @@ func main() {
 		traceFile = f
 	}
 
-	workers := harness.DefaultWorkerCounts
-	if *workersFlag != "" {
-		workers = nil
-		for _, s := range strings.Split(*workersFlag, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || n < 1 {
-				fail(fmt.Errorf("bad -workers entry %q", s))
-			}
-			workers = append(workers, n)
-		}
-	}
+	workers := parseWorkers(*workersFlag, harness.DefaultWorkerCounts)
 
 	run := func(name string) {
 		out := os.Stdout
@@ -188,24 +219,118 @@ func main() {
 				fmt.Fprintf(out, "(Chrome trace written to %s — open in https://ui.perfetto.dev)\n", *traceOut)
 			}
 		default:
-			fail(fmt.Errorf("unknown experiment %q", name))
+			fail(fmt.Errorf("unknown experiment %q for the sim backend; -list shows what exists", name))
 		}
 		fmt.Fprintln(out)
 	}
 
 	defer harness.FprintCSVNote(os.Stdout, *csvDir)
 	if *exp == "all" {
-		for _, name := range []string{
-			"fig9", "table2", "fig10", "iso-vs-uni", "table4",
-			"fig11a", "fig11b", "fig11c", "fig11d", "trend",
-			"sec4", "ablate-faa", "ablate-stacksize", "ablate-nodes", "ablate-victim", "ablate-multiworker", "ablate-helpfirst", "ablate-straggler", "ablate-lifelines",
-		} {
+		for _, name := range simExperiments {
 			fmt.Printf("==== %s ====\n", name)
 			run(name)
 		}
 		return
 	}
 	run(*exp)
+}
+
+// runRT executes the real-parallelism experiments: the wall-clock
+// scaling bench (with its BENCH_rt.json artifact) or the sim-vs-rt
+// differential matrix.
+func runRT(exp, scale string, seed uint64, reps int, workersFlag, rtJSON string) {
+	workers := parseWorkers(workersFlag, defaultRTWorkers())
+	out := os.Stdout
+	switch exp {
+	case "bench":
+		wls, err := harness.RTBenchWorkloads(scale)
+		check(err)
+		rep, err := harness.RunRTBench(wls, workers, reps, seed, false)
+		check(err)
+		harness.PrintRTBench(out, rep)
+		f, err := os.Create(rtJSON)
+		check(err)
+		check(harness.WriteRTBenchJSON(f, rep))
+		check(f.Close())
+		fmt.Fprintf(out, "(machine-readable report written to %s)\n", rtJSON)
+	case "diff":
+		seeds := []uint64{seed, seed + 1, seed + 2}
+		rep, err := harness.RunDifferential(harness.DiffWorkloads(), workers, seeds, false)
+		check(err)
+		for _, row := range rep.Rows {
+			switch {
+			case row.Skipped:
+				fmt.Fprintf(out, "SKIP  %-14s %s\n", row.Workload, row.SkipReason)
+			case row.Match:
+				fmt.Fprintf(out, "OK    %-14s workers=%-3d seed=%-3d result=%d\n", row.Workload, row.Workers, row.Seed, row.RTResult)
+			default:
+				fmt.Fprintf(out, "FAIL  %-14s workers=%-3d seed=%-3d sim=%d rt=%d\n", row.Workload, row.Workers, row.Seed, row.SimResult, row.RTResult)
+			}
+		}
+		fmt.Fprintf(out, "%d compared, %d mismatches, %d skipped\n", rep.Compared, rep.Mismatches, rep.Skipped)
+		if rep.Mismatches > 0 {
+			fail(fmt.Errorf("differential matrix found %d sim-vs-rt mismatches", rep.Mismatches))
+		}
+	default:
+		fail(fmt.Errorf("unknown experiment %q for the rt backend; -list shows what exists", exp))
+	}
+}
+
+// defaultRTWorkers picks worker counts that make sense on this machine:
+// powers of two up to GOMAXPROCS (always at least {1, 2}).
+func defaultRTWorkers() []int {
+	max := runtime.GOMAXPROCS(0)
+	counts := []int{1}
+	for n := 2; n <= max && n <= 8; n *= 2 {
+		counts = append(counts, n)
+	}
+	if len(counts) == 1 {
+		counts = append(counts, 2)
+	}
+	return counts
+}
+
+func parseWorkers(flagValue string, def []int) []int {
+	if flagValue == "" {
+		return def
+	}
+	var workers []int
+	for _, s := range strings.Split(flagValue, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fail(fmt.Errorf("bad -workers entry %q", s))
+		}
+		workers = append(workers, n)
+	}
+	return workers
+}
+
+// printList enumerates everything -exp, -backend and the workload
+// catalogs accept, so an unknown name is a browsing problem, not a
+// guessing game.
+func printList(out *os.File) {
+	fmt.Fprintln(out, "backends:")
+	fmt.Fprintln(out, "  sim  deterministic virtual-time simulator (the semantic oracle)")
+	fmt.Fprintln(out, "  rt   real goroutines on real cores, wall-clock throughput")
+	fmt.Fprintln(out, "\nexperiments (-backend sim):")
+	names := append([]string{}, simExperiments...)
+	names = append(names, "chaos", "all")
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(out, "  %s\n", n)
+	}
+	fmt.Fprintln(out, "\nexperiments (-backend rt):")
+	fmt.Fprintln(out, "  bench  wall-clock scaling sweep; writes BENCH_rt.json")
+	fmt.Fprintln(out, "  diff   sim-vs-rt differential matrix (root results must agree)")
+	fmt.Fprintln(out, "\nworkloads (differential catalog):")
+	for _, wl := range harness.DiffWorkloads() {
+		if reason := harness.RTSkipReason(wl.Spec); reason != "" {
+			fmt.Fprintf(out, "  %-14s sim-only: %s\n", wl.Name, reason)
+		} else {
+			fmt.Fprintf(out, "  %-14s sim + rt\n", wl.Name)
+		}
+	}
+	fmt.Fprintln(out, "\nscales: tiny | small | large")
 }
 
 func check(err error) {

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"uniaddr/internal/gas"
+	"uniaddr/internal/mem"
+)
+
+// Exec is the contract between a task's Env and whichever backend is
+// executing it. Task functions are written once against Env; the
+// backend decides what a frame slot read, a spawn or a join actually
+// does. Two implementations exist:
+//
+//   - *Worker (this package): the deterministic virtual-time simulator,
+//     where memory is a simulated AddressSpace and every operation
+//     advances a discrete-event clock.
+//   - internal/rt's worker: the real-parallelism runtime, where frames
+//     live in per-worker byte-slice arenas, the deque runs on real
+//     sync/atomic operations and time is wall-clock time.
+//
+// The split keeps the simulator the semantic oracle: both backends run
+// the exact same registered task functions, so a differential harness
+// can assert the results agree.
+type Exec interface {
+	// ExecReadU64 / ExecWriteU64 access one 8-byte word of the frame
+	// memory at a virtual address.
+	ExecReadU64(va mem.VA) uint64
+	ExecWriteU64(va mem.VA, v uint64)
+	// ExecSlice returns a direct byte view of [va, va+n). The view is
+	// invalidated by any migration of the owning frame.
+	ExecSlice(va mem.VA, n uint64) ([]byte, error)
+	// ExecWork charges cycles of task computation (virtual time on the
+	// simulator; a calibrated spin on real hardware).
+	ExecWork(cycles uint64)
+	// ExecComplete publishes a task's result into its record.
+	ExecComplete(rec Handle, result uint64)
+	// ExecSpawn runs the child-first spawn protocol for e; see
+	// Env.Spawn for the contract.
+	ExecSpawn(e *Env, resumeRP, handleSlot int, fid FuncID, localsLen uint32, init func(*Env)) bool
+	// ExecJoin runs the join protocol for e; see Env.Join.
+	ExecJoin(e *Env, resumeRP int, h Handle) (uint64, bool)
+	// Gas operations (§5.1 global references). Backends without a
+	// global heap panic with a descriptive message.
+	ExecGasHeap() *gas.Heap
+	ExecGasGet(r gas.Ref, buf []byte)
+	ExecGasPut(r gas.Ref, buf []byte)
+	ExecGasGetU64(r gas.Ref) uint64
+	ExecGasPutU64(r gas.Ref, v uint64)
+	ExecGasAlloc(n uint64) gas.Ref
+	// SimWorker returns the simulated worker executing the task, or nil
+	// when the backend is not the simulator.
+	SimWorker() *Worker
+}
+
+// --- *Worker as an Exec (the simulator backend) ----------------------
+
+// ExecReadU64 implements Exec over the worker's simulated memory.
+func (w *Worker) ExecReadU64(va mem.VA) uint64 { return w.space.MustReadU64(va) }
+
+// ExecWriteU64 implements Exec over the worker's simulated memory.
+func (w *Worker) ExecWriteU64(va mem.VA, v uint64) { w.space.MustWriteU64(va, v) }
+
+// ExecSlice implements Exec over the worker's simulated memory.
+func (w *Worker) ExecSlice(va mem.VA, n uint64) ([]byte, error) { return w.space.Slice(va, n) }
+
+// ExecWork advances simulated time by cycles of task computation
+// (scaled on straggler workers).
+func (w *Worker) ExecWork(cycles uint64) {
+	w.stats.WorkCycles += cycles
+	w.adv(cycles)
+}
+
+// ExecComplete publishes a result through the record protocol (local
+// write or one-sided RDMA WRITE).
+func (w *Worker) ExecComplete(rec Handle, result uint64) { w.completeRecord(rec, result) }
+
+func (w *Worker) mustGas() *gas.Heap {
+	if w.gas == nil {
+		panic("core: global heap disabled (Config.GasSize = 0)")
+	}
+	return w.gas
+}
+
+// ExecGasHeap returns the worker's global-heap handle (nil when
+// disabled).
+func (w *Worker) ExecGasHeap() *gas.Heap { return w.gas }
+
+// ExecGasGet dereferences a global reference into buf.
+func (w *Worker) ExecGasGet(r gas.Ref, buf []byte) { w.mustGas().Get(w.proc, r, buf) }
+
+// ExecGasPut stores buf through a global reference.
+func (w *Worker) ExecGasPut(r gas.Ref, buf []byte) { w.mustGas().Put(w.proc, r, buf) }
+
+// ExecGasGetU64 loads one word through a global reference.
+func (w *Worker) ExecGasGetU64(r gas.Ref) uint64 { return w.mustGas().GetU64(w.proc, r) }
+
+// ExecGasPutU64 stores one word through a global reference.
+func (w *Worker) ExecGasPutU64(r gas.Ref, v uint64) { w.mustGas().PutU64(w.proc, r, v) }
+
+// ExecGasAlloc allocates on this worker's global-heap segment.
+func (w *Worker) ExecGasAlloc(n uint64) gas.Ref { return w.mustGas().MustAlloc(w.proc, n) }
+
+// SimWorker returns w: the simulator is its own Exec.
+func (w *Worker) SimWorker() *Worker { return w }
+
+// --- alternate-backend support ---------------------------------------
+
+// NewEnv constructs the Env for one (re-)entry of a task function on
+// backend x. Alternate backends (internal/rt) use it together with
+// TaskFn to drive task bodies; the simulator builds its Envs
+// internally. The Env must not be retained across the function's
+// return.
+func NewEnv(x Exec, base mem.VA, size uint64, rp uint32) *Env {
+	return &Env{x: x, base: base, size: size, rp: rp}
+}
+
+// Returned reports whether the task called ReturnU64/ReturnI64 during
+// this entry. Backends use it after a Done return to record the default
+// zero result when the task never returned explicitly.
+func (e *Env) Returned() bool { return e.returned }
+
+// TaskFn returns the registered task function for id, panicking on an
+// unregistered id (mirrors the simulator's internal lookup).
+func TaskFn(id FuncID) Fn { return lookupFn(id) }
+
+// FrameHeaderBytes is the size of the frame header at the base of every
+// thread stack; the locals area follows it.
+const FrameHeaderBytes = frameHdrSize
+
+// FrameHeader is the decoded fixed-size header at the base of a
+// thread's stack (see frame.go for the byte layout).
+type FrameHeader struct {
+	Fid       FuncID
+	Resume    uint32
+	LocalsLen uint32
+	Record    Handle
+	TaskID    uint64
+}
+
+// DecodeFrameHeader parses the header from the first FrameHeaderBytes
+// of a frame.
+func DecodeFrameHeader(b []byte) FrameHeader {
+	return FrameHeader{
+		Fid:       FuncID(binary.LittleEndian.Uint32(b[fhFuncIDOff:])),
+		Resume:    binary.LittleEndian.Uint32(b[fhResumeOff:]),
+		LocalsLen: binary.LittleEndian.Uint32(b[fhLocalsLenOff:]),
+		Record:    Handle(binary.LittleEndian.Uint64(b[fhRecordOff:])),
+		TaskID:    binary.LittleEndian.Uint64(b[fhTaskIDOff:]),
+	}
+}
+
+// SetFrameResume stamps a resume point into a raw frame header — the
+// backend-side half of Env.setRP for backends that own the frame bytes
+// directly.
+func SetFrameResume(b []byte, rp uint32) {
+	binary.LittleEndian.PutUint32(b[fhResumeOff:], rp)
+}
+
+// EncodeFrameHeader writes a fresh header (resume point 0, task ID 0)
+// into b, which must hold at least FrameHeaderBytes. The caller is
+// responsible for zeroing the rest of the frame first, exactly like the
+// simulator's frame initialisation.
+func EncodeFrameHeader(b []byte, fid FuncID, localsLen uint32, rec Handle) {
+	binary.LittleEndian.PutUint32(b[fhFuncIDOff:], uint32(fid))
+	binary.LittleEndian.PutUint32(b[fhResumeOff:], 0)
+	binary.LittleEndian.PutUint32(b[fhLocalsLenOff:], localsLen)
+	binary.LittleEndian.PutUint32(b[fhLocalsLenOff+4:], 0)
+	binary.LittleEndian.PutUint64(b[fhRecordOff:], uint64(rec))
+	binary.LittleEndian.PutUint64(b[fhTaskIDOff:], 0)
+}

@@ -154,10 +154,10 @@ func writeFrameHeader(space *mem.AddressSpace, base mem.VA, fid FuncID, localsLe
 }
 
 // Env is a task function's view of its own frame plus the runtime
-// primitives. Envs are created by the worker for each (re-)entry into a
-// task function and must not be retained across returns.
+// primitives. Envs are created by the backend for each (re-)entry into
+// a task function and must not be retained across returns.
 type Env struct {
-	w    *Worker
+	x    Exec
 	base mem.VA
 	size uint64
 	rp   uint32
@@ -165,8 +165,9 @@ type Env struct {
 	returned bool
 }
 
-// Worker returns the worker currently executing the task.
-func (e *Env) Worker() *Worker { return e.w }
+// Worker returns the simulated worker currently executing the task, or
+// nil when the task runs on a non-simulator backend (internal/rt).
+func (e *Env) Worker() *Worker { return e.x.SimWorker() }
 
 // FrameBase returns the base VA of this thread's stack.
 func (e *Env) FrameBase() mem.VA { return e.base }
@@ -180,11 +181,11 @@ func (e *Env) RP() int { return int(e.rp) }
 
 // Self returns the Handle of this task's completion record.
 func (e *Env) Self() Handle {
-	return Handle(e.w.space.MustReadU64(e.base + fhRecordOff))
+	return Handle(e.x.ExecReadU64(e.base + fhRecordOff))
 }
 
 func (e *Env) setRP(rp uint32) {
-	b, err := e.w.space.Slice(e.base+fhResumeOff, 4)
+	b, err := e.x.ExecSlice(e.base+fhResumeOff, 4)
 	if err != nil {
 		panic(err)
 	}
@@ -201,10 +202,10 @@ func (e *Env) slotVA(i int) mem.VA {
 }
 
 // U64 loads local slot i.
-func (e *Env) U64(i int) uint64 { return e.w.space.MustReadU64(e.slotVA(i)) }
+func (e *Env) U64(i int) uint64 { return e.x.ExecReadU64(e.slotVA(i)) }
 
 // SetU64 stores local slot i.
-func (e *Env) SetU64(i int, v uint64) { e.w.space.MustWriteU64(e.slotVA(i), v) }
+func (e *Env) SetU64(i int, v uint64) { e.x.ExecWriteU64(e.slotVA(i), v) }
 
 // I64 loads local slot i as a signed integer.
 func (e *Env) I64(i int) int64 { return int64(e.U64(i)) }
@@ -237,7 +238,7 @@ func (e *Env) Bytes(off, n int) []byte {
 	if off < 0 || n < 0 || frameHdrSize+uint64(off)+uint64(n) > e.size {
 		panic(fmt.Sprintf("core: Bytes(%d,%d) outside frame of %d bytes", off, n, e.size))
 	}
-	b, err := e.w.space.Slice(e.base+frameHdrSize+mem.VA(off), uint64(n))
+	b, err := e.x.ExecSlice(e.base+frameHdrSize+mem.VA(off), uint64(n))
 	if err != nil {
 		panic(err)
 	}
@@ -248,34 +249,33 @@ func (e *Env) Bytes(off, n int) []byte {
 // from it are plain integers: store them in frame slots with SetU64
 // and they migrate with the thread.
 func (e *Env) Gas() *gas.Heap {
-	if e.w.gas == nil {
+	h := e.x.ExecGasHeap()
+	if h == nil {
 		panic("core: global heap disabled (Config.GasSize = 0)")
 	}
-	return e.w.gas
+	return h
 }
 
 // GasGet dereferences a global reference into buf, charging local-copy
 // or RDMA cost as appropriate.
-func (e *Env) GasGet(r gas.Ref, buf []byte) { e.Gas().Get(e.w.proc, r, buf) }
+func (e *Env) GasGet(r gas.Ref, buf []byte) { e.x.ExecGasGet(r, buf) }
 
 // GasPut stores buf through a global reference.
-func (e *Env) GasPut(r gas.Ref, buf []byte) { e.Gas().Put(e.w.proc, r, buf) }
+func (e *Env) GasPut(r gas.Ref, buf []byte) { e.x.ExecGasPut(r, buf) }
 
 // GasGetU64 loads one word through a global reference.
-func (e *Env) GasGetU64(r gas.Ref) uint64 { return e.Gas().GetU64(e.w.proc, r) }
+func (e *Env) GasGetU64(r gas.Ref) uint64 { return e.x.ExecGasGetU64(r) }
 
 // GasPutU64 stores one word through a global reference.
-func (e *Env) GasPutU64(r gas.Ref, v uint64) { e.Gas().PutU64(e.w.proc, r, v) }
+func (e *Env) GasPutU64(r gas.Ref, v uint64) { e.x.ExecGasPutU64(r, v) }
 
 // GasAlloc allocates on this worker's segment of the global heap.
-func (e *Env) GasAlloc(n uint64) gas.Ref { return e.Gas().MustAlloc(e.w.proc, n) }
+func (e *Env) GasAlloc(n uint64) gas.Ref { return e.x.ExecGasAlloc(n) }
 
-// Work advances simulated time by cycles of task computation (scaled
-// on straggler workers).
-func (e *Env) Work(cycles uint64) {
-	e.w.stats.WorkCycles += cycles
-	e.w.adv(cycles)
-}
+// Work charges cycles of task computation: simulated time on the
+// simulator (scaled on straggler workers), a calibrated spin on the
+// real-parallelism backend.
+func (e *Env) Work(cycles uint64) { e.x.ExecWork(cycles) }
 
 // ReturnU64 records the task's result and marks its record done. Call
 // it (at most once) before returning Done; returning Done without a
@@ -285,7 +285,7 @@ func (e *Env) ReturnU64(v uint64) {
 		panic("core: duplicate ReturnU64")
 	}
 	e.returned = true
-	e.w.completeRecord(e.Self(), v)
+	e.x.ExecComplete(e.Self(), v)
 }
 
 // ReturnI64 is ReturnU64 for signed results.

@@ -55,8 +55,7 @@ func descLen(e Entry) uint64 { return e.FrameSize &^ descEntryFlag }
 // spawnHelpFirst queues the child instead of running it (the help-first
 // side of Env.Spawn). It always returns true: the parent continues and
 // is never stolen, because its continuation is never published.
-func (e *Env) spawnHelpFirst(handleSlot int, fid FuncID, localsLen uint32, init func(child *Env)) bool {
-	w := e.w
+func (w *Worker) spawnHelpFirst(e *Env, handleSlot int, fid FuncID, localsLen uint32, init func(child *Env)) bool {
 	w.stats.Spawns++
 	w.adv(w.costs.SaveContext + w.costs.DequePush)
 	rec := w.newRecord()
@@ -67,7 +66,7 @@ func (e *Env) spawnHelpFirst(handleSlot int, fid FuncID, localsLen uint32, init 
 	args := make([]byte, localsLen)
 	if init != nil {
 		staging := w.helpFirstStaging(localsLen)
-		init(&Env{w: w, base: staging - frameHdrSize, size: frameHdrSize + uint64(localsLen)})
+		init(&Env{x: w, base: staging - frameHdrSize, size: frameHdrSize + uint64(localsLen)})
 		sb, err := w.space.Slice(staging, uint64(localsLen))
 		if err != nil {
 			panic(err)
@@ -179,8 +178,7 @@ func (w *Worker) stealDescriptor(victim int, ent Entry, ph *StealPhases) {
 // inline until the target completes: pop local tasks, steal
 // descriptors, back off. The parent's frame stays in place (tied), so
 // helpers nest below it in the region.
-func (e *Env) helpFirstJoin(h Handle) uint64 {
-	w := e.w
+func (w *Worker) helpFirstJoin(h Handle) uint64 {
 	for {
 		if done, v := w.tryJoin(h); done {
 			w.stats.JoinsFast++

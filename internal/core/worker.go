@@ -79,8 +79,8 @@ type Worker struct {
 	waitq      []saved
 	stats      WorkerStats
 	obs        *obs.WorkerLog // nil unless Config.Obs/Trace (nil-safe)
-	lastVictim int     // last successful victim (VictimLastSuccess), -1 none
-	slowFactor float64 // >1 = straggler (CPU costs scaled)
+	lastVictim int            // last successful victim (VictimLastSuccess), -1 none
+	slowFactor float64        // >1 = straggler (CPU costs scaled)
 
 	// Graceful-degradation state, populated lazily and only under fault
 	// injection: consecutive fabric failures per victim, and the virtual
@@ -194,7 +194,7 @@ func (w *Worker) newThread(fid FuncID, localsLen uint32, init func(*Env), root b
 		w.obs.Instant(obs.KSpawn, 0, id, -1)
 	}
 	if init != nil {
-		init(&Env{w: w, base: base, size: size})
+		init(&Env{x: w, base: base, size: size})
 	}
 	return base, size
 }
@@ -211,7 +211,7 @@ func (w *Worker) invoke(base mem.VA, size uint64) Status {
 	}
 	fid := FuncID(binary.LittleEndian.Uint32(hb[fhFuncIDOff:]))
 	rp := binary.LittleEndian.Uint32(hb[fhResumeOff:])
-	e := Env{w: w, base: base, size: size, rp: rp}
+	e := Env{x: w, base: base, size: size, rp: rp}
 	var tid obs.TaskID
 	var tstart uint64
 	if w.obs != nil {
@@ -247,9 +247,13 @@ func (w *Worker) invoke(base mem.VA, size uint64) Status {
 // *before* the continuation is published, so a migrated parent finds it
 // in its stack.
 func (e *Env) Spawn(resumeRP, handleSlot int, fid FuncID, localsLen uint32, init func(child *Env)) bool {
-	w := e.w
+	return e.x.ExecSpawn(e, resumeRP, handleSlot, fid, localsLen, init)
+}
+
+// ExecSpawn is the simulator's child-first spawn (Fig. 4).
+func (w *Worker) ExecSpawn(e *Env, resumeRP, handleSlot int, fid FuncID, localsLen uint32, init func(child *Env)) bool {
 	if w.m.cfg.HelpFirst {
-		return e.spawnHelpFirst(handleSlot, fid, localsLen, init)
+		return w.spawnHelpFirst(e, handleSlot, fid, localsLen, init)
 	}
 	w.stats.Spawns++
 	w.adv(w.costs.SaveContext + w.costs.DequePush)
@@ -275,7 +279,7 @@ func (e *Env) Spawn(resumeRP, handleSlot int, fid FuncID, localsLen uint32, init
 		w.obs.Instant(obs.KSpawn, uint64(parent), id, -1)
 	}
 	if init != nil {
-		init(&Env{w: w, base: cbase, size: size})
+		init(&Env{x: w, base: cbase, size: size})
 	}
 	w.invoke(cbase, size)
 	// Pop the continuation we pushed (Fig. 4 line 14).
@@ -305,9 +309,13 @@ func (e *Env) Spawn(resumeRP, handleSlot int, fid FuncID, localsLen uint32, init
 // thread is later resumed it re-enters the task function at resumeRP,
 // which must re-execute this Join.
 func (e *Env) Join(resumeRP int, h Handle) (uint64, bool) {
-	w := e.w
+	return e.x.ExecJoin(e, resumeRP, h)
+}
+
+// ExecJoin is the simulator's join (Fig. 7).
+func (w *Worker) ExecJoin(e *Env, resumeRP int, h Handle) (uint64, bool) {
 	if w.m.cfg.HelpFirst {
-		return e.helpFirstJoin(h), true
+		return w.helpFirstJoin(h), true
 	}
 	if done, v := w.tryJoin(h); done {
 		w.stats.JoinsFast++

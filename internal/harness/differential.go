@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"fmt"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/rt"
+	"uniaddr/internal/workloads"
+)
+
+// Differential testing: the deterministic virtual-time simulator is the
+// semantic oracle for the real-parallelism backend. Both execute the
+// exact same registered task functions, so for every workload, worker
+// count and seed the root results must be identical — any divergence
+// means the rt scheduler broke the task semantics (lost a steal,
+// resumed a stale frame, torn a record) in a way its own tests didn't
+// catch.
+
+// DiffWorkload pairs a stable row name with a workload Spec.
+type DiffWorkload struct {
+	Name string
+	Spec workloads.Spec
+}
+
+// DiffWorkloads returns the differential catalog: every workload family
+// in internal/workloads at a scale small enough to run the full
+// (workload × workers × seed) matrix in a unit test. Gas-dependent
+// workloads are included on purpose — the harness must *report* that it
+// skips them on rt, not silently omit them.
+func DiffWorkloads() []DiffWorkload {
+	return []DiffWorkload{
+		{"fib", workloads.Fib(14, 10)},
+		{"btc", workloads.BTC(8, 2, 10)},
+		{"btc-padded", workloads.BTCPadded(7, 1, 10, 2048)},
+		{"uts", workloads.UTS(19, 5, workloads.DefaultUTSB0, 10)},
+		{"uts-binomial", workloads.UTSBinomial(42, 4, 2, 0.35, 10)},
+		{"nqueens", workloads.NQueens(6, 10)},
+		{"pingpong", workloads.PingPong(16, 50, 0)},
+		{"mergesort", workloads.MergeSort(1<<10, 1<<7, 4)},
+		{"globalsum", workloads.GlobalSum(1<<10, 1<<7, 4)},
+	}
+}
+
+// RTSkipReason explains why a Spec cannot run on the rt backend, or ""
+// if it can. Centralised so the differential harness and the rt bench
+// report identical reasons.
+func RTSkipReason(s workloads.Spec) string {
+	if s.Setup != nil {
+		return "requires machine Setup (global-heap staging); sim-only until rt grows a shared heap"
+	}
+	return ""
+}
+
+// DiffRow is one (workload, workers, seed) comparison.
+type DiffRow struct {
+	Workload   string `json:"workload"`
+	Workers    int    `json:"workers"`
+	Seed       uint64 `json:"seed"`
+	Skipped    bool   `json:"skipped,omitempty"`
+	SkipReason string `json:"skip_reason,omitempty"`
+	SimResult  uint64 `json:"sim_result,omitempty"`
+	RTResult   uint64 `json:"rt_result,omitempty"`
+	Expected   uint64 `json:"expected,omitempty"`
+	Match      bool   `json:"match"`
+}
+
+// DiffReport aggregates a differential sweep.
+type DiffReport struct {
+	Rows       []DiffRow `json:"rows"`
+	Compared   int       `json:"compared"`
+	Mismatches int       `json:"mismatches"`
+	Skipped    int       `json:"skipped"`
+}
+
+// RunDifferential runs every workload on both backends for every
+// (workers, seed) combination and compares root results. Workloads the
+// rt backend cannot execute produce one skipped row each (with the
+// reason) instead of disappearing. noPin disables OS-thread pinning on
+// the rt side, which test runs want. The returned error is non-nil only
+// for infrastructure failures; result mismatches are reported in the
+// rows so the caller can print all of them, not just the first.
+func RunDifferential(wls []DiffWorkload, workerCounts []int, seeds []uint64, noPin bool) (DiffReport, error) {
+	var rep DiffReport
+	for _, wl := range wls {
+		if reason := RTSkipReason(wl.Spec); reason != "" {
+			rep.Rows = append(rep.Rows, DiffRow{Workload: wl.Name, Skipped: true, SkipReason: reason})
+			rep.Skipped++
+			continue
+		}
+		for _, workers := range workerCounts {
+			for _, seed := range seeds {
+				row := DiffRow{Workload: wl.Name, Workers: workers, Seed: seed, Expected: wl.Spec.Expected}
+
+				scfg := core.DefaultConfig(workers)
+				scfg.Seed = seed
+				_, simRes, err := wl.Spec.Run(scfg)
+				if err != nil {
+					return rep, fmt.Errorf("sim %s workers=%d seed=%d: %w", wl.Name, workers, seed, err)
+				}
+				row.SimResult = simRes
+
+				rcfg := rt.DefaultConfig(workers)
+				rcfg.Seed = seed
+				rcfg.NoPin = noPin
+				r := rt.New(rcfg)
+				rtRes, err := r.Run(wl.Spec.Fid, wl.Spec.Locals, wl.Spec.Init)
+				if err != nil {
+					return rep, fmt.Errorf("rt %s workers=%d seed=%d: %w", wl.Name, workers, seed, err)
+				}
+				if err := r.CheckQuiescence(); err != nil {
+					return rep, fmt.Errorf("rt %s workers=%d seed=%d: %w", wl.Name, workers, seed, err)
+				}
+				row.RTResult = rtRes
+
+				row.Match = simRes == rtRes
+				if !row.Match {
+					rep.Mismatches++
+				}
+				rep.Compared++
+				rep.Rows = append(rep.Rows, row)
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,180 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+
+	"uniaddr/internal/rt"
+	"uniaddr/internal/workloads"
+)
+
+// The rt benchmark: wall-clock throughput of the real-parallelism
+// backend across worker counts — the Fig. 11 sweep measured on actual
+// cores instead of virtual time. Rows land in BENCH_rt.json so the
+// repo's performance trajectory accumulates from real numbers.
+
+// RTBenchRow is one (workload, workers) measurement. WallNS is the
+// best of Reps runs (min wall time: the least-disturbed measurement).
+type RTBenchRow struct {
+	Workload    string  `json:"workload"`
+	Workers     int     `json:"workers"`
+	Reps        int     `json:"reps"`
+	WallNS      int64   `json:"wall_ns"`
+	Result      uint64  `json:"result"`
+	Tasks       uint64  `json:"tasks_executed"`
+	TasksPerSec float64 `json:"tasks_per_second"`
+	// Items / ItemsPerSec are present only when the workload defines an
+	// items extractor (nodes for UTS, tasks for BTC, …, per Fig. 11).
+	Items       uint64  `json:"items,omitempty"`
+	ItemsPerSec float64 `json:"items_per_second,omitempty"`
+	StealsOK    uint64  `json:"steals_ok"`
+	BytesStolen uint64  `json:"bytes_stolen"`
+	Suspends    uint64  `json:"suspends"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// RTBenchSkip records a workload the rt backend could not run, and why
+// — skipped rows are part of the report, never silently dropped.
+type RTBenchSkip struct {
+	Workload string `json:"workload"`
+	Reason   string `json:"reason"`
+}
+
+// RTBenchReport is the schema of BENCH_rt.json.
+type RTBenchReport struct {
+	Benchmark  string        `json:"benchmark"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Seed       uint64        `json:"seed"`
+	Rows       []RTBenchRow  `json:"rows"`
+	Skipped    []RTBenchSkip `json:"skipped,omitempty"`
+}
+
+// RunRTBench measures every runnable workload at every worker count,
+// reps times each, keeping the fastest run. Workloads rt cannot execute
+// (and workloads with a nil root-task Init producing no work) are
+// reported in Skipped with a reason.
+func RunRTBench(wls []DiffWorkload, workerCounts []int, reps int, seed uint64, noPin bool) (RTBenchReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	rep := RTBenchReport{
+		Benchmark:  "rt-scaling",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Seed:       seed,
+	}
+	for _, wl := range wls {
+		if reason := RTSkipReason(wl.Spec); reason != "" {
+			rep.Skipped = append(rep.Skipped, RTBenchSkip{Workload: wl.Name, Reason: reason})
+			continue
+		}
+		for _, workers := range workerCounts {
+			row := RTBenchRow{Workload: wl.Name, Workers: workers, Reps: reps}
+			for i := 0; i < reps; i++ {
+				cfg := rt.DefaultConfig(workers)
+				cfg.Seed = seed + uint64(i)
+				cfg.NoPin = noPin
+				r := rt.New(cfg)
+				res, err := r.Run(wl.Spec.Fid, wl.Spec.Locals, wl.Spec.Init)
+				if err != nil {
+					return RTBenchReport{}, fmt.Errorf("rt bench %s workers=%d: %w", wl.Name, workers, err)
+				}
+				if wl.Spec.Expected != 0 && res != wl.Spec.Expected {
+					return RTBenchReport{}, fmt.Errorf("rt bench %s workers=%d: result %d, want %d", wl.Name, workers, res, wl.Spec.Expected)
+				}
+				wall := r.Elapsed().Nanoseconds()
+				if row.WallNS == 0 || wall < row.WallNS {
+					ts := r.TotalStats()
+					row.WallNS = wall
+					row.Result = res
+					row.Tasks = ts.TasksExecuted
+					row.StealsOK = ts.StealsOK
+					row.BytesStolen = ts.BytesStolen
+					row.Suspends = ts.Suspends
+				}
+			}
+			secs := float64(row.WallNS) / 1e9
+			if secs > 0 {
+				row.TasksPerSec = float64(row.Tasks) / secs
+			}
+			if wl.Spec.Items != nil {
+				row.Items = wl.Spec.Items(row.Result)
+				if secs > 0 {
+					row.ItemsPerSec = float64(row.Items) / secs
+				}
+			} else {
+				row.Note = "no items extractor; tasks/s only"
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// RTBenchWorkloads returns the rt bench suite at a named scale (the
+// same tiny/small/large vocabulary as the simulator experiments). All
+// suites are gas-free; the gas-dependent workloads appear only in the
+// differential catalog, where their skip is reported.
+func RTBenchWorkloads(scale string) ([]DiffWorkload, error) {
+	switch scale {
+	case "tiny":
+		return []DiffWorkload{
+			{"fib", workloads.Fib(16, 20)},
+			{"btc", workloads.BTC(10, 1, 20)},
+			{"uts", workloads.UTS(19, 6, workloads.DefaultUTSB0, 20)},
+			{"nqueens", workloads.NQueens(7, 20)},
+		}, nil
+	case "small":
+		return []DiffWorkload{
+			{"fib", workloads.Fib(22, 50)},
+			{"btc", workloads.BTC(14, 2, 50)},
+			{"uts", workloads.UTS(19, 10, workloads.DefaultUTSB0, 100)},
+			{"nqueens", workloads.NQueens(9, 100)},
+			{"pingpong", workloads.PingPong(256, 500, 0)},
+		}, nil
+	case "large":
+		return []DiffWorkload{
+			{"fib", workloads.Fib(27, 50)},
+			{"btc", workloads.BTC(18, 2, 50)},
+			{"uts", workloads.UTS(19, 13, workloads.DefaultUTSB0, 200)},
+			{"nqueens", workloads.NQueens(11, 100)},
+			{"pingpong", workloads.PingPong(1024, 1000, 0)},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown scale %q (tiny | small | large)", scale)
+	}
+}
+
+// PrintRTBench renders the report as a human-readable table; the JSON
+// in BENCH_rt.json is the machine-readable twin.
+func PrintRTBench(w io.Writer, rep RTBenchReport) {
+	fmt.Fprintf(w, "rt backend scaling (wall clock; GOMAXPROCS=%d, %d CPUs; best of reps)\n",
+		rep.GoMaxProcs, rep.NumCPU)
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tworkers\twall ms\ttasks/s\titems/s\tsteals\tMB stolen")
+	for _, row := range rep.Rows {
+		items := "-"
+		if row.ItemsPerSec > 0 {
+			items = fmt.Sprintf("%.3g", row.ItemsPerSec)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.3g\t%s\t%d\t%.2f\n",
+			row.Workload, row.Workers, float64(row.WallNS)/1e6,
+			row.TasksPerSec, items, row.StealsOK,
+			float64(row.BytesStolen)/(1<<20))
+	}
+	tw.Flush()
+	for _, sk := range rep.Skipped {
+		fmt.Fprintf(w, "skipped %s: %s\n", sk.Workload, sk.Reason)
+	}
+}
+
+// WriteRTBenchJSON writes the report, indented, to w.
+func WriteRTBenchJSON(w io.Writer, r RTBenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

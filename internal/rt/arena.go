@@ -1,0 +1,141 @@
+// Package rt is the real-parallelism backend: it executes the same
+// registered task functions as the virtual-time simulator
+// (internal/core, internal/sim) on actual goroutines, one per worker,
+// with a THE-protocol deque built from sync/atomic operations and
+// steals performed as cross-arena memory copies. Where the simulator is
+// the semantic oracle — deterministic, single-threaded, every cost
+// modelled — rt is the measurement backend: wall-clock time, true
+// concurrency, real cache traffic. Both run identical workload Specs,
+// so a differential harness (internal/harness) can assert their root
+// results agree.
+package rt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"uniaddr/internal/mem"
+)
+
+// arena is one worker's uni-address region (paper §5.2, Fig. 3) backed
+// by a plain byte slice. Every worker maps its arena at the same
+// virtual base, so a frame's VA is position-independent across workers:
+// a steal copies bytes from the victim's slice into the thief's slice
+// at the SAME offset and every intra-stack pointer stays valid — the
+// uni-address guarantee, realised with memcpy instead of RDMA READ.
+//
+// The stack discipline is the simulator's Region verbatim: the used
+// part is one contiguous range [p, top); fresh stacks are pushed below
+// p; only the lowest (running) stack is ever freed or swapped out; a
+// stolen or saved thread may be installed at its original VA only while
+// the region is empty (§5.2 rule 5).
+//
+// Concurrency: the owner mutates p/top; a thief reads the arena bytes
+// of a claimed frame while holding the owner's deque lock, which the
+// protocol proves cannot overlap any owner write to those bytes (see
+// deque.go). No atomics are needed on the arena itself.
+type arena struct {
+	bytes []byte
+	base  mem.VA
+	end   mem.VA
+	p     mem.VA // next free address (stacks grow down); used = [p, top)
+	top   mem.VA
+	max   uint64 // high-water usage in bytes
+}
+
+func newArena(base mem.VA, size uint64) *arena {
+	end := base + mem.VA(size)
+	return &arena{
+		bytes: make([]byte, size),
+		base:  base,
+		end:   end,
+		p:     end,
+		top:   end,
+	}
+}
+
+// slice returns the backing bytes for [va, va+n), bounds-checked
+// against the arena (not against [p, top): thieves read frames they
+// have claimed but not yet installed locally).
+func (a *arena) slice(va mem.VA, n uint64) ([]byte, error) {
+	if va < a.base || uint64(va-a.base)+n > uint64(len(a.bytes)) {
+		return nil, fmt.Errorf("rt: access [%#x,+%d) outside arena [%#x,%#x)", va, n, a.base, a.end)
+	}
+	off := uint64(va - a.base)
+	return a.bytes[off : off+n : off+n], nil
+}
+
+func (a *arena) mustSlice(va mem.VA, n uint64) []byte {
+	b, err := a.slice(va, n)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func (a *arena) readU64(va mem.VA) uint64 {
+	return binary.LittleEndian.Uint64(a.mustSlice(va, 8))
+}
+
+func (a *arena) writeU64(va mem.VA, v uint64) {
+	binary.LittleEndian.PutUint64(a.mustSlice(va, 8), v)
+}
+
+func (a *arena) empty() bool { return a.p == a.top }
+
+func (a *arena) used() uint64 { return uint64(a.top - a.p) }
+
+// allocBelow pushes a new stack of size bytes immediately below the
+// current lowest stack (§5.2 rule 3).
+func (a *arena) allocBelow(size uint64) (mem.VA, error) {
+	if uint64(a.p-a.base) < size {
+		return 0, fmt.Errorf("rt: arena exhausted: need %d, have %d free below p (raise Config.ArenaSize)", size, a.p-a.base)
+	}
+	a.p -= mem.VA(size)
+	if u := a.used(); u > a.max {
+		a.max = u
+	}
+	return a.p, nil
+}
+
+// freeLowest releases the lowest stack, which must start at base and be
+// size bytes. When the region becomes empty, p and top snap back to the
+// end so the next fresh task starts at the region's top.
+func (a *arena) freeLowest(base mem.VA, size uint64) error {
+	if base != a.p {
+		return fmt.Errorf("rt: freeLowest(%#x) but lowest stack is %#x", base, a.p)
+	}
+	if uint64(a.top-a.p) < size {
+		return fmt.Errorf("rt: freeLowest size %d exceeds used %d", size, a.used())
+	}
+	a.p += mem.VA(size)
+	if a.p == a.top {
+		a.p, a.top = a.end, a.end
+	}
+	return nil
+}
+
+// install places a thread occupying [base, base+size) into an empty
+// region — the landing step of a steal or of resuming a saved context.
+func (a *arena) install(base mem.VA, size uint64) error {
+	if !a.empty() {
+		return fmt.Errorf("rt: install into non-empty arena (used %d bytes)", a.used())
+	}
+	if base < a.base || base+mem.VA(size) > a.end {
+		return fmt.Errorf("rt: install [%#x,+%d) outside arena [%#x,%#x)", base, size, a.base, a.end)
+	}
+	a.p = base
+	a.top = base + mem.VA(size)
+	if u := a.used(); u > a.max {
+		a.max = u
+	}
+	return nil
+}
+
+// clear empties the region, reclaiming space held by the dead local
+// copies of stolen threads. Called only when no thread is running and
+// the deque is empty, at which point everything left belongs to threads
+// that now live elsewhere.
+func (a *arena) clear() {
+	a.p, a.top = a.end, a.end
+}

@@ -1,0 +1,256 @@
+package rt
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"uniaddr/internal/mem"
+)
+
+// Deque is the THE-protocol work-stealing deque (Fig. 6) built from
+// real sync/atomic operations — the concurrent twin of the simulator's
+// core.Deque, which lays the same protocol out in simulated pinned
+// memory and charges RDMA verbs for each step.
+//
+// Protocol, identical to the simulator's:
+//
+//   - The owner pushes and pops at bottom without the lock (fast path).
+//   - A thief locks with fetch-add(+1) on the lock word: acquired iff
+//     the previous value was 0. Failed lockers do NOT retry and never
+//     write; the holder releases by storing 0, which absorbs every
+//     failed increment — exactly the semantics of the paper's
+//     RDMA-FAA-based mutex, where only one FAA can return 0 per
+//     ownership epoch.
+//   - A thief claims the top entry by writing top = t+1 BEFORE
+//     re-reading bottom (the THE order). If the owner's pop decremented
+//     bottom past the claim, the thief retreats (restores top) and
+//     reports the deque empty.
+//   - The owner's pop conflict path (bottom crossed top) restores
+//     bottom, takes the lock, and re-checks — serialising against any
+//     in-flight claim.
+//
+// Memory ordering: Go's sync/atomic operations are sequentially
+// consistent, which subsumes every ordering the protocol needs. The
+// load-bearing happens-before edges are:
+//
+//  1. push(entry slots) → store(bottom)      : a thief that observes
+//     bottom > t observes the entry bytes (slots use atomic stores, so
+//     the race detector sees the edge too).
+//  2. thief's frame-bytes copy → store(lock=0): the steal's cross-arena
+//     memcpy completes before the lock release.
+//  3. owner's lock acquire → frame reuse     : the owner only reuses a
+//     frame's arena range after a pop that, if it conflicted with a
+//     claim, went through the lock — so edge 2 makes the thief's copy
+//     visible (and finished) before the owner can overwrite the bytes.
+//     The lock-free pop fast path keeps entries that no thief can have
+//     claimed (bottom-1 >= top was re-checked after the decrement).
+//
+// ABA on the ring: entry slots are indexed mod cap, so top could in
+// principle wrap cap pushes during one claim window. The claim window
+// is bounded (a thief holds the lock for one memcpy) while cap pushes
+// require cap task spawns on the owner; with the default cap of 8192
+// this cannot occur in practice, matching the simulator's stance.
+type Deque struct {
+	lock   atomic.Uint64
+	_      [7]uint64 // pad: keep lock, top and bottom on separate cache lines
+	top    atomic.Uint64
+	_      [7]uint64
+	bottom atomic.Uint64
+	_      [7]uint64
+	cap    uint64
+	slots  []dqSlot
+}
+
+// dqSlot is one deque entry. Fields are atomics so the entry publish
+// (push before bottom-store) and the thief's read (after bottom-load)
+// form explicit happens-before edges under the race detector.
+type dqSlot struct {
+	base atomic.Uint64
+	size atomic.Uint64
+}
+
+// Entry references a runnable thread: the base VA and byte size of its
+// stack in the owner's arena.
+type Entry struct {
+	FrameBase mem.VA
+	FrameSize uint64
+}
+
+// StealOutcome mirrors core.StealOutcome for the rt deque.
+type StealOutcome uint8
+
+const (
+	// StealOK: the top entry is claimed and the victim's lock is HELD.
+	// The thief must copy the frame bytes and then call StealCommit
+	// (or StealAbort to hand the entry back).
+	StealOK StealOutcome = iota
+	// StealEmpty: nothing to steal (observed before locking).
+	StealEmpty
+	// StealLockBusy: another thief (or the owner's conflict path) holds
+	// the lock; per THE, the thief backs off rather than spinning.
+	StealLockBusy
+	// StealEmptyLocked: the lock was taken but the re-read found the
+	// deque drained; the claim was retreated and the lock released.
+	StealEmptyLocked
+)
+
+func (o StealOutcome) String() string {
+	switch o {
+	case StealOK:
+		return "ok"
+	case StealEmpty:
+		return "empty"
+	case StealLockBusy:
+		return "lock-busy"
+	case StealEmptyLocked:
+		return "empty-locked"
+	default:
+		return fmt.Sprintf("StealOutcome(%d)", uint8(o))
+	}
+}
+
+// NewDeque returns a deque holding up to capacity-1 entries (one ring
+// slot is reserved for an in-flight claim; see Push). capacity must be
+// a power of two ≥ 2, like the simulator's.
+func NewDeque(capacity uint64) *Deque {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		panic(fmt.Sprintf("rt: deque capacity %d not a power of two >= 2", capacity))
+	}
+	return &Deque{cap: capacity, slots: make([]dqSlot, capacity)}
+}
+
+func (d *Deque) entryAt(i uint64) Entry {
+	s := &d.slots[i&(d.cap-1)]
+	return Entry{FrameBase: mem.VA(s.base.Load()), FrameSize: s.size.Load()}
+}
+
+// Push publishes an entry at bottom (owner only, lock-free). One slot
+// of the ring is reserved: a thief's in-flight claim inflates top by
+// one until it commits or aborts, so the owner's occupancy read b-t can
+// undercount by one — pushing into that slack would overwrite either
+// the slot the thief is still copying or an entry an abort is about to
+// hand back. At most one claim is ever in flight (the lock), so one
+// reserved slot restores the bound.
+func (d *Deque) Push(e Entry) error {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if b-t >= d.cap-1 {
+		return fmt.Errorf("rt: deque overflow (cap %d)", d.cap)
+	}
+	s := &d.slots[b&(d.cap-1)]
+	s.base.Store(uint64(e.FrameBase))
+	s.size.Store(e.FrameSize)
+	d.bottom.Store(b + 1)
+	return nil
+}
+
+// Pop takes the bottom entry (owner only; lock-free unless it collides
+// with a thief's claim on the last entry). stop, if non-nil, aborts the
+// conflict-path lock spin — used so a worker wedged behind a crashed
+// lock holder can still observe shutdown; a stop-aborted Pop reports
+// empty.
+func (d *Deque) Pop(stop func() bool) (Entry, bool) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b <= t {
+		// Empty. No claim can be outstanding on entries below top, so
+		// this path needs no lock (edge 3 note in the type comment).
+		return Entry{}, false
+	}
+	b--
+	d.bottom.Store(b)
+	if t = d.top.Load(); t <= b {
+		// No conflict: the entry at b is ours, and no thief can claim
+		// it any more (a claim writes top = b+1 > b only after reading
+		// bottom > b, which is no longer true).
+		return d.entryAt(b), true
+	}
+	// A thief's claim crossed our decrement. Restore bottom and settle
+	// the race under the lock (THE slow path).
+	d.bottom.Store(b + 1)
+	if !d.lockOwner(stop) {
+		return Entry{}, false
+	}
+	b = d.bottom.Load() - 1
+	t = d.top.Load()
+	if t > b {
+		// The thief won: the last entry is gone.
+		d.unlock()
+		return Entry{}, false
+	}
+	d.bottom.Store(b)
+	e := d.entryAt(b)
+	d.unlock()
+	return e, true
+}
+
+// StealBegin claims the victim's top entry (thief side, one-sided in
+// the RDMA original: FAA-lock, READ top, WRITE top+1, READ bottom). On
+// StealOK the victim's lock is held and the caller owns the claimed
+// entry; it must copy the frame bytes out of the victim's arena and
+// then StealCommit. The lock being held across the copy is what makes
+// the copy safe: the victim cannot recycle the frame's arena bytes
+// without first winning this lock (Pop's conflict path).
+func (d *Deque) StealBegin() (Entry, StealOutcome) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if b <= t {
+		return Entry{}, StealEmpty
+	}
+	if d.lock.Add(1) != 1 {
+		// Someone else holds the lock; do not retry, do not unlock
+		// (the holder's release absorbs our increment).
+		return Entry{}, StealLockBusy
+	}
+	t = d.top.Load()
+	d.top.Store(t + 1) // claim BEFORE re-reading bottom (THE order)
+	b = d.bottom.Load()
+	if b < t+1 {
+		// Drained while we were locking; retreat the claim.
+		d.top.Store(t)
+		d.unlock()
+		return Entry{}, StealEmptyLocked
+	}
+	return d.entryAt(t), StealOK
+}
+
+// StealCommit releases the victim's lock after the frame copy. The
+// seq-cst store orders the copy before the release (edge 2).
+func (d *Deque) StealCommit() { d.unlock() }
+
+// StealAbort hands a claimed entry back (top = t) and releases the
+// lock — the THE abort the simulator's fault-injection tests exercise.
+func (d *Deque) StealAbort() {
+	d.top.Store(d.top.Load() - 1)
+	d.unlock()
+}
+
+func (d *Deque) unlock() { d.lock.Store(0) }
+
+// lockOwner spins on the FAA lock for the owner's pop conflict path.
+// Only one FAA can observe 0 per ownership epoch; losers spin (the
+// owner MUST eventually win — a thief holds the lock only for one
+// bounded memcpy) unless stop fires.
+func (d *Deque) lockOwner(stop func() bool) bool {
+	for {
+		if d.lock.Add(1) == 1 {
+			return true
+		}
+		if stop != nil && stop() {
+			return false
+		}
+		runtime.Gosched()
+	}
+}
+
+// Size returns a racy snapshot of the entry count (quiescence checks
+// and stats only).
+func (d *Deque) Size() uint64 {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if b <= t {
+		return 0
+	}
+	return b - t
+}

@@ -1,0 +1,100 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/mem"
+)
+
+// Task records implement join (§5.4). As in the simulator, a record
+// lives with the worker that executed the spawn, and its Handle packs
+// (rank, VA) so any worker holding the handle can complete or poll it —
+// here with atomic loads/stores on shared memory where the paper uses
+// one-sided RDMA READ/WRITE.
+//
+// recordVABase anchors the handle address space: record i on any worker
+// has VA recordVABase + i*recordBytes (the rank half of the Handle
+// disambiguates workers, exactly like the simulator's per-process RDMA
+// heaps all mapping at the same base).
+const (
+	recordVABase mem.VA = 0x6000_0000_0000
+	recordBytes         = 16
+)
+
+// record is one completion record. done transitions 0→1 exactly once
+// per allocation; result is stored before done (both seq-cst), so a
+// joiner that loads done==1 also observes the result — the same
+// publish order the simulator's 16-byte RDMA WRITE provides by landing
+// atomically.
+type record struct {
+	done   atomic.Uint64
+	result atomic.Uint64
+}
+
+// recordPool is one worker's record table: a fixed backing array (so
+// &recs[i] stays valid forever — handles may be polled by any worker)
+// with a mutex-guarded free list, because a record is freed by the
+// JOINER, which may be a different worker than the owner allocating.
+type recordPool struct {
+	recs []record
+
+	mu   sync.Mutex
+	free []uint32
+	next uint32 // first never-used index
+	live int
+}
+
+func newRecordPool(capacity uint64) *recordPool {
+	return &recordPool{recs: make([]record, capacity)}
+}
+
+// alloc returns a zeroed record's handle-VA offset index. The zeroing
+// happens-before any other worker sees the handle: the handle only
+// propagates through a frame slot published via deque push/steal, whose
+// atomics carry the edge.
+func (p *recordPool) alloc() (uint32, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var idx uint32
+	switch {
+	case len(p.free) > 0:
+		idx = p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		p.recs[idx].done.Store(0)
+		p.recs[idx].result.Store(0)
+	case uint64(p.next) < uint64(len(p.recs)):
+		idx = p.next
+		p.next++
+	default:
+		return 0, fmt.Errorf("rt: record pool exhausted (%d records; raise Config.RecordCap)", len(p.recs))
+	}
+	p.live++
+	return idx, nil
+}
+
+func (p *recordPool) release(idx uint32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.live--
+	p.free = append(p.free, idx)
+}
+
+func (p *recordPool) get(idx uint32) *record { return &p.recs[idx] }
+
+// Live returns the number of allocated records (quiescence check).
+func (p *recordPool) Live() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.live
+}
+
+func recordIndex(h core.Handle) uint32 {
+	return uint32((h.VA() - recordVABase) / recordBytes)
+}
+
+func recordHandle(rank int, idx uint32) core.Handle {
+	return core.MakeHandle(rank, recordVABase+mem.VA(idx)*recordBytes)
+}

@@ -1,0 +1,236 @@
+package rt
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/mem"
+)
+
+// Config sizes a Runtime. The zero value of every field selects a
+// sensible default (see DefaultConfig).
+type Config struct {
+	// Workers is the number of concurrently executing workers, one
+	// goroutine each (pinned to an OS thread unless NoPin).
+	Workers int
+	// Seed drives victim selection; each worker derives its own stream.
+	Seed uint64
+	// ArenaBase / ArenaSize lay out the per-worker uni-address region;
+	// identical across workers by construction, which is the whole
+	// point.
+	ArenaBase mem.VA
+	ArenaSize uint64
+	// DequeCap is the per-worker deque capacity (power of two).
+	DequeCap uint64
+	// RecordCap is the per-worker task-record table size.
+	RecordCap uint64
+	// MaxWall aborts a run that exceeds this wall-clock budget — the
+	// analogue of the simulator's MaxCycles deadlock guard.
+	MaxWall time.Duration
+	// NoPin disables runtime.LockOSThread per worker (useful in tests
+	// that run many runtimes concurrently).
+	NoPin bool
+}
+
+// DefaultConfig returns the standard layout for n workers.
+func DefaultConfig(n int) Config {
+	return Config{
+		Workers:   n,
+		Seed:      1,
+		ArenaBase: core.DefaultUniBase,
+		ArenaSize: core.DefaultUniSize,
+		DequeCap:  core.DefaultDequeCap,
+		RecordCap: 1 << 16,
+		MaxWall:   2 * time.Minute,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig(c.Workers)
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.ArenaBase == 0 {
+		c.ArenaBase = d.ArenaBase
+	}
+	if c.ArenaSize == 0 {
+		c.ArenaSize = d.ArenaSize
+	}
+	if c.DequeCap == 0 {
+		c.DequeCap = d.DequeCap
+	}
+	if c.RecordCap == 0 {
+		c.RecordCap = d.RecordCap
+	}
+	if c.MaxWall == 0 {
+		c.MaxWall = d.MaxWall
+	}
+}
+
+// Runtime executes one root task to completion across Config.Workers
+// real workers. A Runtime runs once; build a fresh one per run.
+type Runtime struct {
+	cfg     Config
+	workers []*Worker
+
+	rootFid    core.FuncID
+	rootLocals uint32
+	rootInit   func(*core.Env)
+	rootRec    core.Handle
+
+	done       atomic.Bool
+	finishOnce sync.Once
+	rootResult uint64
+	failMu     sync.Mutex
+	err        error
+	wg         sync.WaitGroup
+
+	ran     bool
+	elapsed time.Duration
+}
+
+// New builds a Runtime per cfg.
+func New(cfg Config) *Runtime {
+	cfg.fillDefaults()
+	r := &Runtime{cfg: cfg}
+	for i := 0; i < cfg.Workers; i++ {
+		seed := cfg.Seed*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + 1
+		r.workers = append(r.workers, &Worker{
+			rt:      r,
+			rank:    i,
+			arena:   newArena(cfg.ArenaBase, cfg.ArenaSize),
+			deque:   NewDeque(cfg.DequeCap),
+			records: newRecordPool(cfg.RecordCap),
+			rng:     rand.New(rand.NewSource(int64(seed))),
+		})
+	}
+	return r
+}
+
+// Run executes the root task fid(localsLen bytes of locals, initialised
+// by init) to completion and returns its result. It blocks until every
+// worker goroutine has exited.
+func (r *Runtime) Run(fid core.FuncID, localsLen uint32, init func(*core.Env)) (uint64, error) {
+	if r.ran {
+		return 0, fmt.Errorf("rt: Runtime.Run called twice; build a fresh Runtime per run")
+	}
+	r.ran = true
+	r.rootFid, r.rootLocals, r.rootInit = fid, localsLen, init
+	// The root record is allocated before any goroutine starts so
+	// every worker's ExecComplete can compare against rootRec without
+	// synchronisation.
+	r.rootRec = r.workers[0].newRecord()
+	watchdog := time.AfterFunc(r.cfg.MaxWall, func() {
+		r.fail(fmt.Errorf("rt: run exceeded %v wall-clock budget (deadlock or undersized MaxWall?)", r.cfg.MaxWall))
+	})
+	start := time.Now()
+	for _, w := range r.workers {
+		r.wg.Add(1)
+		go w.run()
+	}
+	r.wg.Wait()
+	r.elapsed = time.Since(start)
+	watchdog.Stop()
+	r.failMu.Lock()
+	err := r.err
+	r.failMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if !r.done.Load() {
+		return 0, fmt.Errorf("rt: workers exited without completing the root task")
+	}
+	return r.rootResult, nil
+}
+
+// finish publishes the root result and releases every worker's idle
+// loop. Called by whichever worker completes the root record.
+func (r *Runtime) finish(result uint64) {
+	r.finishOnce.Do(func() {
+		r.rootResult = result
+		r.done.Store(true)
+	})
+}
+
+// fail aborts the run; the first error wins.
+func (r *Runtime) fail(err error) {
+	r.failMu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.failMu.Unlock()
+	r.done.Store(true)
+}
+
+// stopped reports whether workers should wind down (root finished or
+// run failed). Used as the abort predicate for lock spins.
+func (r *Runtime) stopped() bool { return r.done.Load() }
+
+// Elapsed returns the wall-clock duration of the completed run.
+func (r *Runtime) Elapsed() time.Duration { return r.elapsed }
+
+// Workers returns the worker count.
+func (r *Runtime) Workers() int { return len(r.workers) }
+
+// WorkerStats returns rank's counters; call only after Run returns.
+func (r *Runtime) WorkerStats(rank int) Stats { return r.workers[rank].Stats() }
+
+// TotalStats sums all workers' counters; call only after Run returns.
+func (r *Runtime) TotalStats() Stats {
+	var t Stats
+	for _, w := range r.workers {
+		s := w.Stats()
+		t.TasksExecuted += s.TasksExecuted
+		t.Spawns += s.Spawns
+		t.JoinsFast += s.JoinsFast
+		t.JoinsMiss += s.JoinsMiss
+		t.Suspends += s.Suspends
+		t.ResumesLocal += s.ResumesLocal
+		t.ResumesWait += s.ResumesWait
+		t.ParentStolen += s.ParentStolen
+		t.StealAttempts += s.StealAttempts
+		t.StealsOK += s.StealsOK
+		t.StealAbortEmpty += s.StealAbortEmpty
+		t.StealAbortLock += s.StealAbortLock
+		t.BytesStolen += s.BytesStolen
+		t.WorkCycles += s.WorkCycles
+		if s.MaxStackUsed > t.MaxStackUsed {
+			t.MaxStackUsed = s.MaxStackUsed
+		}
+	}
+	return t
+}
+
+// CheckQuiescence verifies the post-run invariants the simulator's
+// Machine.CheckQuiescence checks: every spawned task executed exactly
+// once, all deques and wait queues drained, and exactly one record (the
+// root's, never joined) still live. Call after a successful Run.
+func (r *Runtime) CheckQuiescence() error {
+	var executed, spawned uint64
+	live := 0
+	for _, w := range r.workers {
+		executed += w.stats.TasksExecuted
+		spawned += w.stats.Spawns
+		if n := w.deque.Size(); n != 0 {
+			return fmt.Errorf("rt: worker %d deque holds %d entries after completion", w.rank, n)
+		}
+		if len(w.waitq) != 0 {
+			return fmt.Errorf("rt: worker %d wait queue holds %d suspended threads after completion", w.rank, len(w.waitq))
+		}
+		live += w.records.Live()
+	}
+	if executed != spawned+1 {
+		return fmt.Errorf("rt: %d tasks executed but %d spawned (+1 root)", executed, spawned)
+	}
+	if live != 1 {
+		return fmt.Errorf("rt: %d records live after completion, want 1 (the root's)", live)
+	}
+	return nil
+}

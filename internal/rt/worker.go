@@ -1,0 +1,384 @@
+package rt
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/gas"
+	"uniaddr/internal/mem"
+)
+
+// Stats counts one worker's scheduling events — the wall-clock
+// counterparts of core.WorkerStats. Owner-written during the run; read
+// by other goroutines only after Runtime.Run returns (WaitGroup edge).
+type Stats struct {
+	TasksExecuted uint64
+	Spawns        uint64
+	JoinsFast     uint64
+	JoinsMiss     uint64
+	Suspends      uint64
+	ResumesLocal  uint64
+	ResumesWait   uint64
+	ParentStolen  uint64
+
+	StealAttempts   uint64
+	StealsOK        uint64
+	StealAbortEmpty uint64
+	StealAbortLock  uint64
+	BytesStolen     uint64
+
+	WorkCycles   uint64
+	MaxStackUsed uint64
+}
+
+// savedCtx is a suspended thread parked on the Go heap — the rt
+// analogue of the simulator's swap-out into the pinned RDMA region
+// (Fig. 8): the frame bytes leave the uni-address region so stealing
+// stays legal, and return to their original VA on resume.
+type savedCtx struct {
+	base mem.VA
+	size uint64
+	buf  []byte
+}
+
+// Worker is one scheduling context: a goroutine (optionally pinned to
+// an OS thread), its uni-address arena, its deque and its record pool.
+// It implements core.Exec, so task functions written against core.Env
+// run on it unchanged.
+type Worker struct {
+	rt      *Runtime
+	rank    int
+	arena   *arena
+	deque   *Deque
+	records *recordPool
+	waitq   []savedCtx
+	rng     *rand.Rand
+	stats   Stats
+	spin    uint64 // ExecWork sink; kept per-worker to avoid false sharing
+}
+
+// Rank returns the worker's index.
+func (w *Worker) Rank() int { return w.rank }
+
+// Stats returns the worker's counters; call only after Run returns.
+func (w *Worker) Stats() Stats {
+	s := w.stats
+	s.MaxStackUsed = w.arena.max
+	return s
+}
+
+// run is the worker goroutine body: start the root (rank 0), then the
+// idle engine — pop local work, else clear dead stacks and steal, else
+// resume a waiter, else back off (Fig. 7's fallback chain).
+func (w *Worker) run() {
+	defer w.rt.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			w.rt.fail(fmt.Errorf("rt: worker %d panicked: %v", w.rank, r))
+		}
+	}()
+	if !w.rt.cfg.NoPin {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	if w.rank == 0 {
+		w.runRoot()
+	}
+	idle := 0
+	for !w.rt.stopped() {
+		if ent, ok := w.deque.Pop(w.rt.stopped); ok {
+			w.stats.ResumesLocal++
+			w.invoke(ent.FrameBase, ent.FrameSize)
+			idle = 0
+			continue
+		}
+		// Deque empty and nothing running: whatever occupies the arena
+		// is dead local copies of stolen threads. Reclaim, making the
+		// region empty so it can host a steal (§5.2 rule 5).
+		if !w.clearDead() {
+			return
+		}
+		if w.rt.stopped() {
+			return
+		}
+		if w.trySteal() {
+			idle = 0
+			continue
+		}
+		if len(w.waitq) > 0 {
+			// FIFO, as in the simulator: the longest-suspended thread
+			// is the most likely to have a completed join target.
+			sc := w.waitq[0]
+			w.waitq = w.waitq[1:]
+			w.resumeSaved(sc)
+			idle = 0
+			continue
+		}
+		w.idleBackoff(&idle)
+	}
+}
+
+// clearDead empties the arena of dead stolen-thread copies. Unlike the
+// simulator's clearDead this must synchronise: the owner's lock-free
+// pop reports "empty" without touching the lock, so a thief that
+// claimed our LAST entry may still be mid-copy of its frame bytes when
+// we get here. Winning the deque lock once (thieves hold it across the
+// whole copy) guarantees every in-flight copy has committed before the
+// arena can be rewritten by an install or fresh frame; claims arriving
+// later find bottom <= top and retreat without copying. Returns false
+// only when shutdown interrupted the lock spin.
+func (w *Worker) clearDead() bool {
+	if !w.deque.lockOwner(w.rt.stopped) {
+		return false
+	}
+	w.deque.unlock()
+	w.arena.clear()
+	return true
+}
+
+// runRoot builds the root thread's frame and runs it (the rt analogue
+// of the simulator's newThread on rank 0). The root record was
+// pre-allocated by Runtime.Run before goroutines started.
+func (w *Worker) runRoot() {
+	size := core.FrameBytes(w.rt.rootLocals)
+	base := w.newFrame(size)
+	core.EncodeFrameHeader(w.arena.mustSlice(base, core.FrameHeaderBytes), w.rt.rootFid, w.rt.rootLocals, w.rt.rootRec)
+	if w.rt.rootInit != nil {
+		w.rt.rootInit(core.NewEnv(w, base, size, 0))
+	}
+	w.invoke(base, size)
+}
+
+// newFrame allocates and zeroes a frame of size bytes below the
+// current chain.
+func (w *Worker) newFrame(size uint64) mem.VA {
+	base, err := w.arena.allocBelow(size)
+	if err != nil {
+		panic(err)
+	}
+	b := w.arena.mustSlice(base, size)
+	for i := range b {
+		b[i] = 0
+	}
+	return base
+}
+
+// invoke runs (or resumes) the thread whose stack starts at base. On
+// return the stack is no longer occupied here: Done threads are
+// retired; Unwound threads were swapped out by a suspend or released
+// after a steal, inside ExecJoin/ExecSpawn.
+func (w *Worker) invoke(base mem.VA, size uint64) core.Status {
+	h := core.DecodeFrameHeader(w.arena.mustSlice(base, core.FrameHeaderBytes))
+	e := core.NewEnv(w, base, size, h.Resume)
+	st := core.TaskFn(h.Fid)(e)
+	if st == core.Done {
+		if !e.Returned() {
+			w.ExecComplete(e.Self(), 0)
+		}
+		w.stats.TasksExecuted++
+		if err := w.arena.freeLowest(base, size); err != nil {
+			panic(err)
+		}
+	}
+	return st
+}
+
+// trySteal picks a random victim and runs the thief side of Fig. 6:
+// claim under the FAA lock, memcpy the stack into the same offset of
+// our own arena, release, run. Legal only while our region is empty.
+func (w *Worker) trySteal() bool {
+	n := len(w.rt.workers)
+	if n < 2 || !w.arena.empty() {
+		return false
+	}
+	w.stats.StealAttempts++
+	victim := w.rng.Intn(n - 1)
+	if victim >= w.rank {
+		victim++
+	}
+	v := w.rt.workers[victim]
+	ent, outcome := v.deque.StealBegin()
+	switch outcome {
+	case StealEmpty, StealEmptyLocked:
+		w.stats.StealAbortEmpty++
+		return false
+	case StealLockBusy:
+		w.stats.StealAbortLock++
+		return false
+	}
+	// Claimed; the victim's lock is held, so the victim cannot recycle
+	// these bytes until we commit. Copy stack → same VA in our arena.
+	if err := w.arena.install(ent.FrameBase, ent.FrameSize); err != nil {
+		panic(err)
+	}
+	src, err := v.arena.slice(ent.FrameBase, ent.FrameSize)
+	if err != nil {
+		panic(err)
+	}
+	copy(w.arena.mustSlice(ent.FrameBase, ent.FrameSize), src)
+	v.deque.StealCommit()
+	w.stats.StealsOK++
+	w.stats.BytesStolen += ent.FrameSize
+	w.invoke(ent.FrameBase, ent.FrameSize)
+	return true
+}
+
+// resumeSaved restores a parked thread to its original VA (Fig. 7's
+// resume_saved_context) and re-enters it at its saved resume point.
+func (w *Worker) resumeSaved(sc savedCtx) {
+	if err := w.arena.install(sc.base, sc.size); err != nil {
+		panic(err)
+	}
+	copy(w.arena.mustSlice(sc.base, sc.size), sc.buf)
+	w.stats.ResumesWait++
+	w.invoke(sc.base, sc.size)
+}
+
+// idleBackoff yields, then sleeps: the first rounds stay hot for
+// latency, after which the worker naps briefly so an idle machine does
+// not spin 100% CPU.
+func (w *Worker) idleBackoff(idle *int) {
+	*idle++
+	if *idle < 64 {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(20 * time.Microsecond)
+}
+
+// --- core.Exec implementation ----------------------------------------
+
+// ExecReadU64 implements core.Exec over the worker's arena.
+func (w *Worker) ExecReadU64(va mem.VA) uint64 { return w.arena.readU64(va) }
+
+// ExecWriteU64 implements core.Exec over the worker's arena.
+func (w *Worker) ExecWriteU64(va mem.VA, v uint64) { w.arena.writeU64(va, v) }
+
+// ExecSlice implements core.Exec over the worker's arena.
+func (w *Worker) ExecSlice(va mem.VA, n uint64) ([]byte, error) { return w.arena.slice(va, n) }
+
+// ExecWork burns roughly `cycles` iterations of an LCG — the wall-clock
+// stand-in for the simulator's virtual-time advance, so workload knobs
+// like Fib's workCycles translate into real computation.
+func (w *Worker) ExecWork(cycles uint64) {
+	x := w.spin
+	for i := uint64(0); i < cycles; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	w.spin = x
+	w.stats.WorkCycles += cycles
+}
+
+// ExecComplete publishes a task's result: store result, then done
+// (both seq-cst), so any joiner observing done==1 observes the result.
+func (w *Worker) ExecComplete(rec core.Handle, result uint64) {
+	r := w.rt.workers[rec.Rank()].records.get(recordIndex(rec))
+	r.result.Store(result)
+	r.done.Store(1)
+	if rec == w.rt.rootRec {
+		w.rt.finish(result)
+	}
+}
+
+// ExecSpawn is the child-first spawn (Fig. 4) on real concurrency:
+// save the parent's resume point, publish its continuation on the
+// deque, run the child inline, then pop — a failed pop means a real
+// concurrent thief took the parent.
+func (w *Worker) ExecSpawn(e *core.Env, resumeRP, handleSlot int, fid core.FuncID, localsLen uint32, init func(*core.Env)) bool {
+	w.stats.Spawns++
+	core.SetFrameResume(w.arena.mustSlice(e.FrameBase(), core.FrameHeaderBytes), uint32(resumeRP))
+	rec := w.newRecord()
+	// The child's handle lands in the parent's frame BEFORE the
+	// continuation is published, so a migrated parent finds it.
+	e.SetHandle(handleSlot, rec)
+	if err := w.deque.Push(Entry{FrameBase: e.FrameBase(), FrameSize: e.FrameSize()}); err != nil {
+		panic(err)
+	}
+	size := core.FrameBytes(localsLen)
+	cbase := w.newFrame(size)
+	core.EncodeFrameHeader(w.arena.mustSlice(cbase, core.FrameHeaderBytes), fid, localsLen, rec)
+	if init != nil {
+		init(core.NewEnv(w, cbase, size, 0))
+	}
+	w.invoke(cbase, size)
+	// Pop the continuation we pushed (Fig. 4 line 14).
+	if ent, ok := w.deque.Pop(w.rt.stopped); ok {
+		if ent.FrameBase != e.FrameBase() || ent.FrameSize != e.FrameSize() {
+			panic(fmt.Sprintf("rt: deque corruption: popped %#x/%d, expected %#x/%d",
+				ent.FrameBase, ent.FrameSize, e.FrameBase(), e.FrameSize()))
+		}
+		return true
+	}
+	// The continuation (and, by FIFO order, every ancestor's) was
+	// stolen by a genuinely concurrent thief. Release the dead local
+	// copy and unwind to the scheduler.
+	w.stats.ParentStolen++
+	if err := w.arena.freeLowest(e.FrameBase(), e.FrameSize()); err != nil {
+		panic(err)
+	}
+	return false
+}
+
+// ExecJoin is Fig. 7's join: poll the record; on a miss, swap the
+// frame out to the Go heap (the pinned-buffer analogue) and park it on
+// the wait queue.
+func (w *Worker) ExecJoin(e *core.Env, resumeRP int, h core.Handle) (uint64, bool) {
+	if !h.Valid() {
+		panic("rt: join on invalid handle")
+	}
+	r := w.rt.workers[h.Rank()].records.get(recordIndex(h))
+	if r.done.Load() != 0 {
+		w.stats.JoinsFast++
+		v := r.result.Load()
+		w.rt.workers[h.Rank()].records.release(recordIndex(h))
+		return v, true
+	}
+	w.stats.JoinsMiss++
+	w.stats.Suspends++
+	core.SetFrameResume(w.arena.mustSlice(e.FrameBase(), core.FrameHeaderBytes), uint32(resumeRP))
+	buf := make([]byte, e.FrameSize())
+	copy(buf, w.arena.mustSlice(e.FrameBase(), e.FrameSize()))
+	if err := w.arena.freeLowest(e.FrameBase(), e.FrameSize()); err != nil {
+		panic(err)
+	}
+	w.waitq = append(w.waitq, savedCtx{base: e.FrameBase(), size: e.FrameSize(), buf: buf})
+	return 0, false
+}
+
+// newRecord allocates a record on this worker's pool.
+func (w *Worker) newRecord() core.Handle {
+	idx, err := w.records.alloc()
+	if err != nil {
+		panic(err)
+	}
+	return recordHandle(w.rank, idx)
+}
+
+// ExecGasHeap: the rt backend has no global heap; workloads that need
+// one (MergeSort, GlobalSum) are sim-only and skipped by the harness.
+func (w *Worker) ExecGasHeap() *gas.Heap { return nil }
+
+func (w *Worker) execGasPanic() {
+	panic("rt: global heap (gas) operations are not supported on the real-parallelism backend; run this workload on the simulator")
+}
+
+// ExecGasGet implements core.Exec; unsupported on rt.
+func (w *Worker) ExecGasGet(r gas.Ref, buf []byte) { w.execGasPanic() }
+
+// ExecGasPut implements core.Exec; unsupported on rt.
+func (w *Worker) ExecGasPut(r gas.Ref, buf []byte) { w.execGasPanic() }
+
+// ExecGasGetU64 implements core.Exec; unsupported on rt.
+func (w *Worker) ExecGasGetU64(r gas.Ref) uint64 { w.execGasPanic(); return 0 }
+
+// ExecGasPutU64 implements core.Exec; unsupported on rt.
+func (w *Worker) ExecGasPutU64(r gas.Ref, v uint64) { w.execGasPanic() }
+
+// ExecGasAlloc implements core.Exec; unsupported on rt.
+func (w *Worker) ExecGasAlloc(n uint64) gas.Ref { w.execGasPanic(); return gas.Ref(0) }
+
+// SimWorker returns nil: this backend is not the simulator.
+func (w *Worker) SimWorker() *core.Worker { return nil }
