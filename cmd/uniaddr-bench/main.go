@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -63,6 +64,11 @@ func main() {
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of a representative faulted chaos run to this file (chaos only; view in Perfetto)")
 	obsOut := flag.Bool("obs", false, "print an observability summary of a representative faulted chaos run (chaos only)")
 	rtJSON := flag.String("rt-json", "BENCH_rt.json", "output path for the rt bench report (-backend rt -exp bench)")
+	compare := flag.String("compare", "", "baseline BENCH_rt.json to diff the rt bench against (-backend rt -exp bench); prints a before/after delta table")
+	compareJSON := flag.String("compare-json", "", "also write the -compare delta report as JSON to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (view with go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile at exit to this file")
 	list := flag.Bool("list", false, "list available experiments, workloads and backends, then exit")
 	flag.Parse()
 
@@ -70,6 +76,8 @@ func main() {
 		printList(os.Stdout)
 		return
 	}
+	stopProfiles := startProfiles(*cpuProfile, *memProfile, *mutexProfile)
+	defer stopProfiles()
 	switch *backend {
 	case "sim":
 		if *exp == "" {
@@ -79,7 +87,7 @@ func main() {
 		if *exp == "" {
 			*exp = "bench"
 		}
-		runRT(*exp, *scale, *seed, *reps, *workersFlag, *rtJSON)
+		runRT(*exp, *scale, *seed, *reps, *workersFlag, *rtJSON, *compare, *compareJSON)
 		return
 	default:
 		fail(fmt.Errorf("unknown backend %q (sim | rt); -list shows what exists", *backend))
@@ -236,13 +244,20 @@ func main() {
 }
 
 // runRT executes the real-parallelism experiments: the wall-clock
-// scaling bench (with its BENCH_rt.json artifact) or the sim-vs-rt
-// differential matrix.
-func runRT(exp, scale string, seed uint64, reps int, workersFlag, rtJSON string) {
+// scaling bench (with its BENCH_rt.json artifact, optionally diffed
+// against a committed baseline) or the sim-vs-rt differential matrix.
+func runRT(exp, scale string, seed uint64, reps int, workersFlag, rtJSON, compare, compareJSON string) {
 	workers := parseWorkers(workersFlag, defaultRTWorkers())
 	out := os.Stdout
 	switch exp {
 	case "bench":
+		// A bad baseline path must fail before the sweep, not after it.
+		var baseline harness.RTBenchReport
+		if compare != "" {
+			var err error
+			baseline, err = harness.ReadRTBenchJSON(compare)
+			check(err)
+		}
 		wls, err := harness.RTBenchWorkloads(scale)
 		check(err)
 		rep, err := harness.RunRTBench(wls, workers, reps, seed, false)
@@ -253,6 +268,18 @@ func runRT(exp, scale string, seed uint64, reps int, workersFlag, rtJSON string)
 		check(harness.WriteRTBenchJSON(f, rep))
 		check(f.Close())
 		fmt.Fprintf(out, "(machine-readable report written to %s)\n", rtJSON)
+		if compare != "" {
+			cmp := harness.CompareRTBench(baseline, rep)
+			fmt.Fprintln(out)
+			harness.PrintRTBenchCompare(out, cmp)
+			if compareJSON != "" {
+				cf, err := os.Create(compareJSON)
+				check(err)
+				check(harness.WriteRTBenchCompareJSON(cf, cmp))
+				check(cf.Close())
+				fmt.Fprintf(out, "(delta report written to %s)\n", compareJSON)
+			}
+		}
 	case "diff":
 		seeds := []uint64{seed, seed + 1, seed + 2}
 		rep, err := harness.RunDifferential(harness.DiffWorkloads(), workers, seeds, false)
@@ -331,6 +358,42 @@ func printList(out *os.File) {
 		}
 	}
 	fmt.Fprintln(out, "\nscales: tiny | small | large")
+}
+
+// startProfiles arms the requested pprof outputs and returns the
+// function that flushes them. CPU profiling starts immediately;
+// allocation and mutex profiles are snapshotted at exit (mutex
+// profiling is enabled now so the run is actually sampled).
+func startProfiles(cpu, mem, mutex string) func() {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		cpuFile = f
+	}
+	if mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			check(cpuFile.Close())
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			check(err)
+			runtime.GC() // materialise the final live-heap picture
+			check(pprof.Lookup("allocs").WriteTo(f, 0))
+			check(f.Close())
+		}
+		if mutex != "" {
+			f, err := os.Create(mutex)
+			check(err)
+			check(pprof.Lookup("mutex").WriteTo(f, 0))
+			check(f.Close())
+		}
+	}
 }
 
 func check(err error) {

@@ -115,6 +115,14 @@ func NewEnv(x Exec, base mem.VA, size uint64, rp uint32) *Env {
 	return &Env{x: x, base: base, size: size, rp: rp}
 }
 
+// Reset reinitialises e for a new task entry, so backends can pool Env
+// values instead of heap-allocating one per invocation. The contract
+// that task functions must not retain an Env past their return (see
+// NewEnv) is what makes reuse safe.
+func (e *Env) Reset(x Exec, base mem.VA, size uint64, rp uint32) {
+	*e = Env{x: x, base: base, size: size, rp: rp}
+}
+
 // Returned reports whether the task called ReturnU64/ReturnI64 during
 // this entry. Backends use it after a Done return to record the default
 // zero result when the task never returned explicitly.

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+)
+
+// Baseline comparison for the rt bench: load a committed BENCH_rt
+// report (the pre-optimization numbers) and emit a before/after delta
+// table, so a performance PR carries its own evidence. Rows are matched
+// by (workload, workers); rows present on only one side are reported,
+// never silently dropped — a vanished row usually means a workload was
+// renamed or a worker count changed, which a reviewer should see.
+
+// RTBenchDelta is one matched (workload, workers) pair across two
+// reports.
+type RTBenchDelta struct {
+	Workload string `json:"workload"`
+	Workers  int    `json:"workers"`
+
+	BaseWallNS int64 `json:"base_wall_ns"`
+	CurWallNS  int64 `json:"cur_wall_ns"`
+	// Speedup is base wall / current wall: > 1 means the current run is
+	// faster. TasksPerSecRatio is the same comparison in throughput
+	// terms (cur / base). MeanSpeedup compares mean-of-reps walls,
+	// where idle-worker interference shows up long before it moves the
+	// best-of minimum (0 when either side predates the mean field).
+	Speedup          float64 `json:"speedup"`
+	MeanSpeedup      float64 `json:"mean_speedup,omitempty"`
+	TasksPerSecRatio float64 `json:"tasks_per_sec_ratio"`
+
+	BaseAbortEmpty uint64 `json:"base_steal_abort_empty"`
+	CurAbortEmpty  uint64 `json:"cur_steal_abort_empty"`
+	BaseAbortLock  uint64 `json:"base_steal_abort_lock"`
+	CurAbortLock   uint64 `json:"cur_steal_abort_lock"`
+	BaseStealsOK   uint64 `json:"base_steals_ok"`
+	CurStealsOK    uint64 `json:"cur_steals_ok"`
+	CurParks       uint64 `json:"cur_parks,omitempty"`
+}
+
+// RTBenchComparison pairs the deltas with the rows that had no partner
+// on the other side.
+type RTBenchComparison struct {
+	Deltas       []RTBenchDelta `json:"deltas"`
+	BaseOnly     []RTBenchRow   `json:"base_only,omitempty"`
+	CurrentOnly  []RTBenchRow   `json:"current_only,omitempty"`
+	BaseMachine  string         `json:"base_machine"`
+	CurMachine   string         `json:"cur_machine"`
+	MachineMatch bool           `json:"machine_match"`
+}
+
+func rtMachineID(r RTBenchReport) string {
+	return fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d", r.GoMaxProcs, r.NumCPU)
+}
+
+// ReadRTBenchJSON loads a report written by WriteRTBenchJSON.
+func ReadRTBenchJSON(path string) (RTBenchReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return RTBenchReport{}, fmt.Errorf("rt bench baseline: %w", err)
+	}
+	var r RTBenchReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return RTBenchReport{}, fmt.Errorf("rt bench baseline %s: %w", path, err)
+	}
+	if r.Benchmark == "" || len(r.Rows) == 0 {
+		return RTBenchReport{}, fmt.Errorf("rt bench baseline %s: no rows (not a BENCH_rt report?)", path)
+	}
+	return r, nil
+}
+
+// CompareRTBench matches rows of base and cur by (workload, workers)
+// and computes wall-clock and steal-churn deltas.
+func CompareRTBench(base, cur RTBenchReport) RTBenchComparison {
+	cmp := RTBenchComparison{
+		BaseMachine:  rtMachineID(base),
+		CurMachine:   rtMachineID(cur),
+		MachineMatch: rtMachineID(base) == rtMachineID(cur),
+	}
+	type key struct {
+		wl string
+		w  int
+	}
+	baseRows := make(map[key]RTBenchRow, len(base.Rows))
+	for _, r := range base.Rows {
+		baseRows[key{r.Workload, r.Workers}] = r
+	}
+	matched := make(map[key]bool, len(cur.Rows))
+	for _, c := range cur.Rows {
+		k := key{c.Workload, c.Workers}
+		b, ok := baseRows[k]
+		if !ok {
+			cmp.CurrentOnly = append(cmp.CurrentOnly, c)
+			continue
+		}
+		matched[k] = true
+		d := RTBenchDelta{
+			Workload:       c.Workload,
+			Workers:        c.Workers,
+			BaseWallNS:     b.WallNS,
+			CurWallNS:      c.WallNS,
+			BaseAbortEmpty: b.StealAbortEmpty,
+			CurAbortEmpty:  c.StealAbortEmpty,
+			BaseAbortLock:  b.StealAbortLock,
+			CurAbortLock:   c.StealAbortLock,
+			BaseStealsOK:   b.StealsOK,
+			CurStealsOK:    c.StealsOK,
+			CurParks:       c.Parks,
+		}
+		if c.WallNS > 0 {
+			d.Speedup = float64(b.WallNS) / float64(c.WallNS)
+		}
+		if b.MeanWallNS > 0 && c.MeanWallNS > 0 {
+			d.MeanSpeedup = float64(b.MeanWallNS) / float64(c.MeanWallNS)
+		}
+		if b.TasksPerSec > 0 {
+			d.TasksPerSecRatio = c.TasksPerSec / b.TasksPerSec
+		}
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	for _, b := range base.Rows {
+		if !matched[key{b.Workload, b.Workers}] {
+			cmp.BaseOnly = append(cmp.BaseOnly, b)
+		}
+	}
+	return cmp
+}
+
+// PrintRTBenchCompare renders the delta table. Speedup > 1 means the
+// current build is faster than the baseline.
+func PrintRTBenchCompare(w io.Writer, cmp RTBenchComparison) {
+	fmt.Fprintf(w, "baseline comparison (speedup = baseline wall / current wall; >1 is faster)\n")
+	if !cmp.MachineMatch {
+		fmt.Fprintf(w, "WARNING: machine mismatch — baseline %s vs current %s; wall-clock ratios are not meaningful across machines\n",
+			cmp.BaseMachine, cmp.CurMachine)
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tworkers\tbase ms\tcur ms\tspeedup\tmean ×\ttasks/s ×\tabort-empty\tabort-lock\tsteals\tparks")
+	for _, d := range cmp.Deltas {
+		mean := "-"
+		if d.MeanSpeedup > 0 {
+			mean = fmt.Sprintf("%.2fx", d.MeanSpeedup)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%.2fx\t%s\t%.2fx\t%d → %d\t%d → %d\t%d → %d\t%d\n",
+			d.Workload, d.Workers,
+			float64(d.BaseWallNS)/1e6, float64(d.CurWallNS)/1e6,
+			d.Speedup, mean, d.TasksPerSecRatio,
+			d.BaseAbortEmpty, d.CurAbortEmpty,
+			d.BaseAbortLock, d.CurAbortLock,
+			d.BaseStealsOK, d.CurStealsOK,
+			d.CurParks)
+	}
+	tw.Flush()
+	for _, r := range cmp.BaseOnly {
+		fmt.Fprintf(w, "baseline-only row (not measured in this run): %s workers=%d\n", r.Workload, r.Workers)
+	}
+	for _, r := range cmp.CurrentOnly {
+		fmt.Fprintf(w, "new row (absent from baseline): %s workers=%d\n", r.Workload, r.Workers)
+	}
+}
+
+// WriteRTBenchCompareJSON writes the comparison, indented, to w — the
+// machine-readable twin of PrintRTBenchCompare for CI artifacts.
+func WriteRTBenchCompareJSON(w io.Writer, cmp RTBenchComparison) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cmp)
+}

@@ -56,28 +56,63 @@ func newArena(base mem.VA, size uint64) *arena {
 
 // slice returns the backing bytes for [va, va+n), bounds-checked
 // against the arena (not against [p, top): thieves read frames they
-// have claimed but not yet installed locally).
+// have claimed but not yet installed locally). slice and its wrappers
+// below sit on every frame-slot access, so their fast paths carry no
+// fmt machinery: error/panic construction lives in out-of-line
+// noinline slow paths. The bounds check is wrap-safe — `n > len-off`
+// cannot overflow where the old `off+n > len` form could — and the
+// off > len comparison also catches va < a.base, because the
+// subtraction wraps to a value far above any real arena length.
 func (a *arena) slice(va mem.VA, n uint64) ([]byte, error) {
-	if va < a.base || uint64(va-a.base)+n > uint64(len(a.bytes)) {
-		return nil, fmt.Errorf("rt: access [%#x,+%d) outside arena [%#x,%#x)", va, n, a.base, a.end)
+	off := uint64(va) - uint64(a.base)
+	if off > uint64(len(a.bytes)) || n > uint64(len(a.bytes))-off {
+		return nil, a.sliceErr(va, n)
 	}
-	off := uint64(va - a.base)
 	return a.bytes[off : off+n : off+n], nil
 }
 
+//go:noinline
+func (a *arena) sliceErr(va mem.VA, n uint64) error {
+	return fmt.Errorf("rt: access [%#x,+%d) outside arena [%#x,%#x)", va, n, a.base, a.end)
+}
+
 func (a *arena) mustSlice(va mem.VA, n uint64) []byte {
-	b, err := a.slice(va, n)
-	if err != nil {
-		panic(err)
+	off := uint64(va) - uint64(a.base)
+	if off > uint64(len(a.bytes)) || n > uint64(len(a.bytes))-off {
+		a.sliceFail(va, n)
 	}
-	return b
+	return a.bytes[off : off+n : off+n]
+}
+
+//go:noinline
+func (a *arena) sliceFail(va mem.VA, n uint64) {
+	panic(a.sliceErr(va, n))
 }
 
 func (a *arena) readU64(va mem.VA) uint64 {
+	off := uint64(va) - uint64(a.base)
+	if b := a.bytes; off < uint64(len(b)) && uint64(len(b))-off >= 8 {
+		return binary.LittleEndian.Uint64(b[off:])
+	}
+	return a.readU64Slow(va)
+}
+
+//go:noinline
+func (a *arena) readU64Slow(va mem.VA) uint64 {
 	return binary.LittleEndian.Uint64(a.mustSlice(va, 8))
 }
 
 func (a *arena) writeU64(va mem.VA, v uint64) {
+	off := uint64(va) - uint64(a.base)
+	if b := a.bytes; off < uint64(len(b)) && uint64(len(b))-off >= 8 {
+		binary.LittleEndian.PutUint64(b[off:], v)
+		return
+	}
+	a.writeU64Slow(va, v)
+}
+
+//go:noinline
+func (a *arena) writeU64Slow(va mem.VA, v uint64) {
 	binary.LittleEndian.PutUint64(a.mustSlice(va, 8), v)
 }
 
@@ -121,7 +156,10 @@ func (a *arena) install(base mem.VA, size uint64) error {
 	if !a.empty() {
 		return fmt.Errorf("rt: install into non-empty arena (used %d bytes)", a.used())
 	}
-	if base < a.base || base+mem.VA(size) > a.end {
+	// size is compared against the space remaining above base rather
+	// than added to base: `base+size > end` wraps for sizes near 2^64
+	// and would admit an install whose top lies past the arena's end.
+	if base < a.base || base > a.end || size > uint64(a.end-base) {
 		return fmt.Errorf("rt: install [%#x,+%d) outside arena [%#x,%#x)", base, size, a.base, a.end)
 	}
 	a.p = base

@@ -1,0 +1,141 @@
+package rt
+
+import (
+	"fmt"
+	"testing"
+
+	"uniaddr/internal/workloads"
+)
+
+// Microbenchmarks for the rt hot paths. CI runs them with
+// -benchtime=1x as a smoke test; locally, `go test -bench . -run '^$'
+// ./internal/rt` gives the real numbers, and -cpuprofile/-memprofile
+// work as usual. The e2e benchmarks report ns/task and allocs/op —
+// allocs/op is the regression guard for the pooling work: the steady
+// state spawn/join path must not allocate.
+
+func BenchmarkNewFrame(b *testing.B) {
+	cfg := DefaultConfig(1)
+	w := New(cfg).workers[0]
+	const size = 128
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		base := w.newFrame(size)
+		if err := w.arena.freeLowest(base, size); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkArenaReadU64(b *testing.B) {
+	a := newArena(0x1000, 4096)
+	a.writeU64(0x1100, 7)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += a.readU64(0x1100)
+	}
+	_ = sink
+}
+
+func BenchmarkArenaWriteU64(b *testing.B) {
+	a := newArena(0x1000, 4096)
+	for i := 0; i < b.N; i++ {
+		a.writeU64(0x1100, uint64(i))
+	}
+}
+
+func BenchmarkDequePushPop(b *testing.B) {
+	d := NewDeque(1 << 10)
+	e := Entry{FrameBase: 0x1000, FrameSize: 128}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := d.Push(e); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := d.Pop(nil); !ok {
+			b.Fatal("pop failed")
+		}
+	}
+}
+
+// BenchmarkStealRoundTrip measures the full thief-side sequence —
+// claim under the victim's FAA lock, install, cross-arena memcpy,
+// commit — for a 128-byte frame.
+func BenchmarkStealRoundTrip(b *testing.B) {
+	r := New(DefaultConfig(2))
+	victim, thief := r.workers[0], r.workers[1]
+	const size = 128
+	base := victim.newFrame(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := victim.deque.Push(Entry{FrameBase: base, FrameSize: size}); err != nil {
+			b.Fatal(err)
+		}
+		ent, outcome := victim.deque.StealBegin()
+		if outcome != StealOK {
+			b.Fatalf("steal outcome %v", outcome)
+		}
+		if err := thief.arena.install(ent.FrameBase, ent.FrameSize); err != nil {
+			b.Fatal(err)
+		}
+		src, err := victim.arena.slice(ent.FrameBase, ent.FrameSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		copy(thief.arena.mustSlice(ent.FrameBase, ent.FrameSize), src)
+		victim.deque.StealCommit()
+		thief.arena.clear()
+	}
+}
+
+// benchRun executes spec once per iteration and reports ns/task and
+// allocs/op across the whole runtime lifecycle.
+func benchRun(b *testing.B, spec workloads.Spec, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	var tasks uint64
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(workers)
+		cfg.Seed = uint64(i) + 1
+		cfg.NoPin = true
+		r := New(cfg)
+		got, err := r.Run(spec.Fid, spec.Locals, spec.Init)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got != spec.Expected {
+			b.Fatalf("result %d, want %d", got, spec.Expected)
+		}
+		tasks += r.TotalStats().TasksExecuted
+	}
+	if tasks > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(tasks), "ns/task")
+	}
+}
+
+// BenchmarkSpawnJoin is the pure scheduling cost: a fib tree with zero
+// per-task work, so ns/task is spawn+join+frame overhead.
+func BenchmarkSpawnJoin(b *testing.B) {
+	benchRun(b, workloads.Fib(18, 0), 1)
+}
+
+// BenchmarkSuspendResume drives the swap-out/park/precise-wake/resume
+// path: PingPong's joins almost always miss.
+func BenchmarkSuspendResume(b *testing.B) {
+	benchRun(b, workloads.PingPong(128, 200, 0), 2)
+}
+
+func BenchmarkFibE2E(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchRun(b, workloads.Fib(20, 50), workers)
+		})
+	}
+}
+
+func BenchmarkNQueensE2E(b *testing.B) {
+	b.Run("workers=8", func(b *testing.B) {
+		benchRun(b, workloads.NQueens(8, 50), 8)
+	})
+}

@@ -53,14 +53,32 @@ import (
 // this cannot occur in practice, matching the simulator's stance.
 type Deque struct {
 	lock   atomic.Uint64
-	_      [7]uint64 // pad: keep lock, top and bottom on separate cache lines
+	_      [7]uint64 // pad: keep lock, top, bottom and occupancy on separate cache lines
 	top    atomic.Uint64
 	_      [7]uint64
 	bottom atomic.Uint64
 	_      [7]uint64
-	cap    uint64
-	slots  []dqSlot
+	// occupancy is the published steal hint: an approximate entry count
+	// a prospective thief can read with ONE load (top and bottom live on
+	// separate cache lines by design, so the exact Size() costs two).
+	// It is refreshed by the owner at every push/pop and by a thief at
+	// commit/abort while it still holds the lock. Both sides use plain
+	// last-writer-wins stores, so the value can go stale in either
+	// direction; it is ADVISORY ONLY — no correctness decision reads it.
+	// Thieves use it to pick victims (a stale hint wastes at most one
+	// probe) and the idle-parking recheck deliberately uses exact Size()
+	// instead (see DESIGN.md §10).
+	occupancy atomic.Uint64
+	_         [7]uint64
+	cap       uint64
+	slots     []dqSlot
 }
+
+// syncOccupancy republishes the current Size as the steal hint.
+func (d *Deque) syncOccupancy() { d.occupancy.Store(d.Size()) }
+
+// Occupancy returns the advisory entry-count hint (single load).
+func (d *Deque) Occupancy() uint64 { return d.occupancy.Load() }
 
 // dqSlot is one deque entry. Fields are atomics so the entry publish
 // (push before bottom-store) and the thief's read (after bottom-load)
@@ -142,6 +160,9 @@ func (d *Deque) Push(e Entry) error {
 	s.base.Store(uint64(e.FrameBase))
 	s.size.Store(e.FrameSize)
 	d.bottom.Store(b + 1)
+	// Hint refresh from the locals already in hand (an in-flight claim
+	// can make this stale-high by one — advisory, so fine).
+	d.occupancy.Store(b + 1 - t)
 	return nil
 }
 
@@ -156,6 +177,9 @@ func (d *Deque) Pop(stop func() bool) (Entry, bool) {
 	if b <= t {
 		// Empty. No claim can be outstanding on entries below top, so
 		// this path needs no lock (edge 3 note in the type comment).
+		// Converge the hint toward the truth while we are here: a stale
+		// non-zero hint would keep attracting thieves to a dry deque.
+		d.occupancy.Store(0)
 		return Entry{}, false
 	}
 	b--
@@ -164,6 +188,7 @@ func (d *Deque) Pop(stop func() bool) (Entry, bool) {
 		// No conflict: the entry at b is ours, and no thief can claim
 		// it any more (a claim writes top = b+1 > b only after reading
 		// bottom > b, which is no longer true).
+		d.occupancy.Store(b - t)
 		return d.entryAt(b), true
 	}
 	// A thief's claim crossed our decrement. Restore bottom and settle
@@ -176,11 +201,13 @@ func (d *Deque) Pop(stop func() bool) (Entry, bool) {
 	t = d.top.Load()
 	if t > b {
 		// The thief won: the last entry is gone.
+		d.syncOccupancy()
 		d.unlock()
 		return Entry{}, false
 	}
 	d.bottom.Store(b)
 	e := d.entryAt(b)
+	d.syncOccupancy()
 	d.unlock()
 	return e, true
 }
@@ -216,13 +243,19 @@ func (d *Deque) StealBegin() (Entry, StealOutcome) {
 }
 
 // StealCommit releases the victim's lock after the frame copy. The
-// seq-cst store orders the copy before the release (edge 2).
-func (d *Deque) StealCommit() { d.unlock() }
+// seq-cst store orders the copy before the release (edge 2). The hint
+// refresh happens while the lock is still held, so the committed
+// claim's effect on top is already reflected.
+func (d *Deque) StealCommit() {
+	d.syncOccupancy()
+	d.unlock()
+}
 
 // StealAbort hands a claimed entry back (top = t) and releases the
 // lock — the THE abort the simulator's fault-injection tests exercise.
 func (d *Deque) StealAbort() {
 	d.top.Store(d.top.Load() - 1)
+	d.syncOccupancy()
 	d.unlock()
 }
 

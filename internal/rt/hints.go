@@ -1,0 +1,95 @@
+package rt
+
+// Hint-guided victim selection. The pre-optimization trySteal probed
+// one uniformly random victim per idle round; with W workers and one
+// busy victim, an idle worker burned W-2 empty probes (each a real
+// StealBegin: an atomic RMW on the victim's lock line) for every hit.
+// The replacement consults advisory occupancy hints — one atomic load
+// per candidate, no RMW — and a last-successful-victim cache before
+// falling back to a single blind probe.
+//
+// The hints are ADVISORY. A stale-high hint costs one wasted probe; a
+// stale-low hint could starve a victim of thieves forever, which is why
+// the no-hints-anywhere path still probes one random victim blindly:
+// liveness never depends on hint freshness (DESIGN.md §10).
+
+// trySteal attempts one steal round: cache first, then a hint sweep
+// from a random start, then one blind probe. Returns true when a thread
+// was stolen and executed. At most two StealBegin probes per round.
+func (w *Worker) trySteal() bool {
+	n := len(w.rt.workers)
+	if n < 2 || !w.arena.empty() {
+		return false
+	}
+	// 1. Last successful victim: work-stealing victims are bursty — a
+	// deep deque stays stealable across many rounds.
+	if lv := w.lastVictim; lv >= 0 {
+		if v := w.rt.workers[lv]; v.deque.Occupancy() > 0 {
+			w.stats.StealCacheProbes++
+			if w.stealFrom(v, int(lv)) {
+				return true
+			}
+		}
+		w.lastVictim = -1
+	}
+	// 2. Hint sweep: scan every other worker's hint (cheap loads) from
+	// a random start, probing the first that advertises work. The
+	// random start keeps thieves from convoying on the lowest rank.
+	start := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		vi := start + i
+		if vi >= n {
+			vi -= n
+		}
+		if vi == w.rank {
+			continue
+		}
+		if v := w.rt.workers[vi]; v.deque.Occupancy() > 0 {
+			w.stats.StealHintProbes++
+			return w.stealFrom(v, vi)
+		}
+	}
+	// 3. Every hint reads empty. Hints can be stale-low (a thief's
+	// refresh can overwrite the owner's newer value), so probe one
+	// random victim anyway: the blind probe is what makes progress
+	// independent of hint freshness.
+	vi := w.rng.Intn(n - 1)
+	if vi >= w.rank {
+		vi++
+	}
+	w.stats.StealBlindProbes++
+	return w.stealFrom(w.rt.workers[vi], vi)
+}
+
+// stealFrom runs the thief side of Fig. 6 against victim v: claim under
+// the FAA lock, memcpy the stack into the same offset of our own arena,
+// release, run. Legal only while our region is empty (the caller
+// checked). On success v becomes the cached victim for the next round.
+func (w *Worker) stealFrom(v *Worker, vi int) bool {
+	w.stats.StealAttempts++
+	ent, outcome := v.deque.StealBegin()
+	switch outcome {
+	case StealEmpty, StealEmptyLocked:
+		w.stats.StealAbortEmpty++
+		return false
+	case StealLockBusy:
+		w.stats.StealAbortLock++
+		return false
+	}
+	// Claimed; the victim's lock is held, so the victim cannot recycle
+	// these bytes until we commit. Copy stack → same VA in our arena.
+	if err := w.arena.install(ent.FrameBase, ent.FrameSize); err != nil {
+		panic(err)
+	}
+	src, err := v.arena.slice(ent.FrameBase, ent.FrameSize)
+	if err != nil {
+		panic(err)
+	}
+	copy(w.arena.mustSlice(ent.FrameBase, ent.FrameSize), src)
+	v.deque.StealCommit()
+	w.stats.StealsOK++
+	w.stats.BytesStolen += ent.FrameSize
+	w.lastVictim = int32(vi)
+	w.invoke(ent.FrameBase, ent.FrameSize)
+	return true
+}

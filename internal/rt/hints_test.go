@@ -1,0 +1,109 @@
+package rt
+
+import (
+	"testing"
+
+	"uniaddr/internal/workloads"
+)
+
+// TestDequeOccupancyTracksSize checks the hint converges to the exact
+// size at every quiescent point of a push/pop/steal history.
+func TestDequeOccupancyTracksSize(t *testing.T) {
+	d := NewDeque(16)
+	check := func(when string) {
+		t.Helper()
+		if d.Occupancy() != d.Size() {
+			t.Fatalf("%s: occupancy %d != size %d", when, d.Occupancy(), d.Size())
+		}
+	}
+	check("fresh")
+	for i := 1; i <= 5; i++ {
+		if err := d.Push(Entry{FrameBase: 0x1000, FrameSize: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		check("after push")
+	}
+	if _, ok := d.Pop(nil); !ok {
+		t.Fatal("pop failed")
+	}
+	check("after pop")
+
+	if _, outcome := d.StealBegin(); outcome != StealOK {
+		t.Fatalf("steal outcome %v", outcome)
+	}
+	d.StealCommit()
+	check("after steal commit")
+
+	if _, outcome := d.StealBegin(); outcome != StealOK {
+		t.Fatalf("steal outcome %v", outcome)
+	}
+	d.StealAbort()
+	check("after steal abort")
+
+	for {
+		if _, ok := d.Pop(nil); !ok {
+			break
+		}
+		check("while draining")
+	}
+	check("empty")
+	if d.Occupancy() != 0 {
+		t.Fatalf("empty deque advertises occupancy %d", d.Occupancy())
+	}
+}
+
+// TestStealProbeAccounting checks the probe taxonomy: every steal
+// attempt is routed by exactly one of the three selectors (cache, hint
+// sweep, blind fallback), so the buckets must sum to StealAttempts.
+func TestStealProbeAccounting(t *testing.T) {
+	for _, spec := range []workloads.Spec{
+		workloads.Fib(17, 50),
+		workloads.PingPong(64, 200, 0),
+	} {
+		for _, workers := range []int{2, 4, 8} {
+			cfg := DefaultConfig(workers)
+			cfg.NoPin = true
+			r := New(cfg)
+			got, err := r.Run(spec.Fid, spec.Locals, spec.Init)
+			if err != nil {
+				t.Fatalf("%s on %d workers: %v", spec.Name, workers, err)
+			}
+			if got != spec.Expected {
+				t.Fatalf("%s on %d workers: result %d, want %d", spec.Name, workers, got, spec.Expected)
+			}
+			ts := r.TotalStats()
+			probes := ts.StealCacheProbes + ts.StealHintProbes + ts.StealBlindProbes
+			if probes != ts.StealAttempts {
+				t.Errorf("%s on %d workers: probe buckets %d+%d+%d != attempts %d",
+					spec.Name, workers,
+					ts.StealCacheProbes, ts.StealHintProbes, ts.StealBlindProbes,
+					ts.StealAttempts)
+			}
+			outcomes := ts.StealsOK + ts.StealAbortEmpty + ts.StealAbortLock
+			if outcomes != ts.StealAttempts {
+				t.Errorf("%s on %d workers: outcomes %d != attempts %d",
+					spec.Name, workers, outcomes, ts.StealAttempts)
+			}
+		}
+	}
+}
+
+// TestHintedStealsFindWork sanity-checks the selector on a workload
+// with real migration: at 4+ workers a fib tree forces steals, and the
+// hint/cache paths — not just blind luck — must be carrying traffic.
+func TestHintedStealsFindWork(t *testing.T) {
+	spec := workloads.Fib(18, 20)
+	cfg := DefaultConfig(4)
+	cfg.NoPin = true
+	r := New(cfg)
+	if _, err := r.Run(spec.Fid, spec.Locals, spec.Init); err != nil {
+		t.Fatal(err)
+	}
+	ts := r.TotalStats()
+	if ts.StealsOK == 0 {
+		t.Skip("no steals occurred on this box; nothing to assert")
+	}
+	if ts.StealCacheProbes+ts.StealHintProbes == 0 {
+		t.Errorf("%d successful steals but zero hint/cache-guided probes", ts.StealsOK)
+	}
+}

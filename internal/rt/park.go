@@ -1,0 +1,224 @@
+package rt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Idle parking. The pre-optimization idle engine was a flat 20µs
+// sleep-poll: every idle worker woke 50,000 times a second to probe
+// deques that were empty the last 50,000 times, stealing cycles (and,
+// on a single-core box, the whole CPU quantum) from the one worker with
+// actual work. The replacement is a three-stage ladder — spin hot,
+// then nap with capped-exponential backoff, then PARK on a wakeable lot
+// — plus precise wakeups: Push wakes one parker only when one exists,
+// and a record completion wakes exactly the worker whose suspended
+// thread it unblocks. The memory-ordering argument for why no wakeup
+// can be lost is spelled out in DESIGN.md §10.
+
+const (
+	// idleSpinRounds: Gosched-only rounds before the first nap. Spinning
+	// stays hot for the common steal-latency case (a victim is about to
+	// push).
+	idleSpinRounds = 64
+	// idleNapStart / idleNapCap bound the exponential nap ladder:
+	// 1µs, 2µs, … 256µs, then park. An idle worker reaches the lot after
+	// ~½ms instead of polling forever.
+	idleNapStart = time.Microsecond
+	idleNapCap   = 256 * time.Microsecond
+)
+
+// idleAction is what the ladder tells the idle loop to do next.
+type idleAction uint8
+
+const (
+	actSpin idleAction = iota
+	actNap
+	actPark
+)
+
+// idleState is the per-worker backoff ladder. Pure state machine —
+// step decides, the caller sleeps — so the counter semantics are unit
+// testable without a runtime.
+type idleState struct {
+	spins int
+	nap   time.Duration
+}
+
+// step advances the ladder one round and returns the action to take
+// (with the nap duration when the action is actNap).
+func (s *idleState) step() (idleAction, time.Duration) {
+	if s.spins < idleSpinRounds {
+		s.spins++
+		return actSpin, 0
+	}
+	switch {
+	case s.nap == 0:
+		s.nap = idleNapStart
+	case s.nap < idleNapCap:
+		s.nap *= 2
+	default:
+		return actPark, 0
+	}
+	return actNap, s.nap
+}
+
+// reset rewinds the ladder to hot spinning; called whenever the worker
+// finds work (pop, steal, or resume succeeds) and after a wakeup.
+func (s *idleState) reset() { s.spins, s.nap = 0, 0 }
+
+// parkingLot tracks which workers are parked. count is read on the
+// producer fast path (one atomic load per push when nobody is parked);
+// the slice is mutated only under mu. A parked worker owns slot
+// parkSlot in parked; every removal — by a waker or by the parker's own
+// cancel — is paired with exactly one token send on the worker's
+// 1-buffered wakeCh, and the worker consumes exactly one token per
+// registration episode, so a send can never block and a wake can never
+// be lost.
+type parkingLot struct {
+	count  atomic.Int64
+	mu     sync.Mutex
+	parked []*Worker
+}
+
+// register adds w to the lot. The count increment is a seq-cst RMW that
+// program-order-precedes the caller's work recheck — the parker's half
+// of the Dekker handshake with push/complete (DESIGN.md §10).
+func (l *parkingLot) register(w *Worker) {
+	l.mu.Lock()
+	w.parkSlot = int32(len(l.parked))
+	l.parked = append(l.parked, w)
+	l.count.Add(1)
+	l.mu.Unlock()
+}
+
+// cancel removes w if it is still registered, reporting whether it was.
+// A false return means a waker already claimed w and its token is in
+// flight — the caller must consume it.
+func (l *parkingLot) cancel(w *Worker) bool {
+	l.mu.Lock()
+	ok := w.parkSlot >= 0
+	if ok {
+		l.removeLocked(w)
+	}
+	l.mu.Unlock()
+	return ok
+}
+
+// removeLocked unregisters w (swap-remove; mu held).
+func (l *parkingLot) removeLocked(w *Worker) {
+	i := w.parkSlot
+	last := len(l.parked) - 1
+	moved := l.parked[last]
+	l.parked[last] = nil
+	if int(i) != last {
+		l.parked[i] = moved
+		moved.parkSlot = i
+	}
+	l.parked = l.parked[:last]
+	w.parkSlot = -1
+	l.count.Add(-1)
+}
+
+// wakeOne releases the most recently parked worker, if any (LIFO: its
+// caches are the warmest). Called by Push-side producers.
+func (l *parkingLot) wakeOne() {
+	l.mu.Lock()
+	if n := len(l.parked); n > 0 {
+		w := l.parked[n-1]
+		l.removeLocked(w)
+		l.mu.Unlock()
+		w.wakeCh <- struct{}{}
+		return
+	}
+	l.mu.Unlock()
+}
+
+// wakeWorker releases w specifically, if it is parked — the precise
+// wake a record completion sends to the joiner it unblocks.
+func (l *parkingLot) wakeWorker(w *Worker) {
+	l.mu.Lock()
+	if w.parkSlot >= 0 {
+		l.removeLocked(w)
+		l.mu.Unlock()
+		w.wakeCh <- struct{}{}
+		return
+	}
+	l.mu.Unlock()
+}
+
+// wakeAll releases every parked worker — the shutdown broadcast from
+// finish/fail.
+func (l *parkingLot) wakeAll() {
+	l.mu.Lock()
+	ws := make([]*Worker, len(l.parked))
+	copy(ws, l.parked)
+	for _, w := range ws {
+		l.removeLocked(w)
+	}
+	l.mu.Unlock()
+	for _, w := range ws {
+		w.wakeCh <- struct{}{}
+	}
+}
+
+// hasWorkHint reports whether anything the parked-to-be worker could
+// act on exists right now. This is the park-side recheck, so it reads
+// EXACT state — other deques' atomic Size and waitq records' done flags
+// — never the advisory occupancy hints: a stale hint here could strand
+// a worker, whereas on the steal path it only wastes a probe.
+func (w *Worker) hasWorkHint() bool {
+	for _, v := range w.rt.workers {
+		if v != w && v.deque.Size() > 0 {
+			return true
+		}
+	}
+	for i := range w.waitq {
+		if w.waitq[i].rec.done.Load() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// park blocks the worker on the lot until a producer, a completer or
+// shutdown wakes it. The register→recheck order is what makes the sleep
+// safe: work published after the recheck is published by a producer
+// that observes count > 0 (or a completer that observes the recorded
+// waiter) and sends a wake.
+func (w *Worker) park() {
+	w.rt.lot.register(w)
+	if w.rt.stopped() || w.hasWorkHint() {
+		if w.rt.lot.cancel(w) {
+			return
+		}
+		// A waker claimed us between register and cancel; its token is
+		// in flight and must be consumed to keep the pairing invariant.
+		<-w.wakeCh
+		w.stats.Wakes++
+		return
+	}
+	w.stats.Parks++
+	<-w.wakeCh
+	w.stats.Wakes++
+}
+
+// idlePark is one round of the idle engine: advance the ladder, then
+// spin, nap or park accordingly. idleSpins is advanced on every round
+// and NOT while parked — the quiescence tests assert it stops moving
+// once the lot has absorbed the idle workers.
+func (w *Worker) idlePark() {
+	w.idleSpins.Add(1)
+	act, nap := w.idle.step()
+	switch act {
+	case actSpin:
+		runtime.Gosched()
+	case actNap:
+		time.Sleep(nap)
+	case actPark:
+		w.park()
+		w.idle.reset()
+	}
+}

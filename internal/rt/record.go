@@ -2,7 +2,6 @@ package rt
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"uniaddr/internal/core"
@@ -32,63 +31,125 @@ const (
 type record struct {
 	done   atomic.Uint64
 	result atomic.Uint64
+	// waiter publishes which worker suspended at a join on this record:
+	// rank+1, 0 = none. The joiner stores waiter BEFORE re-checking done
+	// (ExecJoin); the completer stores done BEFORE loading waiter
+	// (ExecComplete). Under seq-cst ordering at least one side observes
+	// the other, so a suspended joiner is always either resumed by its
+	// own recheck or woken precisely by the completer — never silently
+	// left parked (see DESIGN.md §10).
+	waiter atomic.Int64
 }
 
 // recordPool is one worker's record table: a fixed backing array (so
 // &recs[i] stays valid forever — handles may be polled by any worker)
-// with a mutex-guarded free list, because a record is freed by the
-// JOINER, which may be a different worker than the owner allocating.
+// plus a free list. Allocation is owner-only (records are allocated by
+// the spawning worker), but a record is freed by the JOINER, which may
+// be any worker — so the free list is split:
+//
+//   - releaseHead/next form a Treiber stack any worker CAS-pushes freed
+//     indices onto. Only the owner ever removes nodes, and it takes the
+//     WHOLE stack with one Swap — there is no pop-side CAS, so the
+//     classic Treiber pop ABA cannot occur (a push-side CAS that
+//     succeeds has verified the head it links to is the current head).
+//   - localFree is the owner's private stack, refilled by draining the
+//     release stack; alloc touches no shared state on the fast path.
+//
+// This replaces a mutex pair per task (alloc by the owner + release by
+// the joiner) that cost ~16% of a fib run's CPU on one core.
 type recordPool struct {
 	recs []record
+	// next[i] holds idx+1 of the node below i on the release stack
+	// (0 = end of chain). Only meaningful while i is on that stack.
+	next        []atomic.Uint64
+	releaseHead atomic.Uint64 // idx+1 of the top released record; 0 = empty
 
-	mu   sync.Mutex
-	free []uint32
-	next uint32 // first never-used index
-	live int
+	// Owner-only state (no synchronisation needed):
+	localFree []uint32
+	nextFresh uint32 // first never-used index
+	allocs    uint64 // owner-only allocation count
+	freedLoc  uint64 // owner-only count of releaseLocal calls
+
+	// freedRem counts cross-worker release calls. Live() subtracts both
+	// freed counters from allocs; it is only meaningful post-run (the
+	// WaitGroup edge publishes the owner-only counters).
+	freedRem atomic.Uint64
 }
 
 func newRecordPool(capacity uint64) *recordPool {
-	return &recordPool{recs: make([]record, capacity)}
+	return &recordPool{
+		recs: make([]record, capacity),
+		next: make([]atomic.Uint64, capacity),
+	}
 }
 
-// alloc returns a zeroed record's handle-VA offset index. The zeroing
-// happens-before any other worker sees the handle: the handle only
-// propagates through a frame slot published via deque push/steal, whose
-// atomics carry the edge.
+// alloc returns a zeroed record's index. Owner-only: called by the
+// spawning worker (and once by Runtime.Run for the root, before any
+// worker goroutine starts).
 func (p *recordPool) alloc() (uint32, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	if len(p.localFree) == 0 {
+		// Drain everything joiners have released since the last refill.
+		// The Swap's seq-cst RMW makes each releaser's next-link store
+		// (program-ordered before its publishing CAS) visible here.
+		if h := p.releaseHead.Swap(0); h != 0 {
+			idx := uint32(h - 1)
+			for {
+				p.localFree = append(p.localFree, idx)
+				nx := p.next[idx].Load()
+				if nx == 0 {
+					break
+				}
+				idx = uint32(nx - 1)
+			}
+		}
+	}
 	var idx uint32
-	switch {
-	case len(p.free) > 0:
-		idx = p.free[len(p.free)-1]
-		p.free = p.free[:len(p.free)-1]
+	if n := len(p.localFree); n > 0 {
+		idx = p.localFree[n-1]
+		p.localFree = p.localFree[:n-1]
+		// Only done needs resetting for reuse. result is always stored
+		// by the completer before it stores done=1, so the new epoch's
+		// joiner can never read the old value; a stale waiter causes at
+		// worst one spurious wake (the Dekker handshake in ExecJoin /
+		// ExecComplete never depends on the field's initial value).
 		p.recs[idx].done.Store(0)
-		p.recs[idx].result.Store(0)
-	case uint64(p.next) < uint64(len(p.recs)):
-		idx = p.next
-		p.next++
-	default:
+	} else if uint64(p.nextFresh) < uint64(len(p.recs)) {
+		idx = p.nextFresh
+		p.nextFresh++
+	} else {
 		return 0, fmt.Errorf("rt: record pool exhausted (%d records; raise Config.RecordCap)", len(p.recs))
 	}
-	p.live++
+	p.allocs++
 	return idx, nil
 }
 
+// release returns a record to the pool. Called by the joiner — any
+// worker — so it pushes onto the shared release stack.
 func (p *recordPool) release(idx uint32) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.live--
-	p.free = append(p.free, idx)
+	for {
+		h := p.releaseHead.Load()
+		p.next[idx].Store(h)
+		if p.releaseHead.CompareAndSwap(h, uint64(idx)+1) {
+			break
+		}
+	}
+	p.freedRem.Add(1)
+}
+
+// releaseLocal returns a record the OWNER itself is freeing (it joined
+// its own child — the common case) straight onto the private free
+// stack, skipping the CAS of the shared release path.
+func (p *recordPool) releaseLocal(idx uint32) {
+	p.localFree = append(p.localFree, idx)
+	p.freedLoc++
 }
 
 func (p *recordPool) get(idx uint32) *record { return &p.recs[idx] }
 
-// Live returns the number of allocated records (quiescence check).
+// Live returns the number of allocated records (quiescence check; call
+// only after the run's goroutines have stopped).
 func (p *recordPool) Live() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.live
+	return int(p.allocs - p.freedLoc - p.freedRem.Load())
 }
 
 func recordIndex(h core.Handle) uint32 {

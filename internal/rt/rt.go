@@ -92,6 +92,11 @@ type Runtime struct {
 	err        error
 	wg         sync.WaitGroup
 
+	// lot is the idle-parking lot: workers that exhaust the backoff
+	// ladder block here until a push, a record completion or shutdown
+	// wakes them (park.go).
+	lot parkingLot
+
 	ran     bool
 	elapsed time.Duration
 }
@@ -102,14 +107,19 @@ func New(cfg Config) *Runtime {
 	r := &Runtime{cfg: cfg}
 	for i := 0; i < cfg.Workers; i++ {
 		seed := cfg.Seed*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + 1
-		r.workers = append(r.workers, &Worker{
-			rt:      r,
-			rank:    i,
-			arena:   newArena(cfg.ArenaBase, cfg.ArenaSize),
-			deque:   NewDeque(cfg.DequeCap),
-			records: newRecordPool(cfg.RecordCap),
-			rng:     rand.New(rand.NewSource(int64(seed))),
-		})
+		w := &Worker{
+			rt:         r,
+			rank:       i,
+			arena:      newArena(cfg.ArenaBase, cfg.ArenaSize),
+			deque:      NewDeque(cfg.DequeCap),
+			records:    newRecordPool(cfg.RecordCap),
+			rng:        rand.New(rand.NewSource(int64(seed))),
+			wakeCh:     make(chan struct{}, 1),
+			parkSlot:   -1,
+			lastVictim: -1,
+		}
+		w.stopFn = r.stopped
+		r.workers = append(r.workers, w)
 	}
 	return r
 }
@@ -151,15 +161,19 @@ func (r *Runtime) Run(fid core.FuncID, localsLen uint32, init func(*core.Env)) (
 }
 
 // finish publishes the root result and releases every worker's idle
-// loop. Called by whichever worker completes the root record.
+// loop, including workers blocked in the parking lot. Called by
+// whichever worker completes the root record.
 func (r *Runtime) finish(result uint64) {
 	r.finishOnce.Do(func() {
 		r.rootResult = result
 		r.done.Store(true)
+		r.lot.wakeAll()
 	})
 }
 
-// fail aborts the run; the first error wins.
+// fail aborts the run; the first error wins. The wakeAll releases any
+// parked worker so the run can actually wind down (the watchdog's
+// deadline fail would otherwise leave them blocked forever).
 func (r *Runtime) fail(err error) {
 	r.failMu.Lock()
 	if r.err == nil {
@@ -167,6 +181,7 @@ func (r *Runtime) fail(err error) {
 	}
 	r.failMu.Unlock()
 	r.done.Store(true)
+	r.lot.wakeAll()
 }
 
 // stopped reports whether workers should wind down (root finished or
@@ -181,6 +196,22 @@ func (r *Runtime) Workers() int { return len(r.workers) }
 
 // WorkerStats returns rank's counters; call only after Run returns.
 func (r *Runtime) WorkerStats(rank int) Stats { return r.workers[rank].Stats() }
+
+// ParkedWorkers returns how many workers are currently blocked in the
+// parking lot. Unlike most introspection here it is safe to call
+// MID-RUN (one atomic load) — the quiescence tests poll it.
+func (r *Runtime) ParkedWorkers() int { return int(r.lot.count.Load()) }
+
+// IdleSpins sums every worker's idle-loop round counter. Safe to call
+// mid-run (atomic loads); a fully parked runtime's value stops
+// advancing, which is the whole point of parking.
+func (r *Runtime) IdleSpins() uint64 {
+	var n uint64
+	for _, w := range r.workers {
+		n += w.idleSpins.Load()
+	}
+	return n
+}
 
 // TotalStats sums all workers' counters; call only after Run returns.
 func (r *Runtime) TotalStats() Stats {
@@ -200,6 +231,11 @@ func (r *Runtime) TotalStats() Stats {
 		t.StealAbortEmpty += s.StealAbortEmpty
 		t.StealAbortLock += s.StealAbortLock
 		t.BytesStolen += s.BytesStolen
+		t.StealHintProbes += s.StealHintProbes
+		t.StealCacheProbes += s.StealCacheProbes
+		t.StealBlindProbes += s.StealBlindProbes
+		t.Parks += s.Parks
+		t.Wakes += s.Wakes
 		t.WorkCycles += s.WorkCycles
 		if s.MaxStackUsed > t.MaxStackUsed {
 			t.MaxStackUsed = s.MaxStackUsed

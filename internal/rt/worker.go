@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"time"
+	"sync/atomic"
 
 	"uniaddr/internal/core"
 	"uniaddr/internal/gas"
@@ -30,6 +30,19 @@ type Stats struct {
 	StealAbortLock  uint64
 	BytesStolen     uint64
 
+	// Steal-hint counters: probes routed by a victim's occupancy hint or
+	// by the last-successful-victim cache, vs blind random probes. Every
+	// StealAttempt falls into exactly one bucket.
+	StealHintProbes  uint64
+	StealCacheProbes uint64
+	StealBlindProbes uint64
+
+	// Parks counts idle-parking episodes (worker went to sleep on the
+	// parking lot); Wakes counts the wake tokens the worker consumed
+	// (including a token claimed between register and cancel).
+	Parks uint64
+	Wakes uint64
+
 	WorkCycles   uint64
 	MaxStackUsed uint64
 }
@@ -37,12 +50,24 @@ type Stats struct {
 // savedCtx is a suspended thread parked on the Go heap — the rt
 // analogue of the simulator's swap-out into the pinned RDMA region
 // (Fig. 8): the frame bytes leave the uni-address region so stealing
-// stays legal, and return to their original VA on resume.
+// stays legal, and return to their original VA on resume. rec is the
+// record the thread is joining on; the idle loop resumes a saved
+// context only once rec completes, so a resume never bounces back into
+// a re-suspend.
 type savedCtx struct {
 	base mem.VA
 	size uint64
 	buf  []byte
+	rec  *record
 }
+
+// ctxPoolCap / envPoolCap bound the per-worker free lists so a burst of
+// suspends (PingPong holds hundreds of saved contexts at once) cannot
+// pin an unbounded amount of memory after it drains.
+const (
+	ctxPoolCap = 64
+	envPoolCap = 64
+)
 
 // Worker is one scheduling context: a goroutine (optionally pinned to
 // an OS thread), its uni-address arena, its deque and its record pool.
@@ -58,6 +83,28 @@ type Worker struct {
 	rng     *rand.Rand
 	stats   Stats
 	spin    uint64 // ExecWork sink; kept per-worker to avoid false sharing
+
+	// stopFn is w.rt.stopped pre-bound once: passing the method value
+	// directly to Deque.Pop allocated a closure per pop — once per task
+	// on the spawn path.
+	stopFn func() bool
+
+	// Idle engine / parking (see park.go).
+	idle     idleState
+	wakeCh   chan struct{} // 1-buffered wake token; see parkingLot
+	parkSlot int32         // index in lot.parked; -1 when not registered
+	// idleSpins counts idle-loop rounds. Atomic because quiescence tests
+	// sample it mid-run to prove parked workers have stopped spinning.
+	idleSpins atomic.Uint64
+
+	// lastVictim caches the rank of the last successful steal victim
+	// (-1 none); owner-only (see hints.go).
+	lastVictim int32
+
+	// Per-worker free lists (owner-only): suspended-context buffers and
+	// task Envs, recycled instead of heap-allocated per use.
+	ctxFree [][]byte
+	envFree []*core.Env
 }
 
 // Rank returns the worker's index.
@@ -71,8 +118,9 @@ func (w *Worker) Stats() Stats {
 }
 
 // run is the worker goroutine body: start the root (rank 0), then the
-// idle engine — pop local work, else clear dead stacks and steal, else
-// resume a waiter, else back off (Fig. 7's fallback chain).
+// idle engine — pop local work, else clear dead stacks, resume a READY
+// waiter or steal, else back off into the parking lot (Fig. 7's
+// fallback chain with the blocking tail described in DESIGN.md §10).
 func (w *Worker) run() {
 	defer w.rt.wg.Done()
 	defer func() {
@@ -87,12 +135,11 @@ func (w *Worker) run() {
 	if w.rank == 0 {
 		w.runRoot()
 	}
-	idle := 0
 	for !w.rt.stopped() {
-		if ent, ok := w.deque.Pop(w.rt.stopped); ok {
+		if ent, ok := w.deque.Pop(w.stopFn); ok {
 			w.stats.ResumesLocal++
 			w.invoke(ent.FrameBase, ent.FrameSize)
-			idle = 0
+			w.idle.reset()
 			continue
 		}
 		// Deque empty and nothing running: whatever occupies the arena
@@ -104,20 +151,17 @@ func (w *Worker) run() {
 		if w.rt.stopped() {
 			return
 		}
+		// Resume before steal: a ready waiter is guaranteed-productive
+		// local work, a steal probe is speculative remote work.
+		if w.resumeReady() {
+			w.idle.reset()
+			continue
+		}
 		if w.trySteal() {
-			idle = 0
+			w.idle.reset()
 			continue
 		}
-		if len(w.waitq) > 0 {
-			// FIFO, as in the simulator: the longest-suspended thread
-			// is the most likely to have a completed join target.
-			sc := w.waitq[0]
-			w.waitq = w.waitq[1:]
-			w.resumeSaved(sc)
-			idle = 0
-			continue
-		}
-		w.idleBackoff(&idle)
+		w.idlePark()
 	}
 }
 
@@ -131,7 +175,7 @@ func (w *Worker) run() {
 // later find bottom <= top and retreat without copying. Returns false
 // only when shutdown interrupted the lock spin.
 func (w *Worker) clearDead() bool {
-	if !w.deque.lockOwner(w.rt.stopped) {
+	if !w.deque.lockOwner(w.stopFn) {
 		return false
 	}
 	w.deque.unlock()
@@ -147,7 +191,9 @@ func (w *Worker) runRoot() {
 	base := w.newFrame(size)
 	core.EncodeFrameHeader(w.arena.mustSlice(base, core.FrameHeaderBytes), w.rt.rootFid, w.rt.rootLocals, w.rt.rootRec)
 	if w.rt.rootInit != nil {
-		w.rt.rootInit(core.NewEnv(w, base, size, 0))
+		e := w.getEnv(base, size, 0)
+		w.rt.rootInit(e)
+		w.putEnv(e)
 	}
 	w.invoke(base, size)
 }
@@ -159,11 +205,49 @@ func (w *Worker) newFrame(size uint64) mem.VA {
 	if err != nil {
 		panic(err)
 	}
-	b := w.arena.mustSlice(base, size)
-	for i := range b {
-		b[i] = 0
-	}
+	clear(w.arena.mustSlice(base, size))
 	return base
+}
+
+// getEnv returns a (possibly recycled) Env for one task entry; putEnv
+// recycles it. Safe because task functions must not retain an Env past
+// their return (the core.NewEnv contract).
+func (w *Worker) getEnv(base mem.VA, size uint64, rp uint32) *core.Env {
+	if n := len(w.envFree); n > 0 {
+		e := w.envFree[n-1]
+		w.envFree[n-1] = nil
+		w.envFree = w.envFree[:n-1]
+		e.Reset(w, base, size, rp)
+		return e
+	}
+	return core.NewEnv(w, base, size, rp)
+}
+
+func (w *Worker) putEnv(e *core.Env) {
+	if len(w.envFree) < envPoolCap {
+		w.envFree = append(w.envFree, e)
+	}
+}
+
+// getCtxBuf returns an n-byte buffer for a suspended context, reusing
+// a pooled one when large enough; putCtxBuf recycles it.
+func (w *Worker) getCtxBuf(n uint64) []byte {
+	for len(w.ctxFree) > 0 {
+		buf := w.ctxFree[len(w.ctxFree)-1]
+		w.ctxFree[len(w.ctxFree)-1] = nil
+		w.ctxFree = w.ctxFree[:len(w.ctxFree)-1]
+		if uint64(cap(buf)) >= n {
+			return buf[:n]
+		}
+		// Too small for this frame; drop it and keep looking.
+	}
+	return make([]byte, n)
+}
+
+func (w *Worker) putCtxBuf(buf []byte) {
+	if len(w.ctxFree) < ctxPoolCap {
+		w.ctxFree = append(w.ctxFree, buf)
+	}
 }
 
 // invoke runs (or resumes) the thread whose stack starts at base. On
@@ -172,7 +256,7 @@ func (w *Worker) newFrame(size uint64) mem.VA {
 // after a steal, inside ExecJoin/ExecSpawn.
 func (w *Worker) invoke(base mem.VA, size uint64) core.Status {
 	h := core.DecodeFrameHeader(w.arena.mustSlice(base, core.FrameHeaderBytes))
-	e := core.NewEnv(w, base, size, h.Resume)
+	e := w.getEnv(base, size, h.Resume)
 	st := core.TaskFn(h.Fid)(e)
 	if st == core.Done {
 		if !e.Returned() {
@@ -183,47 +267,30 @@ func (w *Worker) invoke(base mem.VA, size uint64) core.Status {
 			panic(err)
 		}
 	}
+	w.putEnv(e)
 	return st
 }
 
-// trySteal picks a random victim and runs the thief side of Fig. 6:
-// claim under the FAA lock, memcpy the stack into the same offset of
-// our own arena, release, run. Legal only while our region is empty.
-func (w *Worker) trySteal() bool {
-	n := len(w.rt.workers)
-	if n < 2 || !w.arena.empty() {
-		return false
+// resumeReady restores the first suspended thread whose join target has
+// completed. Suspended threads whose record is still pending stay put:
+// resuming them would only bounce through the task body back into
+// another suspend (the pre-optimization idle loop did exactly that —
+// tens of thousands of resume→miss→re-suspend round trips per run).
+// Their completer wakes us precisely via record.waiter when the time
+// comes.
+func (w *Worker) resumeReady() bool {
+	for i := range w.waitq {
+		if w.waitq[i].rec.done.Load() != 0 {
+			sc := w.waitq[i]
+			// Preserve FIFO order among the remaining waiters.
+			copy(w.waitq[i:], w.waitq[i+1:])
+			w.waitq[len(w.waitq)-1] = savedCtx{}
+			w.waitq = w.waitq[:len(w.waitq)-1]
+			w.resumeSaved(sc)
+			return true
+		}
 	}
-	w.stats.StealAttempts++
-	victim := w.rng.Intn(n - 1)
-	if victim >= w.rank {
-		victim++
-	}
-	v := w.rt.workers[victim]
-	ent, outcome := v.deque.StealBegin()
-	switch outcome {
-	case StealEmpty, StealEmptyLocked:
-		w.stats.StealAbortEmpty++
-		return false
-	case StealLockBusy:
-		w.stats.StealAbortLock++
-		return false
-	}
-	// Claimed; the victim's lock is held, so the victim cannot recycle
-	// these bytes until we commit. Copy stack → same VA in our arena.
-	if err := w.arena.install(ent.FrameBase, ent.FrameSize); err != nil {
-		panic(err)
-	}
-	src, err := v.arena.slice(ent.FrameBase, ent.FrameSize)
-	if err != nil {
-		panic(err)
-	}
-	copy(w.arena.mustSlice(ent.FrameBase, ent.FrameSize), src)
-	v.deque.StealCommit()
-	w.stats.StealsOK++
-	w.stats.BytesStolen += ent.FrameSize
-	w.invoke(ent.FrameBase, ent.FrameSize)
-	return true
+	return false
 }
 
 // resumeSaved restores a parked thread to its original VA (Fig. 7's
@@ -233,20 +300,9 @@ func (w *Worker) resumeSaved(sc savedCtx) {
 		panic(err)
 	}
 	copy(w.arena.mustSlice(sc.base, sc.size), sc.buf)
+	w.putCtxBuf(sc.buf)
 	w.stats.ResumesWait++
 	w.invoke(sc.base, sc.size)
-}
-
-// idleBackoff yields, then sleeps: the first rounds stay hot for
-// latency, after which the worker naps briefly so an idle machine does
-// not spin 100% CPU.
-func (w *Worker) idleBackoff(idle *int) {
-	*idle++
-	if *idle < 64 {
-		runtime.Gosched()
-		return
-	}
-	time.Sleep(20 * time.Microsecond)
 }
 
 // --- core.Exec implementation ----------------------------------------
@@ -274,10 +330,17 @@ func (w *Worker) ExecWork(cycles uint64) {
 
 // ExecComplete publishes a task's result: store result, then done
 // (both seq-cst), so any joiner observing done==1 observes the result.
+// If a joiner recorded itself as the record's waiter before we stored
+// done, wake that worker precisely; the seq-cst done-store→waiter-load
+// order pairs with the joiner's waiter-store→done-load recheck so at
+// least one side always sees the other (DESIGN.md §10).
 func (w *Worker) ExecComplete(rec core.Handle, result uint64) {
 	r := w.rt.workers[rec.Rank()].records.get(recordIndex(rec))
 	r.result.Store(result)
 	r.done.Store(1)
+	if wr := r.waiter.Load(); wr != 0 {
+		w.rt.lot.wakeWorker(w.rt.workers[wr-1])
+	}
 	if rec == w.rt.rootRec {
 		w.rt.finish(result)
 	}
@@ -297,15 +360,23 @@ func (w *Worker) ExecSpawn(e *core.Env, resumeRP, handleSlot int, fid core.FuncI
 	if err := w.deque.Push(Entry{FrameBase: e.FrameBase(), FrameSize: e.FrameSize()}); err != nil {
 		panic(err)
 	}
+	// Work just became stealable: release one parked worker, if any.
+	// The count load (one uncontended atomic read) keeps the common
+	// nobody-parked spawn path free of lock traffic.
+	if w.rt.lot.count.Load() > 0 {
+		w.rt.lot.wakeOne()
+	}
 	size := core.FrameBytes(localsLen)
 	cbase := w.newFrame(size)
 	core.EncodeFrameHeader(w.arena.mustSlice(cbase, core.FrameHeaderBytes), fid, localsLen, rec)
 	if init != nil {
-		init(core.NewEnv(w, cbase, size, 0))
+		ce := w.getEnv(cbase, size, 0)
+		init(ce)
+		w.putEnv(ce)
 	}
 	w.invoke(cbase, size)
 	// Pop the continuation we pushed (Fig. 4 line 14).
-	if ent, ok := w.deque.Pop(w.rt.stopped); ok {
+	if ent, ok := w.deque.Pop(w.stopFn); ok {
 		if ent.FrameBase != e.FrameBase() || ent.FrameSize != e.FrameSize() {
 			panic(fmt.Sprintf("rt: deque corruption: popped %#x/%d, expected %#x/%d",
 				ent.FrameBase, ent.FrameSize, e.FrameBase(), e.FrameSize()))
@@ -322,9 +393,10 @@ func (w *Worker) ExecSpawn(e *core.Env, resumeRP, handleSlot int, fid core.FuncI
 	return false
 }
 
-// ExecJoin is Fig. 7's join: poll the record; on a miss, swap the
-// frame out to the Go heap (the pinned-buffer analogue) and park it on
-// the wait queue.
+// ExecJoin is Fig. 7's join: poll the record; on a miss, record
+// ourselves as the waiter, re-check (the Dekker handshake with
+// ExecComplete — see record.waiter), then swap the frame out to a
+// pooled heap buffer and park it on the wait queue.
 func (w *Worker) ExecJoin(e *core.Env, resumeRP int, h core.Handle) (uint64, bool) {
 	if !h.Valid() {
 		panic("rt: join on invalid handle")
@@ -333,18 +405,29 @@ func (w *Worker) ExecJoin(e *core.Env, resumeRP int, h core.Handle) (uint64, boo
 	if r.done.Load() != 0 {
 		w.stats.JoinsFast++
 		v := r.result.Load()
-		w.rt.workers[h.Rank()].records.release(recordIndex(h))
+		w.releaseRecord(h)
+		return v, true
+	}
+	// Publish intent to wait BEFORE the final done check: a completer
+	// that misses our waiter store must have stored done before our
+	// recheck loads it, and vice versa.
+	r.waiter.Store(int64(w.rank) + 1)
+	if r.done.Load() != 0 {
+		r.waiter.Store(0)
+		w.stats.JoinsFast++
+		v := r.result.Load()
+		w.releaseRecord(h)
 		return v, true
 	}
 	w.stats.JoinsMiss++
 	w.stats.Suspends++
 	core.SetFrameResume(w.arena.mustSlice(e.FrameBase(), core.FrameHeaderBytes), uint32(resumeRP))
-	buf := make([]byte, e.FrameSize())
+	buf := w.getCtxBuf(e.FrameSize())
 	copy(buf, w.arena.mustSlice(e.FrameBase(), e.FrameSize()))
 	if err := w.arena.freeLowest(e.FrameBase(), e.FrameSize()); err != nil {
 		panic(err)
 	}
-	w.waitq = append(w.waitq, savedCtx{base: e.FrameBase(), size: e.FrameSize(), buf: buf})
+	w.waitq = append(w.waitq, savedCtx{base: e.FrameBase(), size: e.FrameSize(), buf: buf, rec: r})
 	return 0, false
 }
 
@@ -355,6 +438,17 @@ func (w *Worker) newRecord() core.Handle {
 		panic(err)
 	}
 	return recordHandle(w.rank, idx)
+}
+
+// releaseRecord frees a joined record: straight onto the owning pool's
+// private stack when we ARE the owner (no shared-memory traffic),
+// through the CAS release stack otherwise.
+func (w *Worker) releaseRecord(h core.Handle) {
+	if h.Rank() == w.rank {
+		w.records.releaseLocal(recordIndex(h))
+		return
+	}
+	w.rt.workers[h.Rank()].records.release(recordIndex(h))
 }
 
 // ExecGasHeap: the rt backend has no global heap; workloads that need
