@@ -1,6 +1,7 @@
 // uniaddr-bench regenerates the paper's tables and figures on the
-// simulated cluster, and measures the real-parallelism backend on
-// actual cores.
+// simulated cluster, and measures the real backends — rt (threads) and
+// dist (one OS process per worker over shared memory) — on actual
+// cores.
 //
 // Usage:
 //
@@ -9,6 +10,8 @@
 //	go run ./cmd/uniaddr-bench -exp fig10
 //	go run ./cmd/uniaddr-bench -backend rt -scale small
 //	go run ./cmd/uniaddr-bench -backend rt -exp diff
+//	go run ./cmd/uniaddr-bench -backend dist -exp diff
+//	go run ./cmd/uniaddr-bench -backend dist -exp bench
 //	go run ./cmd/uniaddr-bench -list
 //
 // Experiments (sim backend): fig9, table2, fig10, table4, fig11a,
@@ -18,6 +21,11 @@
 // Experiments (rt backend): bench (wall-clock scaling, written to
 // BENCH_rt.json) and diff (the sim-vs-rt differential matrix).
 //
+// Experiments (dist backend): bench (multi-process scaling, written to
+// BENCH_dist.json) and diff (the sim-vs-dist differential matrix plus
+// the SIGKILL crash probe). The dist backend re-execs this binary for
+// worker processes; main routes those through dist.MaybeChild.
+//
 // The chaos experiment is the robustness gate: it sweeps fib, NQueens
 // and UTS over fault-injection rates (-chaos-rates) on -chaos-workers
 // workers and fails unless every run returns the sequential reference
@@ -26,6 +34,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,9 +44,12 @@ import (
 	"strconv"
 	"strings"
 
+	"uniaddr"
 	"uniaddr/internal/core"
+	"uniaddr/internal/dist"
 	"uniaddr/internal/harness"
 	"uniaddr/internal/rdma"
+	"uniaddr/internal/workloads"
 )
 
 // simExperiments is the canonical experiment order for -exp all and
@@ -51,7 +63,10 @@ var simExperiments = []string{
 var rtExperiments = []string{"bench", "diff"}
 
 func main() {
-	backend := flag.String("backend", "sim", "execution backend: sim (virtual-time simulator) | rt (real goroutines, wall clock)")
+	// MUST run before anything else: when this binary was re-exec'd as a
+	// dist worker process, MaybeChild takes over and never returns.
+	dist.MaybeChild()
+	backend := flag.String("backend", "sim", "execution backend: sim (virtual-time simulator) | rt (real goroutines) | dist (one OS process per worker)")
 	exp := flag.String("exp", "", "experiment to run (default: all for -backend sim, bench for -backend rt; see -list)")
 	scale := flag.String("scale", "small", "problem scale: tiny | small | large")
 	seed := flag.Uint64("seed", 1, "base simulation seed")
@@ -64,6 +79,9 @@ func main() {
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of a representative faulted chaos run to this file (chaos only; view in Perfetto)")
 	obsOut := flag.Bool("obs", false, "print an observability summary of a representative faulted chaos run (chaos only)")
 	rtJSON := flag.String("rt-json", "BENCH_rt.json", "output path for the rt bench report (-backend rt -exp bench)")
+	distJSON := flag.String("dist-json", "BENCH_dist.json", "output path for the dist bench report (-backend dist -exp bench)")
+	runWorkload := flag.String("workload", "fib", "workload for -exp run (see -list)")
+	jsonOut := flag.Bool("json", false, "emit the unified uniaddr.Report as JSON (-exp run, any backend)")
 	compare := flag.String("compare", "", "baseline BENCH_rt.json to diff the rt bench against (-backend rt -exp bench); prints a before/after delta table")
 	compareJSON := flag.String("compare-json", "", "also write the -compare delta report as JSON to this path")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (view with go tool pprof)")
@@ -78,6 +96,12 @@ func main() {
 	}
 	stopProfiles := startProfiles(*cpuProfile, *memProfile, *mutexProfile)
 	defer stopProfiles()
+	// "run" is the one backend-neutral experiment: one workload through
+	// the public uniaddr.Run facade, reported as the unified Report.
+	if *exp == "run" {
+		runFacade(*backend, *runWorkload, parseWorkers(*workersFlag, []int{4})[0], *seed, *jsonOut)
+		return
+	}
 	switch *backend {
 	case "sim":
 		if *exp == "" {
@@ -89,8 +113,14 @@ func main() {
 		}
 		runRT(*exp, *scale, *seed, *reps, *workersFlag, *rtJSON, *compare, *compareJSON)
 		return
+	case "dist":
+		if *exp == "" {
+			*exp = "bench"
+		}
+		runDist(*exp, *scale, *seed, *reps, *workersFlag, *distJSON)
+		return
 	default:
-		fail(fmt.Errorf("unknown backend %q (sim | rt); -list shows what exists", *backend))
+		fail(fmt.Errorf("unknown backend %q (sim | rt | dist); -list shows what exists", *backend))
 	}
 
 	// Output sinks are validated up front: a bad -csv directory or an
@@ -284,22 +314,100 @@ func runRT(exp, scale string, seed uint64, reps int, workersFlag, rtJSON, compar
 		seeds := []uint64{seed, seed + 1, seed + 2}
 		rep, err := harness.RunDifferential(harness.DiffWorkloads(), workers, seeds, false)
 		check(err)
-		for _, row := range rep.Rows {
-			switch {
-			case row.Skipped:
-				fmt.Fprintf(out, "SKIP  %-14s %s\n", row.Workload, row.SkipReason)
-			case row.Match:
-				fmt.Fprintf(out, "OK    %-14s workers=%-3d seed=%-3d result=%d\n", row.Workload, row.Workers, row.Seed, row.RTResult)
-			default:
-				fmt.Fprintf(out, "FAIL  %-14s workers=%-3d seed=%-3d sim=%d rt=%d\n", row.Workload, row.Workers, row.Seed, row.SimResult, row.RTResult)
-			}
-		}
-		fmt.Fprintf(out, "%d compared, %d mismatches, %d skipped\n", rep.Compared, rep.Mismatches, rep.Skipped)
-		if rep.Mismatches > 0 {
-			fail(fmt.Errorf("differential matrix found %d sim-vs-rt mismatches", rep.Mismatches))
-		}
+		printDiff(out, rep)
 	default:
 		fail(fmt.Errorf("unknown experiment %q for the rt backend; -list shows what exists", exp))
+	}
+}
+
+// runDist executes the multi-process experiments: the scaling bench
+// (BENCH_dist.json) or the sim-vs-dist differential matrix followed by
+// the SIGKILL crash probe — together, the acceptance gate for the dist
+// backend.
+func runDist(exp, scale string, seed uint64, reps int, workersFlag, distJSON string) {
+	workers := parseWorkers(workersFlag, []int{2, 4})
+	out := os.Stdout
+	switch exp {
+	case "bench":
+		wls, err := harness.RTBenchWorkloads(scale)
+		check(err)
+		rep, err := harness.RunDistBench(wls, workers, reps, seed)
+		check(err)
+		harness.PrintRTBench(out, rep)
+		f, err := os.Create(distJSON)
+		check(err)
+		check(harness.WriteRTBenchJSON(f, rep))
+		check(f.Close())
+		fmt.Fprintf(out, "(machine-readable report written to %s)\n", distJSON)
+	case "diff":
+		seeds := []uint64{seed, seed + 1, seed + 2}
+		rep, err := harness.RunDifferentialBackend(harness.DistDiffBackend(), harness.DiffWorkloads(), workers, seeds)
+		check(err)
+		printDiff(out, rep)
+		fmt.Fprintln(out, "crash probe: SIGKILL a worker process mid-run...")
+		check(harness.DistCrashProbe(3, seed))
+		fmt.Fprintln(out, "crash probe: structured WorkerCrashError reported, no hang")
+	default:
+		fail(fmt.Errorf("unknown experiment %q for the dist backend; -list shows what exists", exp))
+	}
+}
+
+// runFacade executes one catalog workload through the public
+// backend-neutral facade (uniaddr.Run) and prints the unified
+// uniaddr.Report — as JSON with -json, human-readable otherwise.
+func runFacade(backend, workload string, workers int, seed uint64, jsonOut bool) {
+	var spec workloads.Spec
+	found := false
+	for _, wl := range harness.DiffWorkloads() {
+		if wl.Name == workload {
+			spec, found = wl.Spec, true
+			break
+		}
+	}
+	if !found {
+		fail(fmt.Errorf("unknown workload %q for -exp run; -list shows the catalog", workload))
+	}
+	if spec.Setup != nil {
+		fail(fmt.Errorf("workload %q needs machine staging, which the facade Run does not cover; use the sim experiments", workload))
+	}
+	rep, err := uniaddr.Run(spec.Fid, spec.Locals, spec.Init,
+		uniaddr.WithBackend(backend), uniaddr.WithWorkers(workers), uniaddr.WithSeed(seed))
+	check(err)
+	if spec.Expected != 0 && rep.Root != spec.Expected {
+		fail(fmt.Errorf("%s on %s: result %d, want %d", workload, backend, rep.Root, spec.Expected))
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(rep))
+		return
+	}
+	fmt.Printf("%s on %s: result=%d workers=%d tasks=%d steals=%d/%d bytes-stolen=%d\n",
+		workload, rep.Backend, rep.Root, rep.Workers, rep.Tasks,
+		rep.StealsOK, rep.StealAttempts, rep.BytesStolen)
+	if rep.Backend == uniaddr.BackendSim {
+		fmt.Printf("virtual time: %d cycles (%.6f s)\n", rep.VirtualCycles, rep.VirtualSeconds)
+	} else {
+		fmt.Printf("wall time: %.3f ms\n", float64(rep.WallNS)/1e6)
+	}
+}
+
+// printDiff renders a differential report and exits non-zero on any
+// mismatch — shared by the rt and dist diff experiments.
+func printDiff(out *os.File, rep harness.DiffReport) {
+	for _, row := range rep.Rows {
+		switch {
+		case row.Skipped:
+			fmt.Fprintf(out, "SKIP  %-14s %s\n", row.Workload, row.SkipReason)
+		case row.Match:
+			fmt.Fprintf(out, "OK    %-14s workers=%-3d seed=%-3d result=%d\n", row.Workload, row.Workers, row.Seed, row.GotResult)
+		default:
+			fmt.Fprintf(out, "FAIL  %-14s workers=%-3d seed=%-3d sim=%d %s=%d\n", row.Workload, row.Workers, row.Seed, row.SimResult, rep.Backend, row.GotResult)
+		}
+	}
+	fmt.Fprintf(out, "%d compared, %d mismatches, %d skipped\n", rep.Compared, rep.Mismatches, rep.Skipped)
+	if rep.Mismatches > 0 {
+		fail(fmt.Errorf("differential matrix found %d sim-vs-%s mismatches", rep.Mismatches, rep.Backend))
 	}
 }
 
@@ -339,6 +447,7 @@ func printList(out *os.File) {
 	fmt.Fprintln(out, "backends:")
 	fmt.Fprintln(out, "  sim  deterministic virtual-time simulator (the semantic oracle)")
 	fmt.Fprintln(out, "  rt   real goroutines on real cores, wall-clock throughput")
+	fmt.Fprintln(out, "  dist one OS process per worker over a shared-memory segment")
 	fmt.Fprintln(out, "\nexperiments (-backend sim):")
 	names := append([]string{}, simExperiments...)
 	names = append(names, "chaos", "all")
@@ -349,6 +458,11 @@ func printList(out *os.File) {
 	fmt.Fprintln(out, "\nexperiments (-backend rt):")
 	fmt.Fprintln(out, "  bench  wall-clock scaling sweep; writes BENCH_rt.json")
 	fmt.Fprintln(out, "  diff   sim-vs-rt differential matrix (root results must agree)")
+	fmt.Fprintln(out, "\nexperiments (-backend dist):")
+	fmt.Fprintln(out, "  bench  multi-process scaling sweep; writes BENCH_dist.json")
+	fmt.Fprintln(out, "  diff   sim-vs-dist differential matrix + SIGKILL crash probe")
+	fmt.Fprintln(out, "\nexperiments (any backend):")
+	fmt.Fprintln(out, "  run    one workload via the public uniaddr.Run facade; -json emits the unified Report")
 	fmt.Fprintln(out, "\nworkloads (differential catalog):")
 	for _, wl := range harness.DiffWorkloads() {
 		if reason := harness.RTSkipReason(wl.Spec); reason != "" {

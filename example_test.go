@@ -40,16 +40,17 @@ func init() {
 }
 
 // Example runs a task tree on a 4-worker simulated cluster. Runs are
-// deterministic for a fixed Config.Seed.
+// deterministic for a fixed seed. Swap WithBackend(uniaddr.BackendRT)
+// or (uniaddr.BackendDist) to run the same task on real threads or
+// real processes — the Report keeps its shape.
 func Example() {
-	cfg := uniaddr.DefaultConfig(4)
-	cfg.Seed = 1
-	res, m, err := uniaddr.Run(cfg, sumFID, 2*8, func(e *uniaddr.Env) { e.SetU64(0, 100) })
+	rep, err := uniaddr.Run(sumFID, 2*8, func(e *uniaddr.Env) { e.SetU64(0, 100) },
+		uniaddr.WithWorkers(4), uniaddr.WithSeed(1))
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println("sum(1..100) =", res)
-	fmt.Println("tasks =", m.TotalStats().TasksExecuted)
+	fmt.Println("sum(1..100) =", rep.Root)
+	fmt.Println("tasks =", rep.Tasks)
 	// Output:
 	// sum(1..100) = 5050
 	// tasks = 101
@@ -57,11 +58,17 @@ func Example() {
 
 // Example_isoAddress runs the same computation under the iso-address
 // baseline; results match, but the scheme pays page faults and reserves
-// address space proportional to the machine size.
+// address space proportional to the machine size. Scheme selection is
+// simulator-only surface, so this goes through the NewMachine escape
+// hatch rather than Run's options.
 func Example_isoAddress() {
 	cfg := uniaddr.DefaultConfig(4)
 	cfg.Scheme = uniaddr.SchemeIso
-	res, _, err := uniaddr.Run(cfg, sumFID, 2*8, func(e *uniaddr.Env) { e.SetU64(0, 50) })
+	m, err := uniaddr.NewMachine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	res, err := m.Run(sumFID, 2*8, func(e *uniaddr.Env) { e.SetU64(0, 50) })
 	if err != nil {
 		panic(err)
 	}

@@ -130,9 +130,16 @@ func pointerful(e *uniaddr.Env) uniaddr.Status {
 
 func main() {
 	flag.Parse()
+	// Node topology is simulator-only surface, so this example uses the
+	// NewMachine escape hatch rather than uniaddr.Run's options.
 	cfg := uniaddr.DefaultConfig(2)
 	cfg.WorkersPerNode = 1 // two nodes: the steal crosses the fabric
-	res, m, err := uniaddr.Run(cfg, migFID, locals, nil)
+	m, err := uniaddr.NewMachine(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "machine: ", err)
+		os.Exit(1)
+	}
+	res, err := m.Run(migFID, locals, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "run failed:", err)
 		os.Exit(1)

@@ -1,13 +1,17 @@
-// Quickstart: fork-join fib on a simulated uni-address cluster.
+// Quickstart: fork-join fib through the backend-neutral facade.
 //
 // Run with:
 //
 //	go run ./examples/quickstart -n 20 -workers 30
+//	go run ./examples/quickstart -n 28 -workers 4 -backend rt
+//	go run ./examples/quickstart -n 28 -workers 4 -backend dist
 //
-// The program registers a fib task, runs it on an FX10-flavoured
-// simulated machine, and reports the result plus what the runtime did
-// to balance the load: one-sided steals, migrated stack bytes,
-// suspensions, and the peak uni-address region usage.
+// The program registers a fib task once and runs it unchanged on the
+// chosen backend — the FX10-flavoured simulator (default), real
+// goroutines (rt), or one OS process per worker sharing a same-VA
+// memory segment (dist) — then reports the unified uniaddr.Report:
+// one-sided steals, migrated stack bytes, suspensions, peak
+// uni-address region usage.
 package main
 
 import (
@@ -67,27 +71,34 @@ func fibTask(e *uniaddr.Env) uniaddr.Status {
 }
 
 func main() {
+	// MaybeChild must run first: the dist backend re-execs this binary
+	// for its worker processes.
+	uniaddr.MaybeChild()
 	n := flag.Int64("n", 20, "fib argument")
-	workers := flag.Int("workers", 30, "simulated worker processes")
-	seed := flag.Uint64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 30, "workers (simulated processes, threads, or OS processes)")
+	seed := flag.Uint64("seed", 1, "scheduling seed")
+	backend := flag.String("backend", uniaddr.BackendSim, "execution backend: sim | rt | dist")
 	flag.Parse()
 
-	cfg := uniaddr.DefaultConfig(*workers)
-	cfg.Seed = *seed
-	res, m, err := uniaddr.Run(cfg, fibFID, fibLocals, func(e *uniaddr.Env) { e.SetI64(0, *n) })
+	rep, err := uniaddr.Run(fibFID, fibLocals, func(e *uniaddr.Env) { e.SetI64(0, *n) },
+		uniaddr.WithBackend(*backend),
+		uniaddr.WithWorkers(*workers),
+		uniaddr.WithSeed(*seed))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "run failed:", err)
 		os.Exit(1)
 	}
-	st := m.TotalStats()
-	fmt.Printf("fib(%d) = %d\n", *n, res)
-	fmt.Printf("simulated time: %.3f ms on %d workers (%d nodes)\n",
-		m.ElapsedSeconds()*1e3, *workers, (*workers+14)/15)
-	fmt.Printf("tasks executed: %d (spawns %d)\n", st.TasksExecuted, st.Spawns)
+	fmt.Printf("fib(%d) = %d\n", *n, rep.Root)
+	if rep.Backend == uniaddr.BackendSim {
+		fmt.Printf("simulated time: %.3f ms on %d workers (%d nodes)\n",
+			rep.VirtualSeconds*1e3, rep.Workers, (rep.Workers+14)/15)
+	} else {
+		fmt.Printf("wall time: %.3f ms on %d %s workers\n",
+			float64(rep.WallNS)/1e6, rep.Workers, rep.Backend)
+	}
+	fmt.Printf("tasks executed: %d (spawns %d)\n", rep.Tasks, rep.Spawns)
 	fmt.Printf("steals: %d ok / %d attempts, %d stack bytes migrated one-sidedly\n",
-		st.StealsOK, st.StealAttempts, st.BytesStolen)
-	fmt.Printf("suspensions: %d (join misses), wait-queue resumes: %d\n",
-		st.Suspends, st.ResumesWait)
-	fmt.Printf("peak uni-address region usage: %d bytes (region: %d)\n",
-		m.MaxStackUsage(), cfg.UniSize)
+		rep.StealsOK, rep.StealAttempts, rep.BytesStolen)
+	fmt.Printf("suspensions: %d (join misses)\n", rep.Suspends)
+	fmt.Printf("peak uni-address region usage: %d bytes\n", rep.MaxStackUsed)
 }

@@ -1,0 +1,193 @@
+package uniaddr_test
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"testing"
+
+	"uniaddr"
+)
+
+// TestMain routes re-exec'd dist worker processes into the worker
+// entrypoint — required because tests below run the dist backend,
+// which re-execs this test binary.
+func TestMain(m *testing.M) {
+	uniaddr.MaybeChild()
+	os.Exit(m.Run())
+}
+
+// sumTo50 runs the facade's doubling task (uniaddr_test.go) for
+// sum(1..50) on the given backend with default workers/seed.
+func sumTo50(t *testing.T, opts ...uniaddr.Option) (uniaddr.Report, error) {
+	t.Helper()
+	return uniaddr.Run(dblFID, 3*8, func(e *uniaddr.Env) { e.SetU64(0, 50) }, opts...)
+}
+
+// TestFacadeOptionMatrix sweeps every backend against the obs and fault
+// toggles. The sim backend honours both; the real backends must REJECT
+// them with a structured UnsupportedOptionError — never silently run an
+// experiment that isn't the one the caller configured.
+func TestFacadeOptionMatrix(t *testing.T) {
+	const want = uint64(50 * 51 / 2)
+	fc := uniaddr.FaultConfig{ReadFailProb: 0.01}
+	for _, backend := range []string{uniaddr.BackendSim, uniaddr.BackendRT, uniaddr.BackendDist} {
+		for _, tc := range []struct {
+			name  string
+			extra []uniaddr.Option
+		}{
+			{"plain", nil},
+			{"obs", []uniaddr.Option{uniaddr.WithObs(true)}},
+			{"fault", []uniaddr.Option{uniaddr.WithFault(fc)}},
+			{"obs+fault", []uniaddr.Option{uniaddr.WithObs(true), uniaddr.WithFault(fc)}},
+		} {
+			t.Run(backend+"/"+tc.name, func(t *testing.T) {
+				simOnly := len(tc.extra) > 0
+				if backend == uniaddr.BackendDist && !simOnly && testing.Short() {
+					t.Skip("multi-process run skipped in -short mode")
+				}
+				opts := append([]uniaddr.Option{uniaddr.WithBackend(backend), uniaddr.WithWorkers(2)}, tc.extra...)
+				rep, err := sumTo50(t, opts...)
+				if backend != uniaddr.BackendSim && simOnly {
+					var uo *uniaddr.UnsupportedOptionError
+					if !errors.As(err, &uo) {
+						t.Fatalf("got %T (%v), want *uniaddr.UnsupportedOptionError", err, err)
+					}
+					if uo.Backend != backend {
+						t.Fatalf("error names backend %q, want %q", uo.Backend, backend)
+					}
+					return
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Root != want {
+					t.Fatalf("root = %d, want %d", rep.Root, want)
+				}
+				if rep.Backend != backend {
+					t.Fatalf("report backend %q, want %q", rep.Backend, backend)
+				}
+				if tc.name == "obs" || tc.name == "obs+fault" {
+					if rep.ObsEvents == 0 {
+						t.Fatal("WithObs(true) recorded no events")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFacadeShimEquivalence pins the deprecated shim to the new entry
+// point: RunConfig(DefaultConfig(n), ...) and Run(..., WithBackend(sim),
+// WithWorkers(n), WithSeed(s)) must drive byte-identical simulations —
+// same root, same counters, same virtual clock.
+func TestFacadeShimEquivalence(t *testing.T) {
+	const workers, seed = 6, uint64(7)
+	cfg := uniaddr.DefaultConfig(workers)
+	cfg.Seed = seed
+	//lint:ignore SA1019 the test exercises the deprecated shim on purpose
+	oldRoot, m, err := uniaddr.RunConfig(cfg, dblFID, 3*8, func(e *uniaddr.Env) { e.SetU64(0, 50) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sumTo50(t, uniaddr.WithWorkers(workers), uniaddr.WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Root != oldRoot {
+		t.Fatalf("roots diverge: shim %d, options %d", oldRoot, rep.Root)
+	}
+	st := m.TotalStats()
+	pairs := []struct {
+		name     string
+		old, new uint64
+	}{
+		{"tasks", st.TasksExecuted, rep.Tasks},
+		{"spawns", st.Spawns, rep.Spawns},
+		{"suspends", st.Suspends, rep.Suspends},
+		{"steal_attempts", st.StealAttempts, rep.StealAttempts},
+		{"steals_ok", st.StealsOK, rep.StealsOK},
+		{"bytes_stolen", st.BytesStolen, rep.BytesStolen},
+		{"virtual_cycles", m.ElapsedCycles(), rep.VirtualCycles},
+	}
+	for _, p := range pairs {
+		if p.old != p.new {
+			t.Errorf("%s diverges: shim %d, options %d", p.name, p.old, p.new)
+		}
+	}
+}
+
+// TestFacadeDistSmoke runs the dist backend through the public facade:
+// real worker processes, cross-process steals, unified Report.
+func TestFacadeDistSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke test skipped in -short mode")
+	}
+	rep, err := sumTo50(t,
+		uniaddr.WithBackend(uniaddr.BackendDist), uniaddr.WithWorkers(3), uniaddr.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(50 * 51 / 2); rep.Root != want {
+		t.Fatalf("root = %d, want %d", rep.Root, want)
+	}
+	if rep.Backend != uniaddr.BackendDist || rep.Workers != 3 {
+		t.Fatalf("report attribution: backend=%q workers=%d", rep.Backend, rep.Workers)
+	}
+	if rep.WallNS <= 0 {
+		t.Fatalf("dist run reported wall time %d ns", rep.WallNS)
+	}
+	if rep.VirtualCycles != 0 {
+		t.Fatal("dist run reported virtual time")
+	}
+}
+
+// TestFacadeRTBackend runs the rt backend through the facade.
+func TestFacadeRTBackend(t *testing.T) {
+	rep, err := sumTo50(t, uniaddr.WithBackend(uniaddr.BackendRT), uniaddr.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(50 * 51 / 2); rep.Root != want {
+		t.Fatalf("root = %d, want %d", rep.Root, want)
+	}
+	if rep.WallNS <= 0 {
+		t.Fatalf("rt run reported wall time %d ns", rep.WallNS)
+	}
+}
+
+// TestFacadeBadOptions pins the error surface: unknown backends and
+// nonsense worker counts are descriptive errors, not panics.
+func TestFacadeBadOptions(t *testing.T) {
+	if _, err := sumTo50(t, uniaddr.WithBackend("quantum")); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if _, err := sumTo50(t, uniaddr.WithWorkers(0)); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+}
+
+// TestFacadeReportJSON pins the Report wire shape: canonical field
+// names present, backend-irrelevant fields omitted.
+func TestFacadeReportJSON(t *testing.T) {
+	rep, err := sumTo50(t, uniaddr.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"backend", "workers", "root_result", "tasks_executed", "virtual_cycles"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("report JSON missing %q: %s", key, b)
+		}
+	}
+	if _, ok := m["wall_ns"]; ok {
+		t.Error("sim report carries wall_ns")
+	}
+}

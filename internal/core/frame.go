@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -25,10 +26,15 @@ import (
 // virtual address on another process, after which stored intra-stack
 // addresses are still valid.
 
-// FuncID identifies a registered task function. IDs are assigned in
-// registration order, so programs that register functions in the same
-// order (normal init-time registration) agree across processes, exactly
-// like function pointers agree across identical binaries.
+// FuncID identifies a registered task function. IDs are a 32-bit
+// content hash of the registered name (FNV-1a), NOT a registration
+// counter: two processes that register the same set of names agree on
+// every id regardless of registration order. That is what lets the
+// multi-process dist backend ship frame headers (which embed the fid)
+// between address spaces and lets its handshake verify — by comparing
+// RegistryFingerprint values — that every worker binary carries the
+// same function table. The zero FuncID is never assigned and marks an
+// uninitialised header.
 type FuncID uint32
 
 // Status is returned by task functions and by the runtime internals.
@@ -64,12 +70,23 @@ type Fn func(e *Env) Status
 // The registry is copy-on-write: Register (init-time / test setup,
 // rare) builds a fresh snapshot under regMu and publishes it with one
 // atomic store; lookupFn (once per task invocation, the hottest lookup
-// in the rt backend) is a single atomic load plus a slice index. The
-// old mutex-guarded lookup cost ~8% of a fib run's CPU on the
-// real-parallelism backend.
+// in the rt backend) is a single atomic load plus an open-addressing
+// probe — one or two slice indexes in practice, no map, no mutex (a
+// mutex-guarded lookup cost ~8% of a fib run's CPU on the
+// real-parallelism backend).
+//
+// Slots with ids[i] == 0 are empty; content hashes that come out 0 are
+// remapped at registration so 0 stays the "no function" sentinel.
 type fnRegistry struct {
+	mask  uint32
+	ids   []FuncID // open-addressing keys; 0 = empty slot
 	fns   []Fn
 	names []string
+	count int
+	// fingerprint folds every registered name with XOR, so it is
+	// independent of registration order — the property the dist
+	// handshake relies on.
+	fingerprint uint64
 }
 
 var (
@@ -84,36 +101,160 @@ func loadRegistry() *fnRegistry {
 	return &fnRegistry{}
 }
 
-// Register adds fn to the global function table and returns its id.
-// Call it from package init or test setup; ids are stable for the
-// process lifetime.
+// HashFuncName returns the content-hashed FuncID for a task-function
+// name (FNV-1a 32, with 0 remapped so the zero FuncID stays invalid).
+// Register(name, fn) always returns HashFuncName(name), so a process
+// can predict another process's ids from names alone.
+func HashFuncName(name string) FuncID {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	if h == 0 {
+		h = offset32
+	}
+	return FuncID(h)
+}
+
+func hashFuncName64(name string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return h
+}
+
+// probe returns the table slot holding id, or the empty slot where it
+// would be inserted. Tables are kept at most half full, so the scan
+// terminates.
+func (t *fnRegistry) probe(id FuncID) int {
+	i := uint32(id) & t.mask
+	for {
+		if t.ids[i] == id || t.ids[i] == 0 {
+			return int(i)
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Register adds fn to the global function table under a content-hashed
+// id and returns that id. Call it from package init or test setup; ids
+// depend only on the name, so they are stable across processes and
+// registration orders. Registering the same name again replaces the
+// function and returns the same id (so test setup can re-run);
+// registering two DIFFERENT names whose hashes collide panics with
+// both names — rename one.
 func Register(name string, fn Fn) FuncID {
 	regMu.Lock()
 	defer regMu.Unlock()
+	id := HashFuncName(name)
 	old := loadRegistry()
-	tab := &fnRegistry{
-		fns:   append(append([]Fn(nil), old.fns...), fn),
-		names: append(append([]string(nil), old.names...), name),
+	if len(old.ids) > 0 {
+		if i := old.probe(id); old.ids[i] == id {
+			if old.names[i] != name {
+				panic(fmt.Sprintf(
+					"core: FuncID hash collision: %q and %q both hash to %#x; rename one of them",
+					old.names[i], name, uint32(id)))
+			}
+			// Same name re-registered: replace in a fresh snapshot.
+			tab := old.clone(len(old.ids))
+			tab.fns[i] = fn
+			regTab.Store(tab)
+			return id
+		}
 	}
+	// Grow so the table stays at most half full (min size 16).
+	size := len(old.ids)
+	if size == 0 {
+		size = 16
+	}
+	for 2*(old.count+1) > size {
+		size *= 2
+	}
+	tab := old.clone(size)
+	i := tab.probe(id)
+	tab.ids[i], tab.fns[i], tab.names[i] = id, fn, name
+	tab.count++
+	tab.fingerprint ^= hashFuncName64(name)
 	regTab.Store(tab)
-	return FuncID(len(tab.fns) - 1)
+	return id
+}
+
+// clone copies t into a table of size slots (a power of two >= the live
+// count*2), rehashing every entry.
+func (t *fnRegistry) clone(size int) *fnRegistry {
+	n := &fnRegistry{
+		mask:        uint32(size - 1),
+		ids:         make([]FuncID, size),
+		fns:         make([]Fn, size),
+		names:       make([]string, size),
+		count:       t.count,
+		fingerprint: t.fingerprint,
+	}
+	for i, id := range t.ids {
+		if id == 0 {
+			continue
+		}
+		j := n.probe(id)
+		n.ids[j], n.fns[j], n.names[j] = id, t.fns[i], t.names[i]
+	}
+	return n
 }
 
 func lookupFn(id FuncID) Fn {
 	tab := loadRegistry()
-	if int(id) >= len(tab.fns) {
-		panic(fmt.Sprintf("core: unregistered FuncID %d", id))
+	if id != 0 && len(tab.ids) > 0 {
+		if i := tab.probe(id); tab.ids[i] == id {
+			return tab.fns[i]
+		}
 	}
-	return tab.fns[int(id)]
+	panic(fmt.Sprintf("core: unregistered FuncID %#x", uint32(id)))
 }
 
 // FuncName returns the registered name of id (for traces).
 func FuncName(id FuncID) string {
 	tab := loadRegistry()
-	if int(id) >= len(tab.names) {
-		return fmt.Sprintf("fn#%d", id)
+	if id != 0 && len(tab.ids) > 0 {
+		if i := tab.probe(id); tab.ids[i] == id {
+			return tab.names[i]
+		}
 	}
-	return tab.names[int(id)]
+	return fmt.Sprintf("fn#%d", id)
+}
+
+// RegistryFingerprint summarises the registered function table: the
+// number of distinct names and an order-independent 64-bit digest of
+// them. Two processes whose fingerprints agree have registered exactly
+// the same name set — and therefore, by content hashing, the same
+// FuncID for every function. The dist backend's handshake compares
+// fingerprints and refuses to run on divergence.
+func RegistryFingerprint() (count int, digest uint64) {
+	tab := loadRegistry()
+	return tab.count, tab.fingerprint
+}
+
+// RegistryNames returns every registered function name, sorted — the
+// diagnostic payload for a fingerprint mismatch.
+func RegistryNames() []string {
+	tab := loadRegistry()
+	names := make([]string, 0, tab.count)
+	for i, id := range tab.ids {
+		if id != 0 {
+			names = append(names, tab.names[i])
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Frame header layout (little-endian), stored at the base (lowest

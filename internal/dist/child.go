@@ -1,0 +1,110 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+
+	"uniaddr/internal/core"
+)
+
+// MaybeChild is the worker-process entrypoint hook. Any binary that can
+// act as a dist parent (cmd/uniaddr-bench, test binaries) must call it
+// FIRST in main/TestMain: the parent re-execs its own executable with
+// the child spec in the environment, and MaybeChild detects that, runs
+// the worker to completion and exits the process. In an ordinary
+// invocation (no spec in the environment) it returns immediately.
+//
+// Re-execing the same binary is also what keeps the function registry
+// aligned: every process runs the same package init chain, so the same
+// names are registered — which the hello fingerprint then verifies
+// rather than assumes.
+func MaybeChild() {
+	spec, present, err := childSpecFromEnv()
+	if !present {
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	os.Exit(childMain(spec))
+}
+
+// childMain is a worker process's whole life: map the segment at the
+// agreed address, say hello, wait for start, run the scheduler loop,
+// say bye. All scheduling in between is one-sided shared memory.
+func childMain(spec childSpec) int {
+	conn, err := net.Dial("unix", spec.SockPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dist child %d: control socket: %v\n", spec.Rank, err)
+		return 2
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(conn)
+
+	lay := spec.layout()
+	var seg *segment
+	var setupErr error
+	if err := assertLayoutSane(lay); err != nil {
+		setupErr = err
+	} else if f, err := os.OpenFile(spec.ShmPath, os.O_RDWR, 0); err != nil {
+		setupErr = fmt.Errorf("dist: opening segment file: %w", err)
+	} else {
+		defer f.Close()
+		// The child maps at EXACTLY the parent's address — no fallback.
+		// If something already occupies that range in this process, the
+		// uni-address contract is unsatisfiable and the error travels
+		// back in the hello.
+		b, err := mapSegmentAt(f, lay.total, uintptr(spec.SegBase))
+		if err != nil {
+			setupErr = err
+		} else {
+			seg, setupErr = attachSegment(b, lay)
+		}
+	}
+
+	count, digest := core.RegistryFingerprint()
+	hello := helloMsg{Rank: spec.Rank, PID: os.Getpid(), Count: count, Digest: digest}
+	if setupErr != nil {
+		hello.Err = setupErr.Error()
+	}
+	if err := enc.Encode(hello); err != nil {
+		fmt.Fprintf(os.Stderr, "dist child %d: sending hello: %v\n", spec.Rank, err)
+		return 2
+	}
+	if setupErr != nil {
+		return 3
+	}
+
+	var start startMsg
+	if err := dec.Decode(&start); err != nil {
+		fmt.Fprintf(os.Stderr, "dist child %d: waiting for start: %v\n", spec.Rank, err)
+		return 2
+	}
+	if !start.OK {
+		fmt.Fprintf(os.Stderr, "dist child %d: aborted by coordinator: %s\n", spec.Rank, start.Err)
+		return 4
+	}
+
+	w := newWorker(seg, spec.Rank, spec.Seed)
+	runErr := w.run()
+	bye := byeMsg{Rank: spec.Rank, Stats: w.stats}
+	if runErr != nil {
+		// Publish failure through the segment FIRST so sibling spins
+		// unwedge even if the control plane is slow, then report it.
+		seg.failStore(uint64(spec.Rank) + 1)
+		bye.Err = runErr.Error()
+	}
+	if err := enc.Encode(bye); err != nil {
+		fmt.Fprintf(os.Stderr, "dist child %d: sending bye: %v\n", spec.Rank, err)
+		return 2
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "dist child %d: %v\n", spec.Rank, runErr)
+		return 5
+	}
+	return 0
+}

@@ -1,0 +1,112 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"uniaddr/internal/mem"
+)
+
+// Control-plane wire format: JSON values over per-child Unix-domain
+// stream sockets. The control plane runs exactly three exchanges per
+// child — hello (registration + function-table check), start (barrier
+// release) and bye (stats + quiescence report) — everything between is
+// one-sided shared memory.
+
+// childEnvVar carries the childSpec to a re-exec'd worker process. Its
+// presence is what turns a binary's MaybeChild() call into the child
+// entrypoint.
+const childEnvVar = "UNIADDR_DIST_CHILD"
+
+// childSpec is everything a child needs to join the run: its identity,
+// the segment geometry (which must reproduce the parent's layout
+// bit-for-bit) and the rendezvous paths.
+type childSpec struct {
+	Rank      int
+	Workers   int
+	Seed      uint64
+	ArenaSize uint64
+	DequeCap  uint64
+	RecordCap uint64
+	ShmPath   string
+	SegBase   uint64
+	SockPath  string
+}
+
+func (s childSpec) encode() (string, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func childSpecFromEnv() (childSpec, bool, error) {
+	v, ok := os.LookupEnv(childEnvVar)
+	if !ok || v == "" {
+		return childSpec{}, false, nil
+	}
+	var s childSpec
+	if err := json.Unmarshal([]byte(v), &s); err != nil {
+		return childSpec{}, true, fmt.Errorf("dist: malformed %s: %w", childEnvVar, err)
+	}
+	return s, true, nil
+}
+
+// layoutFor rebuilds the segment layout from a spec; parent and child
+// call the same function so the offsets cannot drift.
+func (s childSpec) layout() layout {
+	cfg := Config{
+		Workers:   s.Workers,
+		ArenaSize: s.ArenaSize,
+		DequeCap:  s.DequeCap,
+		RecordCap: s.RecordCap,
+	}
+	return computeLayout(&cfg)
+}
+
+// helloMsg is the child's registration: identity plus the function-
+// table fingerprint (count + order-independent digest of registered
+// names; see core.RegistryFingerprint). Err reports a child-side setup
+// failure (e.g. the segment address was occupied in its address space)
+// so the parent can surface a real error instead of a timeout.
+type helloMsg struct {
+	Rank   int
+	PID    int
+	Count  int
+	Digest uint64
+	Err    string `json:",omitempty"`
+}
+
+// startMsg releases the barrier — or aborts the child when OK is false
+// (fingerprint mismatch, a sibling crashed during handshake, ...).
+type startMsg struct {
+	OK  bool
+	Err string `json:",omitempty"`
+}
+
+// byeMsg is the child's final report after its scheduler loop exited.
+type byeMsg struct {
+	Rank  int
+	Stats Stats
+	Err   string `json:",omitempty"`
+}
+
+// handshakeTimeout bounds how long the parent waits for children to
+// map the segment and say hello, and how long it waits for byes after
+// the run completes; a child that blows either deadline is treated as
+// crashed.
+const handshakeTimeout = 30 * time.Second
+
+// assertLayoutSane double-checks invariants both sides rely on.
+func assertLayoutSane(l layout) error {
+	if l.workers < 1 {
+		return fmt.Errorf("dist: layout has %d workers", l.workers)
+	}
+	if l.arenaBase == mem.VA(0) {
+		return fmt.Errorf("dist: layout has zero arena base")
+	}
+	return nil
+}

@@ -1,0 +1,355 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"uniaddr/internal/core"
+)
+
+// Result is a completed dist run's report: the root task's result plus
+// per-process scheduler counters (index = rank).
+type Result struct {
+	Root      uint64
+	Elapsed   time.Duration
+	PerWorker []Stats
+}
+
+// TotalStats sums the per-worker counters.
+func (r *Result) TotalStats() Stats {
+	var t Stats
+	for _, s := range r.PerWorker {
+		t.TasksExecuted += s.TasksExecuted
+		t.Spawns += s.Spawns
+		t.JoinsFast += s.JoinsFast
+		t.JoinsMiss += s.JoinsMiss
+		t.Suspends += s.Suspends
+		t.ResumesLocal += s.ResumesLocal
+		t.ResumesWait += s.ResumesWait
+		t.ParentStolen += s.ParentStolen
+		t.StealAttempts += s.StealAttempts
+		t.StealsOK += s.StealsOK
+		t.StealAbortEmpty += s.StealAbortEmpty
+		t.StealAbortLock += s.StealAbortLock
+		t.BytesStolen += s.BytesStolen
+		t.IdleSleeps += s.IdleSleeps
+		t.WorkCycles += s.WorkCycles
+		t.RecordsLive += s.RecordsLive
+		if s.MaxStackUsed > t.MaxStackUsed {
+			t.MaxStackUsed = s.MaxStackUsed
+		}
+	}
+	return t
+}
+
+// childProc tracks one spawned worker process through its lifecycle.
+type childProc struct {
+	rank     int
+	cmd      *exec.Cmd
+	conn     net.Conn
+	bye      *byeMsg
+	byeDone  chan struct{}
+	waitErr  error
+	waitDone chan struct{}
+}
+
+// errCollector keeps the first error reported; later ones (usually
+// knock-on effects of the first) are dropped.
+type errCollector struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (c *errCollector) record(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+func (c *errCollector) get() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Run executes the root task fid across cfg.Workers OS processes and
+// blocks until the run completes, fails, or a worker process dies. The
+// calling process is the coordinator AND worker rank 0; the binary must
+// route re-exec'd children through MaybeChild (see its doc).
+func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (Result, error) {
+	cfg.fillDefaults()
+	lay := computeLayout(&cfg)
+	if err := assertLayoutSane(lay); err != nil {
+		return Result{}, err
+	}
+
+	// --- segment ------------------------------------------------------
+	f, err := createSegmentFile(lay.total)
+	if err != nil {
+		return Result{}, err
+	}
+	defer f.Close()
+	defer os.Remove(f.Name())
+	segBytes, segBase, err := mapSegmentPickBase(f, lay.total)
+	if err != nil {
+		return Result{}, err
+	}
+	defer unmapSegment(segBytes)
+	seg, err := attachSegment(segBytes, lay)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// --- control socket ----------------------------------------------
+	sockDir, err := os.MkdirTemp("", "uniaddr-dist")
+	if err != nil {
+		return Result{}, fmt.Errorf("dist: socket dir: %w", err)
+	}
+	defer os.RemoveAll(sockDir)
+	sockPath := filepath.Join(sockDir, "ctl.sock")
+	ln, err := net.Listen("unix", sockPath)
+	if err != nil {
+		return Result{}, fmt.Errorf("dist: control socket: %w", err)
+	}
+	defer ln.Close()
+	uln := ln.(*net.UnixListener)
+
+	// --- spawn children ----------------------------------------------
+	exe, err := os.Executable()
+	if err != nil {
+		return Result{}, fmt.Errorf("dist: resolving own executable for re-exec: %w", err)
+	}
+	children := make([]*childProc, 0, cfg.Workers-1)
+	killAll := func() {
+		for _, c := range children {
+			if c.cmd.Process != nil {
+				c.cmd.Process.Kill()
+			}
+		}
+	}
+	for r := 1; r < cfg.Workers; r++ {
+		spec := childSpec{
+			Rank: r, Workers: cfg.Workers, Seed: cfg.Seed,
+			ArenaSize: cfg.ArenaSize, DequeCap: cfg.DequeCap, RecordCap: cfg.RecordCap,
+			ShmPath: f.Name(), SegBase: uint64(segBase), SockPath: sockPath,
+		}
+		envVal, err := spec.encode()
+		if err != nil {
+			killAll()
+			return Result{}, err
+		}
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), childEnvVar+"="+envVal)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			killAll()
+			return Result{}, fmt.Errorf("dist: starting worker rank %d: %w", r, err)
+		}
+		children = append(children, &childProc{
+			rank: r, cmd: cmd,
+			byeDone:  make(chan struct{}),
+			waitDone: make(chan struct{}),
+		})
+	}
+
+	// --- registration handshake --------------------------------------
+	// Children connect in arbitrary order; the hello's Rank field pairs
+	// each connection with its process. The parent's own fingerprint is
+	// the reference: a divergent child means the processes would
+	// disagree about what a FuncID stamped into a migrating frame
+	// executes, so the run must not start.
+	pCount, pDigest := core.RegistryFingerprint()
+	uln.SetDeadline(time.Now().Add(handshakeTimeout))
+	abortHandshake := func(cause error) (Result, error) {
+		for _, c := range children {
+			if c.conn != nil {
+				json.NewEncoder(c.conn).Encode(startMsg{OK: false, Err: cause.Error()})
+				c.conn.Close()
+			}
+		}
+		killAll()
+		for _, c := range children {
+			c.cmd.Wait()
+		}
+		return Result{}, cause
+	}
+	for i := 0; i < len(children); i++ {
+		conn, err := uln.Accept()
+		if err != nil {
+			return abortHandshake(fmt.Errorf("dist: waiting for worker registration: %w (a worker process likely died before connecting)", err))
+		}
+		var hello helloMsg
+		if err := json.NewDecoder(conn).Decode(&hello); err != nil {
+			conn.Close()
+			return abortHandshake(fmt.Errorf("dist: reading hello: %w", err))
+		}
+		if hello.Rank < 1 || hello.Rank >= cfg.Workers || children[hello.Rank-1].conn != nil {
+			conn.Close()
+			return abortHandshake(fmt.Errorf("dist: bogus or duplicate hello for rank %d", hello.Rank))
+		}
+		c := children[hello.Rank-1]
+		c.conn = conn
+		if hello.Err != "" {
+			return abortHandshake(fmt.Errorf("dist: worker rank %d failed to attach the segment: %s", hello.Rank, hello.Err))
+		}
+		if hello.Count != pCount || hello.Digest != pDigest {
+			return abortHandshake(&FingerprintMismatchError{
+				Rank: hello.Rank, ParentCount: pCount, RankCount: hello.Count,
+				ParentDigest: pDigest, RankDigest: hello.Digest,
+			})
+		}
+	}
+
+	// --- root record + start barrier ---------------------------------
+	rootIdx, err := seg.tables[0].Alloc()
+	if err != nil {
+		return abortHandshake(err)
+	}
+	if rootIdx != 0 {
+		return abortHandshake(fmt.Errorf("dist: root record landed at index %d, want 0 (rootRec contract)", rootIdx))
+	}
+	for _, c := range children {
+		if err := json.NewEncoder(c.conn).Encode(startMsg{OK: true}); err != nil {
+			return abortHandshake(fmt.Errorf("dist: releasing worker rank %d: %w", c.rank, err))
+		}
+	}
+
+	// --- run ----------------------------------------------------------
+	errs := &errCollector{}
+	var reaping atomicFlag
+	var wg sync.WaitGroup
+	for _, c := range children {
+		c := c
+		// Bye reader: one blocking decode per child. EOF (crash) closes
+		// byeDone with bye == nil.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(c.byeDone)
+			var bye byeMsg
+			if err := json.NewDecoder(c.conn).Decode(&bye); err == nil {
+				c.bye = &bye
+			}
+		}()
+		// Exit monitor: a process that dies without a bye is a crash.
+		// The shared fail word is stored FIRST so every sibling's spins
+		// (including deque lock spins wedged behind the dead process)
+		// release before we even finish classifying the exit.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.waitErr = c.cmd.Wait()
+			close(c.waitDone)
+			<-c.byeDone
+			if c.bye == nil && !reaping.get() {
+				seg.failStore(failCoordinator)
+				detail := "exited before reporting"
+				if c.waitErr != nil {
+					detail = c.waitErr.Error()
+				}
+				errs.record(&WorkerCrashError{Rank: c.rank, PID: c.cmd.Process.Pid, Phase: "run", Detail: detail})
+			} else if c.bye != nil && c.bye.Err != "" {
+				errs.record(fmt.Errorf("dist: worker rank %d failed: %s", c.rank, c.bye.Err))
+			}
+		}()
+	}
+
+	// Watchdog: the analogue of the simulator's MaxCycles deadlock
+	// guard, and the backstop that turns any unforeseen wedge into an
+	// error instead of a hang.
+	watchdog := time.AfterFunc(cfg.MaxWall, func() {
+		errs.record(fmt.Errorf("dist: run exceeded %v wall-clock budget (deadlock or undersized MaxWall?)", cfg.MaxWall))
+		seg.failStore(failCoordinator)
+	})
+	defer watchdog.Stop()
+
+	// Fault injection: SIGKILL a child mid-run, on request. This is the
+	// crash the resilience gate requires to surface as a structured
+	// WorkerCrashError rather than a hang.
+	if cfg.KillRank > 0 && cfg.KillRank < cfg.Workers {
+		victim := children[cfg.KillRank-1]
+		killTimer := time.AfterFunc(cfg.KillAfter, func() {
+			victim.cmd.Process.Kill()
+		})
+		defer killTimer.Stop()
+	}
+
+	start := time.Now()
+	w0 := newWorker(seg, 0, cfg.Seed)
+	w0.rootFid, w0.rootLocals, w0.rootInit = fid, localsLen, init
+	if runErr := w0.run(); runErr != nil {
+		seg.failStore(1)
+		errs.record(runErr)
+	}
+	elapsed := time.Since(start)
+
+	// --- shutdown / quiescence barrier -------------------------------
+	// The loop exits only with done or fail set, so children are
+	// draining toward their byes. Give them a grace period, then reap
+	// stragglers; `reaping` keeps those late kills from masquerading as
+	// mid-run crashes.
+	grace := time.AfterFunc(10*time.Second, func() {
+		reaping.set()
+		killAll()
+	})
+	wg.Wait()
+	grace.Stop()
+	for _, c := range children {
+		c.conn.Close()
+	}
+
+	if err := errs.get(); err != nil {
+		return Result{}, err
+	}
+	if seg.ctl.done.Load() == 0 {
+		return Result{}, fmt.Errorf("dist: workers exited without completing the root task")
+	}
+
+	res := Result{
+		Root:      seg.ctl.result.Load(),
+		Elapsed:   elapsed,
+		PerWorker: make([]Stats, cfg.Workers),
+	}
+	res.PerWorker[0] = w0.stats
+	for _, c := range children {
+		res.PerWorker[c.rank] = c.bye.Stats
+	}
+	// Post-run quiescence: every deque drained (readable from the
+	// parent's views now that all processes have passed their byes) and
+	// exactly one record — the never-joined root's — still live.
+	for r := 0; r < cfg.Workers; r++ {
+		if n := seg.deques[r].Size(); n != 0 {
+			return Result{}, fmt.Errorf("dist: rank %d deque holds %d entries after completion", r, n)
+		}
+	}
+	if live := res.TotalStats().RecordsLive; live != 1 {
+		return Result{}, fmt.Errorf("dist: %d records live after completion, want 1 (the root's)", live)
+	}
+	return res, nil
+}
+
+// atomicFlag is a tiny set-once boolean safe across goroutines.
+type atomicFlag struct {
+	mu  sync.Mutex
+	val bool
+}
+
+func (f *atomicFlag) set() {
+	f.mu.Lock()
+	f.val = true
+	f.mu.Unlock()
+}
+
+func (f *atomicFlag) get() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.val
+}

@@ -1,0 +1,39 @@
+package dist
+
+import "fmt"
+
+// WorkerCrashError is the structured report for a worker process that
+// died mid-run (crash, OOM-kill, explicit SIGKILL from the fault
+// injector). The run's other workers are released via the shared fail
+// word, so the caller gets this error instead of a hang.
+type WorkerCrashError struct {
+	Rank int
+	PID  int
+	// Phase says how far the worker got: "handshake" (died before the
+	// start barrier) or "run".
+	Phase string
+	// Detail is the wait status ("signal: killed", "exit status 2", ...).
+	Detail string
+}
+
+func (e *WorkerCrashError) Error() string {
+	return fmt.Sprintf("dist: worker rank %d (pid %d) died during %s: %s", e.Rank, e.PID, e.Phase, e.Detail)
+}
+
+// FingerprintMismatchError reports a function-table divergence caught
+// at the registration handshake: a worker process whose registered task
+// functions are not the same set as the parent's. FuncIDs are content
+// hashes of registered names (internal/core), so matching fingerprints
+// guarantee a FuncID stamped into a stolen frame resolves to the same
+// function everywhere.
+type FingerprintMismatchError struct {
+	Rank                     int
+	ParentCount, RankCount   int
+	ParentDigest, RankDigest uint64
+}
+
+func (e *FingerprintMismatchError) Error() string {
+	return fmt.Sprintf(
+		"dist: worker rank %d registered a different function table than the parent (parent: %d funcs, digest %#x; rank %d: %d funcs, digest %#x) — all processes must register the same task functions before Run",
+		e.Rank, e.ParentCount, e.ParentDigest, e.Rank, e.RankCount, e.RankDigest)
+}

@@ -1,0 +1,173 @@
+// Package dist is the multi-process backend: each worker is a separate
+// OS process, and the scheduler state — uni-address stack arenas,
+// THE-protocol deques, task-record tables — lives in one mmap'd
+// shared-memory segment mapped at the SAME base virtual address in
+// every process. That is the paper's uni-address region realised across
+// real address spaces: a steal is a genuine one-sided cross-process
+// copy at identical offsets, driven by the identical FAA/claim-then-
+// verify protocol (internal/sched) the in-process rt backend runs, with
+// hardware cache coherence standing in for the RDMA NIC.
+//
+// Split of responsibilities:
+//
+//   - Data plane: everything inside the segment, accessed only through
+//     sched.Deque / sched.Table / sched.Arena views and the control
+//     page's atomics. After the start barrier, NO scheduling decision
+//     involves a message — steals, joins, completions and termination
+//     are all one-sided loads/stores/RMWs on the segment, exactly as in
+//     the paper.
+//   - Control plane: registration handshake (including the function-
+//     table fingerprint check), start barrier, stats collection and
+//     shutdown run over Unix-domain sockets; crash detection rides on
+//     process exit (see dist.go).
+//
+// The parent process is both the coordinator and worker rank 0 — the
+// root task's init closure cannot cross a process boundary, so the
+// root must run where Run was called. Ranks 1..n-1 are children
+// re-exec'd from the same binary (os.Executable), which also guarantees
+// every process registered the same task functions; the fingerprint
+// handshake turns any residual divergence (e.g. conditional Register
+// calls) into a descriptive error instead of a silent wrong answer.
+package dist
+
+import (
+	"time"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/mem"
+	"uniaddr/internal/sched"
+)
+
+// Config sizes a dist run. The zero value of every field selects the
+// same defaults as the rt backend, so differential runs compare like
+// against like.
+type Config struct {
+	// Workers is the number of OS processes (including the parent,
+	// which is worker rank 0).
+	Workers int
+	// Seed drives victim selection; each worker derives its own stream.
+	Seed uint64
+	// ArenaSize is the per-worker uni-address region size. The logical
+	// base is core.DefaultUniBase in every worker, as in rt.
+	ArenaSize uint64
+	// DequeCap is the per-worker deque capacity (power of two).
+	DequeCap uint64
+	// RecordCap is the per-worker task-record table size.
+	RecordCap uint64
+	// MaxWall aborts a run that exceeds this wall-clock budget.
+	MaxWall time.Duration
+	// KillRank, when > 0, SIGKILLs that child rank KillAfter into the
+	// run — deterministic crash injection for the resilience tests and
+	// the harness's crash probe. (Rank 0 is the parent and cannot be
+	// the target.)
+	KillRank  int
+	KillAfter time.Duration
+}
+
+// DefaultConfig returns the standard layout for n worker processes.
+func DefaultConfig(n int) Config {
+	return Config{
+		Workers:   n,
+		Seed:      1,
+		ArenaSize: core.DefaultUniSize,
+		DequeCap:  core.DefaultDequeCap,
+		RecordCap: 1 << 16,
+		MaxWall:   2 * time.Minute,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig(c.Workers)
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.ArenaSize == 0 {
+		c.ArenaSize = d.ArenaSize
+	}
+	if c.DequeCap == 0 {
+		c.DequeCap = d.DequeCap
+	}
+	if c.RecordCap == 0 {
+		c.RecordCap = d.RecordCap
+	}
+	if c.MaxWall == 0 {
+		c.MaxWall = d.MaxWall
+	}
+}
+
+// segBaseCandidates are the virtual addresses the parent tries for the
+// segment mapping, highest-preference first. They sit far from the Go
+// heap, the default mmap area and the executable; MAP_FIXED_NOREPLACE
+// makes a collision a clean error, and the parent falls through to the
+// next candidate. Whichever wins is passed to the children, which must
+// map at EXACTLY that address (no fallback — the whole point is that
+// every process agrees).
+var segBaseCandidates = []uintptr{
+	0x5000_0000_0000,
+	0x5100_0000_0000,
+	0x5200_0000_0000,
+	0x5300_0000_0000,
+}
+
+const pageSize = 4096
+
+func pageAlign(n uint64) uint64 { return (n + pageSize - 1) &^ (pageSize - 1) }
+
+// layout describes where each worker's structures live inside the
+// segment, as OFFSETS from the segment base. Offsets — not pointers —
+// are the cross-process currency, though with the same-VA mapping the
+// distinction is invisible.
+//
+// Segment layout (every sub-region page-aligned):
+//
+//	[0, ctl)                      control page (ctlHdr)
+//	per worker w (w = 0..n-1):
+//	  deque[w]                    sched.DequeBytes(DequeCap)
+//	  table[w]                    sched.TableBytes(RecordCap)
+//	  arena[w]                    ArenaSize bytes, logical VAs
+//	                              [DefaultUniBase, +ArenaSize) — the
+//	                              SAME logical range in every worker,
+//	                              which is what makes a stolen frame's
+//	                              interior pointers valid on arrival.
+type layout struct {
+	workers   int
+	dequeOff  []uint64
+	tableOff  []uint64
+	arenaOff  []uint64
+	dequeCap  uint64
+	recordCap uint64
+	arenaSize uint64
+	total     uint64
+	arenaBase mem.VA
+}
+
+func computeLayout(cfg *Config) layout {
+	l := layout{
+		workers:   cfg.Workers,
+		dequeCap:  cfg.DequeCap,
+		recordCap: cfg.RecordCap,
+		arenaSize: cfg.ArenaSize,
+		arenaBase: core.DefaultUniBase,
+	}
+	off := pageAlign(ctlBytes)
+	for w := 0; w < cfg.Workers; w++ {
+		l.dequeOff = append(l.dequeOff, off)
+		off += pageAlign(sched.DequeBytes(cfg.DequeCap))
+		l.tableOff = append(l.tableOff, off)
+		off += pageAlign(sched.TableBytes(cfg.RecordCap))
+		l.arenaOff = append(l.arenaOff, off)
+		off += pageAlign(cfg.ArenaSize)
+	}
+	l.total = off
+	return l
+}
+
+// rootRec is the root task's record handle: record 0 on rank 0,
+// pre-allocated by the parent before the start barrier. Every process
+// derives it from the layout alone — no communication needed — so any
+// worker's ExecComplete can recognise "this completion finishes the
+// run" with one comparison.
+func rootRec() core.Handle { return sched.RecordHandle(0, 0) }

@@ -1,0 +1,90 @@
+package dist
+
+import (
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+
+	"uniaddr/internal/sched"
+)
+
+// ctlHdr is the control page at the start of the segment: the words
+// every process polls instead of receiving messages. Each sits alone on
+// a cache line.
+type ctlHdr struct {
+	// done becomes 1 when some worker — in whichever process — completes
+	// the root record. The one-sided analogue of the simulator's
+	// termination broadcast.
+	done atomic.Uint64
+	_    [56]byte
+	// fail holds rank+1 of the first process to report failure (or
+	// failCoordinator for a coordinator-side abort: crash detection,
+	// watchdog, handshake error). Non-zero fail releases every spin in
+	// every process — including deque lock spins wedged behind a crashed
+	// lock holder — so a dead worker yields a structured error, not a
+	// hang.
+	fail atomic.Uint64
+	_    [56]byte
+	// result is the root task's result; stored before done (both
+	// seq-cst), same publish order as a record completion.
+	result atomic.Uint64
+	_      [56]byte
+}
+
+const (
+	ctlBytes        = uint64(unsafe.Sizeof(ctlHdr{}))
+	failCoordinator = 1 << 16
+)
+
+// segment is one process's view of the mapped shared region: the
+// control header plus per-rank deque/table/arena views. The underlying
+// bytes live at the same virtual address in every process, so the
+// offsets these views encapsulate denote the same physical words
+// everywhere.
+type segment struct {
+	bytes []byte
+	lay   layout
+	ctl   *ctlHdr
+	// deques[r], tables[r], arenas[r] are THIS process's views of rank
+	// r's structures. A view is just (pointer into segment, layout);
+	// only rank r's process uses the owner-side operations.
+	deques []*sched.Deque
+	tables []*sched.Table
+	arenas []*sched.Arena
+}
+
+// attachSegment builds views over mapped segment memory. Safe to call
+// in every process, any number of times; it writes nothing.
+func attachSegment(b []byte, lay layout) (*segment, error) {
+	if uint64(len(b)) < lay.total {
+		return nil, fmt.Errorf("dist: segment is %d bytes, layout needs %d", len(b), lay.total)
+	}
+	s := &segment{
+		bytes: b,
+		lay:   lay,
+		ctl:   (*ctlHdr)(unsafe.Pointer(&b[0])),
+	}
+	for r := 0; r < lay.workers; r++ {
+		d, err := sched.NewDequeAt(b[lay.dequeOff[r]:], lay.dequeCap)
+		if err != nil {
+			return nil, fmt.Errorf("dist: rank %d deque: %w", r, err)
+		}
+		t, err := sched.NewTableAt(b[lay.tableOff[r]:], lay.recordCap)
+		if err != nil {
+			return nil, fmt.Errorf("dist: rank %d table: %w", r, err)
+		}
+		s.deques = append(s.deques, d)
+		s.tables = append(s.tables, t)
+		s.arenas = append(s.arenas, sched.NewArenaOver(lay.arenaBase, b[lay.arenaOff[r]:lay.arenaOff[r]+lay.arenaSize]))
+	}
+	return s, nil
+}
+
+// stopped is the shared stop predicate: run finished or failed.
+func (s *segment) stopped() bool {
+	return s.ctl.done.Load() != 0 || s.ctl.fail.Load() != 0
+}
+
+// failStore publishes a failure (first reporter wins is not needed —
+// any non-zero value releases the spins; last-writer-wins is fine).
+func (s *segment) failStore(code uint64) { s.ctl.fail.Store(code) }

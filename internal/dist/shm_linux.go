@@ -1,0 +1,98 @@
+//go:build linux
+
+package dist
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mapFixedNoreplace is MAP_FIXED_NOREPLACE (Linux >= 4.17): map at
+// exactly the requested address, failing with EEXIST instead of
+// silently clobbering an existing mapping — which MAP_FIXED would do to
+// the Go heap without a sound.
+const mapFixedNoreplace = 0x100000
+
+// createSegmentFile creates the backing file for the shared segment,
+// preferring /dev/shm (tmpfs: the pages never touch a disk) and falling
+// back to the default temp dir. The file outlives the creating process
+// only until Run's cleanup removes it; children open it by path.
+func createSegmentFile(size uint64) (*os.File, error) {
+	dir := os.TempDir()
+	if st, err := os.Stat("/dev/shm"); err == nil && st.IsDir() {
+		dir = "/dev/shm"
+	}
+	f, err := os.CreateTemp(dir, "uniaddr-dist-*.shm")
+	if err != nil {
+		return nil, fmt.Errorf("dist: creating segment file: %w", err)
+	}
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, fmt.Errorf("dist: sizing segment file to %d bytes: %w", size, err)
+	}
+	return f, nil
+}
+
+// mapSegmentAt maps the file MAP_SHARED at exactly base. Every process
+// in the run calls this with the same base, giving the segment
+// identical virtual addresses everywhere — the uni-address property at
+// the hardware-VA level.
+func mapSegmentAt(f *os.File, size uint64, base uintptr) ([]byte, error) {
+	addr, _, errno := syscall.Syscall6(syscall.SYS_MMAP,
+		base, uintptr(size),
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_SHARED|syscall.MAP_FIXED|mapFixedNoreplace,
+		f.Fd(), 0)
+	if errno != 0 {
+		return nil, fmt.Errorf("dist: mmap %d bytes at %#x: %w", size, base, errno)
+	}
+	if addr != base {
+		// Pre-4.17 kernels ignore the unknown MAP_FIXED_NOREPLACE bit;
+		// MAP_FIXED still forces the address, so this cannot trigger
+		// there. Guard anyway: a segment at the wrong address is
+		// corruption waiting to happen.
+		syscall.Syscall(syscall.SYS_MUNMAP, addr, uintptr(size), 0)
+		return nil, fmt.Errorf("dist: mmap landed at %#x, requested %#x", addr, base)
+	}
+	return unsafe.Slice((*byte)(mappedPtr(addr)), size), nil
+}
+
+// mappedPtr materialises a pointer to mmap'd memory from the address
+// the kernel returned. The memory is NOT a Go allocation, so the usual
+// uintptr→Pointer hazards (GC moving the object between the two
+// conversions) do not apply; loading the bits through a *unsafe.Pointer
+// view keeps that reasoning visible to go vet's unsafeptr check.
+func mappedPtr(addr uintptr) unsafe.Pointer {
+	return *(*unsafe.Pointer)(unsafe.Pointer(&addr))
+}
+
+// mapSegmentPickBase tries each candidate base until one maps. Parent
+// only; the winning base travels to the children in the child spec.
+func mapSegmentPickBase(f *os.File, size uint64) ([]byte, uintptr, error) {
+	var firstErr error
+	for _, base := range segBaseCandidates {
+		b, err := mapSegmentAt(f, size, base)
+		if err == nil {
+			return b, base, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, 0, fmt.Errorf("dist: no segment base candidate mappable: %w", firstErr)
+}
+
+func unmapSegment(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MUNMAP,
+		uintptr(unsafe.Pointer(&b[0])), uintptr(len(b)), 0)
+	if errno != 0 {
+		return fmt.Errorf("dist: munmap: %w", errno)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+//go:build !linux
+
+package dist
+
+import (
+	"fmt"
+	"os"
+)
+
+// The dist backend needs fixed-address shared mappings
+// (MAP_FIXED_NOREPLACE); only the Linux path is implemented. These
+// stubs make the package compile everywhere so the facade can return a
+// descriptive error instead of failing the build.
+
+var errUnsupported = fmt.Errorf("dist: the multi-process backend requires linux (fixed-address MAP_SHARED segments)")
+
+func createSegmentFile(size uint64) (*os.File, error) { return nil, errUnsupported }
+
+func mapSegmentAt(f *os.File, size uint64, base uintptr) ([]byte, error) {
+	return nil, errUnsupported
+}
+
+func mapSegmentPickBase(f *os.File, size uint64) ([]byte, uintptr, error) {
+	return nil, 0, errUnsupported
+}
+
+func unmapSegment(b []byte) error { return nil }

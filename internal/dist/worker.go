@@ -1,0 +1,530 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/gas"
+	"uniaddr/internal/mem"
+	"uniaddr/internal/sched"
+)
+
+// Stats counts one worker process's scheduling events — the dist
+// counterparts of rt.Stats. Owner-written during the run; serialised
+// into the bye message (children) or read after the loop exits
+// (parent).
+type Stats struct {
+	TasksExecuted uint64
+	Spawns        uint64
+	JoinsFast     uint64
+	JoinsMiss     uint64
+	Suspends      uint64
+	ResumesLocal  uint64
+	ResumesWait   uint64
+	ParentStolen  uint64
+
+	StealAttempts   uint64
+	StealsOK        uint64
+	StealAbortEmpty uint64
+	StealAbortLock  uint64
+	BytesStolen     uint64
+
+	// IdleSleeps counts idle-backoff sleep episodes — the dist analogue
+	// of rt's Parks (there is no cross-process futex to park on, so an
+	// idle worker sleeps in capped exponential backoff instead).
+	IdleSleeps uint64
+
+	WorkCycles   uint64
+	MaxStackUsed uint64
+	// RecordsLive is the owner-table live count sampled after the loop
+	// exits; the coordinator sums it across workers for the quiescence
+	// check (exactly one record — the root's — survives a clean run).
+	RecordsLive int
+}
+
+// savedCtx is a suspended thread swapped out of the uni-address region
+// onto the process-private Go heap, exactly as in rt: the bytes leave
+// the arena so stealing stays legal, and return to their original VA on
+// resume.
+type savedCtx struct {
+	base mem.VA
+	size uint64
+	buf  []byte
+	rec  *sched.Record
+}
+
+const (
+	ctxPoolCap = 64
+	envPoolCap = 64
+	// idleSpinRounds of cheap rechecks precede the first sleep;
+	// idleSleepMin..idleSleepMax bound the backoff ladder. Sleeping —
+	// not parking — because wake signals cannot cross process
+	// boundaries through the segment without a futex, and the paper's
+	// protocol keeps the data plane free of messages.
+	idleSpinRounds = 64
+	idleSleepMin   = 20 * time.Microsecond
+	idleSleepMax   = time.Millisecond
+)
+
+// worker is one process's scheduling context. It implements core.Exec,
+// so registered task functions run on it unchanged; every cross-worker
+// interaction goes through the segment views (one-sided), never through
+// a socket.
+type worker struct {
+	seg  *segment
+	rank int
+
+	arena   *sched.Arena // own arena view (owner side)
+	deque   *sched.Deque // own deque view (owner side)
+	records *sched.Table // own table view (owner side)
+
+	waitq []savedCtx
+	rng   *rand.Rand
+	stats Stats
+	spin  uint64
+
+	stopFn func() bool
+
+	lastVictim int32
+	idleRounds int
+	sleep      time.Duration
+
+	ctxFree [][]byte
+	envFree []*core.Env
+
+	// Root plumbing; meaningful on rank 0 only (the init closure cannot
+	// cross the process boundary, which is why the parent IS rank 0).
+	rootFid    core.FuncID
+	rootLocals uint32
+	rootInit   func(*core.Env)
+}
+
+func newWorker(seg *segment, rank int, seed uint64) *worker {
+	w := &worker{
+		seg:        seg,
+		rank:       rank,
+		arena:      seg.arenas[rank],
+		deque:      seg.deques[rank],
+		records:    seg.tables[rank],
+		rng:        rand.New(rand.NewSource(int64(seed*0x9e3779b97f4a7c15 + uint64(rank)*0xbf58476d1ce4e5b9 + 1))),
+		lastVictim: -1,
+	}
+	w.stopFn = seg.stopped
+	return w
+}
+
+// run is the scheduler loop: pop local work, else clear dead stacks,
+// resume a READY waiter or steal, else back off. Returns the panic (as
+// an error) if the loop or a task body blew up; the caller publishes it
+// through the fail word and the control plane.
+func (w *worker) run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, aborted := r.(abortRun); !aborted {
+				err = fmt.Errorf("dist: worker %d panicked: %v", w.rank, r)
+			}
+		}
+		w.stats.MaxStackUsed = w.arena.Max()
+		w.stats.RecordsLive = w.records.Live()
+	}()
+	if w.rank == 0 {
+		w.runRoot()
+	}
+	for !w.seg.stopped() {
+		if ent, ok := w.deque.Pop(w.stopFn); ok {
+			w.stats.ResumesLocal++
+			w.invoke(ent.FrameBase, ent.FrameSize)
+			w.idleReset()
+			continue
+		}
+		if !w.clearDead() {
+			return nil
+		}
+		if w.seg.stopped() {
+			return nil
+		}
+		if w.resumeReady() {
+			w.idleReset()
+			continue
+		}
+		if w.trySteal() {
+			w.idleReset()
+			continue
+		}
+		w.idleWait()
+	}
+	return nil
+}
+
+// clearDead empties the arena of dead stolen-thread copies, winning the
+// deque lock once so any thief mid-copy of our last entry has committed
+// before the bytes can be rewritten (same argument as rt.clearDead —
+// the protocol does not care that the thief is another process).
+func (w *worker) clearDead() bool {
+	if !w.deque.LockOwner(w.stopFn) {
+		return false
+	}
+	w.deque.Unlock()
+	w.arena.Clear()
+	return true
+}
+
+func (w *worker) idleReset() {
+	w.idleRounds = 0
+	w.sleep = idleSleepMin
+}
+
+// idleWait backs off an idle worker: spin cheaply first, then sleep
+// with exponential backoff capped at idleSleepMax, so a crashed-quiet
+// cluster costs microwatts while a wake-up (new stealable work) is
+// noticed within a millisecond.
+func (w *worker) idleWait() {
+	w.idleRounds++
+	if w.idleRounds < idleSpinRounds {
+		runtime.Gosched()
+		return
+	}
+	w.stats.IdleSleeps++
+	time.Sleep(w.sleep)
+	if w.sleep < idleSleepMax {
+		w.sleep *= 2
+	}
+}
+
+// runRoot builds the root thread's frame and runs it. The root record
+// (rootRec: rank 0, index 0) was allocated by the coordinator before
+// the start barrier.
+func (w *worker) runRoot() {
+	size := core.FrameBytes(w.rootLocals)
+	base := w.newFrame(size)
+	core.EncodeFrameHeader(w.arena.MustSlice(base, core.FrameHeaderBytes), w.rootFid, w.rootLocals, rootRec())
+	if w.rootInit != nil {
+		e := w.getEnv(base, size, 0)
+		w.rootInit(e)
+		w.putEnv(e)
+	}
+	w.invoke(base, size)
+}
+
+func (w *worker) newFrame(size uint64) mem.VA {
+	base, err := w.arena.AllocBelow(size)
+	if err != nil {
+		panic(err)
+	}
+	clear(w.arena.MustSlice(base, size))
+	return base
+}
+
+func (w *worker) getEnv(base mem.VA, size uint64, rp uint32) *core.Env {
+	if n := len(w.envFree); n > 0 {
+		e := w.envFree[n-1]
+		w.envFree[n-1] = nil
+		w.envFree = w.envFree[:n-1]
+		e.Reset(w, base, size, rp)
+		return e
+	}
+	return core.NewEnv(w, base, size, rp)
+}
+
+func (w *worker) putEnv(e *core.Env) {
+	if len(w.envFree) < envPoolCap {
+		w.envFree = append(w.envFree, e)
+	}
+}
+
+func (w *worker) getCtxBuf(n uint64) []byte {
+	for len(w.ctxFree) > 0 {
+		buf := w.ctxFree[len(w.ctxFree)-1]
+		w.ctxFree[len(w.ctxFree)-1] = nil
+		w.ctxFree = w.ctxFree[:len(w.ctxFree)-1]
+		if uint64(cap(buf)) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func (w *worker) putCtxBuf(buf []byte) {
+	if len(w.ctxFree) < ctxPoolCap {
+		w.ctxFree = append(w.ctxFree, buf)
+	}
+}
+
+// abortRun is the sentinel unwound through task frames when the run
+// has FAILED (crashed sibling, watchdog): the task tree's state no
+// longer matters, so the fastest correct response is to abandon the
+// in-flight subtree wholesale. Never raised for normal completion —
+// `done` lets in-flight tasks finish naturally.
+type abortRun struct{}
+
+// invoke runs (or resumes) the thread whose stack starts at base.
+func (w *worker) invoke(base mem.VA, size uint64) core.Status {
+	if w.seg.ctl.fail.Load() != 0 {
+		panic(abortRun{})
+	}
+	h := core.DecodeFrameHeader(w.arena.MustSlice(base, core.FrameHeaderBytes))
+	e := w.getEnv(base, size, h.Resume)
+	st := core.TaskFn(h.Fid)(e)
+	if st == core.Done {
+		if !e.Returned() {
+			w.ExecComplete(e.Self(), 0)
+		}
+		w.stats.TasksExecuted++
+		if err := w.arena.FreeLowest(base, size); err != nil {
+			panic(err)
+		}
+	}
+	w.putEnv(e)
+	return st
+}
+
+// resumeReady restores the first suspended thread whose join target has
+// completed. The completer may be any process; its Done store is a
+// one-sided write into our rank's table region, observed here by a
+// plain polling load.
+func (w *worker) resumeReady() bool {
+	for i := range w.waitq {
+		if w.waitq[i].rec.Done.Load() != 0 {
+			sc := w.waitq[i]
+			copy(w.waitq[i:], w.waitq[i+1:])
+			w.waitq[len(w.waitq)-1] = savedCtx{}
+			w.waitq = w.waitq[:len(w.waitq)-1]
+			w.resumeSaved(sc)
+			return true
+		}
+	}
+	return false
+}
+
+func (w *worker) resumeSaved(sc savedCtx) {
+	if err := w.arena.Install(sc.base, sc.size); err != nil {
+		panic(err)
+	}
+	copy(w.arena.MustSlice(sc.base, sc.size), sc.buf)
+	w.putCtxBuf(sc.buf)
+	w.stats.ResumesWait++
+	w.invoke(sc.base, sc.size)
+}
+
+// trySteal attempts one steal round, hint-guided as in rt: cached
+// victim, then an occupancy-hint sweep, then one blind probe. Every
+// read here is a one-sided load on another process's deque region.
+func (w *worker) trySteal() bool {
+	n := w.seg.lay.workers
+	if n < 2 || !w.arena.Empty() {
+		return false
+	}
+	if lv := w.lastVictim; lv >= 0 {
+		if d := w.seg.deques[lv]; d.Occupancy() > 0 && w.stealFrom(int(lv)) {
+			return true
+		}
+		w.lastVictim = -1
+	}
+	start := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		vi := start + i
+		if vi >= n {
+			vi -= n
+		}
+		if vi == w.rank {
+			continue
+		}
+		if w.seg.deques[vi].Occupancy() > 0 {
+			return w.stealFrom(vi)
+		}
+	}
+	vi := w.rng.Intn(n - 1)
+	if vi >= w.rank {
+		vi++
+	}
+	return w.stealFrom(vi)
+}
+
+// stealFrom is the thief side of the THE protocol against rank vi:
+// claim under the victim's FAA lock, copy the stack bytes from the
+// victim's arena region into the SAME offset of ours — two windows of
+// the shared segment, so this memcpy is the cross-process one-sided
+// migration the paper performs with RDMA READ — then release and run.
+func (w *worker) stealFrom(vi int) bool {
+	w.stats.StealAttempts++
+	vd := w.seg.deques[vi]
+	ent, outcome := vd.StealBegin()
+	switch outcome {
+	case sched.StealEmpty, sched.StealEmptyLocked:
+		w.stats.StealAbortEmpty++
+		return false
+	case sched.StealLockBusy:
+		w.stats.StealAbortLock++
+		return false
+	}
+	if err := w.arena.Install(ent.FrameBase, ent.FrameSize); err != nil {
+		panic(err)
+	}
+	src, err := w.seg.arenas[vi].Slice(ent.FrameBase, ent.FrameSize)
+	if err != nil {
+		panic(err)
+	}
+	copy(w.arena.MustSlice(ent.FrameBase, ent.FrameSize), src)
+	vd.StealCommit()
+	w.stats.StealsOK++
+	w.stats.BytesStolen += ent.FrameSize
+	w.lastVictim = int32(vi)
+	w.invoke(ent.FrameBase, ent.FrameSize)
+	return true
+}
+
+// --- core.Exec implementation ----------------------------------------
+
+// ExecReadU64 implements core.Exec over the worker's arena window.
+func (w *worker) ExecReadU64(va mem.VA) uint64 { return w.arena.ReadU64(va) }
+
+// ExecWriteU64 implements core.Exec over the worker's arena window.
+func (w *worker) ExecWriteU64(va mem.VA, v uint64) { w.arena.WriteU64(va, v) }
+
+// ExecSlice implements core.Exec over the worker's arena window.
+func (w *worker) ExecSlice(va mem.VA, n uint64) ([]byte, error) { return w.arena.Slice(va, n) }
+
+// ExecWork burns roughly `cycles` iterations of an LCG, as in rt.
+func (w *worker) ExecWork(cycles uint64) {
+	x := w.spin
+	for i := uint64(0); i < cycles; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	w.spin = x
+	w.stats.WorkCycles += cycles
+}
+
+// ExecComplete publishes a task's result into its record — a one-sided
+// write into the owning rank's table region, wherever that process
+// lives. Completing the ROOT record additionally publishes the result
+// and the done word on the control page, which is what terminates every
+// process's scheduler loop.
+func (w *worker) ExecComplete(rec core.Handle, result uint64) {
+	r := w.seg.tables[rec.Rank()].Get(sched.RecordIndex(rec))
+	r.Result.Store(result)
+	r.Done.Store(1)
+	// Record the waiter handshake for symmetry with rt; there is no
+	// cross-process wake to deliver (idle workers poll), so the load is
+	// advisory only.
+	_ = r.Waiter.Load()
+	if rec == rootRec() {
+		w.seg.ctl.result.Store(result)
+		w.seg.ctl.done.Store(1)
+	}
+}
+
+// ExecSpawn is the child-first spawn, identical to rt's: the thief that
+// takes the published continuation may now be another PROCESS.
+func (w *worker) ExecSpawn(e *core.Env, resumeRP, handleSlot int, fid core.FuncID, localsLen uint32, init func(*core.Env)) bool {
+	w.stats.Spawns++
+	core.SetFrameResume(w.arena.MustSlice(e.FrameBase(), core.FrameHeaderBytes), uint32(resumeRP))
+	rec := w.newRecord()
+	e.SetHandle(handleSlot, rec)
+	if err := w.deque.Push(sched.Entry{FrameBase: e.FrameBase(), FrameSize: e.FrameSize()}); err != nil {
+		panic(err)
+	}
+	size := core.FrameBytes(localsLen)
+	cbase := w.newFrame(size)
+	core.EncodeFrameHeader(w.arena.MustSlice(cbase, core.FrameHeaderBytes), fid, localsLen, rec)
+	if init != nil {
+		ce := w.getEnv(cbase, size, 0)
+		init(ce)
+		w.putEnv(ce)
+	}
+	w.invoke(cbase, size)
+	if ent, ok := w.deque.Pop(w.stopFn); ok {
+		if ent.FrameBase != e.FrameBase() || ent.FrameSize != e.FrameSize() {
+			panic(fmt.Sprintf("dist: deque corruption: popped %#x/%d, expected %#x/%d",
+				ent.FrameBase, ent.FrameSize, e.FrameBase(), e.FrameSize()))
+		}
+		return true
+	}
+	w.stats.ParentStolen++
+	if err := w.arena.FreeLowest(e.FrameBase(), e.FrameSize()); err != nil {
+		panic(err)
+	}
+	return false
+}
+
+// ExecJoin polls the record (a one-sided load on the owning rank's
+// table); on a miss it publishes the waiter mark, re-checks, then swaps
+// the frame out to the process-private heap and parks it on the wait
+// queue. Unlike rt there is no precise cross-process wake: the idle
+// loop re-polls waitq records between steal rounds.
+func (w *worker) ExecJoin(e *core.Env, resumeRP int, h core.Handle) (uint64, bool) {
+	if !h.Valid() {
+		panic("dist: join on invalid handle")
+	}
+	r := w.seg.tables[h.Rank()].Get(sched.RecordIndex(h))
+	if r.Done.Load() != 0 {
+		w.stats.JoinsFast++
+		v := r.Result.Load()
+		w.releaseRecord(h)
+		return v, true
+	}
+	r.Waiter.Store(int64(w.rank) + 1)
+	if r.Done.Load() != 0 {
+		r.Waiter.Store(0)
+		w.stats.JoinsFast++
+		v := r.Result.Load()
+		w.releaseRecord(h)
+		return v, true
+	}
+	w.stats.JoinsMiss++
+	w.stats.Suspends++
+	core.SetFrameResume(w.arena.MustSlice(e.FrameBase(), core.FrameHeaderBytes), uint32(resumeRP))
+	buf := w.getCtxBuf(e.FrameSize())
+	copy(buf, w.arena.MustSlice(e.FrameBase(), e.FrameSize()))
+	if err := w.arena.FreeLowest(e.FrameBase(), e.FrameSize()); err != nil {
+		panic(err)
+	}
+	w.waitq = append(w.waitq, savedCtx{base: e.FrameBase(), size: e.FrameSize(), buf: buf, rec: r})
+	return 0, false
+}
+
+func (w *worker) newRecord() core.Handle {
+	idx, err := w.records.Alloc()
+	if err != nil {
+		panic(err)
+	}
+	return sched.RecordHandle(w.rank, idx)
+}
+
+// releaseRecord frees a joined record: owner-local fast path, or a CAS
+// push onto the owning rank's shared release stack — which may live in
+// another process's table region; the Treiber protocol doesn't care.
+func (w *worker) releaseRecord(h core.Handle) {
+	if h.Rank() == w.rank {
+		w.records.ReleaseLocal(sched.RecordIndex(h))
+		return
+	}
+	w.seg.tables[h.Rank()].Release(sched.RecordIndex(h))
+}
+
+// ExecGasHeap: no global heap on dist; gas workloads are sim-only.
+func (w *worker) ExecGasHeap() *gas.Heap { return nil }
+
+func (w *worker) execGasPanic() {
+	panic("dist: global heap (gas) operations are not supported on the multi-process backend; run this workload on the simulator")
+}
+
+// ExecGasGet implements core.Exec; unsupported on dist.
+func (w *worker) ExecGasGet(r gas.Ref, buf []byte) { w.execGasPanic() }
+
+// ExecGasPut implements core.Exec; unsupported on dist.
+func (w *worker) ExecGasPut(r gas.Ref, buf []byte) { w.execGasPanic() }
+
+// ExecGasGetU64 implements core.Exec; unsupported on dist.
+func (w *worker) ExecGasGetU64(r gas.Ref) uint64 { w.execGasPanic(); return 0 }
+
+// ExecGasPutU64 implements core.Exec; unsupported on dist.
+func (w *worker) ExecGasPutU64(r gas.Ref, v uint64) { w.execGasPanic() }
+
+// ExecGasAlloc implements core.Exec; unsupported on dist.
+func (w *worker) ExecGasAlloc(n uint64) gas.Ref { w.execGasPanic(); return gas.Ref(0) }
+
+// SimWorker returns nil: this backend is not the simulator.
+func (w *worker) SimWorker() *core.Worker { return nil }

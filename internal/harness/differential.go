@@ -9,12 +9,13 @@ import (
 )
 
 // Differential testing: the deterministic virtual-time simulator is the
-// semantic oracle for the real-parallelism backend. Both execute the
-// exact same registered task functions, so for every workload, worker
-// count and seed the root results must be identical — any divergence
-// means the rt scheduler broke the task semantics (lost a steal,
-// resumed a stale frame, torn a record) in a way its own tests didn't
-// catch.
+// semantic oracle for the real backends — rt (threads in one process)
+// and dist (one process per worker over shared memory). All backends
+// execute the exact same registered task functions, so for every
+// workload, worker count and seed the root results must be identical —
+// any divergence means the backend broke the task semantics (lost a
+// steal, resumed a stale frame, torn a record) in a way its own tests
+// didn't catch.
 
 // DiffWorkload pairs a stable row name with a workload Spec.
 type DiffWorkload struct {
@@ -51,7 +52,9 @@ func RTSkipReason(s workloads.Spec) string {
 	return ""
 }
 
-// DiffRow is one (workload, workers, seed) comparison.
+// DiffRow is one (workload, workers, seed) comparison. GotResult is the
+// backend-under-test's root result (the report's Backend field says
+// which backend that was).
 type DiffRow struct {
 	Workload   string `json:"workload"`
 	Workers    int    `json:"workers"`
@@ -59,30 +62,65 @@ type DiffRow struct {
 	Skipped    bool   `json:"skipped,omitempty"`
 	SkipReason string `json:"skip_reason,omitempty"`
 	SimResult  uint64 `json:"sim_result,omitempty"`
-	RTResult   uint64 `json:"rt_result,omitempty"`
+	GotResult  uint64 `json:"got_result,omitempty"`
 	Expected   uint64 `json:"expected,omitempty"`
 	Match      bool   `json:"match"`
 }
 
-// DiffReport aggregates a differential sweep.
+// DiffReport aggregates a differential sweep against one backend.
 type DiffReport struct {
+	Backend    string    `json:"backend"`
 	Rows       []DiffRow `json:"rows"`
 	Compared   int       `json:"compared"`
 	Mismatches int       `json:"mismatches"`
 	Skipped    int       `json:"skipped"`
 }
 
-// RunDifferential runs every workload on both backends for every
-// (workers, seed) combination and compares root results. Workloads the
-// rt backend cannot execute produce one skipped row each (with the
-// reason) instead of disappearing. noPin disables OS-thread pinning on
-// the rt side, which test runs want. The returned error is non-nil only
+// DiffBackend abstracts the backend under differential test. The sim is
+// always the oracle side; this is the other side. Skip explains why a
+// workload cannot run on this backend ("" = it can); Run executes the
+// workload and returns the root result, erroring only on infrastructure
+// failure (a wrong ANSWER is the harness's job to detect, not Run's).
+type DiffBackend struct {
+	Name string
+	Skip func(workloads.Spec) string
+	Run  func(spec workloads.Spec, workers int, seed uint64) (uint64, error)
+}
+
+// RTDiffBackend is the in-process real-parallelism backend as a
+// differential target. noPin disables OS-thread pinning, which test
+// runs want.
+func RTDiffBackend(noPin bool) DiffBackend {
+	return DiffBackend{
+		Name: "rt",
+		Skip: RTSkipReason,
+		Run: func(spec workloads.Spec, workers int, seed uint64) (uint64, error) {
+			cfg := rt.DefaultConfig(workers)
+			cfg.Seed = seed
+			cfg.NoPin = noPin
+			r := rt.New(cfg)
+			res, err := r.Run(spec.Fid, spec.Locals, spec.Init)
+			if err != nil {
+				return 0, err
+			}
+			if err := r.CheckQuiescence(); err != nil {
+				return 0, err
+			}
+			return res, nil
+		},
+	}
+}
+
+// RunDifferentialBackend runs every workload on the sim oracle and on b
+// for every (workers, seed) combination and compares root results.
+// Workloads b cannot execute produce one skipped row each (with the
+// reason) instead of disappearing. The returned error is non-nil only
 // for infrastructure failures; result mismatches are reported in the
 // rows so the caller can print all of them, not just the first.
-func RunDifferential(wls []DiffWorkload, workerCounts []int, seeds []uint64, noPin bool) (DiffReport, error) {
-	var rep DiffReport
+func RunDifferentialBackend(b DiffBackend, wls []DiffWorkload, workerCounts []int, seeds []uint64) (DiffReport, error) {
+	rep := DiffReport{Backend: b.Name}
 	for _, wl := range wls {
-		if reason := RTSkipReason(wl.Spec); reason != "" {
+		if reason := b.Skip(wl.Spec); reason != "" {
 			rep.Rows = append(rep.Rows, DiffRow{Workload: wl.Name, Skipped: true, SkipReason: reason})
 			rep.Skipped++
 			continue
@@ -99,20 +137,13 @@ func RunDifferential(wls []DiffWorkload, workerCounts []int, seeds []uint64, noP
 				}
 				row.SimResult = simRes
 
-				rcfg := rt.DefaultConfig(workers)
-				rcfg.Seed = seed
-				rcfg.NoPin = noPin
-				r := rt.New(rcfg)
-				rtRes, err := r.Run(wl.Spec.Fid, wl.Spec.Locals, wl.Spec.Init)
+				got, err := b.Run(wl.Spec, workers, seed)
 				if err != nil {
-					return rep, fmt.Errorf("rt %s workers=%d seed=%d: %w", wl.Name, workers, seed, err)
+					return rep, fmt.Errorf("%s %s workers=%d seed=%d: %w", b.Name, wl.Name, workers, seed, err)
 				}
-				if err := r.CheckQuiescence(); err != nil {
-					return rep, fmt.Errorf("rt %s workers=%d seed=%d: %w", wl.Name, workers, seed, err)
-				}
-				row.RTResult = rtRes
+				row.GotResult = got
 
-				row.Match = simRes == rtRes
+				row.Match = simRes == got
 				if !row.Match {
 					rep.Mismatches++
 				}
@@ -122,4 +153,9 @@ func RunDifferential(wls []DiffWorkload, workerCounts []int, seeds []uint64, noP
 		}
 	}
 	return rep, nil
+}
+
+// RunDifferential is the sim-vs-rt matrix (see RunDifferentialBackend).
+func RunDifferential(wls []DiffWorkload, workerCounts []int, seeds []uint64, noPin bool) (DiffReport, error) {
+	return RunDifferentialBackend(RTDiffBackend(noPin), wls, workerCounts, seeds)
 }

@@ -29,7 +29,7 @@ func TestDifferentialSimVsRT(t *testing.T) {
 		}
 		if !row.Match {
 			t.Errorf("%s workers=%d seed=%d: sim=%d rt=%d",
-				row.Workload, row.Workers, row.Seed, row.SimResult, row.RTResult)
+				row.Workload, row.Workers, row.Seed, row.SimResult, row.GotResult)
 		}
 		if row.Expected != 0 && row.SimResult != row.Expected {
 			t.Errorf("%s workers=%d seed=%d: sim=%d disagrees with sequential reference %d",

@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"uniaddr/internal/dist"
+	"uniaddr/internal/workloads"
+)
+
+// The dist harness: the multi-process backend measured and validated
+// through the same instruments as rt — a differential matrix with the
+// simulator as oracle, a wall-clock scaling bench (BENCH_dist.json,
+// same schema as BENCH_rt.json), and a crash probe that SIGKILLs a
+// worker process mid-run and requires a structured error back.
+//
+// IMPORTANT: any binary that calls into these helpers spawns worker
+// processes by re-exec'ing itself, so its main / TestMain must call
+// dist.MaybeChild() before anything else.
+
+// DistSkipReason explains why a Spec cannot run on the dist backend, or
+// "" if it can. Same constraint as rt: gas-staged workloads need a
+// machine-global heap neither real backend has yet.
+func DistSkipReason(s workloads.Spec) string {
+	if s.Setup != nil {
+		return "requires machine Setup (global-heap staging); sim-only until dist grows a shared heap"
+	}
+	return ""
+}
+
+// DistDiffBackend is the multi-process backend as a differential
+// target: workers = OS processes.
+func DistDiffBackend() DiffBackend {
+	return DiffBackend{
+		Name: "dist",
+		Skip: DistSkipReason,
+		Run: func(spec workloads.Spec, workers int, seed uint64) (uint64, error) {
+			cfg := dist.DefaultConfig(workers)
+			cfg.Seed = seed
+			res, err := dist.Run(cfg, spec.Fid, spec.Locals, spec.Init)
+			if err != nil {
+				return 0, err
+			}
+			return res.Root, nil
+		},
+	}
+}
+
+// RunDistBench measures every runnable workload at every process count,
+// reps times each, keeping the fastest run. The report reuses the
+// RTBenchReport schema (Benchmark: "dist-scaling") so the comparison
+// tooling works across backends; it lands in BENCH_dist.json.
+func RunDistBench(wls []DiffWorkload, procCounts []int, reps int, seed uint64) (RTBenchReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	rep := RTBenchReport{
+		Benchmark:  "dist-scaling",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Seed:       seed,
+	}
+	for _, wl := range wls {
+		if reason := DistSkipReason(wl.Spec); reason != "" {
+			rep.Skipped = append(rep.Skipped, RTBenchSkip{Workload: wl.Name, Reason: reason})
+			continue
+		}
+		for _, procs := range procCounts {
+			row := RTBenchRow{Workload: wl.Name, Workers: procs, Reps: reps}
+			var wallSum int64
+			for i := 0; i < reps; i++ {
+				cfg := dist.DefaultConfig(procs)
+				cfg.Seed = seed + uint64(i)
+				res, err := dist.Run(cfg, wl.Spec.Fid, wl.Spec.Locals, wl.Spec.Init)
+				if err != nil {
+					return RTBenchReport{}, fmt.Errorf("dist bench %s procs=%d: %w", wl.Name, procs, err)
+				}
+				if wl.Spec.Expected != 0 && res.Root != wl.Spec.Expected {
+					return RTBenchReport{}, fmt.Errorf("dist bench %s procs=%d: result %d, want %d", wl.Name, procs, res.Root, wl.Spec.Expected)
+				}
+				wall := res.Elapsed.Nanoseconds()
+				wallSum += wall
+				if row.WallNS == 0 || wall < row.WallNS {
+					ts := res.TotalStats()
+					row.WallNS = wall
+					row.Result = res.Root
+					row.Tasks = ts.TasksExecuted
+					row.StealsOK = ts.StealsOK
+					row.BytesStolen = ts.BytesStolen
+					row.Suspends = ts.Suspends
+					row.StealAttempts = ts.StealAttempts
+					row.StealAbortEmpty = ts.StealAbortEmpty
+					row.StealAbortLock = ts.StealAbortLock
+				}
+			}
+			row.MeanWallNS = wallSum / int64(reps)
+			secs := float64(row.WallNS) / 1e9
+			if secs > 0 {
+				row.TasksPerSec = float64(row.Tasks) / secs
+			}
+			if wl.Spec.Items != nil {
+				row.Items = wl.Spec.Items(row.Result)
+				if secs > 0 {
+					row.ItemsPerSec = float64(row.Items) / secs
+				}
+			} else {
+				row.Note = "no items extractor; tasks/s only"
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// DistCrashProbe verifies the resilience contract end to end: SIGKILL a
+// worker process mid-run and require a prompt, structured
+// *dist.WorkerCrashError attributing the right rank — not a hang, not a
+// silent wrong answer. Returns nil iff the contract holds.
+func DistCrashProbe(workers int, seed uint64) error {
+	if workers < 2 {
+		workers = 2
+	}
+	cfg := dist.DefaultConfig(workers)
+	cfg.Seed = seed
+	cfg.KillRank = 1
+	cfg.KillAfter = 50 * time.Millisecond
+	// Big enough that the run cannot finish before the kill fires.
+	spec := workloads.Fib(30, 2000)
+	start := time.Now()
+	_, err := dist.Run(cfg, spec.Fid, spec.Locals, spec.Init)
+	elapsed := time.Since(start)
+	if err == nil {
+		return fmt.Errorf("dist crash probe: run with a SIGKILL'd worker reported success")
+	}
+	var crash *dist.WorkerCrashError
+	if !errors.As(err, &crash) {
+		return fmt.Errorf("dist crash probe: got %T (%v), want *dist.WorkerCrashError", err, err)
+	}
+	if crash.Rank != 1 {
+		return fmt.Errorf("dist crash probe: crash attributed to rank %d, want 1", crash.Rank)
+	}
+	if elapsed > 30*time.Second {
+		return fmt.Errorf("dist crash probe: detection took %v — that is a hang with extra steps", elapsed)
+	}
+	return nil
+}

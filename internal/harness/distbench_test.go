@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"os"
+	"testing"
+
+	"uniaddr/internal/dist"
+)
+
+// TestMain routes re-exec'd dist worker processes into the child
+// entrypoint before any harness test runs (a no-op for every other
+// invocation of this test binary).
+func TestMain(m *testing.M) {
+	dist.MaybeChild()
+	os.Exit(m.Run())
+}
+
+// TestDifferentialSimVsDist is the acceptance gate for the dist
+// backend: every workload at 2 and 4 worker PROCESSES, 3 seeds, root
+// results identical to the sim oracle, with gas-dependent workloads
+// reported (not silently dropped).
+func TestDifferentialSimVsDist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process differential matrix skipped in -short mode")
+	}
+	rep, err := RunDifferentialBackend(DistDiffBackend(), DiffWorkloads(), []int{2, 4}, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backend != "dist" {
+		t.Errorf("report backend %q, want dist", rep.Backend)
+	}
+	for _, row := range rep.Rows {
+		if row.Skipped {
+			if row.SkipReason == "" {
+				t.Errorf("%s skipped without a reason", row.Workload)
+			}
+			continue
+		}
+		if !row.Match {
+			t.Errorf("%s workers=%d seed=%d: sim=%d dist=%d",
+				row.Workload, row.Workers, row.Seed, row.SimResult, row.GotResult)
+		}
+	}
+	if rep.Compared == 0 {
+		t.Fatal("differential sweep compared nothing")
+	}
+	if rep.Skipped == 0 {
+		t.Error("expected gas-dependent workloads to be reported as skipped")
+	}
+}
+
+// TestDistCrashProbe runs the harness-level resilience probe: a
+// SIGKILL'd worker process must surface as a structured error, fast.
+func TestDistCrashProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process crash probe skipped in -short mode")
+	}
+	if err := DistCrashProbe(3, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistBenchReport exercises RunDistBench at the smallest scale and
+// checks the report carries the dist benchmark tag and sane rows.
+func TestDistBenchReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process bench skipped in -short mode")
+	}
+	rep, err := RunDistBench(DiffWorkloads(), []int{2}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmark != "dist-scaling" {
+		t.Errorf("benchmark tag %q, want dist-scaling", rep.Benchmark)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("bench produced no rows")
+	}
+	if len(rep.Skipped) == 0 {
+		t.Error("gas-dependent workloads missing from skipped list")
+	}
+	for _, row := range rep.Rows {
+		if row.WallNS <= 0 {
+			t.Errorf("%s procs=%d: wall_ns %d", row.Workload, row.Workers, row.WallNS)
+		}
+	}
+}

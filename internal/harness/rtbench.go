@@ -179,8 +179,8 @@ func RTBenchWorkloads(scale string) ([]DiffWorkload, error) {
 // PrintRTBench renders the report as a human-readable table; the JSON
 // in BENCH_rt.json is the machine-readable twin.
 func PrintRTBench(w io.Writer, rep RTBenchReport) {
-	fmt.Fprintf(w, "rt backend scaling (wall clock; GOMAXPROCS=%d, %d CPUs; best of reps)\n",
-		rep.GoMaxProcs, rep.NumCPU)
+	fmt.Fprintf(w, "%s (wall clock; GOMAXPROCS=%d, %d CPUs; best of reps)\n",
+		rep.Benchmark, rep.GoMaxProcs, rep.NumCPU)
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(tw, "workload\tworkers\twall ms\ttasks/s\titems/s\tsteals\tMB stolen")
 	for _, row := range rep.Rows {

@@ -27,13 +27,13 @@ type ChromeOpts struct {
 }
 
 type chromeArgs struct {
-	Name   string `json:"name,omitempty"`   // metadata payload
-	Task   uint64 `json:"task,omitempty"`   // TaskID
-	Parent uint64 `json:"parent,omitempty"` // parent TaskID
-	Peer   *int32 `json:"peer,omitempty"`   // victim / target rank
-	Bytes  uint64 `json:"bytes,omitempty"`
+	Name   string  `json:"name,omitempty"`   // metadata payload
+	Task   uint64  `json:"task,omitempty"`   // TaskID
+	Parent uint64  `json:"parent,omitempty"` // parent TaskID
+	Peer   *int32  `json:"peer,omitempty"`   // victim / target rank
+	Bytes  uint64  `json:"bytes,omitempty"`
 	Depth  *uint64 `json:"depth,omitempty"`
-	Failed bool   `json:"failed,omitempty"`
+	Failed bool    `json:"failed,omitempty"`
 }
 
 type chromeEvent struct {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"uniaddr/internal/sched"
 	"uniaddr/internal/workloads"
 )
 
@@ -21,26 +22,26 @@ func BenchmarkNewFrame(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		base := w.newFrame(size)
-		if err := w.arena.freeLowest(base, size); err != nil {
+		if err := w.arena.FreeLowest(base, size); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkArenaReadU64(b *testing.B) {
-	a := newArena(0x1000, 4096)
-	a.writeU64(0x1100, 7)
+	a := sched.NewArena(0x1000, 4096)
+	a.WriteU64(0x1100, 7)
 	var sink uint64
 	for i := 0; i < b.N; i++ {
-		sink += a.readU64(0x1100)
+		sink += a.ReadU64(0x1100)
 	}
 	_ = sink
 }
 
 func BenchmarkArenaWriteU64(b *testing.B) {
-	a := newArena(0x1000, 4096)
+	a := sched.NewArena(0x1000, 4096)
 	for i := 0; i < b.N; i++ {
-		a.writeU64(0x1100, uint64(i))
+		a.WriteU64(0x1100, uint64(i))
 	}
 }
 
@@ -76,16 +77,16 @@ func BenchmarkStealRoundTrip(b *testing.B) {
 		if outcome != StealOK {
 			b.Fatalf("steal outcome %v", outcome)
 		}
-		if err := thief.arena.install(ent.FrameBase, ent.FrameSize); err != nil {
+		if err := thief.arena.Install(ent.FrameBase, ent.FrameSize); err != nil {
 			b.Fatal(err)
 		}
-		src, err := victim.arena.slice(ent.FrameBase, ent.FrameSize)
+		src, err := victim.arena.Slice(ent.FrameBase, ent.FrameSize)
 		if err != nil {
 			b.Fatal(err)
 		}
-		copy(thief.arena.mustSlice(ent.FrameBase, ent.FrameSize), src)
+		copy(thief.arena.MustSlice(ent.FrameBase, ent.FrameSize), src)
 		victim.deque.StealCommit()
-		thief.arena.clear()
+		thief.arena.Clear()
 	}
 }
 

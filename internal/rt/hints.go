@@ -18,7 +18,7 @@ package rt
 // was stolen and executed. At most two StealBegin probes per round.
 func (w *Worker) trySteal() bool {
 	n := len(w.rt.workers)
-	if n < 2 || !w.arena.empty() {
+	if n < 2 || !w.arena.Empty() {
 		return false
 	}
 	// 1. Last successful victim: work-stealing victims are bursty — a
@@ -78,14 +78,14 @@ func (w *Worker) stealFrom(v *Worker, vi int) bool {
 	}
 	// Claimed; the victim's lock is held, so the victim cannot recycle
 	// these bytes until we commit. Copy stack → same VA in our arena.
-	if err := w.arena.install(ent.FrameBase, ent.FrameSize); err != nil {
+	if err := w.arena.Install(ent.FrameBase, ent.FrameSize); err != nil {
 		panic(err)
 	}
-	src, err := v.arena.slice(ent.FrameBase, ent.FrameSize)
+	src, err := v.arena.Slice(ent.FrameBase, ent.FrameSize)
 	if err != nil {
 		panic(err)
 	}
-	copy(w.arena.mustSlice(ent.FrameBase, ent.FrameSize), src)
+	copy(w.arena.MustSlice(ent.FrameBase, ent.FrameSize), src)
 	v.deque.StealCommit()
 	w.stats.StealsOK++
 	w.stats.BytesStolen += ent.FrameSize

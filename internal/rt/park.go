@@ -176,7 +176,7 @@ func (w *Worker) hasWorkHint() bool {
 		}
 	}
 	for i := range w.waitq {
-		if w.waitq[i].rec.done.Load() != 0 {
+		if w.waitq[i].rec.Done.Load() != 0 {
 			return true
 		}
 	}

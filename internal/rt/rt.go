@@ -9,6 +9,7 @@ import (
 
 	"uniaddr/internal/core"
 	"uniaddr/internal/mem"
+	"uniaddr/internal/sched"
 )
 
 // Config sizes a Runtime. The zero value of every field selects a
@@ -110,9 +111,9 @@ func New(cfg Config) *Runtime {
 		w := &Worker{
 			rt:         r,
 			rank:       i,
-			arena:      newArena(cfg.ArenaBase, cfg.ArenaSize),
-			deque:      NewDeque(cfg.DequeCap),
-			records:    newRecordPool(cfg.RecordCap),
+			arena:      sched.NewArena(cfg.ArenaBase, cfg.ArenaSize),
+			deque:      sched.NewDeque(cfg.DequeCap),
+			records:    sched.NewTable(cfg.RecordCap),
 			rng:        rand.New(rand.NewSource(int64(seed))),
 			wakeCh:     make(chan struct{}, 1),
 			parkSlot:   -1,

@@ -1,0 +1,37 @@
+// Package rt is the real-parallelism backend: it executes the same
+// registered task functions as the virtual-time simulator
+// (internal/core, internal/sim) on actual goroutines, one per worker,
+// with a THE-protocol deque built from sync/atomic operations and
+// steals performed as cross-arena memory copies. Where the simulator is
+// the semantic oracle — deterministic, single-threaded, every cost
+// modelled — rt is the measurement backend: wall-clock time, true
+// concurrency, real cache traffic. Both run identical workload Specs,
+// so a differential harness (internal/harness) can assert their root
+// results agree.
+//
+// The scheduler data structures themselves — uni-address Arena,
+// THE-protocol Deque, record Table — live in internal/sched, shared
+// with the multi-process dist backend; this file re-exports the names
+// rt's API historically used.
+package rt
+
+import "uniaddr/internal/sched"
+
+// Deque, Entry and the steal outcomes are sched's, re-exported: rt's
+// deque was factored out unchanged so the dist backend can run the
+// identical protocol over an mmap'd segment.
+type (
+	Deque        = sched.Deque
+	Entry        = sched.Entry
+	StealOutcome = sched.StealOutcome
+)
+
+const (
+	StealOK          = sched.StealOK
+	StealEmpty       = sched.StealEmpty
+	StealLockBusy    = sched.StealLockBusy
+	StealEmptyLocked = sched.StealEmptyLocked
+)
+
+// NewDeque allocates a private heap-backed deque (see sched.NewDeque).
+func NewDeque(capacity uint64) *Deque { return sched.NewDeque(capacity) }

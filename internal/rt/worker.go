@@ -9,6 +9,7 @@ import (
 	"uniaddr/internal/core"
 	"uniaddr/internal/gas"
 	"uniaddr/internal/mem"
+	"uniaddr/internal/sched"
 )
 
 // Stats counts one worker's scheduling events — the wall-clock
@@ -58,7 +59,7 @@ type savedCtx struct {
 	base mem.VA
 	size uint64
 	buf  []byte
-	rec  *record
+	rec  *sched.Record
 }
 
 // ctxPoolCap / envPoolCap bound the per-worker free lists so a burst of
@@ -76,9 +77,9 @@ const (
 type Worker struct {
 	rt      *Runtime
 	rank    int
-	arena   *arena
-	deque   *Deque
-	records *recordPool
+	arena   *sched.Arena
+	deque   *sched.Deque
+	records *sched.Table
 	waitq   []savedCtx
 	rng     *rand.Rand
 	stats   Stats
@@ -113,7 +114,7 @@ func (w *Worker) Rank() int { return w.rank }
 // Stats returns the worker's counters; call only after Run returns.
 func (w *Worker) Stats() Stats {
 	s := w.stats
-	s.MaxStackUsed = w.arena.max
+	s.MaxStackUsed = w.arena.Max()
 	return s
 }
 
@@ -175,11 +176,11 @@ func (w *Worker) run() {
 // later find bottom <= top and retreat without copying. Returns false
 // only when shutdown interrupted the lock spin.
 func (w *Worker) clearDead() bool {
-	if !w.deque.lockOwner(w.stopFn) {
+	if !w.deque.LockOwner(w.stopFn) {
 		return false
 	}
-	w.deque.unlock()
-	w.arena.clear()
+	w.deque.Unlock()
+	w.arena.Clear()
 	return true
 }
 
@@ -189,7 +190,7 @@ func (w *Worker) clearDead() bool {
 func (w *Worker) runRoot() {
 	size := core.FrameBytes(w.rt.rootLocals)
 	base := w.newFrame(size)
-	core.EncodeFrameHeader(w.arena.mustSlice(base, core.FrameHeaderBytes), w.rt.rootFid, w.rt.rootLocals, w.rt.rootRec)
+	core.EncodeFrameHeader(w.arena.MustSlice(base, core.FrameHeaderBytes), w.rt.rootFid, w.rt.rootLocals, w.rt.rootRec)
 	if w.rt.rootInit != nil {
 		e := w.getEnv(base, size, 0)
 		w.rt.rootInit(e)
@@ -201,11 +202,11 @@ func (w *Worker) runRoot() {
 // newFrame allocates and zeroes a frame of size bytes below the
 // current chain.
 func (w *Worker) newFrame(size uint64) mem.VA {
-	base, err := w.arena.allocBelow(size)
+	base, err := w.arena.AllocBelow(size)
 	if err != nil {
 		panic(err)
 	}
-	clear(w.arena.mustSlice(base, size))
+	clear(w.arena.MustSlice(base, size))
 	return base
 }
 
@@ -255,7 +256,7 @@ func (w *Worker) putCtxBuf(buf []byte) {
 // retired; Unwound threads were swapped out by a suspend or released
 // after a steal, inside ExecJoin/ExecSpawn.
 func (w *Worker) invoke(base mem.VA, size uint64) core.Status {
-	h := core.DecodeFrameHeader(w.arena.mustSlice(base, core.FrameHeaderBytes))
+	h := core.DecodeFrameHeader(w.arena.MustSlice(base, core.FrameHeaderBytes))
 	e := w.getEnv(base, size, h.Resume)
 	st := core.TaskFn(h.Fid)(e)
 	if st == core.Done {
@@ -263,7 +264,7 @@ func (w *Worker) invoke(base mem.VA, size uint64) core.Status {
 			w.ExecComplete(e.Self(), 0)
 		}
 		w.stats.TasksExecuted++
-		if err := w.arena.freeLowest(base, size); err != nil {
+		if err := w.arena.FreeLowest(base, size); err != nil {
 			panic(err)
 		}
 	}
@@ -276,11 +277,11 @@ func (w *Worker) invoke(base mem.VA, size uint64) core.Status {
 // resuming them would only bounce through the task body back into
 // another suspend (the pre-optimization idle loop did exactly that —
 // tens of thousands of resume→miss→re-suspend round trips per run).
-// Their completer wakes us precisely via record.waiter when the time
+// Their completer wakes us precisely via Record.Waiter when the time
 // comes.
 func (w *Worker) resumeReady() bool {
 	for i := range w.waitq {
-		if w.waitq[i].rec.done.Load() != 0 {
+		if w.waitq[i].rec.Done.Load() != 0 {
 			sc := w.waitq[i]
 			// Preserve FIFO order among the remaining waiters.
 			copy(w.waitq[i:], w.waitq[i+1:])
@@ -296,10 +297,10 @@ func (w *Worker) resumeReady() bool {
 // resumeSaved restores a parked thread to its original VA (Fig. 7's
 // resume_saved_context) and re-enters it at its saved resume point.
 func (w *Worker) resumeSaved(sc savedCtx) {
-	if err := w.arena.install(sc.base, sc.size); err != nil {
+	if err := w.arena.Install(sc.base, sc.size); err != nil {
 		panic(err)
 	}
-	copy(w.arena.mustSlice(sc.base, sc.size), sc.buf)
+	copy(w.arena.MustSlice(sc.base, sc.size), sc.buf)
 	w.putCtxBuf(sc.buf)
 	w.stats.ResumesWait++
 	w.invoke(sc.base, sc.size)
@@ -308,13 +309,13 @@ func (w *Worker) resumeSaved(sc savedCtx) {
 // --- core.Exec implementation ----------------------------------------
 
 // ExecReadU64 implements core.Exec over the worker's arena.
-func (w *Worker) ExecReadU64(va mem.VA) uint64 { return w.arena.readU64(va) }
+func (w *Worker) ExecReadU64(va mem.VA) uint64 { return w.arena.ReadU64(va) }
 
 // ExecWriteU64 implements core.Exec over the worker's arena.
-func (w *Worker) ExecWriteU64(va mem.VA, v uint64) { w.arena.writeU64(va, v) }
+func (w *Worker) ExecWriteU64(va mem.VA, v uint64) { w.arena.WriteU64(va, v) }
 
 // ExecSlice implements core.Exec over the worker's arena.
-func (w *Worker) ExecSlice(va mem.VA, n uint64) ([]byte, error) { return w.arena.slice(va, n) }
+func (w *Worker) ExecSlice(va mem.VA, n uint64) ([]byte, error) { return w.arena.Slice(va, n) }
 
 // ExecWork burns roughly `cycles` iterations of an LCG — the wall-clock
 // stand-in for the simulator's virtual-time advance, so workload knobs
@@ -335,10 +336,10 @@ func (w *Worker) ExecWork(cycles uint64) {
 // order pairs with the joiner's waiter-store→done-load recheck so at
 // least one side always sees the other (DESIGN.md §10).
 func (w *Worker) ExecComplete(rec core.Handle, result uint64) {
-	r := w.rt.workers[rec.Rank()].records.get(recordIndex(rec))
-	r.result.Store(result)
-	r.done.Store(1)
-	if wr := r.waiter.Load(); wr != 0 {
+	r := w.rt.workers[rec.Rank()].records.Get(sched.RecordIndex(rec))
+	r.Result.Store(result)
+	r.Done.Store(1)
+	if wr := r.Waiter.Load(); wr != 0 {
 		w.rt.lot.wakeWorker(w.rt.workers[wr-1])
 	}
 	if rec == w.rt.rootRec {
@@ -352,7 +353,7 @@ func (w *Worker) ExecComplete(rec core.Handle, result uint64) {
 // concurrent thief took the parent.
 func (w *Worker) ExecSpawn(e *core.Env, resumeRP, handleSlot int, fid core.FuncID, localsLen uint32, init func(*core.Env)) bool {
 	w.stats.Spawns++
-	core.SetFrameResume(w.arena.mustSlice(e.FrameBase(), core.FrameHeaderBytes), uint32(resumeRP))
+	core.SetFrameResume(w.arena.MustSlice(e.FrameBase(), core.FrameHeaderBytes), uint32(resumeRP))
 	rec := w.newRecord()
 	// The child's handle lands in the parent's frame BEFORE the
 	// continuation is published, so a migrated parent finds it.
@@ -368,7 +369,7 @@ func (w *Worker) ExecSpawn(e *core.Env, resumeRP, handleSlot int, fid core.FuncI
 	}
 	size := core.FrameBytes(localsLen)
 	cbase := w.newFrame(size)
-	core.EncodeFrameHeader(w.arena.mustSlice(cbase, core.FrameHeaderBytes), fid, localsLen, rec)
+	core.EncodeFrameHeader(w.arena.MustSlice(cbase, core.FrameHeaderBytes), fid, localsLen, rec)
 	if init != nil {
 		ce := w.getEnv(cbase, size, 0)
 		init(ce)
@@ -387,7 +388,7 @@ func (w *Worker) ExecSpawn(e *core.Env, resumeRP, handleSlot int, fid core.FuncI
 	// stolen by a genuinely concurrent thief. Release the dead local
 	// copy and unwind to the scheduler.
 	w.stats.ParentStolen++
-	if err := w.arena.freeLowest(e.FrameBase(), e.FrameSize()); err != nil {
+	if err := w.arena.FreeLowest(e.FrameBase(), e.FrameSize()); err != nil {
 		panic(err)
 	}
 	return false
@@ -395,36 +396,36 @@ func (w *Worker) ExecSpawn(e *core.Env, resumeRP, handleSlot int, fid core.FuncI
 
 // ExecJoin is Fig. 7's join: poll the record; on a miss, record
 // ourselves as the waiter, re-check (the Dekker handshake with
-// ExecComplete — see record.waiter), then swap the frame out to a
+// ExecComplete — see Record.Waiter), then swap the frame out to a
 // pooled heap buffer and park it on the wait queue.
 func (w *Worker) ExecJoin(e *core.Env, resumeRP int, h core.Handle) (uint64, bool) {
 	if !h.Valid() {
 		panic("rt: join on invalid handle")
 	}
-	r := w.rt.workers[h.Rank()].records.get(recordIndex(h))
-	if r.done.Load() != 0 {
+	r := w.rt.workers[h.Rank()].records.Get(sched.RecordIndex(h))
+	if r.Done.Load() != 0 {
 		w.stats.JoinsFast++
-		v := r.result.Load()
+		v := r.Result.Load()
 		w.releaseRecord(h)
 		return v, true
 	}
 	// Publish intent to wait BEFORE the final done check: a completer
 	// that misses our waiter store must have stored done before our
 	// recheck loads it, and vice versa.
-	r.waiter.Store(int64(w.rank) + 1)
-	if r.done.Load() != 0 {
-		r.waiter.Store(0)
+	r.Waiter.Store(int64(w.rank) + 1)
+	if r.Done.Load() != 0 {
+		r.Waiter.Store(0)
 		w.stats.JoinsFast++
-		v := r.result.Load()
+		v := r.Result.Load()
 		w.releaseRecord(h)
 		return v, true
 	}
 	w.stats.JoinsMiss++
 	w.stats.Suspends++
-	core.SetFrameResume(w.arena.mustSlice(e.FrameBase(), core.FrameHeaderBytes), uint32(resumeRP))
+	core.SetFrameResume(w.arena.MustSlice(e.FrameBase(), core.FrameHeaderBytes), uint32(resumeRP))
 	buf := w.getCtxBuf(e.FrameSize())
-	copy(buf, w.arena.mustSlice(e.FrameBase(), e.FrameSize()))
-	if err := w.arena.freeLowest(e.FrameBase(), e.FrameSize()); err != nil {
+	copy(buf, w.arena.MustSlice(e.FrameBase(), e.FrameSize()))
+	if err := w.arena.FreeLowest(e.FrameBase(), e.FrameSize()); err != nil {
 		panic(err)
 	}
 	w.waitq = append(w.waitq, savedCtx{base: e.FrameBase(), size: e.FrameSize(), buf: buf, rec: r})
@@ -433,11 +434,11 @@ func (w *Worker) ExecJoin(e *core.Env, resumeRP int, h core.Handle) (uint64, boo
 
 // newRecord allocates a record on this worker's pool.
 func (w *Worker) newRecord() core.Handle {
-	idx, err := w.records.alloc()
+	idx, err := w.records.Alloc()
 	if err != nil {
 		panic(err)
 	}
-	return recordHandle(w.rank, idx)
+	return sched.RecordHandle(w.rank, idx)
 }
 
 // releaseRecord frees a joined record: straight onto the owning pool's
@@ -445,10 +446,10 @@ func (w *Worker) newRecord() core.Handle {
 // through the CAS release stack otherwise.
 func (w *Worker) releaseRecord(h core.Handle) {
 	if h.Rank() == w.rank {
-		w.records.releaseLocal(recordIndex(h))
+		w.records.ReleaseLocal(sched.RecordIndex(h))
 		return
 	}
-	w.rt.workers[h.Rank()].records.release(recordIndex(h))
+	w.rt.workers[h.Rank()].records.Release(sched.RecordIndex(h))
 }
 
 // ExecGasHeap: the rt backend has no global heap; workloads that need

@@ -1,4 +1,4 @@
-package rt
+package sched
 
 import (
 	"strings"
@@ -8,11 +8,11 @@ import (
 )
 
 func TestArenaSliceBounds(t *testing.T) {
-	a := newArena(0x1000, 256)
-	if _, err := a.slice(0x1000, 256); err != nil {
+	a := NewArena(0x1000, 256)
+	if _, err := a.Slice(0x1000, 256); err != nil {
 		t.Fatalf("full-arena slice rejected: %v", err)
 	}
-	if _, err := a.slice(0x10ff, 1); err != nil {
+	if _, err := a.Slice(0x10ff, 1); err != nil {
 		t.Fatalf("last-byte slice rejected: %v", err)
 	}
 	for _, tc := range []struct {
@@ -28,35 +28,35 @@ func TestArenaSliceBounds(t *testing.T) {
 		// va far below base: off wraps to a huge value.
 		{"wrapping address", 0x10, 8},
 	} {
-		if _, err := a.slice(tc.va, tc.n); err == nil {
-			t.Errorf("%s: slice(%#x, %d) accepted", tc.name, tc.va, tc.n)
+		if _, err := a.Slice(tc.va, tc.n); err == nil {
+			t.Errorf("%s: Slice(%#x, %d) accepted", tc.name, tc.va, tc.n)
 		}
 	}
 }
 
 func TestArenaU64FastAndSlowPaths(t *testing.T) {
-	a := newArena(0x1000, 64)
-	a.writeU64(0x1000, 0xdeadbeefcafef00d)
-	if got := a.readU64(0x1000); got != 0xdeadbeefcafef00d {
-		t.Fatalf("readU64 = %#x", got)
+	a := NewArena(0x1000, 64)
+	a.WriteU64(0x1000, 0xdeadbeefcafef00d)
+	if got := a.ReadU64(0x1000); got != 0xdeadbeefcafef00d {
+		t.Fatalf("ReadU64 = %#x", got)
 	}
-	a.writeU64(0x1038, 42) // last legal word
-	if got := a.readU64(0x1038); got != 42 {
-		t.Fatalf("readU64 at arena top = %d", got)
+	a.WriteU64(0x1038, 42) // last legal word
+	if got := a.ReadU64(0x1038); got != 42 {
+		t.Fatalf("ReadU64 at arena top = %d", got)
 	}
 	for _, va := range []mem.VA{0xff8, 0x1039, 0x1040, 0} {
 		func() {
 			defer func() {
 				r := recover()
 				if r == nil {
-					t.Errorf("readU64(%#x) did not panic", va)
+					t.Errorf("ReadU64(%#x) did not panic", va)
 					return
 				}
 				if err, ok := r.(error); !ok || !strings.Contains(err.Error(), "outside arena") {
-					t.Errorf("readU64(%#x) panic = %v, want arena bounds error", va, r)
+					t.Errorf("ReadU64(%#x) panic = %v, want arena bounds error", va, r)
 				}
 			}()
-			a.readU64(va)
+			a.ReadU64(va)
 		}()
 	}
 }
@@ -65,16 +65,16 @@ func TestArenaU64FastAndSlowPaths(t *testing.T) {
 // whose base+size wraps past 2^64 used to pass the `base+size > end`
 // check and admit a region lying far outside the arena.
 func TestArenaInstallOverflowGuard(t *testing.T) {
-	a := newArena(0x1000, 256)
+	a := NewArena(0x1000, 256)
 
-	if err := a.install(0x1040, 64); err != nil {
+	if err := a.Install(0x1040, 64); err != nil {
 		t.Fatalf("legal install rejected: %v", err)
 	}
-	a.clear()
-	if err := a.install(0x1000, 256); err != nil {
+	a.Clear()
+	if err := a.Install(0x1000, 256); err != nil {
 		t.Fatalf("full-arena install rejected: %v", err)
 	}
-	a.clear()
+	a.Clear()
 
 	for _, tc := range []struct {
 		name string
@@ -90,15 +90,30 @@ func TestArenaInstallOverflowGuard(t *testing.T) {
 		// size = -base: base+size wraps to exactly 0, far below end.
 		{"VA overflow to zero", 0x1080, ^uint64(0x1080) + 1},
 	} {
-		if err := a.install(tc.base, tc.size); err == nil {
-			t.Errorf("%s: install(%#x, %d) accepted", tc.name, tc.base, tc.size)
-			a.clear()
+		if err := a.Install(tc.base, tc.size); err == nil {
+			t.Errorf("%s: Install(%#x, %d) accepted", tc.name, tc.base, tc.size)
+			a.Clear()
 		}
 	}
 
 	// The guard must not have perturbed arena state: a legal install
 	// still lands.
-	if err := a.install(0x1040, 32); err != nil {
+	if err := a.Install(0x1040, 32); err != nil {
 		t.Fatalf("legal install after rejections: %v", err)
+	}
+}
+
+// TestArenaOverSharedBacking: two arenas over the same backing (the
+// dist same-VA trick in miniature) observe each other's bytes.
+func TestArenaOverSharedBacking(t *testing.T) {
+	backing := heapRegion(128)
+	a := NewArenaOver(0x2000, backing)
+	b := NewArenaOver(0x2000, backing)
+	a.WriteU64(0x2040, 0xfeed)
+	if got := b.ReadU64(0x2040); got != 0xfeed {
+		t.Fatalf("second view read %#x, want 0xfeed", got)
+	}
+	if a.Base() != 0x2000 || a.Used() != 0 || !a.Empty() {
+		t.Fatalf("fresh arena state: base %#x used %d", a.Base(), a.Used())
 	}
 }

@@ -1,17 +1,18 @@
-package rt
+package sched
 
 import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"unsafe"
 
 	"uniaddr/internal/mem"
 )
 
-// Deque is the THE-protocol work-stealing deque (Fig. 6) built from
-// real sync/atomic operations — the concurrent twin of the simulator's
-// core.Deque, which lays the same protocol out in simulated pinned
-// memory and charges RDMA verbs for each step.
+// Deque is the THE-protocol work-stealing deque (paper Fig. 6) built
+// from real sync/atomic operations — the concurrent twin of the
+// simulator's core.Deque, which lays the same protocol out in simulated
+// pinned memory and charges RDMA verbs for each step.
 //
 // Protocol, identical to the simulator's:
 //
@@ -46,39 +47,44 @@ import (
 //     The lock-free pop fast path keeps entries that no thief can have
 //     claimed (bottom-1 >= top was re-checked after the decrement).
 //
+// These edges hold across processes too: on the dist backend the words
+// live in an mmap'd MAP_SHARED segment and the same hardware fences
+// order the same physical memory.
+//
 // ABA on the ring: entry slots are indexed mod cap, so top could in
 // principle wrap cap pushes during one claim window. The claim window
 // is bounded (a thief holds the lock for one memcpy) while cap pushes
 // require cap task spawns on the owner; with the default cap of 8192
 // this cannot occur in practice, matching the simulator's stance.
+//
+// Layout: the flat region starts with four words, each alone on a
+// 64-byte line (lock, top, bottom, occupancy), followed by cap 16-byte
+// entry slots. A Deque value is one process's *view* of such a region;
+// any number of views may attach to the same region.
 type Deque struct {
-	lock   atomic.Uint64
-	_      [7]uint64 // pad: keep lock, top, bottom and occupancy on separate cache lines
-	top    atomic.Uint64
-	_      [7]uint64
-	bottom atomic.Uint64
-	_      [7]uint64
-	// occupancy is the published steal hint: an approximate entry count
-	// a prospective thief can read with ONE load (top and bottom live on
-	// separate cache lines by design, so the exact Size() costs two).
-	// It is refreshed by the owner at every push/pop and by a thief at
-	// commit/abort while it still holds the lock. Both sides use plain
-	// last-writer-wins stores, so the value can go stale in either
-	// direction; it is ADVISORY ONLY — no correctness decision reads it.
-	// Thieves use it to pick victims (a stale hint wastes at most one
-	// probe) and the idle-parking recheck deliberately uses exact Size()
-	// instead (see DESIGN.md §10).
-	occupancy atomic.Uint64
-	_         [7]uint64
-	cap       uint64
-	slots     []dqSlot
+	hdr   *dequeHdr
+	slots []dqSlot
+	cap   uint64
 }
 
-// syncOccupancy republishes the current Size as the steal hint.
-func (d *Deque) syncOccupancy() { d.occupancy.Store(d.Size()) }
-
-// Occupancy returns the advisory entry-count hint (single load).
-func (d *Deque) Occupancy() uint64 { return d.occupancy.Load() }
+// dequeHdr is the shared word block at the start of a deque region.
+// occupancy is the published steal hint: an approximate entry count a
+// prospective thief can read with ONE load (top and bottom live on
+// separate cache lines by design, so the exact Size() costs two). It is
+// refreshed by the owner at every push/pop and by a thief at
+// commit/abort while it still holds the lock. Both sides use plain
+// last-writer-wins stores, so the value can go stale in either
+// direction; it is ADVISORY ONLY — no correctness decision reads it.
+type dequeHdr struct {
+	lock      atomic.Uint64
+	_         [56]byte
+	top       atomic.Uint64
+	_         [56]byte
+	bottom    atomic.Uint64
+	_         [56]byte
+	occupancy atomic.Uint64
+	_         [56]byte
+}
 
 // dqSlot is one deque entry. Fields are atomics so the entry publish
 // (push before bottom-store) and the thief's read (after bottom-load)
@@ -88,6 +94,14 @@ type dqSlot struct {
 	size atomic.Uint64
 }
 
+const dequeHdrBytes = uint64(unsafe.Sizeof(dequeHdr{}))
+
+// DequeBytes returns the region footprint of a deque with the given
+// entry capacity.
+func DequeBytes(capacity uint64) uint64 {
+	return dequeHdrBytes + capacity*uint64(unsafe.Sizeof(dqSlot{}))
+}
+
 // Entry references a runnable thread: the base VA and byte size of its
 // stack in the owner's arena.
 type Entry struct {
@@ -95,7 +109,7 @@ type Entry struct {
 	FrameSize uint64
 }
 
-// StealOutcome mirrors core.StealOutcome for the rt deque.
+// StealOutcome mirrors core.StealOutcome for the concurrent deque.
 type StealOutcome uint8
 
 const (
@@ -128,15 +142,46 @@ func (o StealOutcome) String() string {
 	}
 }
 
-// NewDeque returns a deque holding up to capacity-1 entries (one ring
-// slot is reserved for an in-flight claim; see Push). capacity must be
-// a power of two ≥ 2, like the simulator's.
+// NewDequeAt attaches a deque view to a flat region (zeroed at first
+// attach; attaching to a live region yields a coherent second view,
+// which is how dist thieves address a victim's deque). The region must
+// be 8-byte aligned and hold DequeBytes(capacity). The deque holds up
+// to capacity-1 entries (one ring slot is reserved for an in-flight
+// claim; see Push). capacity must be a power of two >= 2.
+func NewDequeAt(region []byte, capacity uint64) (*Deque, error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("sched: deque capacity %d not a power of two >= 2", capacity)
+	}
+	if err := regionCheck(region, DequeBytes(capacity), "deque"); err != nil {
+		return nil, err
+	}
+	d := &Deque{
+		hdr:   (*dequeHdr)(unsafe.Pointer(&region[0])),
+		slots: unsafe.Slice((*dqSlot)(unsafe.Pointer(&region[dequeHdrBytes])), capacity),
+		cap:   capacity,
+	}
+	return d, nil
+}
+
+// NewDeque allocates a private heap-backed deque (the single-process
+// backend's constructor). It panics on a bad capacity, preserving the
+// contract rt's tests exercise.
 func NewDeque(capacity uint64) *Deque {
 	if capacity < 2 || capacity&(capacity-1) != 0 {
-		panic(fmt.Sprintf("rt: deque capacity %d not a power of two >= 2", capacity))
+		panic(fmt.Sprintf("sched: deque capacity %d not a power of two >= 2", capacity))
 	}
-	return &Deque{cap: capacity, slots: make([]dqSlot, capacity)}
+	d, err := NewDequeAt(heapRegion(DequeBytes(capacity)), capacity)
+	if err != nil {
+		panic(err)
+	}
+	return d
 }
+
+// syncOccupancy republishes the current Size as the steal hint.
+func (d *Deque) syncOccupancy() { d.hdr.occupancy.Store(d.Size()) }
+
+// Occupancy returns the advisory entry-count hint (single load).
+func (d *Deque) Occupancy() uint64 { return d.hdr.occupancy.Load() }
 
 func (d *Deque) entryAt(i uint64) Entry {
 	s := &d.slots[i&(d.cap-1)]
@@ -151,18 +196,18 @@ func (d *Deque) entryAt(i uint64) Entry {
 // hand back. At most one claim is ever in flight (the lock), so one
 // reserved slot restores the bound.
 func (d *Deque) Push(e Entry) error {
-	t := d.top.Load()
-	b := d.bottom.Load()
+	t := d.hdr.top.Load()
+	b := d.hdr.bottom.Load()
 	if b-t >= d.cap-1 {
-		return fmt.Errorf("rt: deque overflow (cap %d)", d.cap)
+		return fmt.Errorf("sched: deque overflow (cap %d)", d.cap)
 	}
 	s := &d.slots[b&(d.cap-1)]
 	s.base.Store(uint64(e.FrameBase))
 	s.size.Store(e.FrameSize)
-	d.bottom.Store(b + 1)
+	d.hdr.bottom.Store(b + 1)
 	// Hint refresh from the locals already in hand (an in-flight claim
 	// can make this stale-high by one — advisory, so fine).
-	d.occupancy.Store(b + 1 - t)
+	d.hdr.occupancy.Store(b + 1 - t)
 	return nil
 }
 
@@ -172,43 +217,43 @@ func (d *Deque) Push(e Entry) error {
 // lock holder can still observe shutdown; a stop-aborted Pop reports
 // empty.
 func (d *Deque) Pop(stop func() bool) (Entry, bool) {
-	b := d.bottom.Load()
-	t := d.top.Load()
+	b := d.hdr.bottom.Load()
+	t := d.hdr.top.Load()
 	if b <= t {
 		// Empty. No claim can be outstanding on entries below top, so
 		// this path needs no lock (edge 3 note in the type comment).
 		// Converge the hint toward the truth while we are here: a stale
 		// non-zero hint would keep attracting thieves to a dry deque.
-		d.occupancy.Store(0)
+		d.hdr.occupancy.Store(0)
 		return Entry{}, false
 	}
 	b--
-	d.bottom.Store(b)
-	if t = d.top.Load(); t <= b {
+	d.hdr.bottom.Store(b)
+	if t = d.hdr.top.Load(); t <= b {
 		// No conflict: the entry at b is ours, and no thief can claim
 		// it any more (a claim writes top = b+1 > b only after reading
 		// bottom > b, which is no longer true).
-		d.occupancy.Store(b - t)
+		d.hdr.occupancy.Store(b - t)
 		return d.entryAt(b), true
 	}
 	// A thief's claim crossed our decrement. Restore bottom and settle
 	// the race under the lock (THE slow path).
-	d.bottom.Store(b + 1)
-	if !d.lockOwner(stop) {
+	d.hdr.bottom.Store(b + 1)
+	if !d.LockOwner(stop) {
 		return Entry{}, false
 	}
-	b = d.bottom.Load() - 1
-	t = d.top.Load()
+	b = d.hdr.bottom.Load() - 1
+	t = d.hdr.top.Load()
 	if t > b {
 		// The thief won: the last entry is gone.
 		d.syncOccupancy()
-		d.unlock()
+		d.Unlock()
 		return Entry{}, false
 	}
-	d.bottom.Store(b)
+	d.hdr.bottom.Store(b)
 	e := d.entryAt(b)
 	d.syncOccupancy()
-	d.unlock()
+	d.Unlock()
 	return e, true
 }
 
@@ -220,23 +265,23 @@ func (d *Deque) Pop(stop func() bool) (Entry, bool) {
 // the copy safe: the victim cannot recycle the frame's arena bytes
 // without first winning this lock (Pop's conflict path).
 func (d *Deque) StealBegin() (Entry, StealOutcome) {
-	t := d.top.Load()
-	b := d.bottom.Load()
+	t := d.hdr.top.Load()
+	b := d.hdr.bottom.Load()
 	if b <= t {
 		return Entry{}, StealEmpty
 	}
-	if d.lock.Add(1) != 1 {
+	if d.hdr.lock.Add(1) != 1 {
 		// Someone else holds the lock; do not retry, do not unlock
 		// (the holder's release absorbs our increment).
 		return Entry{}, StealLockBusy
 	}
-	t = d.top.Load()
-	d.top.Store(t + 1) // claim BEFORE re-reading bottom (THE order)
-	b = d.bottom.Load()
+	t = d.hdr.top.Load()
+	d.hdr.top.Store(t + 1) // claim BEFORE re-reading bottom (THE order)
+	b = d.hdr.bottom.Load()
 	if b < t+1 {
 		// Drained while we were locking; retreat the claim.
-		d.top.Store(t)
-		d.unlock()
+		d.hdr.top.Store(t)
+		d.Unlock()
 		return Entry{}, StealEmptyLocked
 	}
 	return d.entryAt(t), StealOK
@@ -248,26 +293,27 @@ func (d *Deque) StealBegin() (Entry, StealOutcome) {
 // claim's effect on top is already reflected.
 func (d *Deque) StealCommit() {
 	d.syncOccupancy()
-	d.unlock()
+	d.Unlock()
 }
 
 // StealAbort hands a claimed entry back (top = t) and releases the
 // lock — the THE abort the simulator's fault-injection tests exercise.
 func (d *Deque) StealAbort() {
-	d.top.Store(d.top.Load() - 1)
+	d.hdr.top.Store(d.hdr.top.Load() - 1)
 	d.syncOccupancy()
-	d.unlock()
+	d.Unlock()
 }
 
-func (d *Deque) unlock() { d.lock.Store(0) }
+// Unlock releases the FAA lock (holder only).
+func (d *Deque) Unlock() { d.hdr.lock.Store(0) }
 
-// lockOwner spins on the FAA lock for the owner's pop conflict path.
+// LockOwner spins on the FAA lock for the owner's pop conflict path.
 // Only one FAA can observe 0 per ownership epoch; losers spin (the
 // owner MUST eventually win — a thief holds the lock only for one
 // bounded memcpy) unless stop fires.
-func (d *Deque) lockOwner(stop func() bool) bool {
+func (d *Deque) LockOwner(stop func() bool) bool {
 	for {
-		if d.lock.Add(1) == 1 {
+		if d.hdr.lock.Add(1) == 1 {
 			return true
 		}
 		if stop != nil && stop() {
@@ -280,8 +326,8 @@ func (d *Deque) lockOwner(stop func() bool) bool {
 // Size returns a racy snapshot of the entry count (quiescence checks
 // and stats only).
 func (d *Deque) Size() uint64 {
-	t := d.top.Load()
-	b := d.bottom.Load()
+	t := d.hdr.top.Load()
+	b := d.hdr.bottom.Load()
 	if b <= t {
 		return 0
 	}

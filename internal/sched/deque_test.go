@@ -1,4 +1,4 @@
-package rt
+package sched
 
 import (
 	"math/rand"
@@ -103,7 +103,7 @@ func TestDequeStealLockBusy(t *testing.T) {
 	}
 	// The holder's release absorbs the failed FAA increment.
 	d.StealCommit()
-	if got := d.lock.Load(); got != 0 {
+	if got := d.hdr.lock.Load(); got != 0 {
 		t.Fatalf("lock word %d after release, want 0", got)
 	}
 	_ = e
@@ -290,7 +290,7 @@ func TestDequeStressManyThieves(t *testing.T) {
 			t.Fatalf("entry %+v consumed %d times", e, n)
 		}
 	}
-	if got := d.lock.Load(); got != 0 {
+	if got := d.hdr.lock.Load(); got != 0 {
 		t.Fatalf("lock word %d at rest, want 0", got)
 	}
 	if n := d.Size(); n != 0 {

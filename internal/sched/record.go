@@ -1,0 +1,214 @@
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/mem"
+)
+
+// Task records implement join (§5.4). As in the simulator, a record
+// lives with the worker that executed the spawn, and its Handle packs
+// (rank, VA) so any worker holding the handle can complete or poll it —
+// with atomic loads/stores on shared memory where the paper uses
+// one-sided RDMA READ/WRITE.
+//
+// RecordVABase anchors the handle address space: record i on any worker
+// has VA RecordVABase + i*RecordBytes (the rank half of the Handle
+// disambiguates workers, exactly like the simulator's per-process RDMA
+// heaps all mapping at the same base).
+const (
+	RecordVABase mem.VA = 0x6000_0000_0000
+	RecordBytes         = uint64(unsafe.Sizeof(Record{}))
+)
+
+// Record is one completion record. Done transitions 0→1 exactly once
+// per allocation; Result is stored before Done (both seq-cst), so a
+// joiner that loads Done==1 also observes the result — the same
+// publish order the simulator's 16-byte RDMA WRITE provides by landing
+// atomically.
+//
+// The next field threads the record through the table's shared release
+// stack; it is only meaningful while the record sits on that stack.
+// Embedding it in the record (rather than a parallel array, as rt once
+// did) keeps the Table a single flat region.
+type Record struct {
+	Done   atomic.Uint64
+	Result atomic.Uint64
+	// Waiter publishes which worker suspended at a join on this record:
+	// rank+1, 0 = none. The joiner stores Waiter BEFORE re-checking Done
+	// (ExecJoin); the completer stores Done BEFORE loading Waiter
+	// (ExecComplete). Under seq-cst ordering at least one side observes
+	// the other, so a suspended joiner is always either resumed by its
+	// own recheck or woken precisely by the completer — never silently
+	// left parked (see DESIGN.md §10).
+	Waiter atomic.Int64
+	// next holds idx+1 of the record below this one on the release
+	// stack (0 = end of chain).
+	next atomic.Uint64
+}
+
+// tableHdr is the shared word block at the start of a table region.
+type tableHdr struct {
+	// releaseHead is idx+1 of the top released record; 0 = empty.
+	releaseHead atomic.Uint64
+	_           [56]byte
+	// freedRem counts cross-worker Release calls. It is shared (not
+	// owner-only) because on the dist backend the releasing joiner is
+	// another PROCESS: an owner-side Go counter would never see it.
+	// Live() subtracts both freed counters from allocs; it is only
+	// meaningful post-run (the stop edge publishes the owner-only
+	// counters).
+	freedRem atomic.Uint64
+	_        [56]byte
+}
+
+const tableHdrBytes = uint64(unsafe.Sizeof(tableHdr{}))
+
+// TableBytes returns the region footprint of a record table with the
+// given capacity.
+func TableBytes(capacity uint64) uint64 {
+	return tableHdrBytes + capacity*RecordBytes
+}
+
+// Table is one worker's record table over a flat region: a fixed
+// record array (so Get(i) stays valid forever — handles may be polled
+// by any worker or process) plus a free list. Allocation is owner-only
+// (records are allocated by the spawning worker), but a record is
+// freed by the JOINER, which may be any worker — so the free list is
+// split:
+//
+//   - hdr.releaseHead and the records' next links form a Treiber stack
+//     any worker CAS-pushes freed indices onto. Only the owner ever
+//     removes nodes, and it takes the WHOLE stack with one Swap — there
+//     is no pop-side CAS, so the classic Treiber pop ABA cannot occur
+//     (a push-side CAS that succeeds has verified the head it links to
+//     is the current head).
+//   - localFree is the owner's private stack, refilled by draining the
+//     release stack; Alloc touches no shared state on the fast path.
+//
+// This replaces a mutex pair per task (alloc by the owner + release by
+// the joiner) that cost ~16% of a fib run's CPU on one core.
+//
+// Like Deque, a Table value is one process's view; remote processes
+// attach their own view to the same region to Get/Release records they
+// hold handles to.
+type Table struct {
+	hdr  *tableHdr
+	recs []Record
+
+	// Owner-only state (no synchronisation needed):
+	localFree []uint32
+	nextFresh uint32 // first never-used index
+	allocs    uint64 // owner-only allocation count
+	freedLoc  uint64 // owner-only count of ReleaseLocal calls
+}
+
+// NewTableAt attaches a table view to a flat region (zeroed at first
+// attach). The region must be 8-byte aligned and hold
+// TableBytes(capacity).
+func NewTableAt(region []byte, capacity uint64) (*Table, error) {
+	if capacity == 0 {
+		return nil, fmt.Errorf("sched: zero record table capacity")
+	}
+	if err := regionCheck(region, TableBytes(capacity), "record table"); err != nil {
+		return nil, err
+	}
+	return &Table{
+		hdr:  (*tableHdr)(unsafe.Pointer(&region[0])),
+		recs: unsafe.Slice((*Record)(unsafe.Pointer(&region[tableHdrBytes])), capacity),
+	}, nil
+}
+
+// NewTable allocates a private heap-backed table.
+func NewTable(capacity uint64) *Table {
+	t, err := NewTableAt(heapRegion(TableBytes(capacity)), capacity)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Alloc returns a record index whose Done field is zeroed. Owner-only:
+// called by the spawning worker (and once by the runtime for the root,
+// before any worker starts).
+func (t *Table) Alloc() (uint32, error) {
+	if len(t.localFree) == 0 {
+		// Drain everything joiners have released since the last refill.
+		// The Swap's seq-cst RMW makes each releaser's next-link store
+		// (program-ordered before its publishing CAS) visible here.
+		if h := t.hdr.releaseHead.Swap(0); h != 0 {
+			idx := uint32(h - 1)
+			for {
+				t.localFree = append(t.localFree, idx)
+				nx := t.recs[idx].next.Load()
+				if nx == 0 {
+					break
+				}
+				idx = uint32(nx - 1)
+			}
+		}
+	}
+	var idx uint32
+	if n := len(t.localFree); n > 0 {
+		idx = t.localFree[n-1]
+		t.localFree = t.localFree[:n-1]
+		// Only Done needs resetting for reuse. Result is always stored
+		// by the completer before it stores Done=1, so the new epoch's
+		// joiner can never read the old value; a stale Waiter causes at
+		// worst one spurious wake (the Dekker handshake in ExecJoin /
+		// ExecComplete never depends on the field's initial value).
+		t.recs[idx].Done.Store(0)
+	} else if uint64(t.nextFresh) < uint64(len(t.recs)) {
+		idx = t.nextFresh
+		t.nextFresh++
+	} else {
+		return 0, fmt.Errorf("sched: record table exhausted (%d records; raise Config.RecordCap)", len(t.recs))
+	}
+	t.allocs++
+	return idx, nil
+}
+
+// Release returns a record to the pool. Called by the joiner — any
+// worker, any process — so it pushes onto the shared release stack.
+func (t *Table) Release(idx uint32) {
+	for {
+		h := t.hdr.releaseHead.Load()
+		t.recs[idx].next.Store(h)
+		if t.hdr.releaseHead.CompareAndSwap(h, uint64(idx)+1) {
+			break
+		}
+	}
+	t.hdr.freedRem.Add(1)
+}
+
+// ReleaseLocal returns a record the OWNER itself is freeing (it joined
+// its own child — the common case) straight onto the private free
+// stack, skipping the CAS of the shared release path.
+func (t *Table) ReleaseLocal(idx uint32) {
+	t.localFree = append(t.localFree, idx)
+	t.freedLoc++
+}
+
+// Get returns the record at idx. Valid from any attached view.
+func (t *Table) Get(idx uint32) *Record { return &t.recs[idx] }
+
+// Live returns the number of allocated records (quiescence check; call
+// only on the owner's view after the run's workers have stopped).
+func (t *Table) Live() int {
+	return int(t.allocs - t.freedLoc - t.hdr.freedRem.Load())
+}
+
+// RecordIndex recovers the table index from a handle minted by
+// RecordHandle.
+func RecordIndex(h core.Handle) uint32 {
+	return uint32((h.VA() - RecordVABase) / mem.VA(RecordBytes))
+}
+
+// RecordHandle packs (rank, idx) into the uni-address handle any
+// worker can complete or poll.
+func RecordHandle(rank int, idx uint32) core.Handle {
+	return core.MakeHandle(rank, RecordVABase+mem.VA(uint64(idx)*RecordBytes))
+}

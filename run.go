@@ -1,0 +1,268 @@
+package uniaddr
+
+import (
+	"fmt"
+	"time"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/dist"
+	"uniaddr/internal/fault"
+	"uniaddr/internal/rt"
+)
+
+// FaultConfig configures deterministic fabric fault injection (an alias
+// of the internal type, so values flow freely). The zero value disables
+// injection entirely. Sim backend only.
+type FaultConfig = fault.Config
+
+// Backend names accepted by WithBackend.
+const (
+	// BackendSim is the deterministic virtual-time cluster simulator —
+	// the semantic oracle, and the only backend with simulated costs,
+	// fabric models, fault injection and observability.
+	BackendSim = "sim"
+	// BackendRT runs real goroutines on real cores inside one process.
+	BackendRT = "rt"
+	// BackendDist runs one OS process per worker over a shared-memory
+	// segment mapped at the same base VA everywhere; see MaybeChild.
+	BackendDist = "dist"
+)
+
+// options collects the functional-option state for one Run.
+type options struct {
+	backend string
+	workers int
+	seed    uint64
+	costs   *Costs
+	net     *NetParams
+	fault   *FaultConfig
+	obs     bool
+	maxWall time.Duration
+}
+
+// Option configures Run.
+type Option func(*options)
+
+// WithBackend selects the execution backend: BackendSim (default),
+// BackendRT or BackendDist.
+func WithBackend(name string) Option { return func(o *options) { o.backend = name } }
+
+// WithWorkers sets the worker count: simulated processes (sim),
+// OS threads (rt) or OS processes (dist). Default 4.
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithSeed pins the seed driving every random scheduling decision.
+// Equal seeds give bit-identical runs on the sim backend. Default 1.
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithCosts sets the simulated CPU cost profile (e.g. SPARCCosts,
+// XeonCosts). Sim backend only — the real backends' costs are the
+// hardware's.
+func WithCosts(c Costs) Option { return func(o *options) { o.costs = &c } }
+
+// WithNet sets the simulated RDMA fabric parameters. Sim backend only.
+func WithNet(p NetParams) Option { return func(o *options) { o.net = &p } }
+
+// WithFault enables deterministic fabric fault injection. Sim backend
+// only — the dist backend's faults are real dead processes (see
+// internal/dist's KillRank).
+func WithFault(fc FaultConfig) Option { return func(o *options) { o.fault = &fc } }
+
+// WithObs toggles the structured observability recorder (event rings,
+// task lineage). Recording never perturbs virtual time. Sim backend
+// only. The Report's ObsEvents says how many events were captured;
+// deeper analysis (traces, lineage) stays on the NewMachine path.
+func WithObs(on bool) Option { return func(o *options) { o.obs = on } }
+
+// WithMaxWall bounds a real backend's wall-clock run time (rt, dist);
+// exceeding it aborts the run with an error instead of hanging. Zero
+// keeps the backend default.
+func WithMaxWall(d time.Duration) Option { return func(o *options) { o.maxWall = d } }
+
+// UnsupportedOptionError reports an option that the selected backend
+// cannot honour — returned instead of silently ignoring the request,
+// so a caller asking for fault injection on rt learns the run would
+// not have tested what they meant to test.
+type UnsupportedOptionError struct {
+	Backend string
+	Option  string
+}
+
+func (e *UnsupportedOptionError) Error() string {
+	return fmt.Sprintf("uniaddr: %s is a sim-only option; the %s backend cannot honour it (drop the option or use WithBackend(%q))",
+		e.Option, e.Backend, BackendSim)
+}
+
+// Report is the unified result of a Run on any backend: the same shape
+// whether the workers were simulated processes, OS threads or OS
+// processes, so tooling can compare backends field by field.
+type Report struct {
+	Backend string `json:"backend"`
+	Workers int    `json:"workers"`
+	// Root is the root task's result.
+	Root uint64 `json:"root_result"`
+
+	// Wall-clock time of the run (real backends; 0 on sim, where no
+	// wall time is meaningful).
+	WallNS int64 `json:"wall_ns,omitempty"`
+	// Virtual time of the run (sim; 0 on the real backends).
+	VirtualCycles  uint64  `json:"virtual_cycles,omitempty"`
+	VirtualSeconds float64 `json:"virtual_seconds,omitempty"`
+
+	Tasks         uint64 `json:"tasks_executed"`
+	Spawns        uint64 `json:"spawns"`
+	Suspends      uint64 `json:"suspends"`
+	StealAttempts uint64 `json:"steal_attempts"`
+	StealsOK      uint64 `json:"steals_ok"`
+	BytesStolen   uint64 `json:"bytes_stolen"`
+	MaxStackUsed  uint64 `json:"max_stack_used,omitempty"`
+
+	// Failure counters (non-zero only under sim fault injection).
+	StealFaults      uint64 `json:"steal_faults,omitempty"`
+	StealRetries     uint64 `json:"steal_retries,omitempty"`
+	StealAbortsFault uint64 `json:"steal_aborts_fault,omitempty"`
+	StealRollbacks   uint64 `json:"steal_rollbacks,omitempty"`
+	VictimBlacklists uint64 `json:"victim_blacklists,omitempty"`
+
+	// ObsEvents counts events the observability recorder captured
+	// (WithObs(true), sim only).
+	ObsEvents uint64 `json:"obs_events,omitempty"`
+}
+
+// Run executes a root task of fid with localsLen bytes of frame locals
+// initialised by init, on the backend selected by the options (sim by
+// default), and returns the unified Report.
+//
+// Before using WithBackend(BackendDist), the program's main (or
+// TestMain) must call MaybeChild first: the dist backend re-execs the
+// current binary for its worker processes.
+func Run(fid FuncID, localsLen uint32, init func(*Env), opts ...Option) (Report, error) {
+	o := options{backend: BackendSim, workers: 4, seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.workers < 1 {
+		return Report{}, fmt.Errorf("uniaddr: WithWorkers(%d): need at least one worker", o.workers)
+	}
+	switch o.backend {
+	case BackendSim:
+		return runSim(o, fid, localsLen, init)
+	case BackendRT, BackendDist:
+		// The sim-only knobs are rejected, not ignored: a run that
+		// silently dropped the fault model would report clean results
+		// for an experiment that never happened.
+		for _, bad := range []struct {
+			set  bool
+			name string
+		}{
+			{o.costs != nil, "WithCosts"},
+			{o.net != nil, "WithNet"},
+			{o.fault != nil, "WithFault"},
+			{o.obs, "WithObs"},
+		} {
+			if bad.set {
+				return Report{}, &UnsupportedOptionError{Backend: o.backend, Option: bad.name}
+			}
+		}
+		if o.backend == BackendRT {
+			return runRT(o, fid, localsLen, init)
+		}
+		return runDist(o, fid, localsLen, init)
+	default:
+		return Report{}, fmt.Errorf("uniaddr: unknown backend %q (WithBackend accepts %q, %q, %q)",
+			o.backend, BackendSim, BackendRT, BackendDist)
+	}
+}
+
+// MaybeChild routes a process that was re-exec'd as a dist worker into
+// the worker entrypoint (it never returns in that case) and is a no-op
+// otherwise. Any binary that may call Run with WithBackend(BackendDist)
+// must call this FIRST in main / TestMain.
+func MaybeChild() { dist.MaybeChild() }
+
+func runSim(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, error) {
+	cfg := core.DefaultConfig(o.workers)
+	cfg.Seed = o.seed
+	if o.costs != nil {
+		cfg.Costs = *o.costs
+	}
+	if o.net != nil {
+		cfg.Net = *o.net
+	}
+	if o.fault != nil {
+		cfg.Fault = *o.fault
+	}
+	cfg.Obs = o.obs
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	root, err := m.Run(fid, localsLen, init)
+	if err != nil {
+		return Report{}, err
+	}
+	if err := m.CheckQuiescence(); err != nil {
+		return Report{}, err
+	}
+	ts := m.TotalStats()
+	rep := Report{
+		Backend: BackendSim, Workers: o.workers, Root: root,
+		VirtualCycles: m.ElapsedCycles(), VirtualSeconds: m.ElapsedSeconds(),
+		Tasks: ts.TasksExecuted, Spawns: ts.Spawns, Suspends: ts.Suspends,
+		StealAttempts: ts.StealAttempts, StealsOK: ts.StealsOK,
+		BytesStolen: ts.BytesStolen, MaxStackUsed: m.MaxStackUsage(),
+		StealFaults: ts.StealFaults, StealRetries: ts.StealRetries,
+		StealAbortsFault: ts.StealAbortsFault, StealRollbacks: ts.StealRollbacks,
+		VictimBlacklists: ts.VictimBlacklists,
+	}
+	if rec := m.Obs(); rec != nil {
+		for _, l := range rec.Logs() {
+			rep.ObsEvents += l.Total()
+		}
+	}
+	return rep, nil
+}
+
+func runRT(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, error) {
+	cfg := rt.DefaultConfig(o.workers)
+	cfg.Seed = o.seed
+	if o.maxWall != 0 {
+		cfg.MaxWall = o.maxWall
+	}
+	r := rt.New(cfg)
+	root, err := r.Run(fid, localsLen, init)
+	if err != nil {
+		return Report{}, err
+	}
+	if err := r.CheckQuiescence(); err != nil {
+		return Report{}, err
+	}
+	ts := r.TotalStats()
+	return Report{
+		Backend: BackendRT, Workers: o.workers, Root: root,
+		WallNS: r.Elapsed().Nanoseconds(),
+		Tasks:  ts.TasksExecuted, Spawns: ts.Spawns, Suspends: ts.Suspends,
+		StealAttempts: ts.StealAttempts, StealsOK: ts.StealsOK,
+		BytesStolen: ts.BytesStolen, MaxStackUsed: ts.MaxStackUsed,
+	}, nil
+}
+
+func runDist(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, error) {
+	cfg := dist.DefaultConfig(o.workers)
+	cfg.Seed = o.seed
+	if o.maxWall != 0 {
+		cfg.MaxWall = o.maxWall
+	}
+	res, err := dist.Run(cfg, fid, localsLen, init)
+	if err != nil {
+		return Report{}, err
+	}
+	ts := res.TotalStats()
+	return Report{
+		Backend: BackendDist, Workers: o.workers, Root: res.Root,
+		WallNS: res.Elapsed.Nanoseconds(),
+		Tasks:  ts.TasksExecuted, Spawns: ts.Spawns, Suspends: ts.Suspends,
+		StealAttempts: ts.StealAttempts, StealsOK: ts.StealsOK,
+		BytesStolen: ts.BytesStolen, MaxStackUsed: ts.MaxStackUsed,
+	}, nil
+}

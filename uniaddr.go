@@ -9,19 +9,25 @@
 // complete migration — no pointer fix-up, no victim CPU involvement,
 // and none of iso-address's per-core virtual-memory reservations.
 //
-// Because Go's runtime owns goroutine stacks (they move and cannot be
-// pinned at chosen addresses), this reproduction runs the scheme on a
-// deterministic discrete-event cluster simulator: simulated address
-// spaces, a Tofu-calibrated RDMA fabric with software fetch-and-add
-// servers, THE-protocol deques laid out in pinned simulated memory, and
-// task stacks that really are raw bytes moved byte-for-byte between
-// simulated processes. The iso-address baseline (with demand-paging
-// faults) is implemented alongside for the paper's comparisons.
+// This reproduction runs the scheme on three backends behind one API
+// (see Run and WithBackend):
 //
-// This package is the public facade. The task model is fork-join with
-// explicit resume points: register a task function, keep all live state
-// in frame slots, and return Unwound whenever Spawn or Join report that
-// the thread migrated or suspended:
+//   - sim: a deterministic discrete-event cluster simulator — simulated
+//     address spaces, a Tofu-calibrated RDMA fabric with software
+//     fetch-and-add servers, THE-protocol deques in pinned simulated
+//     memory, and the iso-address baseline for the paper's comparisons.
+//     The semantic oracle, and the home of costs, fault injection and
+//     observability.
+//   - rt: real goroutines on real cores inside one process, same
+//     frame/deque/arena machinery, wall-clock time.
+//   - dist: one OS process per worker; arenas and deques live in a
+//     shared-memory segment mapped at the same base virtual address in
+//     every process, so a steal is a genuine one-sided cross-process
+//     copy — the paper's uni-address region across real address spaces.
+//
+// The task model is fork-join with explicit resume points: register a
+// task function, keep all live state in frame slots, and return Unwound
+// whenever Spawn or Join report that the thread migrated or suspended:
 //
 //	var fib uniaddr.FuncID
 //
@@ -44,6 +50,10 @@
 //			panic("unreachable")
 //		})
 //	}
+//
+// Run the registered function with Run(fid, localsLen, init, opts...),
+// picking a backend with WithBackend; the unified Report carries the
+// result and counters whichever backend ran it.
 //
 // See examples/quickstart for the complete program, internal/workloads
 // for the paper's three benchmarks, and internal/harness for the code
@@ -108,6 +118,12 @@ func Register(name string, fn func(*Env) Status) FuncID {
 // DefaultConfig returns an FX10-flavoured machine: SPARC64IXfx cost
 // profile, Tofu-calibrated fabric with software fetch-and-add (one
 // communication server per 15 workers), uni-address scheme.
+//
+// Prefer Run with options (WithWorkers, WithSeed, WithCosts, WithNet,
+// ...) for typical use; DefaultConfig + NewMachine remain the
+// full-surface simulator entry point for experiment code that needs
+// Config fields the options do not cover (schemes, node topology,
+// lifelines, ...).
 func DefaultConfig(workers int) Config { return core.DefaultConfig(workers) }
 
 // SPARCCosts is the FX10 SPARC64IXfx cost profile (Table 1/2).
@@ -120,12 +136,22 @@ func XeonCosts() Costs { return core.XeonCosts() }
 func DefaultNetParams() NetParams { return rdma.DefaultParams() }
 
 // NewMachine builds a simulated cluster from cfg.
+//
+// Prefer Run for typical use; NewMachine remains the escape hatch for
+// programs that need direct Machine access (observability recorders,
+// traces, per-worker fabric stats, staged global-heap data).
 func NewMachine(cfg Config) (*Machine, error) { return core.NewMachine(cfg) }
 
-// Run is the one-call entry point: build a machine from cfg, run a root
-// task of fid with localsLen bytes of frame locals initialised by init,
-// and return the root result together with the machine (for stats).
-func Run(cfg Config, fid FuncID, localsLen uint32, init func(*Env)) (uint64, *Machine, error) {
+// RunConfig is the pre-options entry point: build a simulator machine
+// from cfg, run a root task of fid with localsLen bytes of frame locals
+// initialised by init, and return the root result together with the
+// machine (for stats).
+//
+// Deprecated: use Run — RunConfig(cfg, ...) is exactly Run(...,
+// WithBackend(BackendSim), WithWorkers(cfg.Workers), WithSeed(cfg.Seed))
+// for a default cfg, and the unified Report replaces poking at the
+// Machine. RunConfig remains so seed-era code keeps compiling.
+func RunConfig(cfg Config, fid FuncID, localsLen uint32, init func(*Env)) (uint64, *Machine, error) {
 	m, err := core.NewMachine(cfg)
 	if err != nil {
 		return 0, nil, err

@@ -37,19 +37,25 @@ func init() {
 }
 
 func TestFacadeRun(t *testing.T) {
-	cfg := uniaddr.DefaultConfig(4)
-	res, m, err := uniaddr.Run(cfg, dblFID, 3*8, func(e *uniaddr.Env) { e.SetU64(0, 50) })
+	rep, err := uniaddr.Run(dblFID, 3*8, func(e *uniaddr.Env) { e.SetU64(0, 50) },
+		uniaddr.WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := uint64(50 * 51 / 2); res != want {
-		t.Fatalf("sum(1..50) = %d, want %d", res, want)
+	if want := uint64(50 * 51 / 2); rep.Root != want {
+		t.Fatalf("sum(1..50) = %d, want %d", rep.Root, want)
 	}
-	if m.TotalStats().TasksExecuted != 51 {
-		t.Fatalf("tasks = %d", m.TotalStats().TasksExecuted)
+	if rep.Tasks != 51 {
+		t.Fatalf("tasks = %d", rep.Tasks)
 	}
-	if err := m.CheckQuiescence(); err != nil {
-		t.Fatal(err)
+	if rep.Backend != uniaddr.BackendSim || rep.Workers != 4 {
+		t.Fatalf("report attribution: backend=%q workers=%d", rep.Backend, rep.Workers)
+	}
+	if rep.VirtualCycles == 0 {
+		t.Fatal("sim run reported no virtual time")
+	}
+	if rep.WallNS != 0 {
+		t.Fatalf("sim run reported wall time %d ns", rep.WallNS)
 	}
 }
 
@@ -81,13 +87,12 @@ func TestFacadeWorkloadInterop(t *testing.T) {
 	// Specs built by the workloads package run through the facade types
 	// unchanged (aliases).
 	spec := workloads.Fib(15, 0)
-	cfg := uniaddr.DefaultConfig(5)
-	res, _, err := uniaddr.Run(cfg, spec.Fid, spec.Locals, spec.Init)
+	rep, err := uniaddr.Run(spec.Fid, spec.Locals, spec.Init, uniaddr.WithWorkers(5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res != spec.Expected {
-		t.Fatalf("fib(15) = %d, want %d", res, spec.Expected)
+	if rep.Root != spec.Expected {
+		t.Fatalf("fib(15) = %d, want %d", rep.Root, spec.Expected)
 	}
 }
 
