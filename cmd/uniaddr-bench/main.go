@@ -26,11 +26,20 @@
 // the SIGKILL crash probe). The dist backend re-execs this binary for
 // worker processes; main routes those through dist.MaybeChild.
 //
-// The chaos experiment is the robustness gate: it sweeps fib, NQueens
-// and UTS over fault-injection rates (-chaos-rates) on -chaos-workers
-// workers and fails unless every run returns the sequential reference
-// result, passes the quiescence check and replays bit-identically
-// under the same seed.
+// The chaos experiment is the robustness gate, on every backend:
+//
+//   - sim: sweeps fib, NQueens and UTS over fabric fault rates
+//     (-chaos-rates) and fails unless every run returns the sequential
+//     reference result, passes quiescence and replays bit-identically;
+//   - rt: the steal-fault matrix — injected claim/copy failures and
+//     delays under real threads, every cell ending in the oracle result
+//     within its deadline;
+//   - dist: the full matrix — steal faults, control-plane socket faults
+//     (drop/truncate/delay), concurrent SIGKILLs and the hung-worker
+//     heartbeat cell, each ending in the oracle result or a structured
+//     typed error within its deadline, never a hang.
+//
+// -chaos-json writes the verdicts as a machine-readable artifact.
 package main
 
 import (
@@ -60,7 +69,7 @@ var simExperiments = []string{
 	"sec4", "ablate-faa", "ablate-stacksize", "ablate-nodes", "ablate-victim", "ablate-multiworker", "ablate-helpfirst", "ablate-straggler", "ablate-lifelines",
 }
 
-var rtExperiments = []string{"bench", "diff"}
+var rtExperiments = []string{"bench", "diff", "chaos"}
 
 func main() {
 	// MUST run before anything else: when this binary was re-exec'd as a
@@ -74,8 +83,10 @@ func main() {
 	workersFlag := flag.String("workers", "", "comma-separated worker counts for fig11/sec4/rt (sim default 60,120,240,480; rt default 1,2,4,8)")
 	table4Workers := flag.Int("table4-workers", 60, "worker count for table4")
 	csvDir := flag.String("csv", "", "also write data series as CSV files into this directory")
-	chaosWorkers := flag.Int("chaos-workers", 8, "worker count for the chaos sweep")
-	chaosRates := flag.String("chaos-rates", "", "comma-separated fault rates for chaos (default 0,0.001,0.01,0.05)")
+	chaosWorkers := flag.Int("chaos-workers", 8, "worker count for the chaos sweep/matrix")
+	chaosRates := flag.String("chaos-rates", "", "comma-separated fault rates for sim chaos (default 0,0.001,0.01,0.05)")
+	chaosJSON := flag.String("chaos-json", "", "write the chaos verdicts as JSON to this path (-exp chaos, any backend)")
+	short := flag.Bool("short", false, "shrink long experiments (dist chaos: drop the minutes-long kill/hang cells)")
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of a representative faulted chaos run to this file (chaos only; view in Perfetto)")
 	obsOut := flag.Bool("obs", false, "print an observability summary of a representative faulted chaos run (chaos only)")
 	rtJSON := flag.String("rt-json", "BENCH_rt.json", "output path for the rt bench report (-backend rt -exp bench)")
@@ -111,11 +122,31 @@ func main() {
 		if *exp == "" {
 			*exp = "bench"
 		}
+		if *exp == "chaos" {
+			runChaosMatrix(harness.RTChaosBackend(false), harness.RTChaosSchedules(), *chaosWorkers, *seed, *scale, *chaosJSON)
+			return
+		}
 		runRT(*exp, *scale, *seed, *reps, *workersFlag, *rtJSON, *compare, *compareJSON)
 		return
 	case "dist":
 		if *exp == "" {
 			*exp = "bench"
+		}
+		if *exp == "chaos" {
+			schedules := harness.DistChaosSchedules()
+			if *short {
+				// Drop the Long (kill/hang) schedules: they pay a
+				// multi-second injected-failure run each.
+				var kept []harness.ChaosSchedule
+				for _, s := range schedules {
+					if !s.Long {
+						kept = append(kept, s)
+					}
+				}
+				schedules = kept
+			}
+			runChaosMatrix(harness.DistChaosBackend(), schedules, *chaosWorkers, *seed, *scale, *chaosJSON)
+			return
 		}
 		runDist(*exp, *scale, *seed, *reps, *workersFlag, *distJSON)
 		return
@@ -251,6 +282,10 @@ func main() {
 			pts, err := harness.ChaosSweepObserved(*chaosWorkers, harness.ChaosWorkloads(*scale), rates, *seed, obsv)
 			check(err)
 			harness.PrintChaos(out, *chaosWorkers, pts)
+			if *chaosJSON != "" {
+				check(writeJSONFile(*chaosJSON, pts))
+				fmt.Fprintf(out, "(chaos points written to %s)\n", *chaosJSON)
+			}
 			if traceFile != nil {
 				check(traceFile.Close())
 				traceFile = nil
@@ -271,6 +306,39 @@ func main() {
 		return
 	}
 	run(*exp)
+}
+
+// runChaosMatrix executes the backend-generalised chaos matrix (-exp
+// chaos on rt/dist): every (schedule × workload × seed) cell must end,
+// within its deadline, in the oracle result or a structured typed
+// error. Exits non-zero on any failed cell — this is a gate, not a
+// figure.
+func runChaosMatrix(b harness.ChaosBackend, schedules []harness.ChaosSchedule, workers int, seed uint64, scale, chaosJSON string) {
+	seeds := []uint64{seed, seed + 1, seed + 2}
+	cells, failed := harness.RunChaosMatrix(b, workers, seeds, schedules, scale)
+	harness.PrintChaosMatrix(os.Stdout, cells, failed)
+	if chaosJSON != "" {
+		check(writeJSONFile(chaosJSON, cells))
+		fmt.Printf("(chaos verdicts written to %s)\n", chaosJSON)
+	}
+	if failed > 0 {
+		fail(fmt.Errorf("chaos matrix on %s: %d cells failed", b.Name, failed))
+	}
+}
+
+// writeJSONFile writes v as indented JSON to path.
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runRT executes the real-parallelism experiments: the wall-clock
@@ -458,9 +526,11 @@ func printList(out *os.File) {
 	fmt.Fprintln(out, "\nexperiments (-backend rt):")
 	fmt.Fprintln(out, "  bench  wall-clock scaling sweep; writes BENCH_rt.json")
 	fmt.Fprintln(out, "  diff   sim-vs-rt differential matrix (root results must agree)")
+	fmt.Fprintln(out, "  chaos  steal-fault matrix: injected claim/copy failures + delays under real threads")
 	fmt.Fprintln(out, "\nexperiments (-backend dist):")
 	fmt.Fprintln(out, "  bench  multi-process scaling sweep; writes BENCH_dist.json")
 	fmt.Fprintln(out, "  diff   sim-vs-dist differential matrix + SIGKILL crash probe")
+	fmt.Fprintln(out, "  chaos  full fault matrix: steal + control-plane faults, SIGKILLs, hung-worker heartbeat cell")
 	fmt.Fprintln(out, "\nexperiments (any backend):")
 	fmt.Fprintln(out, "  run    one workload via the public uniaddr.Run facade; -json emits the unified Report")
 	fmt.Fprintln(out, "\nworkloads (differential catalog):")

@@ -191,3 +191,55 @@ func TestFacadeReportJSON(t *testing.T) {
 		t.Error("sim report carries wall_ns")
 	}
 }
+
+// TestFacadeFaultKnobClasses pins the per-knob-class screening: each
+// backend honours the fault knob classes it can model and rejects the
+// rest with an UnsupportedOptionError NAMING the offending knob.
+func TestFacadeFaultKnobClasses(t *testing.T) {
+	const want = uint64(50 * 51 / 2)
+	stealKnobs := uniaddr.FaultConfig{StealClaimFailProb: 0.05, StealCopyFailProb: 0.02}
+	ctlKnobs := uniaddr.FaultConfig{CtlDropProb: 0.1}
+	simKnobs := uniaddr.FaultConfig{ReadFailProb: 0.01}
+
+	rejected := func(t *testing.T, backend string, fc uniaddr.FaultConfig, knob string) {
+		t.Helper()
+		_, err := sumTo50(t, uniaddr.WithBackend(backend), uniaddr.WithWorkers(2), uniaddr.WithFault(fc))
+		var uo *uniaddr.UnsupportedOptionError
+		if !errors.As(err, &uo) {
+			t.Fatalf("%s + %s: got %T (%v), want *uniaddr.UnsupportedOptionError", backend, knob, err, err)
+		}
+		if uo.Option != "WithFault."+knob {
+			t.Fatalf("%s: error names %q, want %q", backend, uo.Option, "WithFault."+knob)
+		}
+	}
+	// Wrong-class knobs are rejected by name.
+	rejected(t, uniaddr.BackendSim, stealKnobs, "StealClaimFailProb")
+	rejected(t, uniaddr.BackendSim, ctlKnobs, "CtlDropProb")
+	rejected(t, uniaddr.BackendRT, ctlKnobs, "CtlDropProb")
+	rejected(t, uniaddr.BackendRT, simKnobs, "ReadFailProb")
+	rejected(t, uniaddr.BackendDist, simKnobs, "ReadFailProb")
+
+	// Right-class knobs run for real: rt honours steal faults and
+	// reports the resilience counters through the unified Report.
+	rep, err := sumTo50(t, uniaddr.WithBackend(uniaddr.BackendRT), uniaddr.WithWorkers(4), uniaddr.WithFault(stealKnobs))
+	if err != nil {
+		t.Fatalf("rt rejected its own steal knobs: %v", err)
+	}
+	if rep.Root != want {
+		t.Fatalf("rt faulted run: root %d, want %d", rep.Root, want)
+	}
+
+	if testing.Short() {
+		t.Skip("dist knob acceptance skipped in -short mode")
+	}
+	both := stealKnobs
+	both.CtlDropProb = 0.1
+	both.CtlTruncProb = 0.05
+	rep, err = sumTo50(t, uniaddr.WithBackend(uniaddr.BackendDist), uniaddr.WithWorkers(2), uniaddr.WithFault(both))
+	if err != nil {
+		t.Fatalf("dist rejected steal+ctl knobs: %v", err)
+	}
+	if rep.Root != want {
+		t.Fatalf("dist faulted run: root %d, want %d", rep.Root, want)
+	}
+}

@@ -3,10 +3,14 @@ package dist
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
+	"sync/atomic"
+	"time"
 
 	"uniaddr/internal/core"
+	"uniaddr/internal/fault"
 )
 
 // MaybeChild is the worker-process entrypoint hook. Any binary that can
@@ -32,19 +36,134 @@ func MaybeChild() {
 	os.Exit(childMain(spec))
 }
 
-// childMain is a worker process's whole life: map the segment at the
-// agreed address, say hello, wait for start, run the scheduler loop,
-// say bye. All scheduling in between is one-sided shared memory.
-func childMain(spec childSpec) int {
-	conn, err := net.Dial("unix", spec.SockPath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "dist child %d: control socket: %v\n", spec.Rank, err)
-		return 2
-	}
-	defer conn.Close()
-	enc := json.NewEncoder(conn)
-	dec := json.NewDecoder(conn)
+// ctlConn bundles a control connection with its one Encoder/Decoder
+// pair. ONE decoder per connection is load-bearing: json.Decoder reads
+// ahead, so a second decoder on the same conn could lose buffered
+// bytes of the next message.
+type ctlConn struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
 
+func (c *ctlConn) close() {
+	if c != nil && c.conn != nil {
+		c.conn.Close()
+	}
+}
+
+// dialCtl dials the coordinator, with the child's sends routed through
+// the fault wrapper.
+func dialCtl(spec childSpec, plan *fault.Plan) (*ctlConn, error) {
+	raw, err := net.Dial("unix", spec.SockPath)
+	if err != nil {
+		return nil, err
+	}
+	conn := wrapCtl(raw, plan, spec.Rank)
+	return &ctlConn{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}, nil
+}
+
+// ctlHandshake runs hello→start with bounded per-exchange deadlines,
+// redialing with jittered exponential backoff on any failure. Every
+// attempt replays the whole exchange — the coordinator's state machine
+// is idempotent, so replays are always safe. setupErrText, when
+// non-empty, travels in the hello and the returned start will be an
+// abort.
+func ctlHandshake(spec childSpec, plan *fault.Plan, setupErrText string, rng *rand.Rand) (*ctlConn, startMsg, error) {
+	count, digest := core.RegistryFingerprint()
+	hello := helloMsg{Rank: spec.Rank, PID: os.Getpid(), Count: count, Digest: digest, Err: setupErrText}
+	var lastErr error
+	for attempt := 0; attempt < ctlMaxAttempts; attempt++ {
+		if attempt > 0 {
+			ctlBackoff(rng, attempt)
+		}
+		c, err := dialCtl(spec, plan)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := c.enc.Encode(hello); err != nil {
+			lastErr = err
+			c.close()
+			continue
+		}
+		c.conn.SetReadDeadline(time.Now().Add(ctlStartTimeout))
+		var start startMsg
+		if err := c.dec.Decode(&start); err != nil {
+			lastErr = err
+			c.close()
+			continue
+		}
+		c.conn.SetReadDeadline(time.Time{})
+		return c, start, nil
+	}
+	return nil, startMsg{}, fmt.Errorf("dist child %d: handshake failed after %d attempts: %w", spec.Rank, ctlMaxAttempts, lastErr)
+}
+
+// sendBye delivers the final report and waits for the coordinator's
+// ack. A lost bye or ack is retried on a FRESH handshake: the child
+// redials, replays hello (the coordinator re-sends start immediately,
+// the barrier being long open) and resends the bye. Without the ack a
+// dropped final report would be indistinguishable from success.
+func sendBye(spec childSpec, plan *fault.Plan, c *ctlConn, bye byeMsg, rng *rand.Rand) error {
+	var lastErr error
+	for attempt := 0; attempt < ctlMaxAttempts; attempt++ {
+		if attempt > 0 {
+			ctlBackoff(rng, attempt)
+			c.close()
+			var start startMsg
+			var err error
+			// One re-handshake try per bye attempt keeps the total
+			// conversation bounded by ctlMaxAttempts dials, not a
+			// nested product.
+			if c, err = dialCtl(spec, plan); err != nil {
+				lastErr = err
+				c = &ctlConn{}
+				continue
+			}
+			count, digest := core.RegistryFingerprint()
+			if err := c.enc.Encode(helloMsg{Rank: spec.Rank, PID: os.Getpid(), Count: count, Digest: digest}); err != nil {
+				lastErr = err
+				continue
+			}
+			c.conn.SetReadDeadline(time.Now().Add(ctlStartTimeout))
+			if err := c.dec.Decode(&start); err != nil {
+				lastErr = err
+				continue
+			}
+			c.conn.SetReadDeadline(time.Time{})
+			if !start.OK {
+				// The run is aborting; the coordinator no longer wants
+				// the bye. Not an error worth retrying.
+				return nil
+			}
+		}
+		if c.conn == nil {
+			continue
+		}
+		if err := c.enc.Encode(bye); err != nil {
+			lastErr = err
+			continue
+		}
+		c.conn.SetReadDeadline(time.Now().Add(ctlAckTimeout))
+		var ack ackMsg
+		if err := c.dec.Decode(&ack); err != nil {
+			lastErr = err
+			continue
+		}
+		c.conn.SetReadDeadline(time.Time{})
+		if ack.OK {
+			return nil
+		}
+	}
+	return fmt.Errorf("dist child %d: bye not acknowledged after %d attempts: %w", spec.Rank, ctlMaxAttempts, lastErr)
+}
+
+// childMain is a worker process's whole life: map the segment at the
+// agreed address, say hello, wait for start, run the scheduler loop
+// (stamping heartbeats), say bye and wait for the ack. All scheduling
+// in between is one-sided shared memory.
+func childMain(spec childSpec) int {
 	lay := spec.layout()
 	var seg *segment
 	var setupErr error
@@ -65,31 +184,48 @@ func childMain(spec childSpec) int {
 			seg, setupErr = attachSegment(b, lay)
 		}
 	}
-
-	count, digest := core.RegistryFingerprint()
-	hello := helloMsg{Rank: spec.Rank, PID: os.Getpid(), Count: count, Digest: digest}
-	if setupErr != nil {
-		hello.Err = setupErr.Error()
+	plan, planErr := fault.NewPlan(spec.Fault, spec.Workers)
+	if setupErr == nil && planErr != nil {
+		setupErr = planErr
 	}
-	if err := enc.Encode(hello); err != nil {
-		fmt.Fprintf(os.Stderr, "dist child %d: sending hello: %v\n", spec.Rank, err)
+
+	rng := rand.New(rand.NewSource(int64(spec.Seed*0x9e3779b97f4a7c15 + uint64(spec.Rank)*0xd6e8feb86659fd93 + 7)))
+	setupErrText := ""
+	if setupErr != nil {
+		setupErrText = setupErr.Error()
+	}
+	c, start, err := ctlHandshake(spec, plan, setupErrText, rng)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dist child %d: %v\n", spec.Rank, err)
 		return 2
 	}
+	defer c.close()
 	if setupErr != nil {
 		return 3
-	}
-
-	var start startMsg
-	if err := dec.Decode(&start); err != nil {
-		fmt.Fprintf(os.Stderr, "dist child %d: waiting for start: %v\n", spec.Rank, err)
-		return 2
 	}
 	if !start.OK {
 		fmt.Fprintf(os.Stderr, "dist child %d: aborted by coordinator: %s\n", spec.Rank, start.Err)
 		return 4
 	}
 
-	w := newWorker(seg, spec.Rank, spec.Seed)
+	// Injected hang: after the delay the whole process falls silent —
+	// the worker wedges at its next task entry AND the heartbeat stops,
+	// modelling a process that is alive (no exit for the crash monitor
+	// to see) but making no progress.
+	var hung atomic.Bool
+	if spec.HangRank == spec.Rank && spec.HangRank > 0 {
+		time.AfterFunc(spec.HangAfter, func() { hung.Store(true) })
+	}
+	if spec.HeartbeatInterval > 0 {
+		go func() {
+			for !hung.Load() {
+				seg.hbStamp(spec.Rank, uint64(time.Now().UnixNano()))
+				time.Sleep(spec.HeartbeatInterval)
+			}
+		}()
+	}
+
+	w := newWorker(seg, spec.Rank, spec.Seed, plan, &hung)
 	runErr := w.run()
 	bye := byeMsg{Rank: spec.Rank, Stats: w.stats}
 	if runErr != nil {
@@ -98,8 +234,8 @@ func childMain(spec childSpec) int {
 		seg.failStore(uint64(spec.Rank) + 1)
 		bye.Err = runErr.Error()
 	}
-	if err := enc.Encode(bye); err != nil {
-		fmt.Fprintf(os.Stderr, "dist child %d: sending bye: %v\n", spec.Rank, err)
+	if err := sendBye(spec, plan, c, bye, rng); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
 		return 2
 	}
 	if runErr != nil {

@@ -6,14 +6,26 @@ import (
 	"os"
 	"time"
 
+	"uniaddr/internal/fault"
 	"uniaddr/internal/mem"
 )
 
 // Control-plane wire format: JSON values over per-child Unix-domain
-// stream sockets. The control plane runs exactly three exchanges per
+// stream sockets. The control plane runs exactly four exchanges per
 // child — hello (registration + function-table check), start (barrier
-// release) and bye (stats + quiescence report) — everything between is
-// one-sided shared memory.
+// release), bye (stats + quiescence report) and ack (bye receipt) —
+// everything between is one-sided shared memory.
+//
+// Resilience: every exchange is bounded by a deadline, and a child that
+// loses any exchange (dropped, delayed past the deadline, or truncated
+// message — all injectable via fault.Config's Ctl knobs) closes the
+// connection and REDIALS, replaying the whole hello→start(→bye→ack)
+// sequence with jittered exponential backoff. The coordinator's control
+// server is therefore a pure state machine over per-rank LATEST state:
+// a re-hello supersedes the rank's previous connection, a re-bye
+// overwrites the previous bye, and start is re-sent to any conn that
+// hellos after the barrier released. Idempotence, not reliability, is
+// what makes the lossy channel safe.
 
 // childEnvVar carries the childSpec to a re-exec'd worker process. Its
 // presence is what turns a binary's MaybeChild() call into the child
@@ -33,6 +45,16 @@ type childSpec struct {
 	ShmPath   string
 	SegBase   uint64
 	SockPath  string
+
+	// Fault is the run's deterministic fault schedule; every process
+	// rebuilds the same Plan from it (pure function of config), so
+	// thief-side decisions agree no matter which process draws them.
+	Fault fault.Config
+	// HangRank/HangAfter wedge this child mid-run (see Config).
+	HangRank  int
+	HangAfter time.Duration
+	// HeartbeatInterval is the stamping period (<= 0 disables).
+	HeartbeatInterval time.Duration
 }
 
 func (s childSpec) encode() (string, error) {
@@ -94,11 +116,33 @@ type byeMsg struct {
 	Err   string `json:",omitempty"`
 }
 
+// ackMsg confirms the coordinator received a bye. Without it a child
+// could not distinguish "bye delivered" from "bye dropped on a lossy
+// channel" and a silently lost final report would masquerade as a
+// crash.
+type ackMsg struct {
+	OK bool
+}
+
 // handshakeTimeout bounds how long the parent waits for children to
 // map the segment and say hello, and how long it waits for byes after
 // the run completes; a child that blows either deadline is treated as
 // crashed.
 const handshakeTimeout = 30 * time.Second
+
+// Per-exchange deadlines and the child's redial budget. One attempt's
+// exchanges are individually bounded, so ctlMaxAttempts bounds the
+// whole control conversation in wall time; the jittered exponential
+// backoff between attempts keeps redialing children from stampeding
+// the coordinator's accept loop.
+const (
+	ctlHelloTimeout = 2 * time.Second
+	ctlStartTimeout = 2 * time.Second
+	ctlAckTimeout   = 2 * time.Second
+	ctlMaxAttempts  = 8
+	ctlBackoffBase  = 10 * time.Millisecond
+	ctlBackoffCap   = 250 * time.Millisecond
+)
 
 // assertLayoutSane double-checks invariants both sides rely on.
 func assertLayoutSane(l layout) error {

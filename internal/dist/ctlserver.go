@@ -1,0 +1,273 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/fault"
+)
+
+// ctlServer is the coordinator's control-plane endpoint: a persistent
+// accept loop whose per-connection handlers run the hello→start→bye→ack
+// conversation and fold the results into per-rank LATEST state. Losing
+// a connection at any point is recoverable — the child redials and
+// replays — so the server never needs reliable delivery, only
+// idempotent registration: a re-hello supersedes the rank's previous
+// connection, a re-bye overwrites, start is re-sent on demand.
+type ctlServer struct {
+	ln      *net.UnixListener
+	workers int
+	plan    *fault.Plan
+	// byeWait bounds the handler's bye read: the run's MaxWall plus
+	// control slack (the child cannot report before its loop exits).
+	byeWait time.Duration
+
+	mu       sync.Mutex
+	conns    map[int]net.Conn
+	pids     map[int]int
+	byes     map[int]*byeMsg
+	started  bool
+	abortMsg string
+	setupErr error
+	pCount   int
+	pDigest  uint64
+}
+
+func newCtlServer(ln *net.UnixListener, workers int, plan *fault.Plan, byeWait time.Duration) *ctlServer {
+	pCount, pDigest := core.RegistryFingerprint()
+	return &ctlServer{
+		ln: ln, workers: workers, plan: plan, byeWait: byeWait,
+		conns: make(map[int]net.Conn), pids: make(map[int]int), byes: make(map[int]*byeMsg),
+		pCount: pCount, pDigest: pDigest,
+	}
+}
+
+// serve accepts connections until the listener closes. Run in its own
+// goroutine; handlers are per-connection goroutines.
+func (s *ctlServer) serve() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.handle(conn)
+	}
+}
+
+// handle runs one connection's conversation. Any failure just closes
+// the connection: the child's retry loop owns recovery.
+func (s *ctlServer) handle(conn net.Conn) {
+	dec := json.NewDecoder(conn) // ONE decoder per conn: it read-aheads
+	conn.SetReadDeadline(time.Now().Add(ctlHelloTimeout))
+	var hello helloMsg
+	if err := dec.Decode(&hello); err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	if hello.Rank < 1 || hello.Rank >= s.workers {
+		conn.Close()
+		return
+	}
+	rank := hello.Rank
+
+	s.mu.Lock()
+	// Supersede: a redialing child's old connection (and its possibly
+	// wedged handler) is closed so exactly one live conn serves a rank.
+	if old := s.conns[rank]; old != nil && old != conn {
+		old.Close()
+	}
+	s.conns[rank] = conn
+	s.pids[rank] = hello.PID
+	if s.setupErr == nil {
+		if hello.Err != "" {
+			s.setupErr = fmt.Errorf("dist: worker rank %d failed to attach the segment: %s", rank, hello.Err)
+		} else if hello.Count != s.pCount || hello.Digest != s.pDigest {
+			s.setupErr = &FingerprintMismatchError{
+				Rank: rank, ParentCount: s.pCount, RankCount: hello.Count,
+				ParentDigest: s.pDigest, RankDigest: hello.Digest,
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	// Barrier: wait for release or abort. Polling (2ms) keeps the state
+	// machine trivial; the control plane is latency-insensitive at this
+	// scale.
+	deadline := time.Now().Add(handshakeTimeout)
+	for {
+		s.mu.Lock()
+		abortMsg, started, superseded := s.abortMsg, s.started, s.conns[rank] != conn
+		s.mu.Unlock()
+		if superseded {
+			conn.Close()
+			return
+		}
+		if abortMsg != "" {
+			json.NewEncoder(wrapCtl(conn, s.plan, rank)).Encode(startMsg{OK: false, Err: abortMsg})
+			conn.Close()
+			return
+		}
+		if started {
+			break
+		}
+		if time.Now().After(deadline) {
+			conn.Close()
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The start send goes through the fault wrapper: a dropped start is
+	// exactly a lost barrier release, which the child's redial recovers.
+	if err := json.NewEncoder(wrapCtl(conn, s.plan, rank)).Encode(startMsg{OK: true}); err != nil {
+		conn.Close()
+		return
+	}
+
+	conn.SetReadDeadline(time.Now().Add(s.byeWait))
+	var bye byeMsg
+	if err := dec.Decode(&bye); err != nil {
+		conn.Close()
+		return
+	}
+	s.mu.Lock()
+	if s.conns[rank] == conn {
+		s.byes[rank] = &bye
+	}
+	s.mu.Unlock()
+	json.NewEncoder(wrapCtl(conn, s.plan, rank)).Encode(ackMsg{OK: true})
+	conn.Close()
+}
+
+// awaitHellos blocks until every child rank has registered, a child
+// reported a setup failure, or the deadline passes.
+func (s *ctlServer) awaitHellos(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		setupErr := s.setupErr
+		missing := -1
+		for r := 1; r < s.workers; r++ {
+			if _, ok := s.pids[r]; !ok {
+				missing = r
+				break
+			}
+		}
+		s.mu.Unlock()
+		if setupErr != nil {
+			return setupErr
+		}
+		if missing < 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return &ControlTimeoutError{Phase: "hello", Rank: missing, Timeout: timeout}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// release opens the start barrier; handlers (present and future) send
+// start{OK:true} to their child.
+func (s *ctlServer) release() {
+	s.mu.Lock()
+	s.started = true
+	s.mu.Unlock()
+}
+
+// abort makes every handler reply start{OK:false, Err:msg} instead.
+func (s *ctlServer) abort(msg string) {
+	s.mu.Lock()
+	s.abortMsg = msg
+	s.mu.Unlock()
+}
+
+// bye returns rank's latest bye, or nil.
+func (s *ctlServer) bye(rank int) *byeMsg {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byes[rank]
+}
+
+// waitBye polls for rank's bye for at most wait.
+func (s *ctlServer) waitBye(rank int, wait time.Duration) *byeMsg {
+	deadline := time.Now().Add(wait)
+	for {
+		if b := s.bye(rank); b != nil {
+			return b
+		}
+		if time.Now().After(deadline) {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// close shuts the listener (ending serve) and every registered conn
+// (ending any blocked handler read).
+func (s *ctlServer) close() {
+	s.ln.Close()
+	s.mu.Lock()
+	for _, c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+// faultConn injects control-plane faults at the socket Write layer.
+// json.Encoder issues exactly one Write per Encode, so each decision
+// maps to one whole message:
+//
+//   - Delay: the write happens late (a congested control network).
+//   - Drop: the write never happens, but reports success — the peer
+//     must discover the loss by deadline, exactly like a lost packet.
+//   - Trunc: a prefix is written and the connection is severed — the
+//     peer's decoder sees malformed JSON or EOF.
+type faultConn struct {
+	net.Conn
+	plan *fault.Plan
+	rank int
+}
+
+// wrapCtl wraps conn with the plan's control-plane schedule; a nil or
+// ctl-disabled plan returns conn unchanged.
+func wrapCtl(conn net.Conn, plan *fault.Plan, rank int) net.Conn {
+	if plan == nil || !plan.Config().CtlEnabled() {
+		return conn
+	}
+	return &faultConn{Conn: conn, plan: plan, rank: rank}
+}
+
+func (f *faultConn) Write(b []byte) (int, error) {
+	dec := f.plan.CtlSend(f.rank)
+	if dec.Delay > 0 {
+		time.Sleep(dec.Delay)
+	}
+	switch {
+	case dec.Trunc:
+		f.Conn.Write(b[:len(b)/2])
+		f.Conn.Close()
+		return len(b), nil
+	case dec.Drop:
+		return len(b), nil
+	default:
+		return f.Conn.Write(b)
+	}
+}
+
+// ctlBackoff sleeps the jittered exponential redial backoff for the
+// given attempt (1-based retries): base<<n capped, with ±50% jitter so
+// retrying children do not stampede in lockstep.
+func ctlBackoff(rng *rand.Rand, attempt int) {
+	d := ctlBackoffBase << uint(attempt-1)
+	if d > ctlBackoffCap {
+		d = ctlBackoffCap
+	}
+	jit := time.Duration(rng.Int63n(int64(d))) - d/2
+	time.Sleep(d + jit)
+}

@@ -1,7 +1,7 @@
 package dist
 
 import (
-	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"uniaddr/internal/core"
+	"uniaddr/internal/fault"
 )
 
 // Result is a completed dist run's report: the root task's result plus
@@ -41,6 +42,12 @@ func (r *Result) TotalStats() Stats {
 		t.IdleSleeps += s.IdleSleeps
 		t.WorkCycles += s.WorkCycles
 		t.RecordsLive += s.RecordsLive
+		t.StealFaults += s.StealFaults
+		t.StealRetries += s.StealRetries
+		t.StealRollbacks += s.StealRollbacks
+		t.StealAbortsFault += s.StealAbortsFault
+		t.VictimBlacklists += s.VictimBlacklists
+		t.FaultBackoffNS += s.FaultBackoffNS
 		if s.MaxStackUsed > t.MaxStackUsed {
 			t.MaxStackUsed = s.MaxStackUsed
 		}
@@ -52,15 +59,16 @@ func (r *Result) TotalStats() Stats {
 type childProc struct {
 	rank     int
 	cmd      *exec.Cmd
-	conn     net.Conn
 	bye      *byeMsg
-	byeDone  chan struct{}
 	waitErr  error
 	waitDone chan struct{}
 }
 
-// errCollector keeps the first error reported; later ones (usually
-// knock-on effects of the first) are dropped.
+// errCollector arbitrates the run's structured error. First error wins,
+// with ONE exception: a concrete worker failure (crash or hang)
+// REPLACES a pending MaxWallError — the watchdog firing concurrently
+// with a crash is a race where the timeout is the symptom and the dead
+// worker the cause, and the caller must see exactly one winner.
 type errCollector struct {
 	mu  sync.Mutex
 	err error
@@ -68,10 +76,18 @@ type errCollector struct {
 
 func (c *errCollector) record(err error) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.err == nil {
 		c.err = err
+		return
 	}
-	c.mu.Unlock()
+	var mw *MaxWallError
+	if errors.As(c.err, &mw) {
+		switch err.(type) {
+		case *WorkerCrashError, *WorkerHungError:
+			c.err = err
+		}
+	}
 }
 
 func (c *errCollector) get() error {
@@ -81,14 +97,27 @@ func (c *errCollector) get() error {
 }
 
 // Run executes the root task fid across cfg.Workers OS processes and
-// blocks until the run completes, fails, or a worker process dies. The
-// calling process is the coordinator AND worker rank 0; the binary must
-// route re-exec'd children through MaybeChild (see its doc).
+// blocks until the run completes, fails, or a worker process dies or
+// hangs. Every failure path — crash, hang, control-plane loss, budget
+// blowout — ends in a structured typed error within bounded wall time:
+// the crash monitor, heartbeat monitor and MaxWall watchdog between
+// them cover every way a run can stop making progress, and the error
+// collector arbitrates so exactly one wins. The calling process is the
+// coordinator AND worker rank 0; the binary must route re-exec'd
+// children through MaybeChild (see its doc).
 func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (Result, error) {
 	cfg.fillDefaults()
 	lay := computeLayout(&cfg)
 	if err := assertLayoutSane(lay); err != nil {
 		return Result{}, err
+	}
+	fc := cfg.Fault
+	if fc.Seed == 0 {
+		fc.Seed = cfg.Seed
+	}
+	plan, err := fault.NewPlan(fc, cfg.Workers)
+	if err != nil {
+		return Result{}, fmt.Errorf("dist: %w", err)
 	}
 
 	// --- segment ------------------------------------------------------
@@ -108,7 +137,7 @@ func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (R
 		return Result{}, err
 	}
 
-	// --- control socket ----------------------------------------------
+	// --- control server ----------------------------------------------
 	sockDir, err := os.MkdirTemp("", "uniaddr-dist")
 	if err != nil {
 		return Result{}, fmt.Errorf("dist: socket dir: %w", err)
@@ -119,8 +148,9 @@ func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (R
 	if err != nil {
 		return Result{}, fmt.Errorf("dist: control socket: %w", err)
 	}
-	defer ln.Close()
-	uln := ln.(*net.UnixListener)
+	srv := newCtlServer(ln.(*net.UnixListener), cfg.Workers, plan, cfg.MaxWall+handshakeTimeout)
+	defer srv.close()
+	go srv.serve()
 
 	// --- spawn children ----------------------------------------------
 	exe, err := os.Executable()
@@ -140,6 +170,8 @@ func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (R
 			Rank: r, Workers: cfg.Workers, Seed: cfg.Seed,
 			ArenaSize: cfg.ArenaSize, DequeCap: cfg.DequeCap, RecordCap: cfg.RecordCap,
 			ShmPath: f.Name(), SegBase: uint64(segBase), SockPath: sockPath,
+			Fault: fc, HangRank: cfg.HangRank, HangAfter: cfg.HangAfter,
+			HeartbeatInterval: cfg.HeartbeatInterval,
 		}
 		envVal, err := spec.encode()
 		if err != nil {
@@ -155,72 +187,38 @@ func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (R
 		}
 		children = append(children, &childProc{
 			rank: r, cmd: cmd,
-			byeDone:  make(chan struct{}),
 			waitDone: make(chan struct{}),
 		})
 	}
 
-	// --- registration handshake --------------------------------------
-	// Children connect in arbitrary order; the hello's Rank field pairs
-	// each connection with its process. The parent's own fingerprint is
-	// the reference: a divergent child means the processes would
-	// disagree about what a FuncID stamped into a migrating frame
-	// executes, so the run must not start.
-	pCount, pDigest := core.RegistryFingerprint()
-	uln.SetDeadline(time.Now().Add(handshakeTimeout))
-	abortHandshake := func(cause error) (Result, error) {
-		for _, c := range children {
-			if c.conn != nil {
-				json.NewEncoder(c.conn).Encode(startMsg{OK: false, Err: cause.Error()})
-				c.conn.Close()
-			}
-		}
+	// --- registration barrier ----------------------------------------
+	// Children connect (and reconnect, under control-plane faults) in
+	// arbitrary order; the server tracks latest per-rank state. A child
+	// whose hello reported a setup failure or a divergent function
+	// table aborts the whole run before it starts.
+	abortRun := func(cause error) (Result, error) {
+		srv.abort(cause.Error())
+		// Give handlers a beat to deliver the abort, then reap.
+		time.Sleep(50 * time.Millisecond)
 		killAll()
 		for _, c := range children {
 			c.cmd.Wait()
 		}
 		return Result{}, cause
 	}
-	for i := 0; i < len(children); i++ {
-		conn, err := uln.Accept()
-		if err != nil {
-			return abortHandshake(fmt.Errorf("dist: waiting for worker registration: %w (a worker process likely died before connecting)", err))
-		}
-		var hello helloMsg
-		if err := json.NewDecoder(conn).Decode(&hello); err != nil {
-			conn.Close()
-			return abortHandshake(fmt.Errorf("dist: reading hello: %w", err))
-		}
-		if hello.Rank < 1 || hello.Rank >= cfg.Workers || children[hello.Rank-1].conn != nil {
-			conn.Close()
-			return abortHandshake(fmt.Errorf("dist: bogus or duplicate hello for rank %d", hello.Rank))
-		}
-		c := children[hello.Rank-1]
-		c.conn = conn
-		if hello.Err != "" {
-			return abortHandshake(fmt.Errorf("dist: worker rank %d failed to attach the segment: %s", hello.Rank, hello.Err))
-		}
-		if hello.Count != pCount || hello.Digest != pDigest {
-			return abortHandshake(&FingerprintMismatchError{
-				Rank: hello.Rank, ParentCount: pCount, RankCount: hello.Count,
-				ParentDigest: pDigest, RankDigest: hello.Digest,
-			})
-		}
+	if err := srv.awaitHellos(handshakeTimeout); err != nil {
+		return abortRun(err)
 	}
 
 	// --- root record + start barrier ---------------------------------
 	rootIdx, err := seg.tables[0].Alloc()
 	if err != nil {
-		return abortHandshake(err)
+		return abortRun(err)
 	}
 	if rootIdx != 0 {
-		return abortHandshake(fmt.Errorf("dist: root record landed at index %d, want 0 (rootRec contract)", rootIdx))
+		return abortRun(fmt.Errorf("dist: root record landed at index %d, want 0 (rootRec contract)", rootIdx))
 	}
-	for _, c := range children {
-		if err := json.NewEncoder(c.conn).Encode(startMsg{OK: true}); err != nil {
-			return abortHandshake(fmt.Errorf("dist: releasing worker rank %d: %w", c.rank, err))
-		}
-	}
+	srv.release()
 
 	// --- run ----------------------------------------------------------
 	errs := &errCollector{}
@@ -228,17 +226,6 @@ func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (R
 	var wg sync.WaitGroup
 	for _, c := range children {
 		c := c
-		// Bye reader: one blocking decode per child. EOF (crash) closes
-		// byeDone with bye == nil.
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer close(c.byeDone)
-			var bye byeMsg
-			if err := json.NewDecoder(c.conn).Decode(&bye); err == nil {
-				c.bye = &bye
-			}
-		}()
 		// Exit monitor: a process that dies without a bye is a crash.
 		// The shared fail word is stored FIRST so every sibling's spins
 		// (including deque lock spins wedged behind the dead process)
@@ -248,7 +235,9 @@ func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (R
 			defer wg.Done()
 			c.waitErr = c.cmd.Wait()
 			close(c.waitDone)
-			<-c.byeDone
+			// The bye (if any) was sent before exit; give the server's
+			// handler a moment to finish decoding it.
+			c.bye = srv.waitBye(c.rank, time.Second)
 			if c.bye == nil && !reaping.get() {
 				seg.failStore(failCoordinator)
 				detail := "exited before reporting"
@@ -262,28 +251,86 @@ func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (R
 		}()
 	}
 
+	// Heartbeat monitor: catches the failure the crash monitor cannot —
+	// a process that is alive but silent. A rank whose stamp goes stale
+	// past the timeout (while its process still runs) is declared hung:
+	// record the structured error, release every sibling through the
+	// fail word, then kill the wedged process so shutdown is not gated
+	// on it. Detection latency is bounded by timeout + one poll tick.
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	if cfg.HeartbeatTimeout > 0 && len(children) > 0 {
+		go func() {
+			tick := cfg.HeartbeatTimeout / 4
+			if tick > 50*time.Millisecond {
+				tick = 50 * time.Millisecond
+			}
+			// Baseline every slot at the barrier release so a child hung
+			// BEFORE its first stamp is still caught.
+			now := uint64(time.Now().UnixNano())
+			for _, c := range children {
+				if seg.hbLast(c.rank) == 0 {
+					seg.hbStamp(c.rank, now)
+				}
+			}
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-time.After(tick):
+				}
+				if seg.stopped() {
+					return
+				}
+				for _, c := range children {
+					select {
+					case <-c.waitDone:
+						// Exited: the crash monitor owns classification.
+						continue
+					default:
+					}
+					last := seg.hbLast(c.rank)
+					silence := time.Duration(uint64(time.Now().UnixNano()) - last)
+					if last != 0 && silence > cfg.HeartbeatTimeout {
+						errs.record(&WorkerHungError{Rank: c.rank, PID: c.cmd.Process.Pid, Silence: silence})
+						seg.failStore(failCoordinator)
+						c.cmd.Process.Kill()
+						return
+					}
+				}
+			}
+		}()
+	}
+
 	// Watchdog: the analogue of the simulator's MaxCycles deadlock
 	// guard, and the backstop that turns any unforeseen wedge into an
-	// error instead of a hang.
+	// error instead of a hang. A concurrent crash/hang report replaces
+	// it in the collector (see errCollector).
 	watchdog := time.AfterFunc(cfg.MaxWall, func() {
-		errs.record(fmt.Errorf("dist: run exceeded %v wall-clock budget (deadlock or undersized MaxWall?)", cfg.MaxWall))
+		errs.record(&MaxWallError{Budget: cfg.MaxWall})
 		seg.failStore(failCoordinator)
 	})
 	defer watchdog.Stop()
 
-	// Fault injection: SIGKILL a child mid-run, on request. This is the
-	// crash the resilience gate requires to surface as a structured
-	// WorkerCrashError rather than a hang.
-	if cfg.KillRank > 0 && cfg.KillRank < cfg.Workers {
-		victim := children[cfg.KillRank-1]
-		killTimer := time.AfterFunc(cfg.KillAfter, func() {
-			victim.cmd.Process.Kill()
-		})
-		defer killTimer.Stop()
+	// Fault injection: SIGKILL child ranks mid-run, on request. These
+	// are the crashes the resilience gate requires to surface as
+	// structured WorkerCrashErrors rather than hangs.
+	killVictims := cfg.KillRanks
+	if cfg.KillRank > 0 {
+		killVictims = append(append([]int{}, killVictims...), cfg.KillRank)
+	}
+	for _, kr := range killVictims {
+		if kr > 0 && kr < cfg.Workers {
+			victim := children[kr-1]
+			killTimer := time.AfterFunc(cfg.KillAfter, func() {
+				victim.cmd.Process.Kill()
+			})
+			defer killTimer.Stop()
+		}
 	}
 
 	start := time.Now()
-	w0 := newWorker(seg, 0, cfg.Seed)
+	w0 := newWorker(seg, 0, cfg.Seed, plan, nil)
 	w0.rootFid, w0.rootLocals, w0.rootInit = fid, localsLen, init
 	if runErr := w0.run(); runErr != nil {
 		seg.failStore(1)
@@ -302,9 +349,6 @@ func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (R
 	})
 	wg.Wait()
 	grace.Stop()
-	for _, c := range children {
-		c.conn.Close()
-	}
 
 	if err := errs.get(); err != nil {
 		return Result{}, err
@@ -320,6 +364,16 @@ func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (R
 	}
 	res.PerWorker[0] = w0.stats
 	for _, c := range children {
+		// A reaped child can reach here with no bye and no recorded
+		// error; surface it as a structured crash rather than reading
+		// through a nil report (the old zero-value-Report bug).
+		if c.bye == nil {
+			detail := "no final report"
+			if c.waitErr != nil {
+				detail = c.waitErr.Error()
+			}
+			return Result{}, &WorkerCrashError{Rank: c.rank, PID: c.cmd.Process.Pid, Phase: "report", Detail: detail}
+		}
 		res.PerWorker[c.rank] = c.bye.Stats
 	}
 	// Post-run quiescence: every deque drained (readable from the

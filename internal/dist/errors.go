@@ -1,6 +1,9 @@
 package dist
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // WorkerCrashError is the structured report for a worker process that
 // died mid-run (crash, OOM-kill, explicit SIGKILL from the fault
@@ -18,6 +21,53 @@ type WorkerCrashError struct {
 
 func (e *WorkerCrashError) Error() string {
 	return fmt.Sprintf("dist: worker rank %d (pid %d) died during %s: %s", e.Rank, e.PID, e.Phase, e.Detail)
+}
+
+// WorkerHungError is the structured report for a worker process that is
+// alive but silent: its per-rank heartbeat stamp stopped advancing for
+// longer than the configured timeout while the process itself kept
+// running. This is the failure mode a crash monitor cannot see — a
+// wedged page fault, a livelocked spin, an ODP stall that never
+// resolves — and the reason the control plane carries heartbeats at
+// all. The coordinator kills the hung process after reporting, so the
+// run ends in this error within a bounded delay, never a hang.
+type WorkerHungError struct {
+	Rank    int
+	PID     int
+	Silence time.Duration // how long the heartbeat had been stale
+}
+
+func (e *WorkerHungError) Error() string {
+	return fmt.Sprintf("dist: worker rank %d (pid %d) hung: no heartbeat for %v (process alive but silent)", e.Rank, e.PID, e.Silence)
+}
+
+// ControlTimeoutError reports a control-plane exchange that blew its
+// deadline: a worker that never completed its hello, or a start/bye
+// exchange that could not be delivered within the retry budget.
+type ControlTimeoutError struct {
+	Phase   string // "hello", "start" or "bye"
+	Rank    int    // first rank still missing (-1 if unknown)
+	Timeout time.Duration
+}
+
+func (e *ControlTimeoutError) Error() string {
+	if e.Rank >= 0 {
+		return fmt.Sprintf("dist: control-plane %s from rank %d not completed within %v", e.Phase, e.Rank, e.Timeout)
+	}
+	return fmt.Sprintf("dist: control-plane %s not completed within %v", e.Phase, e.Timeout)
+}
+
+// MaxWallError reports a run that exceeded its MaxWall budget. It is
+// deliberately a distinct type from WorkerCrashError / WorkerHungError:
+// the error collector lets a concrete worker failure REPLACE a pending
+// MaxWallError (the timeout is the symptom, the dead worker the cause),
+// so exactly one structured error wins the race.
+type MaxWallError struct {
+	Budget time.Duration
+}
+
+func (e *MaxWallError) Error() string {
+	return fmt.Sprintf("dist: run exceeded %v wall-clock budget (deadlock or undersized MaxWall?)", e.Budget)
 }
 
 // FingerprintMismatchError reports a function-table divergence caught

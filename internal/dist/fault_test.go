@@ -1,0 +1,183 @@
+package dist_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"uniaddr/internal/dist"
+	"uniaddr/internal/fault"
+	"uniaddr/internal/workloads"
+)
+
+// TestDistDoubleKill is the MaxWall-vs-crash arbitration regression:
+// SIGKILL two ranks at once and require EXACTLY one structured
+// WorkerCrashError — never a MaxWallError (the timeout is a symptom;
+// the dead worker is the cause), never a zero-value Report, never a
+// hang.
+func TestDistDoubleKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process crash test skipped in -short mode")
+	}
+	cfg := dist.DefaultConfig(4)
+	cfg.KillRanks = []int{1, 2}
+	cfg.KillAfter = 100 * time.Millisecond
+	cfg.MaxWall = 20 * time.Second
+	spec := workloads.Fib(30, 2000)
+	start := time.Now()
+	_, err := dist.Run(cfg, spec.Fid, spec.Locals, spec.Init)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("run with two SIGKILL'd workers reported success")
+	}
+	var crash *dist.WorkerCrashError
+	if !errors.As(err, &crash) {
+		t.Fatalf("error is %T (%v), want *dist.WorkerCrashError", err, err)
+	}
+	if crash.Rank != 1 && crash.Rank != 2 {
+		t.Fatalf("crash attributed to rank %d, want 1 or 2", crash.Rank)
+	}
+	var wall *dist.MaxWallError
+	if errors.As(err, &wall) {
+		t.Fatalf("MaxWallError won over the crash: %v", err)
+	}
+	if elapsed > 15*time.Second {
+		t.Fatalf("double-crash detection took %v", elapsed)
+	}
+}
+
+// TestDistHungWorker: wedge a child (alive, not exited, heartbeats
+// stopped) and require the heartbeat monitor to surface a structured
+// WorkerHungError within the ISSUE's 1-second bound of the detection
+// becoming possible (hang time + heartbeat timeout).
+func TestDistHungWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process hang test skipped in -short mode")
+	}
+	cfg := dist.DefaultConfig(3)
+	cfg.HangRank = 1
+	cfg.HangAfter = 50 * time.Millisecond
+	cfg.HeartbeatInterval = 10 * time.Millisecond
+	cfg.HeartbeatTimeout = 250 * time.Millisecond
+	cfg.MaxWall = 20 * time.Second
+	spec := workloads.Fib(30, 2000)
+	start := time.Now()
+	_, err := dist.Run(cfg, spec.Fid, spec.Locals, spec.Init)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("run with a hung worker reported success")
+	}
+	var hung *dist.WorkerHungError
+	if !errors.As(err, &hung) {
+		t.Fatalf("error is %T (%v), want *dist.WorkerHungError", err, err)
+	}
+	if hung.Rank != 1 {
+		t.Fatalf("hang attributed to rank %d, want 1", hung.Rank)
+	}
+	if hung.Silence < cfg.HeartbeatTimeout {
+		t.Fatalf("reported silence %v below the %v timeout", hung.Silence, cfg.HeartbeatTimeout)
+	}
+	// Detection becomes possible at HangAfter+HeartbeatTimeout ≈ 300ms;
+	// the ISSUE requires the structured error within 1s of that. Allow
+	// teardown slack on loaded CI.
+	if limit := cfg.HangAfter + cfg.HeartbeatTimeout + time.Second; elapsed > limit+2*time.Second {
+		t.Fatalf("hang detection took %v, want < ~%v", elapsed, limit)
+	}
+}
+
+// TestDistStealFaults injects claim+copy faults into a real
+// multi-process run: the resilience protocol must absorb every fault
+// and still produce the correct root result.
+func TestDistStealFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process fault test skipped in -short mode")
+	}
+	for seed := uint64(1); seed <= 2; seed++ {
+		cfg := dist.DefaultConfig(4)
+		cfg.Seed = seed
+		cfg.Fault = fault.Config{
+			StealClaimFailProb: 0.1,
+			StealCopyFailProb:  0.05,
+		}
+		spec := workloads.Fib(22, 200)
+		res := runSpec(t, cfg, spec)
+		ts := res.TotalStats()
+		if ts.TasksExecuted != ts.Spawns+1 {
+			t.Errorf("seed %d: %d executed, %d spawned (+1 root) under faults", seed, ts.TasksExecuted, ts.Spawns)
+		}
+		if ts.StealFaults != ts.StealRetries+ts.StealAbortsFault {
+			t.Errorf("seed %d: faults %d != retries %d + fault aborts %d",
+				seed, ts.StealFaults, ts.StealRetries, ts.StealAbortsFault)
+		}
+	}
+}
+
+// TestDistCtlFaults drops, truncates and delays control-plane messages;
+// the redial-and-replay protocol must still deliver a correct run.
+// Fault rates are chosen so 8 retry attempts make per-exchange failure
+// astronomically unlikely (p_all_fail ≈ 0.3^8 ≈ 7e-5 per exchange).
+func TestDistCtlFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process fault test skipped in -short mode")
+	}
+	cfg := dist.DefaultConfig(3)
+	cfg.Fault = fault.Config{
+		CtlDropProb:  0.2,
+		CtlTruncProb: 0.1,
+		CtlDelayProb: 0.2,
+		CtlDelay:     5 * time.Millisecond,
+	}
+	runSpec(t, cfg, workloads.Fib(18, 20))
+}
+
+// TestDistZeroFaultPinned pins the zero-fault dist path: identical
+// Report (modulo wall-clock) to a config that never mentions faults,
+// and zero resilience counters.
+func TestDistZeroFaultPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	spec := workloads.Fib(18, 20)
+	base := runSpec(t, dist.DefaultConfig(2), spec)
+	cfg := dist.DefaultConfig(2)
+	cfg.Fault = fault.Config{} // explicit zero value
+	faulted := runSpec(t, cfg, spec)
+	bt, ft := base.TotalStats(), faulted.TotalStats()
+	if ft.StealFaults != 0 || ft.StealRetries != 0 || ft.StealRollbacks != 0 ||
+		ft.StealAbortsFault != 0 || ft.VictimBlacklists != 0 || ft.FaultBackoffNS != 0 {
+		t.Fatalf("zero-fault run moved resilience counters: %+v", ft)
+	}
+	// Steal interleaving varies run to run, but the conservation books
+	// must match: same spawn tree either way.
+	if bt.Spawns != ft.Spawns || bt.TasksExecuted != ft.TasksExecuted {
+		t.Fatalf("zero fault.Config changed the task tree: base %d/%d vs %d/%d",
+			bt.Spawns, bt.TasksExecuted, ft.Spawns, ft.TasksExecuted)
+	}
+}
+
+// TestDistBadFaultConfigRejected: an invalid schedule must fail fast
+// with a structured validation error before any child spawns.
+func TestDistBadFaultConfigRejected(t *testing.T) {
+	cfg := dist.DefaultConfig(2)
+	cfg.Fault = fault.Config{CtlDropProb: 1.5}
+	spec := workloads.Fib(10, 0)
+	if _, err := dist.Run(cfg, spec.Fid, spec.Locals, spec.Init); err == nil {
+		t.Fatal("invalid fault config accepted by dist.Run")
+	}
+}
+
+// TestDistSimOnlyKnobRejected: sim-only knobs cannot reach dist; the
+// plan builder ignores them, so they must be screened out before Run —
+// this pins that a sim-only-knob config yields a nil plan (no
+// injection) rather than silently enabling anything.
+func TestDistSimOnlyKnobIsNoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	cfg := dist.DefaultConfig(2)
+	cfg.Fault = fault.Config{ReadFailProb: 0.9} // sim-only; plan ignores it
+	res := runSpec(t, cfg, workloads.Fib(14, 5))
+	if ts := res.TotalStats(); ts.StealFaults != 0 {
+		t.Fatalf("sim-only knob injected %d faults on dist", ts.StealFaults)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"uniaddr/internal/core"
+	"uniaddr/internal/fault"
 	"uniaddr/internal/mem"
 	"uniaddr/internal/sched"
 )
@@ -62,6 +63,25 @@ type Config struct {
 	// the target.)
 	KillRank  int
 	KillAfter time.Duration
+	// KillRanks SIGKILLs several child ranks concurrently, KillAfter
+	// into the run (the double-kill regression: exactly one structured
+	// error must win). Combines with KillRank.
+	KillRanks []int
+	// HangRank, when > 0, wedges that child rank HangAfter into the run
+	// — alive but silent, heartbeats stopped — so the coordinator's
+	// heartbeat monitor (not the crash monitor) must detect it.
+	HangRank  int
+	HangAfter time.Duration
+	// HeartbeatInterval is how often each child stamps its liveness
+	// slot; HeartbeatTimeout is how much silence the coordinator
+	// tolerates before declaring the worker hung (0 = defaults, < 0
+	// disables heartbeat monitoring).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// Fault is the deterministic fault schedule (zero value = none):
+	// the backend-neutral steal knobs plus the dist-only control-plane
+	// knobs (dropped/delayed/truncated control messages).
+	Fault fault.Config
 }
 
 // DefaultConfig returns the standard layout for n worker processes.
@@ -96,6 +116,15 @@ func (c *Config) fillDefaults() {
 	if c.MaxWall == 0 {
 		c.MaxWall = d.MaxWall
 	}
+	// Heartbeats default ON with generous tolerance: detection must be
+	// far slower than any plausible scheduling hiccup on a loaded CI
+	// box, yet still bounded. Chaos tests tighten the timeout.
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 25 * time.Millisecond
+	}
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = 2 * time.Second
+	}
 }
 
 // segBaseCandidates are the virtual addresses the parent tries for the
@@ -124,6 +153,8 @@ func pageAlign(n uint64) uint64 { return (n + pageSize - 1) &^ (pageSize - 1) }
 // Segment layout (every sub-region page-aligned):
 //
 //	[0, ctl)                      control page (ctlHdr)
+//	[hb, hb+n*64)                 heartbeat page: one stamped cache
+//	                              line per rank (hbSlot)
 //	per worker w (w = 0..n-1):
 //	  deque[w]                    sched.DequeBytes(DequeCap)
 //	  table[w]                    sched.TableBytes(RecordCap)
@@ -134,6 +165,7 @@ func pageAlign(n uint64) uint64 { return (n + pageSize - 1) &^ (pageSize - 1) }
 //	                              interior pointers valid on arrival.
 type layout struct {
 	workers   int
+	hbOff     uint64
 	dequeOff  []uint64
 	tableOff  []uint64
 	arenaOff  []uint64
@@ -153,6 +185,8 @@ func computeLayout(cfg *Config) layout {
 		arenaBase: core.DefaultUniBase,
 	}
 	off := pageAlign(ctlBytes)
+	l.hbOff = off
+	off += pageAlign(uint64(cfg.Workers) * hbSlotBytes)
 	for w := 0; w < cfg.Workers; w++ {
 		l.dequeOff = append(l.dequeOff, off)
 		off += pageAlign(sched.DequeBytes(cfg.DequeCap))

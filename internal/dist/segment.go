@@ -36,6 +36,18 @@ const (
 	failCoordinator = 1 << 16
 )
 
+// hbSlot is one rank's liveness stamp: unix nanos of the rank's last
+// heartbeat, alone on a cache line so stamping never contends. The
+// child stamps it from a dedicated goroutine; the coordinator's monitor
+// reads it one-sidedly — the same no-messages discipline as the data
+// plane, so a hung worker is detected without the worker cooperating.
+type hbSlot struct {
+	stamp atomic.Uint64
+	_     [56]byte
+}
+
+const hbSlotBytes = uint64(unsafe.Sizeof(hbSlot{}))
+
 // segment is one process's view of the mapped shared region: the
 // control header plus per-rank deque/table/arena views. The underlying
 // bytes live at the same virtual address in every process, so the
@@ -51,6 +63,7 @@ type segment struct {
 	deques []*sched.Deque
 	tables []*sched.Table
 	arenas []*sched.Arena
+	hb     []hbSlot
 }
 
 // attachSegment builds views over mapped segment memory. Safe to call
@@ -63,6 +76,7 @@ func attachSegment(b []byte, lay layout) (*segment, error) {
 		bytes: b,
 		lay:   lay,
 		ctl:   (*ctlHdr)(unsafe.Pointer(&b[0])),
+		hb:    unsafe.Slice((*hbSlot)(unsafe.Pointer(&b[lay.hbOff])), lay.workers),
 	}
 	for r := 0; r < lay.workers; r++ {
 		d, err := sched.NewDequeAt(b[lay.dequeOff[r]:], lay.dequeCap)
@@ -88,3 +102,9 @@ func (s *segment) stopped() bool {
 // failStore publishes a failure (first reporter wins is not needed —
 // any non-zero value releases the spins; last-writer-wins is fine).
 func (s *segment) failStore(code uint64) { s.ctl.fail.Store(code) }
+
+// hbStamp records rank's liveness as unix nanos.
+func (s *segment) hbStamp(rank int, unixNano uint64) { s.hb[rank].stamp.Store(unixNano) }
+
+// hbLast returns rank's last heartbeat stamp (0 = never stamped).
+func (s *segment) hbLast(rank int) uint64 { return s.hb[rank].stamp.Load() }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"uniaddr/internal/core"
+	"uniaddr/internal/fault"
 	"uniaddr/internal/gas"
 	"uniaddr/internal/mem"
 	"uniaddr/internal/sched"
@@ -43,6 +45,15 @@ type Stats struct {
 	// exits; the coordinator sums it across workers for the quiescence
 	// check (exactly one record — the root's — survives a clean run).
 	RecordsLive int
+
+	// Fault-resilience counters (non-zero only under injection; see
+	// sched.ResilienceStats, whose fields these mirror).
+	StealFaults      uint64
+	StealRetries     uint64
+	StealRollbacks   uint64
+	StealAbortsFault uint64
+	VictimBlacklists uint64
+	FaultBackoffNS   uint64
 }
 
 // savedCtx is a suspended thread swapped out of the uni-address region
@@ -92,6 +103,12 @@ type worker struct {
 	idleRounds int
 	sleep      time.Duration
 
+	// res is the thief-side fault state machine (owner-only; dormant
+	// and free without an injector). hung, when non-nil and set, wedges
+	// the worker at its next task entry (injected hang; see childMain).
+	res  *sched.Resilience
+	hung *atomic.Bool
+
 	ctxFree [][]byte
 	envFree []*core.Env
 
@@ -102,7 +119,7 @@ type worker struct {
 	rootInit   func(*core.Env)
 }
 
-func newWorker(seg *segment, rank int, seed uint64) *worker {
+func newWorker(seg *segment, rank int, seed uint64, plan *fault.Plan, hung *atomic.Bool) *worker {
 	w := &worker{
 		seg:        seg,
 		rank:       rank,
@@ -111,7 +128,15 @@ func newWorker(seg *segment, rank int, seed uint64) *worker {
 		records:    seg.tables[rank],
 		rng:        rand.New(rand.NewSource(int64(seed*0x9e3779b97f4a7c15 + uint64(rank)*0xbf58476d1ce4e5b9 + 1))),
 		lastVictim: -1,
+		hung:       hung,
 	}
+	// The interface value must be nil (not a typed nil *Plan) for the
+	// resilience fast path to collapse.
+	var inj sched.StealInjector
+	if plan != nil {
+		inj = plan
+	}
+	w.res = sched.NewResilience(rank, sched.DefaultResilienceConfig(), inj)
 	w.stopFn = seg.stopped
 	return w
 }
@@ -129,6 +154,13 @@ func (w *worker) run() (err error) {
 		}
 		w.stats.MaxStackUsed = w.arena.Max()
 		w.stats.RecordsLive = w.records.Live()
+		rs := w.res.Stats
+		w.stats.StealFaults = rs.StealFaults
+		w.stats.StealRetries = rs.StealRetries
+		w.stats.StealRollbacks = rs.StealRollbacks
+		w.stats.StealAbortsFault = rs.StealAbortsFault
+		w.stats.VictimBlacklists = rs.VictimBlacklists
+		w.stats.FaultBackoffNS = rs.BackoffNS
 	}()
 	if w.rank == 0 {
 		w.runRoot()
@@ -265,6 +297,16 @@ func (w *worker) invoke(base mem.VA, size uint64) core.Status {
 	if w.seg.ctl.fail.Load() != 0 {
 		panic(abortRun{})
 	}
+	if w.hung != nil && w.hung.Load() {
+		// Injected hang: wedge, don't exit. A plain sleep loop — NOT
+		// select{} — because Go's deadlock detector would turn a fully
+		// blocked process into a crash, and the whole point is to look
+		// alive while making no progress. Only the coordinator's
+		// heartbeat monitor can end this (it kills the process).
+		for {
+			time.Sleep(time.Hour)
+		}
+	}
 	h := core.DecodeFrameHeader(w.arena.MustSlice(base, core.FrameHeaderBytes))
 	e := w.getEnv(base, size, h.Resume)
 	st := core.TaskFn(h.Fid)(e)
@@ -318,7 +360,7 @@ func (w *worker) trySteal() bool {
 		return false
 	}
 	if lv := w.lastVictim; lv >= 0 {
-		if d := w.seg.deques[lv]; d.Occupancy() > 0 && w.stealFrom(int(lv)) {
+		if d := w.seg.deques[lv]; d.Occupancy() > 0 && !w.res.Banned(int(lv)) && w.stealFrom(int(lv)) {
 			return true
 		}
 		w.lastVictim = -1
@@ -332,26 +374,36 @@ func (w *worker) trySteal() bool {
 		if vi == w.rank {
 			continue
 		}
-		if w.seg.deques[vi].Occupancy() > 0 {
+		if w.seg.deques[vi].Occupancy() > 0 && !w.res.Banned(vi) {
 			return w.stealFrom(vi)
 		}
 	}
-	vi := w.rng.Intn(n - 1)
-	if vi >= w.rank {
-		vi++
+	// Blind probe, steering around blacklisted victims for a few
+	// redraws then proceeding anyway (liveness never depends on the
+	// ban set; see rt.blindVictim).
+	vi := 0
+	for redraw := 0; redraw < 4; redraw++ {
+		vi = w.rng.Intn(n - 1)
+		if vi >= w.rank {
+			vi++
+		}
+		if !w.res.Banned(vi) {
+			break
+		}
 	}
 	return w.stealFrom(vi)
 }
 
-// stealFrom is the thief side of the THE protocol against rank vi:
-// claim under the victim's FAA lock, copy the stack bytes from the
+// stealFrom is the thief side of the THE protocol against rank vi,
+// through the shared resilience layer (sched.Resilience.StealFrom):
+// claim under the victim's FAA lock — with bounded retries and THE
+// rollback when faults are injected — copy the stack bytes from the
 // victim's arena region into the SAME offset of ours — two windows of
 // the shared segment, so this memcpy is the cross-process one-sided
 // migration the paper performs with RDMA READ — then release and run.
 func (w *worker) stealFrom(vi int) bool {
 	w.stats.StealAttempts++
-	vd := w.seg.deques[vi]
-	ent, outcome := vd.StealBegin()
+	ent, outcome := w.res.StealFrom(vi, w.seg.deques[vi], w.seg.arenas[vi], w.arena)
 	switch outcome {
 	case sched.StealEmpty, sched.StealEmptyLocked:
 		w.stats.StealAbortEmpty++
@@ -359,16 +411,10 @@ func (w *worker) stealFrom(vi int) bool {
 	case sched.StealLockBusy:
 		w.stats.StealAbortLock++
 		return false
+	case sched.StealFaulted:
+		w.lastVictim = -1
+		return false
 	}
-	if err := w.arena.Install(ent.FrameBase, ent.FrameSize); err != nil {
-		panic(err)
-	}
-	src, err := w.seg.arenas[vi].Slice(ent.FrameBase, ent.FrameSize)
-	if err != nil {
-		panic(err)
-	}
-	copy(w.arena.MustSlice(ent.FrameBase, ent.FrameSize), src)
-	vd.StealCommit()
 	w.stats.StealsOK++
 	w.stats.BytesStolen += ent.FrameSize
 	w.lastVictim = int32(vi)

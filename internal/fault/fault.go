@@ -1,22 +1,28 @@
-// Package fault provides deterministic fault injection for the
-// simulated RDMA fabric. An Injector implements rdma.Injector: the
-// fabric consults it before every remote operation and the injector
-// decides — from its own seeded RNG stream and the virtual clock —
-// whether the op completes, completes late (latency spike), or fails.
+// Package fault provides deterministic fault injection for every
+// backend. Two mechanisms share one Config:
 //
-// Determinism: the simulation engine is sequential, so the injector is
-// consulted in a globally deterministic order; with a fixed Config
-// (including Seed) every run reproduces the exact same fault pattern,
-// making chaos findings replayable. All injected delays are virtual
-// time, so injection never perturbs host-clock-dependent behaviour.
+//   - Injector (this file) implements rdma.Injector for the simulated
+//     fabric: the sequential simulation engine consults it in a
+//     globally deterministic order, so one seeded RNG stream suffices.
+//     All injected delays are virtual time.
+//   - Plan (plan.go) is the backend-neutral schedule for the REAL
+//     backends (rt, dist), where no global consultation order exists:
+//     every decision is a pure hash of (seed, op kind, actor, victim,
+//     per-edge sequence number), so each edge sees a deterministic
+//     fault sequence regardless of thread or process interleaving.
+//     Injected delays are wall-clock.
 //
-// The model is fail-before-effect (see internal/rdma/inject.go): a
-// failed op had no effect on the target, which is what makes the
-// runtime's retry policies sound.
+// Both share the fail-before-effect model (see internal/rdma/inject.go
+// and sched.StealInjector): a failed op had no effect on the target,
+// which is what makes the runtime's retry policies sound. The one
+// deliberate exception is the Plan's steal-copy fault, which fires
+// AFTER the bytes moved — forcing the THE rollback path rather than a
+// plain retry.
 package fault
 
 import (
 	"fmt"
+	"time"
 
 	"uniaddr/internal/rdma"
 	"uniaddr/internal/sim"
@@ -57,13 +63,127 @@ type Config struct {
 	// disables; BrownoutPeriod 0 defaults to 8× the duration.
 	BrownoutPeriod   uint64
 	BrownoutDuration uint64
+
+	// --- Backend-neutral steal knobs (rt + dist; see Plan) ------------
+
+	// Per-phase steal failure probabilities in [0, 1), evaluated by a
+	// deterministic per-seed Plan on the real backends. A claim failure
+	// is fail-before-effect (the lost op never reached the victim's
+	// deque, so a retry is sound); a copy failure fires after the frame
+	// bytes transferred, forcing the thief through the THE rollback
+	// (sched.Deque.StealAbort) so the victim keeps the thread.
+	StealClaimFailProb float64
+	StealCopyFailProb  float64
+
+	// Wall-clock latency spikes on real-backend steals: with
+	// probability StealDelayProb a steal phase stalls for a uniform
+	// draw from [StealDelayMin, StealDelayMax] — the wall-clock
+	// analogue of SpikeProb. A copy-phase stall holds the victim's
+	// deque lock, which is exactly the ODP-page-fault-style stall the
+	// THE protocol must tolerate.
+	StealDelayProb float64
+	StealDelayMin  time.Duration
+	StealDelayMax  time.Duration
+
+	// --- dist control-plane knobs -------------------------------------
+
+	// Applied per control-plane message (hello/start/bye/ack) on the
+	// dist backend. CtlDropProb silently discards the message (the peer
+	// must time out and retry); CtlTruncProb writes a prefix of the
+	// bytes and severs the connection; CtlDelayProb stalls the send by
+	// CtlDelay first. Retries re-draw, so any positive success
+	// probability converges in bounded attempts.
+	CtlDropProb  float64
+	CtlTruncProb float64
+	CtlDelayProb float64
+	CtlDelay     time.Duration
 }
 
-// Enabled reports whether any knob is set; a disabled Config must not
-// be attached to a fabric (the nil injector fast path is free).
+// Enabled reports whether any SIM knob is set; a disabled Config must
+// not be attached to a fabric (the nil injector fast path is free).
+// The real-backend classes have their own predicates (PlanEnabled,
+// CtlEnabled).
 func (c Config) Enabled() bool {
 	return c.ReadFailProb > 0 || c.WriteFailProb > 0 || c.FAAFailProb > 0 ||
 		c.ServerDropProb > 0 || c.SpikeProb > 0 || c.BrownoutDuration > 0
+}
+
+// PlanEnabled reports whether any backend-neutral steal knob is set —
+// the class of faults a Plan injects into the rt and dist steal paths.
+func (c Config) PlanEnabled() bool {
+	return c.StealClaimFailProb > 0 || c.StealCopyFailProb > 0 || c.StealDelayProb > 0
+}
+
+// CtlEnabled reports whether any dist control-plane knob is set.
+func (c Config) CtlEnabled() bool {
+	return c.CtlDropProb > 0 || c.CtlTruncProb > 0 || c.CtlDelayProb > 0
+}
+
+// SimKnobs returns the names of the set knobs that only the simulator
+// can honour; PlanKnobs and CtlKnobs do the same for the real-backend
+// steal class and the dist control-plane class. The facade uses these
+// to reject, per backend and BY NAME, exactly the knobs a backend
+// cannot honour, instead of refusing WithFault wholesale.
+func (c Config) SimKnobs() []string {
+	var set []string
+	for _, k := range []struct {
+		name string
+		on   bool
+	}{
+		{"ReadFailProb", c.ReadFailProb != 0},
+		{"WriteFailProb", c.WriteFailProb != 0},
+		{"FAAFailProb", c.FAAFailProb != 0},
+		{"ServerDropProb", c.ServerDropProb != 0},
+		{"SpikeProb", c.SpikeProb != 0},
+		{"SpikeMinCycles", c.SpikeMinCycles != 0},
+		{"SpikeMaxCycles", c.SpikeMaxCycles != 0},
+		{"BrownoutPeriod", c.BrownoutPeriod != 0},
+		{"BrownoutDuration", c.BrownoutDuration != 0},
+	} {
+		if k.on {
+			set = append(set, k.name)
+		}
+	}
+	return set
+}
+
+// PlanKnobs returns the set backend-neutral steal knobs (see SimKnobs).
+func (c Config) PlanKnobs() []string {
+	var set []string
+	for _, k := range []struct {
+		name string
+		on   bool
+	}{
+		{"StealClaimFailProb", c.StealClaimFailProb != 0},
+		{"StealCopyFailProb", c.StealCopyFailProb != 0},
+		{"StealDelayProb", c.StealDelayProb != 0},
+		{"StealDelayMin", c.StealDelayMin != 0},
+		{"StealDelayMax", c.StealDelayMax != 0},
+	} {
+		if k.on {
+			set = append(set, k.name)
+		}
+	}
+	return set
+}
+
+// CtlKnobs returns the set dist control-plane knobs (see SimKnobs).
+func (c Config) CtlKnobs() []string {
+	var set []string
+	for _, k := range []struct {
+		name string
+		on   bool
+	}{
+		{"CtlDropProb", c.CtlDropProb != 0},
+		{"CtlTruncProb", c.CtlTruncProb != 0},
+		{"CtlDelayProb", c.CtlDelayProb != 0},
+		{"CtlDelay", c.CtlDelay != 0},
+	} {
+		if k.on {
+			set = append(set, k.name)
+		}
+	}
+	return set
 }
 
 // Validate rejects out-of-range knobs.
@@ -77,6 +197,12 @@ func (c Config) Validate() error {
 		{"FAAFailProb", c.FAAFailProb},
 		{"ServerDropProb", c.ServerDropProb},
 		{"SpikeProb", c.SpikeProb},
+		{"StealClaimFailProb", c.StealClaimFailProb},
+		{"StealCopyFailProb", c.StealCopyFailProb},
+		{"StealDelayProb", c.StealDelayProb},
+		{"CtlDropProb", c.CtlDropProb},
+		{"CtlTruncProb", c.CtlTruncProb},
+		{"CtlDelayProb", c.CtlDelayProb},
 	} {
 		if p.v < 0 || p.v >= 1 {
 			return fmt.Errorf("fault: %s %v outside [0, 1)", p.name, p.v)
@@ -87,6 +213,12 @@ func (c Config) Validate() error {
 	}
 	if c.BrownoutDuration > 0 && c.BrownoutPeriod > 0 && c.BrownoutDuration >= c.BrownoutPeriod {
 		return fmt.Errorf("fault: BrownoutDuration %d >= BrownoutPeriod %d", c.BrownoutDuration, c.BrownoutPeriod)
+	}
+	if c.StealDelayMin < 0 || c.StealDelayMax < c.StealDelayMin {
+		return fmt.Errorf("fault: steal delay range [%v, %v] invalid", c.StealDelayMin, c.StealDelayMax)
+	}
+	if c.CtlDelay < 0 {
+		return fmt.Errorf("fault: CtlDelay %v negative", c.CtlDelay)
 	}
 	return nil
 }

@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Op enumerates the operations a Plan is consulted about on the real
+// backends.
+type Op uint8
+
+const (
+	// OpStealClaim is the thief-side deque claim (the FAA lock plus the
+	// top bump — the paper's one-sided claim sequence).
+	OpStealClaim Op = iota
+	// OpStealCopy is the thief-side cross-arena frame transfer, the
+	// stand-in for the RDMA READ of the stolen stack.
+	OpStealCopy
+	// OpCtl is one dist control-plane message send (hello, start, bye
+	// or ack).
+	OpCtl
+	opCount
+)
+
+// PlanStats is a snapshot of a Plan's decision counters.
+type PlanStats struct {
+	Decisions uint64 // consultations
+	Faults    uint64 // steal claim/copy ops failed
+	Delays    uint64 // stalls injected (steal or ctl)
+	DelayNS   uint64 // total injected stall
+	Drops     uint64 // ctl messages silently discarded
+	Truncs    uint64 // ctl messages truncated + connection severed
+}
+
+// CtlDecision is the fate of one control-plane message send.
+type CtlDecision struct {
+	Delay time.Duration
+	Drop  bool // discard silently: the peer must time out and retry
+	Trunc bool // deliver a prefix, then sever the connection
+}
+
+// Plan is the backend-neutral fault schedule for the real backends.
+//
+// The sim Injector draws from one RNG stream, which is deterministic
+// only because the sequential simulator consults it in one global
+// order. Real backends have no such order — workers race — so the Plan
+// derives every decision as a PURE HASH of (seed, op, actor, target,
+// n), where n counts that edge's prior consultations (one atomic
+// counter per (op, from, target) edge). Each edge therefore sees a
+// deterministic decision SEQUENCE for a given seed no matter how the
+// schedules of different workers interleave, which keeps chaos
+// findings reproducible in aggregate: the same seed yields the same
+// per-edge fault pattern, even though the global interleaving varies.
+//
+// A Plan is consulted concurrently from every worker; all state is
+// atomic and there is no locking on the decision path (two uncontended
+// fetch-adds plus a few multiplies).
+type Plan struct {
+	cfg     Config
+	workers int
+	seq     []atomic.Uint64 // per-(op, from, target) consultation counters
+
+	decisions atomic.Uint64
+	faults    atomic.Uint64
+	delays    atomic.Uint64
+	delayNS   atomic.Uint64
+	drops     atomic.Uint64
+	truncs    atomic.Uint64
+}
+
+// NewPlan builds the deterministic schedule for a run of `workers`
+// workers. A Config with no real-backend knob set returns (nil, nil):
+// the nil plan is the free fast path, exactly like the sim's nil
+// injector.
+func NewPlan(cfg Config, workers int) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.PlanEnabled() && !cfg.CtlEnabled() {
+		return nil, nil
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("fault: plan for %d workers", workers)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Plan{
+		cfg:     cfg,
+		workers: workers,
+		seq:     make([]atomic.Uint64, int(opCount)*workers*workers),
+	}, nil
+}
+
+// Config returns the plan's configuration.
+func (p *Plan) Config() Config { return p.cfg }
+
+// Stats returns a snapshot of the decision counters.
+func (p *Plan) Stats() PlanStats {
+	return PlanStats{
+		Decisions: p.decisions.Load(),
+		Faults:    p.faults.Load(),
+		Delays:    p.delays.Load(),
+		DelayNS:   p.delayNS.Load(),
+		Drops:     p.drops.Load(),
+		Truncs:    p.truncs.Load(),
+	}
+}
+
+// draw advances the (op, from, target) edge's sequence counter and
+// returns the hash that seeds this consultation's sub-draws.
+func (p *Plan) draw(op Op, from, target int) uint64 {
+	i := (int(op)*p.workers+from)*p.workers + target
+	n := p.seq[i].Add(1) - 1
+	h := splitmix64(p.cfg.Seed ^ splitmix64(uint64(op)<<40|uint64(from)<<20|uint64(target)))
+	return splitmix64(h + n*0x9e3779b97f4a7c15)
+}
+
+// u01 maps a hash to a uniform float in [0, 1).
+func u01(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// StealClaim decides the fate of one thief→victim claim attempt:
+// an injected stall (0 = none) and whether the claim op is lost.
+// Implements sched.StealInjector.
+func (p *Plan) StealClaim(thief, victim int) (time.Duration, bool) {
+	return p.stealDecision(OpStealClaim, thief, victim, p.cfg.StealClaimFailProb)
+}
+
+// StealCopy decides the fate of one thief→victim frame transfer.
+// Implements sched.StealInjector.
+func (p *Plan) StealCopy(thief, victim int) (time.Duration, bool) {
+	return p.stealDecision(OpStealCopy, thief, victim, p.cfg.StealCopyFailProb)
+}
+
+func (p *Plan) stealDecision(op Op, thief, victim int, failProb float64) (time.Duration, bool) {
+	p.decisions.Add(1)
+	h := p.draw(op, thief, victim)
+	var stall time.Duration
+	if p.cfg.StealDelayProb > 0 && u01(h) < p.cfg.StealDelayProb {
+		span := p.cfg.StealDelayMax - p.cfg.StealDelayMin
+		stall = p.cfg.StealDelayMin
+		if span > 0 {
+			stall += time.Duration(splitmix64(h) % uint64(span+1))
+		}
+		p.delays.Add(1)
+		p.delayNS.Add(uint64(stall))
+	}
+	fail := failProb > 0 && u01(splitmix64(h^0xd6e8feb86659fd93)) < failProb
+	if fail {
+		p.faults.Add(1)
+	}
+	return stall, fail
+}
+
+// CtlSend decides the fate of one control-plane message sent by (or
+// to) the given rank. Safe on a nil plan (no injection). Because every
+// retry advances the edge's sequence counter, a retried message
+// re-draws — any positive success probability converges.
+func (p *Plan) CtlSend(rank int) CtlDecision {
+	if p == nil || !p.cfg.CtlEnabled() {
+		return CtlDecision{}
+	}
+	p.decisions.Add(1)
+	h := p.draw(OpCtl, rank%p.workers, 0)
+	var dec CtlDecision
+	if p.cfg.CtlDelayProb > 0 && u01(h) < p.cfg.CtlDelayProb {
+		dec.Delay = p.cfg.CtlDelay
+		p.delays.Add(1)
+		p.delayNS.Add(uint64(dec.Delay))
+	}
+	switch {
+	case p.cfg.CtlTruncProb > 0 && u01(splitmix64(h^0xa0761d6478bd642f)) < p.cfg.CtlTruncProb:
+		dec.Trunc = true
+		p.truncs.Add(1)
+	case p.cfg.CtlDropProb > 0 && u01(splitmix64(h^0xe7037ed1a0b428db)) < p.cfg.CtlDropProb:
+		dec.Drop = true
+		p.drops.Add(1)
+	}
+	return dec
+}

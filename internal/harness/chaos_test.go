@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"uniaddr/internal/core"
+	"uniaddr/internal/fault"
 	"uniaddr/internal/workloads"
 )
 
@@ -77,6 +78,108 @@ func TestChaosFaultConfigScaling(t *testing.T) {
 	}
 	if c.BrownoutDuration != 40_000 {
 		t.Errorf("brownout duration %d, want rate-sized 40000", c.BrownoutDuration)
+	}
+}
+
+// TestChaosMatrixRT is the acceptance matrix on the in-process real
+// backend: 4 schedules × 3 tiny workloads × 3 seeds = 36 cells, every
+// one ending in the oracle result (or a typed error) within its
+// deadline. Runs un-gated — with -race in CI this doubles as the rt
+// deque steal-fault stress.
+func TestChaosMatrixRT(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	cells, failed := RunChaosMatrix(RTChaosBackend(true), 8, seeds, RTChaosSchedules(), "tiny")
+	if failed > 0 {
+		for _, c := range cells {
+			if !c.Pass {
+				t.Errorf("%s/%s/%s seed=%d: %s (%s)", c.Backend, c.Schedule, c.Workload, c.Seed, c.Outcome, c.Err)
+			}
+		}
+	}
+	ran := 0
+	for _, c := range cells {
+		if c.Outcome != "skipped" {
+			ran++
+		}
+	}
+	if want := len(RTChaosSchedules()) * 3 * len(seeds); ran != want {
+		t.Fatalf("%d cells ran, want %d", ran, want)
+	}
+}
+
+// TestChaosMatrixSim runs the same matrix machinery against the sim —
+// the generalisation gate for satellite 4: one runner, three backends.
+func TestChaosMatrixSim(t *testing.T) {
+	cells, failed := RunChaosMatrix(SimChaosBackend(), 8, []uint64{1, 2}, SimChaosSchedules(), "tiny")
+	if failed > 0 {
+		for _, c := range cells {
+			if !c.Pass {
+				t.Errorf("%s/%s/%s seed=%d: %s (%s)", c.Backend, c.Schedule, c.Workload, c.Seed, c.Outcome, c.Err)
+			}
+		}
+	}
+}
+
+// TestChaosMatrixDist is the full robustness gate on the multi-process
+// backend: steal faults, control-plane socket faults, SIGKILLs (single
+// and double) and the hung-worker heartbeat cell. Multi-process and
+// minutes-long, so skipped under -short.
+func TestChaosMatrixDist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos matrix skipped in -short mode")
+	}
+	cells, failed := RunChaosMatrix(DistChaosBackend(), 4, []uint64{1}, DistChaosSchedules(), "tiny")
+	if failed > 0 {
+		for _, c := range cells {
+			if !c.Pass {
+				t.Errorf("%s/%s/%s seed=%d: %s (%s)", c.Backend, c.Schedule, c.Workload, c.Seed, c.Outcome, c.Err)
+			}
+		}
+	}
+	// The schedule-specific postconditions (crash beats watchdog, hang
+	// bounded) live in distChaosCheck; here just require that the
+	// injection cells actually ran.
+	byName := map[string]int{}
+	for _, c := range cells {
+		if c.Outcome != "skipped" {
+			byName[c.Schedule]++
+		}
+	}
+	for _, name := range []string{"ctl-faults", "kill-rank1", "double-kill", "hang-rank1"} {
+		if byName[name] == 0 {
+			t.Errorf("schedule %s ran no cells", name)
+		}
+	}
+	var buf bytes.Buffer
+	PrintChaosMatrix(&buf, cells, failed)
+	if !strings.Contains(buf.String(), "Chaos matrix") {
+		t.Error("matrix render missing header")
+	}
+}
+
+// TestChaosMatrixRejectsMismatchedKnobs pins the Supports gates: sim
+// knobs never reach rt/dist, plan/ctl knobs never reach sim.
+func TestChaosMatrixRejectsMismatchedKnobs(t *testing.T) {
+	simSch := ChaosSchedule{Name: "sim-knobs", Fault: ChaosFaultConfig(0.01)}
+	planSch := ChaosSchedule{Name: "plan-knobs", Fault: fault.Config{StealClaimFailProb: 0.1}}
+	killSch := ChaosSchedule{Name: "kill", Kill: []int{1}}
+	if RTChaosBackend(true).Supports(simSch) == "" {
+		t.Error("rt accepted sim-only knobs")
+	}
+	if RTChaosBackend(true).Supports(killSch) == "" {
+		t.Error("rt accepted kill injection")
+	}
+	if SimChaosBackend().Supports(planSch) == "" {
+		t.Error("sim accepted real-backend steal knobs")
+	}
+	if SimChaosBackend().Supports(killSch) == "" {
+		t.Error("sim accepted kill injection")
+	}
+	if DistChaosBackend().Supports(simSch) == "" {
+		t.Error("dist accepted sim-only knobs")
+	}
+	if DistChaosBackend().Supports(planSch) != "" {
+		t.Error("dist rejected its own steal knobs")
 	}
 }
 

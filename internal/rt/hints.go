@@ -24,7 +24,7 @@ func (w *Worker) trySteal() bool {
 	// 1. Last successful victim: work-stealing victims are bursty — a
 	// deep deque stays stealable across many rounds.
 	if lv := w.lastVictim; lv >= 0 {
-		if v := w.rt.workers[lv]; v.deque.Occupancy() > 0 {
+		if v := w.rt.workers[lv]; v.deque.Occupancy() > 0 && !w.res.Banned(int(lv)) {
 			w.stats.StealCacheProbes++
 			if w.stealFrom(v, int(lv)) {
 				return true
@@ -33,8 +33,9 @@ func (w *Worker) trySteal() bool {
 		w.lastVictim = -1
 	}
 	// 2. Hint sweep: scan every other worker's hint (cheap loads) from
-	// a random start, probing the first that advertises work. The
-	// random start keeps thieves from convoying on the lowest rank.
+	// a random start, probing the first that advertises work and is not
+	// blacklisted. The random start keeps thieves from convoying on the
+	// lowest rank.
 	start := w.rng.Intn(n)
 	for i := 0; i < n; i++ {
 		vi := start + i
@@ -44,30 +45,49 @@ func (w *Worker) trySteal() bool {
 		if vi == w.rank {
 			continue
 		}
-		if v := w.rt.workers[vi]; v.deque.Occupancy() > 0 {
+		if v := w.rt.workers[vi]; v.deque.Occupancy() > 0 && !w.res.Banned(vi) {
 			w.stats.StealHintProbes++
 			return w.stealFrom(v, vi)
 		}
 	}
-	// 3. Every hint reads empty. Hints can be stale-low (a thief's
-	// refresh can overwrite the owner's newer value), so probe one
-	// random victim anyway: the blind probe is what makes progress
-	// independent of hint freshness.
-	vi := w.rng.Intn(n - 1)
-	if vi >= w.rank {
-		vi++
-	}
+	// 3. Every hint reads empty (or banned). Hints can be stale-low (a
+	// thief's refresh can overwrite the owner's newer value), so probe
+	// one random victim anyway: the blind probe is what makes progress
+	// independent of hint freshness — and, matching the sim's
+	// pickVictim, independent of the ban set (bans only redirect the
+	// draw; after a few redraws the probe proceeds regardless, so
+	// liveness never depends on bans expiring on time).
+	vi := w.blindVictim(n)
 	w.stats.StealBlindProbes++
 	return w.stealFrom(w.rt.workers[vi], vi)
 }
 
-// stealFrom runs the thief side of Fig. 6 against victim v: claim under
-// the FAA lock, memcpy the stack into the same offset of our own arena,
-// release, run. Legal only while our region is empty (the caller
-// checked). On success v becomes the cached victim for the next round.
+// blindVictim draws a uniformly random victim != self, redrawing up to
+// three times to steer around blacklisted victims, then using the last
+// draw anyway.
+func (w *Worker) blindVictim(n int) int {
+	vi := 0
+	for redraw := 0; redraw < 4; redraw++ {
+		vi = w.rng.Intn(n - 1)
+		if vi >= w.rank {
+			vi++
+		}
+		if !w.res.Banned(vi) {
+			break
+		}
+	}
+	return vi
+}
+
+// stealFrom runs the thief side of Fig. 6 against victim v through the
+// shared resilience layer (sched.Resilience.StealFrom): claim under the
+// FAA lock — with bounded retries and rollback when faults are injected
+// — memcpy the stack into the same offset of our own arena, release,
+// run. Legal only while our region is empty (the caller checked). On
+// success v becomes the cached victim for the next round.
 func (w *Worker) stealFrom(v *Worker, vi int) bool {
 	w.stats.StealAttempts++
-	ent, outcome := v.deque.StealBegin()
+	ent, outcome := w.res.StealFrom(vi, v.deque, v.arena, w.arena)
 	switch outcome {
 	case StealEmpty, StealEmptyLocked:
 		w.stats.StealAbortEmpty++
@@ -75,18 +95,12 @@ func (w *Worker) stealFrom(v *Worker, vi int) bool {
 	case StealLockBusy:
 		w.stats.StealAbortLock++
 		return false
+	case StealFaulted:
+		// Fault budget exhausted against this victim; drop the cache so
+		// the next round picks someone else.
+		w.lastVictim = -1
+		return false
 	}
-	// Claimed; the victim's lock is held, so the victim cannot recycle
-	// these bytes until we commit. Copy stack → same VA in our arena.
-	if err := w.arena.Install(ent.FrameBase, ent.FrameSize); err != nil {
-		panic(err)
-	}
-	src, err := v.arena.Slice(ent.FrameBase, ent.FrameSize)
-	if err != nil {
-		panic(err)
-	}
-	copy(w.arena.MustSlice(ent.FrameBase, ent.FrameSize), src)
-	v.deque.StealCommit()
 	w.stats.StealsOK++
 	w.stats.BytesStolen += ent.FrameSize
 	w.lastVictim = int32(vi)

@@ -8,9 +8,22 @@ import (
 	"time"
 
 	"uniaddr/internal/core"
+	"uniaddr/internal/fault"
 	"uniaddr/internal/mem"
 	"uniaddr/internal/sched"
 )
+
+// TimeoutError reports a run that exceeded its MaxWall budget — the
+// structured replacement for an untyped deadline error, so chaos
+// harnesses can distinguish "deadlocked or undersized budget" from a
+// worker fault.
+type TimeoutError struct {
+	Budget time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("rt: run exceeded %v wall-clock budget (deadlock or undersized MaxWall?)", e.Budget)
+}
 
 // Config sizes a Runtime. The zero value of every field selects a
 // sensible default (see DefaultConfig).
@@ -35,6 +48,11 @@ type Config struct {
 	// NoPin disables runtime.LockOSThread per worker (useful in tests
 	// that run many runtimes concurrently).
 	NoPin bool
+	// Fault is the deterministic fault schedule (zero value = none).
+	// Only the backend-neutral knobs apply here (steal claim/copy
+	// failures and delays); sim-only and dist-only knobs are rejected
+	// at the facade.
+	Fault fault.Config
 }
 
 // DefaultConfig returns the standard layout for n workers.
@@ -86,6 +104,10 @@ type Runtime struct {
 	rootInit   func(*core.Env)
 	rootRec    core.Handle
 
+	// initErr records a construction failure (bad fault config);
+	// returned by Run before any goroutine starts.
+	initErr error
+
 	done       atomic.Bool
 	finishOnce sync.Once
 	rootResult uint64
@@ -106,6 +128,19 @@ type Runtime struct {
 func New(cfg Config) *Runtime {
 	cfg.fillDefaults()
 	r := &Runtime{cfg: cfg}
+	fc := cfg.Fault
+	fc.Seed = cfg.Seed
+	plan, err := fault.NewPlan(fc, cfg.Workers)
+	if err != nil {
+		r.initErr = fmt.Errorf("rt: %w", err)
+		plan = nil
+	}
+	// The interface value must be nil (not a typed nil *Plan) for the
+	// resilience fast path to collapse.
+	var inj sched.StealInjector
+	if plan != nil {
+		inj = plan
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		seed := cfg.Seed*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + 1
 		w := &Worker{
@@ -119,6 +154,7 @@ func New(cfg Config) *Runtime {
 			parkSlot:   -1,
 			lastVictim: -1,
 		}
+		w.res = sched.NewResilience(i, sched.DefaultResilienceConfig(), inj)
 		w.stopFn = r.stopped
 		r.workers = append(r.workers, w)
 	}
@@ -133,13 +169,16 @@ func (r *Runtime) Run(fid core.FuncID, localsLen uint32, init func(*core.Env)) (
 		return 0, fmt.Errorf("rt: Runtime.Run called twice; build a fresh Runtime per run")
 	}
 	r.ran = true
+	if r.initErr != nil {
+		return 0, r.initErr
+	}
 	r.rootFid, r.rootLocals, r.rootInit = fid, localsLen, init
 	// The root record is allocated before any goroutine starts so
 	// every worker's ExecComplete can compare against rootRec without
 	// synchronisation.
 	r.rootRec = r.workers[0].newRecord()
 	watchdog := time.AfterFunc(r.cfg.MaxWall, func() {
-		r.fail(fmt.Errorf("rt: run exceeded %v wall-clock budget (deadlock or undersized MaxWall?)", r.cfg.MaxWall))
+		r.fail(&TimeoutError{Budget: r.cfg.MaxWall})
 	})
 	start := time.Now()
 	for _, w := range r.workers {
@@ -238,6 +277,12 @@ func (r *Runtime) TotalStats() Stats {
 		t.Parks += s.Parks
 		t.Wakes += s.Wakes
 		t.WorkCycles += s.WorkCycles
+		t.StealFaults += s.StealFaults
+		t.StealRetries += s.StealRetries
+		t.StealRollbacks += s.StealRollbacks
+		t.StealAbortsFault += s.StealAbortsFault
+		t.VictimBlacklists += s.VictimBlacklists
+		t.FaultBackoffNS += s.FaultBackoffNS
 		if s.MaxStackUsed > t.MaxStackUsed {
 			t.MaxStackUsed = s.MaxStackUsed
 		}

@@ -31,6 +31,7 @@ const (
 	StealEmpty       = sched.StealEmpty
 	StealLockBusy    = sched.StealLockBusy
 	StealEmptyLocked = sched.StealEmptyLocked
+	StealFaulted     = sched.StealFaulted
 )
 
 // NewDeque allocates a private heap-backed deque (see sched.NewDeque).

@@ -46,6 +46,15 @@ type Stats struct {
 
 	WorkCycles   uint64
 	MaxStackUsed uint64
+
+	// Fault-resilience counters (non-zero only under injection; see
+	// sched.ResilienceStats, whose fields these mirror).
+	StealFaults      uint64
+	StealRetries     uint64
+	StealRollbacks   uint64
+	StealAbortsFault uint64
+	VictimBlacklists uint64
+	FaultBackoffNS   uint64
 }
 
 // savedCtx is a suspended thread parked on the Go heap — the rt
@@ -102,6 +111,10 @@ type Worker struct {
 	// (-1 none); owner-only (see hints.go).
 	lastVictim int32
 
+	// res is the thief-side fault state machine (owner-only); with no
+	// injector configured it is dormant and free (see sched.Resilience).
+	res *sched.Resilience
+
 	// Per-worker free lists (owner-only): suspended-context buffers and
 	// task Envs, recycled instead of heap-allocated per use.
 	ctxFree [][]byte
@@ -115,6 +128,13 @@ func (w *Worker) Rank() int { return w.rank }
 func (w *Worker) Stats() Stats {
 	s := w.stats
 	s.MaxStackUsed = w.arena.Max()
+	rs := w.res.Stats
+	s.StealFaults = rs.StealFaults
+	s.StealRetries = rs.StealRetries
+	s.StealRollbacks = rs.StealRollbacks
+	s.StealAbortsFault = rs.StealAbortsFault
+	s.VictimBlacklists = rs.VictimBlacklists
+	s.FaultBackoffNS = rs.BackoffNS
 	return s
 }
 

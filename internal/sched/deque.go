@@ -125,6 +125,10 @@ const (
 	// StealEmptyLocked: the lock was taken but the re-read found the
 	// deque drained; the claim was retreated and the lock released.
 	StealEmptyLocked
+	// StealFaulted: an injected fault exhausted the resilience budget
+	// (retries or blacklist) — see Resilience.StealFrom. Any claimed
+	// entry has been handed back; the victim's lock is released.
+	StealFaulted
 )
 
 func (o StealOutcome) String() string {
@@ -137,6 +141,8 @@ func (o StealOutcome) String() string {
 		return "lock-busy"
 	case StealEmptyLocked:
 		return "empty-locked"
+	case StealFaulted:
+		return "faulted"
 	default:
 		return fmt.Sprintf("StealOutcome(%d)", uint8(o))
 	}

@@ -1,0 +1,259 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"uniaddr/internal/mem"
+)
+
+// scriptInjector replays a fixed per-call script of (stall, fail)
+// decisions, split by op.
+type scriptInjector struct {
+	mu         sync.Mutex
+	claimFails int // fail the first N claim consultations
+	copyFails  int // fail the first N copy consultations
+	claims     int
+	copies     int
+}
+
+func (s *scriptInjector) StealClaim(thief, victim int) (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.claims++
+	return 0, s.claims <= s.claimFails
+}
+
+func (s *scriptInjector) StealCopy(thief, victim int) (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.copies++
+	return 0, s.copies <= s.copyFails
+}
+
+// testRig builds a victim deque+arena with one pushed frame and an
+// empty thief arena at the same base.
+type testRig struct {
+	vd       *Deque
+	src, dst *Arena
+	ent      Entry
+}
+
+func newTestRig(t *testing.T) *testRig {
+	t.Helper()
+	const base, size = mem.VA(0x1000), uint64(1 << 16)
+	src := NewArena(base, size)
+	dst := NewArena(base, size)
+	fb, err := src.AllocBelow(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := src.MustSlice(fb, 256)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	vd := NewDeque(8)
+	ent := Entry{FrameBase: fb, FrameSize: 256}
+	if err := vd.Push(ent); err != nil {
+		t.Fatal(err)
+	}
+	return &testRig{vd: vd, src: src, dst: dst, ent: ent}
+}
+
+func fastCfg() ResilienceConfig {
+	return ResilienceConfig{MaxRetries: 3, BackoffBase: time.Microsecond, BackoffCap: 8 * time.Microsecond, BlacklistAfter: 3, BlacklistFor: time.Minute}
+}
+
+func TestResilienceNilInjectorIsPlainSteal(t *testing.T) {
+	rig := newTestRig(t)
+	r := NewResilience(1, fastCfg(), nil)
+	ent, out := r.StealFrom(0, rig.vd, rig.src, rig.dst)
+	if out != StealOK || ent != rig.ent {
+		t.Fatalf("got (%+v, %v), want (%+v, ok)", ent, out, rig.ent)
+	}
+	got := rig.dst.MustSlice(ent.FrameBase, ent.FrameSize)
+	for i, b := range got {
+		if b != byte(i) {
+			t.Fatalf("byte %d = %d after steal copy", i, b)
+		}
+	}
+	if r.Stats != (ResilienceStats{}) {
+		t.Fatalf("fault counters moved without injector: %+v", r.Stats)
+	}
+}
+
+func TestResilienceClaimRetriesThenSucceeds(t *testing.T) {
+	rig := newTestRig(t)
+	r := NewResilience(1, fastCfg(), &scriptInjector{claimFails: 2})
+	var slept time.Duration
+	r.sleep = func(d time.Duration) { slept += d }
+	ent, out := r.StealFrom(0, rig.vd, rig.src, rig.dst)
+	if out != StealOK || ent != rig.ent {
+		t.Fatalf("got (%+v, %v), want success after retries", ent, out)
+	}
+	if r.Stats.StealFaults != 2 || r.Stats.StealRetries != 2 {
+		t.Fatalf("stats %+v, want 2 faults / 2 retries", r.Stats)
+	}
+	// Exponential: 1µs + 2µs.
+	if slept != 3*time.Microsecond || r.Stats.BackoffNS != uint64(slept) {
+		t.Fatalf("backoff slept %v (counter %d), want 3µs", slept, r.Stats.BackoffNS)
+	}
+	// Success cleared the consecutive-fault streak: no ban state.
+	if r.Banned(0) {
+		t.Fatal("victim banned after a successful steal")
+	}
+}
+
+func TestResilienceClaimExhaustionAbandons(t *testing.T) {
+	rig := newTestRig(t)
+	r := NewResilience(1, fastCfg(), &scriptInjector{claimFails: 100})
+	r.sleep = func(time.Duration) {}
+	_, out := r.StealFrom(0, rig.vd, rig.src, rig.dst)
+	if out != StealFaulted {
+		t.Fatalf("outcome %v, want faulted", out)
+	}
+	// MaxRetries=3 → 4 consultations (attempts 0..3), all failing; the
+	// 3rd fault trips the blacklist (BlacklistAfter=3), but the loop
+	// only abandons at attempt >= MaxRetries or on a live ban.
+	if r.Stats.StealAbortsFault != 1 {
+		t.Fatalf("stats %+v, want exactly one fault abort", r.Stats)
+	}
+	if r.Stats.VictimBlacklists != 1 || !r.Banned(0) {
+		t.Fatalf("stats %+v banned=%v, want the victim banned", r.Stats, r.Banned(0))
+	}
+	// The entry is still on the victim's deque (no claim completed).
+	if rig.vd.Size() != 1 {
+		t.Fatalf("victim deque size %d after abandoned claim, want 1", rig.vd.Size())
+	}
+}
+
+func TestResilienceCopyFaultRollsBack(t *testing.T) {
+	rig := newTestRig(t)
+	r := NewResilience(1, fastCfg(), &scriptInjector{copyFails: 1})
+	r.sleep = func(time.Duration) {}
+	_, out := r.StealFrom(0, rig.vd, rig.src, rig.dst)
+	if out != StealFaulted {
+		t.Fatalf("outcome %v, want faulted rollback", out)
+	}
+	if r.Stats.StealRollbacks != 1 || r.Stats.StealFaults != 1 || r.Stats.StealAbortsFault != 1 {
+		t.Fatalf("stats %+v, want one rollback", r.Stats)
+	}
+	// THE rollback: entry handed back, lock released, thief arena empty.
+	if rig.vd.Size() != 1 {
+		t.Fatalf("victim deque size %d after rollback, want 1 (entry handed back)", rig.vd.Size())
+	}
+	if !rig.dst.Empty() {
+		t.Fatal("thief arena not empty after rollback")
+	}
+	// The same entry is still stealable (fresh resilience, no faults).
+	r2 := NewResilience(2, fastCfg(), nil)
+	ent, out := r2.StealFrom(0, rig.vd, rig.src, rig.dst)
+	if out != StealOK || ent != rig.ent {
+		t.Fatalf("re-steal after rollback: (%+v, %v)", ent, out)
+	}
+}
+
+func TestResilienceBanExpires(t *testing.T) {
+	cfg := fastCfg()
+	cfg.BlacklistFor = time.Millisecond
+	r := NewResilience(1, cfg, &scriptInjector{claimFails: 100})
+	r.sleep = func(time.Duration) {}
+	now := time.Now()
+	r.now = func() time.Time { return now }
+	rig := newTestRig(t)
+	r.StealFrom(0, rig.vd, rig.src, rig.dst)
+	if !r.Banned(0) {
+		t.Fatal("victim not banned after fault burst")
+	}
+	now = now.Add(2 * time.Millisecond)
+	if r.Banned(0) {
+		t.Fatal("ban did not lazily expire")
+	}
+}
+
+// Concurrent thieves with injected faults against one victim under
+// -race: every pushed entry is stolen exactly once, rollbacks hand
+// entries back intact, and accounting balances.
+func TestResilienceConcurrentThievesRace(t *testing.T) {
+	const (
+		thieves = 4
+		entries = 64
+	)
+	base, size := mem.VA(0x1000), uint64(1<<20)
+	src := NewArena(base, size)
+	vd := NewDeque(128)
+	for i := 0; i < entries; i++ {
+		fb, err := src.AllocBelow(128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := src.MustSlice(fb, 128)
+		for j := range b {
+			b[j] = byte(i)
+		}
+		if err := vd.Push(Entry{FrameBase: fb, FrameSize: 128}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var (
+		mu     sync.Mutex
+		stolen = map[mem.VA]int{}
+		wg     sync.WaitGroup
+	)
+	for th := 0; th < thieves; th++ {
+		th := th
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := NewArena(base, size)
+			// Every 5th copy consultation fails → rollbacks interleave
+			// with commits across racing thieves.
+			inj := &everyNthCopy{n: 5}
+			r := NewResilience(th+1, fastCfg(), inj)
+			for {
+				ent, out := r.StealFrom(0, vd, src, dst)
+				switch out {
+				case StealOK:
+					mu.Lock()
+					stolen[ent.FrameBase]++
+					mu.Unlock()
+					// Free the copy so the arena stays empty for the
+					// next steal (steal precondition).
+					if err := dst.FreeLowest(ent.FrameBase, ent.FrameSize); err != nil {
+						panic(err)
+					}
+				case StealEmpty, StealEmptyLocked:
+					if vd.Size() == 0 {
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(stolen) != entries {
+		t.Fatalf("%d distinct entries stolen, want %d", len(stolen), entries)
+	}
+	for fb, n := range stolen {
+		if n != 1 {
+			t.Fatalf("entry %#x stolen %d times", fb, n)
+		}
+	}
+}
+
+// everyNthCopy fails every n-th copy consultation (thread-safe).
+type everyNthCopy struct {
+	mu sync.Mutex
+	n  int
+	c  int
+}
+
+func (e *everyNthCopy) StealClaim(thief, victim int) (time.Duration, bool) { return 0, false }
+
+func (e *everyNthCopy) StealCopy(thief, victim int) (time.Duration, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.c++
+	return 0, e.c%e.n == 0
+}

@@ -10,9 +10,20 @@ import (
 	"uniaddr/internal/rt"
 )
 
-// FaultConfig configures deterministic fabric fault injection (an alias
-// of the internal type, so values flow freely). The zero value disables
-// injection entirely. Sim backend only.
+// FaultConfig configures deterministic fault injection (an alias of
+// the internal type, so values flow freely). The zero value disables
+// injection entirely. The knobs split into three classes, and each
+// backend honours the classes it can model:
+//
+//   - fabric knobs (ReadFailProb, WriteFailProb, FAAFailProb,
+//     ServerDropProb, latency spikes, brownouts): sim only;
+//   - steal knobs (StealClaimFailProb, StealCopyFailProb, steal
+//     delays): rt and dist;
+//   - control-plane knobs (CtlDropProb, CtlTruncProb, CtlDelayProb,
+//     CtlDelay): dist only.
+//
+// Setting a knob the selected backend cannot honour returns an
+// UnsupportedOptionError naming it.
 type FaultConfig = fault.Config
 
 // Backend names accepted by WithBackend.
@@ -63,9 +74,10 @@ func WithCosts(c Costs) Option { return func(o *options) { o.costs = &c } }
 // WithNet sets the simulated RDMA fabric parameters. Sim backend only.
 func WithNet(p NetParams) Option { return func(o *options) { o.net = &p } }
 
-// WithFault enables deterministic fabric fault injection. Sim backend
-// only — the dist backend's faults are real dead processes (see
-// internal/dist's KillRank).
+// WithFault enables deterministic fault injection. Every backend
+// accepts the knob classes it can model (see FaultConfig); a knob the
+// backend cannot honour is rejected with an UnsupportedOptionError,
+// never silently ignored.
 func WithFault(fc FaultConfig) Option { return func(o *options) { o.fault = &fc } }
 
 // WithObs toggles the structured observability recorder (event rings,
@@ -81,16 +93,40 @@ func WithMaxWall(d time.Duration) Option { return func(o *options) { o.maxWall =
 
 // UnsupportedOptionError reports an option that the selected backend
 // cannot honour — returned instead of silently ignoring the request,
-// so a caller asking for fault injection on rt learns the run would
-// not have tested what they meant to test.
+// so a caller asking for fabric fault injection on rt learns the run
+// would not have tested what they meant to test.
 type UnsupportedOptionError struct {
 	Backend string
 	Option  string
 }
 
 func (e *UnsupportedOptionError) Error() string {
-	return fmt.Sprintf("uniaddr: %s is a sim-only option; the %s backend cannot honour it (drop the option or use WithBackend(%q))",
-		e.Option, e.Backend, BackendSim)
+	return fmt.Sprintf("uniaddr: the %s backend cannot honour %s; drop the option or pick a backend that models it",
+		e.Backend, e.Option)
+}
+
+// rejectFaultKnobs returns the UnsupportedOptionError for the first
+// fault knob in fc that backend cannot honour, or nil. The per-class
+// screens: sim rejects the real-backend steal and control-plane knobs,
+// rt rejects fabric and control-plane knobs, dist rejects fabric knobs
+// only.
+func rejectFaultKnobs(backend string, fc *FaultConfig) error {
+	if fc == nil {
+		return nil
+	}
+	var bad []string
+	switch backend {
+	case BackendSim:
+		bad = append(fc.PlanKnobs(), fc.CtlKnobs()...)
+	case BackendRT:
+		bad = append(fc.SimKnobs(), fc.CtlKnobs()...)
+	case BackendDist:
+		bad = fc.SimKnobs()
+	}
+	if len(bad) > 0 {
+		return &UnsupportedOptionError{Backend: backend, Option: "WithFault." + bad[0]}
+	}
+	return nil
 }
 
 // Report is the unified result of a Run on any backend: the same shape
@@ -117,7 +153,8 @@ type Report struct {
 	BytesStolen   uint64 `json:"bytes_stolen"`
 	MaxStackUsed  uint64 `json:"max_stack_used,omitempty"`
 
-	// Failure counters (non-zero only under sim fault injection).
+	// Failure counters (non-zero only under fault injection; populated
+	// by every backend from its own resilience machinery).
 	StealFaults      uint64 `json:"steal_faults,omitempty"`
 	StealRetries     uint64 `json:"steal_retries,omitempty"`
 	StealAbortsFault uint64 `json:"steal_aborts_fault,omitempty"`
@@ -144,20 +181,24 @@ func Run(fid FuncID, localsLen uint32, init func(*Env), opts ...Option) (Report,
 	if o.workers < 1 {
 		return Report{}, fmt.Errorf("uniaddr: WithWorkers(%d): need at least one worker", o.workers)
 	}
+	if err := rejectFaultKnobs(o.backend, o.fault); err != nil {
+		return Report{}, err
+	}
 	switch o.backend {
 	case BackendSim:
 		return runSim(o, fid, localsLen, init)
 	case BackendRT, BackendDist:
-		// The sim-only knobs are rejected, not ignored: a run that
-		// silently dropped the fault model would report clean results
-		// for an experiment that never happened.
+		// Whole sim-only OPTIONS are rejected, not ignored: a run that
+		// silently dropped the cost or fault model would report clean
+		// results for an experiment that never happened. WithFault is
+		// screened per knob above — the steal (rt, dist) and
+		// control-plane (dist) knobs are honoured for real.
 		for _, bad := range []struct {
 			set  bool
 			name string
 		}{
 			{o.costs != nil, "WithCosts"},
 			{o.net != nil, "WithNet"},
-			{o.fault != nil, "WithFault"},
 			{o.obs, "WithObs"},
 		} {
 			if bad.set {
@@ -229,6 +270,9 @@ func runRT(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, er
 	if o.maxWall != 0 {
 		cfg.MaxWall = o.maxWall
 	}
+	if o.fault != nil {
+		cfg.Fault = *o.fault
+	}
 	r := rt.New(cfg)
 	root, err := r.Run(fid, localsLen, init)
 	if err != nil {
@@ -244,6 +288,9 @@ func runRT(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, er
 		Tasks:  ts.TasksExecuted, Spawns: ts.Spawns, Suspends: ts.Suspends,
 		StealAttempts: ts.StealAttempts, StealsOK: ts.StealsOK,
 		BytesStolen: ts.BytesStolen, MaxStackUsed: ts.MaxStackUsed,
+		StealFaults: ts.StealFaults, StealRetries: ts.StealRetries,
+		StealAbortsFault: ts.StealAbortsFault, StealRollbacks: ts.StealRollbacks,
+		VictimBlacklists: ts.VictimBlacklists,
 	}, nil
 }
 
@@ -252,6 +299,9 @@ func runDist(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, 
 	cfg.Seed = o.seed
 	if o.maxWall != 0 {
 		cfg.MaxWall = o.maxWall
+	}
+	if o.fault != nil {
+		cfg.Fault = *o.fault
 	}
 	res, err := dist.Run(cfg, fid, localsLen, init)
 	if err != nil {
@@ -264,5 +314,8 @@ func runDist(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, 
 		Tasks:  ts.TasksExecuted, Spawns: ts.Spawns, Suspends: ts.Suspends,
 		StealAttempts: ts.StealAttempts, StealsOK: ts.StealsOK,
 		BytesStolen: ts.BytesStolen, MaxStackUsed: ts.MaxStackUsed,
+		StealFaults: ts.StealFaults, StealRetries: ts.StealRetries,
+		StealAbortsFault: ts.StealAbortsFault, StealRollbacks: ts.StealRollbacks,
+		VictimBlacklists: ts.VictimBlacklists,
 	}, nil
 }
