@@ -87,8 +87,9 @@ func main() {
 	chaosRates := flag.String("chaos-rates", "", "comma-separated fault rates for sim chaos (default 0,0.001,0.01,0.05)")
 	chaosJSON := flag.String("chaos-json", "", "write the chaos verdicts as JSON to this path (-exp chaos, any backend)")
 	short := flag.Bool("short", false, "shrink long experiments (dist chaos: drop the minutes-long kill/hang cells)")
-	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of a representative faulted chaos run to this file (chaos only; view in Perfetto)")
-	obsOut := flag.Bool("obs", false, "print an observability summary of a representative faulted chaos run (chaos only)")
+	traceOut := flag.String("trace", "", "write Chrome trace-event JSON to this file (-exp run|bench|chaos, any backend; view in Perfetto). The trace's clockDomain field names the timestamp domain: virtual cycles on sim, wall ns on rt/dist")
+	obsOut := flag.Bool("obs", false, "print an observability digest of the run (-exp run|bench|chaos, any backend)")
+	checkTrace := flag.String("check-trace", "", "validate a Chrome trace file produced by -trace (parses, has clock-domain metadata and steal events), then exit")
 	rtJSON := flag.String("rt-json", "BENCH_rt.json", "output path for the rt bench report (-backend rt -exp bench)")
 	distJSON := flag.String("dist-json", "BENCH_dist.json", "output path for the dist bench report (-backend dist -exp bench)")
 	runWorkload := flag.String("workload", "fib", "workload for -exp run (see -list)")
@@ -105,12 +106,19 @@ func main() {
 		printList(os.Stdout)
 		return
 	}
+	if *checkTrace != "" {
+		info, err := harness.CheckTrace(*checkTrace)
+		check(err)
+		fmt.Printf("trace %s OK: %d events (%d steal-related), clock domain %q\n",
+			*checkTrace, info.Events, info.StealEvents, info.Clock)
+		return
+	}
 	stopProfiles := startProfiles(*cpuProfile, *memProfile, *mutexProfile)
 	defer stopProfiles()
 	// "run" is the one backend-neutral experiment: one workload through
 	// the public uniaddr.Run facade, reported as the unified Report.
 	if *exp == "run" {
-		runFacade(*backend, *runWorkload, parseWorkers(*workersFlag, []int{4})[0], *seed, *jsonOut)
+		runFacade(*backend, *runWorkload, parseWorkers(*workersFlag, []int{4})[0], *seed, *jsonOut, *traceOut, *obsOut)
 		return
 	}
 	switch *backend {
@@ -124,9 +132,14 @@ func main() {
 		}
 		if *exp == "chaos" {
 			runChaosMatrix(harness.RTChaosBackend(false), harness.RTChaosSchedules(), *chaosWorkers, *seed, *scale, *chaosJSON)
+			traceRepresentative("rt", *chaosWorkers, *seed, true, *traceOut, *obsOut)
 			return
 		}
 		runRT(*exp, *scale, *seed, *reps, *workersFlag, *rtJSON, *compare, *compareJSON)
+		if *exp == "bench" {
+			ws := parseWorkers(*workersFlag, defaultRTWorkers())
+			traceRepresentative("rt", ws[len(ws)-1], *seed, false, *traceOut, *obsOut)
+		}
 		return
 	case "dist":
 		if *exp == "" {
@@ -146,9 +159,14 @@ func main() {
 				schedules = kept
 			}
 			runChaosMatrix(harness.DistChaosBackend(), schedules, *chaosWorkers, *seed, *scale, *chaosJSON)
+			traceRepresentative("dist", min(*chaosWorkers, 4), *seed, true, *traceOut, *obsOut)
 			return
 		}
 		runDist(*exp, *scale, *seed, *reps, *workersFlag, *distJSON)
+		if *exp == "bench" {
+			ws := parseWorkers(*workersFlag, []int{2, 4})
+			traceRepresentative("dist", ws[len(ws)-1], *seed, false, *traceOut, *obsOut)
+		}
 		return
 	default:
 		fail(fmt.Errorf("unknown backend %q (sim | rt | dist); -list shows what exists", *backend))
@@ -162,10 +180,10 @@ func main() {
 		}
 	}
 	if *traceOut != "" && *exp != "chaos" {
-		fail(fmt.Errorf("-trace is only supported with -exp chaos"))
+		fail(fmt.Errorf("-trace on the sim backend is only supported with -exp run or -exp chaos, not the figure experiments"))
 	}
 	if *obsOut && *exp != "chaos" {
-		fail(fmt.Errorf("-obs is only supported with -exp chaos"))
+		fail(fmt.Errorf("-obs on the sim backend is only supported with -exp run or -exp chaos, not the figure experiments"))
 	}
 	var traceFile *os.File
 	if *traceOut != "" {
@@ -423,10 +441,12 @@ func runDist(exp, scale string, seed uint64, reps int, workersFlag, distJSON str
 // runFacade executes one catalog workload through the public
 // backend-neutral facade (uniaddr.Run) and prints the unified
 // uniaddr.Report — as JSON with -json, human-readable otherwise.
-func runFacade(backend, workload string, workers int, seed uint64, jsonOut bool) {
+// traceOut/obsOut attach the observability recorder and export the run
+// through the one unified path every backend shares.
+func runFacade(backend, workload string, workers int, seed uint64, jsonOut bool, traceOut string, obsOut bool) {
 	var spec workloads.Spec
 	found := false
-	for _, wl := range harness.DiffWorkloads() {
+	for _, wl := range runCatalog() {
 		if wl.Name == workload {
 			spec, found = wl.Spec, true
 			break
@@ -438,8 +458,10 @@ func runFacade(backend, workload string, workers int, seed uint64, jsonOut bool)
 	if spec.Setup != nil {
 		fail(fmt.Errorf("workload %q needs machine staging, which the facade Run does not cover; use the sim experiments", workload))
 	}
-	rep, err := uniaddr.Run(spec.Fid, spec.Locals, spec.Init,
-		uniaddr.WithBackend(backend), uniaddr.WithWorkers(workers), uniaddr.WithSeed(seed))
+	opts := []uniaddr.Option{uniaddr.WithBackend(backend), uniaddr.WithWorkers(workers), uniaddr.WithSeed(seed)}
+	obsOpts, finishTrace := obsOptions(traceOut, obsOut)
+	opts = append(opts, obsOpts...)
+	rep, err := uniaddr.Run(spec.Fid, spec.Locals, spec.Init, opts...)
 	check(err)
 	if spec.Expected != 0 && rep.Root != spec.Expected {
 		fail(fmt.Errorf("%s on %s: result %d, want %d", workload, backend, rep.Root, spec.Expected))
@@ -448,6 +470,7 @@ func runFacade(backend, workload string, workers int, seed uint64, jsonOut bool)
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		check(enc.Encode(rep))
+		finishTrace()
 		return
 	}
 	fmt.Printf("%s on %s: result=%d workers=%d tasks=%d steals=%d/%d bytes-stolen=%d\n",
@@ -458,6 +481,101 @@ func runFacade(backend, workload string, workers int, seed uint64, jsonOut bool)
 	} else {
 		fmt.Printf("wall time: %.3f ms\n", float64(rep.WallNS)/1e6)
 	}
+	if obsOut {
+		printObsDigest(os.Stdout, rep.Obs)
+	}
+	finishTrace()
+}
+
+// runCatalog is the -exp run workload catalog: the differential set
+// plus deeper variants that keep every worker busy long enough to
+// exercise real stealing — the interesting case under -trace (the
+// differential-sized specs can finish on one worker before a peer ever
+// probes, especially on dist where children pay process startup).
+func runCatalog() []harness.DiffWorkload {
+	return append(harness.DiffWorkloads(),
+		harness.DiffWorkload{Name: "fib-deep", Spec: workloads.Fib(24, 500)},
+		harness.DiffWorkload{Name: "nqueens-deep", Spec: workloads.NQueens(8, 50)},
+	)
+}
+
+// obsOptions turns -trace/-obs into facade options. The returned
+// finish func closes the trace file and prints where it went; call it
+// after the run.
+func obsOptions(traceOut string, obsOut bool) ([]uniaddr.Option, func()) {
+	var opts []uniaddr.Option
+	finish := func() {}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		check(err)
+		opts = append(opts, uniaddr.WithTrace(f))
+		finish = func() {
+			check(f.Close())
+			fmt.Printf("(Chrome trace written to %s — open in https://ui.perfetto.dev)\n", traceOut)
+		}
+	}
+	if obsOut {
+		opts = append(opts, uniaddr.WithObs(true))
+	}
+	return opts, finish
+}
+
+// printObsDigest renders the Report's observability block.
+func printObsDigest(out *os.File, o *uniaddr.ObsReport) {
+	if o == nil {
+		fmt.Fprintln(out, "obs: no data recorded")
+		return
+	}
+	fmt.Fprintf(out, "obs: %d events recorded (%s)", o.Events, o.Clock)
+	if o.Dropped > 0 {
+		fmt.Fprintf(out, ", %d dropped by full rings", o.Dropped)
+	}
+	fmt.Fprintln(out)
+	if len(o.DroppedPerWorker) > 0 {
+		fmt.Fprintf(out, "  dropped per worker:")
+		for rank, d := range o.DroppedPerWorker {
+			if d > 0 {
+				fmt.Fprintf(out, " w%d:%d", rank, d)
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	for _, h := range o.Hists {
+		fmt.Fprintf(out, "  %-18s count=%-8d mean=%-10.1f p50=%-8d p95=%-8d p99=%-8d max=%d\n",
+			h.Name, h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max)
+	}
+}
+
+// traceRepresentative runs ONE representative run through the facade
+// with the recorder on and exports it — the trace/summary companion to
+// the bench and chaos experiments on the real backends (the sweeps
+// themselves stay unobserved so recording never skews their numbers).
+// faulted additionally injects the steal-fault knobs so the trace shows
+// the resilient-steal retry/backoff/blacklist ladder. No-op when
+// neither -trace nor -obs was given.
+func traceRepresentative(backend string, workers int, seed uint64, faulted bool, traceOut string, obsOut bool) {
+	if traceOut == "" && !obsOut {
+		return
+	}
+	spec := workloads.Fib(24, 500)
+	opts := []uniaddr.Option{uniaddr.WithBackend(backend), uniaddr.WithWorkers(workers), uniaddr.WithSeed(seed)}
+	if faulted {
+		opts = append(opts, uniaddr.WithFault(uniaddr.FaultConfig{
+			Seed: seed, StealClaimFailProb: 0.05, StealCopyFailProb: 0.02,
+		}))
+	}
+	obsOpts, finishTrace := obsOptions(traceOut, obsOut)
+	opts = append(opts, obsOpts...)
+	fmt.Printf("\ntracing one representative %s run (fib, %d workers, faults=%v)...\n", backend, workers, faulted)
+	rep, err := uniaddr.Run(spec.Fid, spec.Locals, spec.Init, opts...)
+	check(err)
+	if rep.Root != spec.Expected {
+		fail(fmt.Errorf("representative traced run: result %d, want %d", rep.Root, spec.Expected))
+	}
+	if obsOut {
+		printObsDigest(os.Stdout, rep.Obs)
+	}
+	finishTrace()
 }
 
 // printDiff renders a differential report and exits non-zero on any
@@ -533,8 +651,14 @@ func printList(out *os.File) {
 	fmt.Fprintln(out, "  chaos  full fault matrix: steal + control-plane faults, SIGKILLs, hung-worker heartbeat cell")
 	fmt.Fprintln(out, "\nexperiments (any backend):")
 	fmt.Fprintln(out, "  run    one workload via the public uniaddr.Run facade; -json emits the unified Report")
-	fmt.Fprintln(out, "\nworkloads (differential catalog):")
-	for _, wl := range harness.DiffWorkloads() {
+	fmt.Fprintln(out, "\nobservability (-obs digest, -trace Chrome/Perfetto trace; -check-trace validates a trace file):")
+	fmt.Fprintln(out, "  sim   virtual-cycles clock; event rings, task lineage, latency histograms  (run, chaos)")
+	fmt.Fprintln(out, "  rt    wall-ns clock; lock-free per-worker rings, steal/park/copy histograms (run, bench, chaos)")
+	fmt.Fprintln(out, "  dist  wall-ns clock; segment-hosted per-rank rings + heartbeat/control-plane")
+	fmt.Fprintln(out, "        events, harvested by the parent even after a worker crash             (run, bench, chaos)")
+	fmt.Fprintln(out, "  sim-only knobs (WithCosts, WithNet, fabric fault rates) stay rejected on rt/dist")
+	fmt.Fprintln(out, "\nworkloads (differential catalog; *-deep are -exp run extras sized to show stealing under -trace):")
+	for _, wl := range runCatalog() {
 		if reason := harness.RTSkipReason(wl.Spec); reason != "" {
 			fmt.Fprintf(out, "  %-14s sim-only: %s\n", wl.Name, reason)
 		} else {

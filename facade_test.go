@@ -1,6 +1,7 @@
 package uniaddr_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"os"
@@ -24,31 +25,36 @@ func sumTo50(t *testing.T, opts ...uniaddr.Option) (uniaddr.Report, error) {
 	return uniaddr.Run(dblFID, 3*8, func(e *uniaddr.Env) { e.SetU64(0, 50) }, opts...)
 }
 
-// TestFacadeOptionMatrix sweeps every backend against the obs and fault
-// toggles. The sim backend honours both; the real backends must REJECT
-// them with a structured UnsupportedOptionError — never silently run an
-// experiment that isn't the one the caller configured.
+// TestFacadeOptionMatrix sweeps every backend against the obs and
+// fault toggles. WithObs is honoured EVERYWHERE (virtual-time rings on
+// sim, wall-clock rings on rt/dist); the sim-only knobs — cost models
+// and fabric fault injection — must still be REJECTED by the real
+// backends with a structured UnsupportedOptionError, never silently
+// ignored.
 func TestFacadeOptionMatrix(t *testing.T) {
 	const want = uint64(50 * 51 / 2)
-	fc := uniaddr.FaultConfig{ReadFailProb: 0.01}
+	fc := uniaddr.FaultConfig{ReadFailProb: 0.01} // fabric knob: sim only
 	for _, backend := range []string{uniaddr.BackendSim, uniaddr.BackendRT, uniaddr.BackendDist} {
 		for _, tc := range []struct {
-			name  string
-			extra []uniaddr.Option
+			name    string
+			simOnly bool
+			extra   []uniaddr.Option
 		}{
-			{"plain", nil},
-			{"obs", []uniaddr.Option{uniaddr.WithObs(true)}},
-			{"fault", []uniaddr.Option{uniaddr.WithFault(fc)}},
-			{"obs+fault", []uniaddr.Option{uniaddr.WithObs(true), uniaddr.WithFault(fc)}},
+			{"plain", false, nil},
+			{"obs", false, []uniaddr.Option{uniaddr.WithObs(true)}},
+			{"costs", true, []uniaddr.Option{uniaddr.WithCosts(uniaddr.XeonCosts())}},
+			{"net", true, []uniaddr.Option{uniaddr.WithNet(uniaddr.DefaultNetParams())}},
+			{"fault", true, []uniaddr.Option{uniaddr.WithFault(fc)}},
+			{"obs+fault", true, []uniaddr.Option{uniaddr.WithObs(true), uniaddr.WithFault(fc)}},
 		} {
 			t.Run(backend+"/"+tc.name, func(t *testing.T) {
-				simOnly := len(tc.extra) > 0
-				if backend == uniaddr.BackendDist && !simOnly && testing.Short() {
+				rejects := backend != uniaddr.BackendSim && tc.simOnly
+				if backend == uniaddr.BackendDist && !rejects && testing.Short() {
 					t.Skip("multi-process run skipped in -short mode")
 				}
 				opts := append([]uniaddr.Option{uniaddr.WithBackend(backend), uniaddr.WithWorkers(2)}, tc.extra...)
 				rep, err := sumTo50(t, opts...)
-				if backend != uniaddr.BackendSim && simOnly {
+				if rejects {
 					var uo *uniaddr.UnsupportedOptionError
 					if !errors.As(err, &uo) {
 						t.Fatalf("got %T (%v), want *uniaddr.UnsupportedOptionError", err, err)
@@ -71,9 +77,65 @@ func TestFacadeOptionMatrix(t *testing.T) {
 					if rep.ObsEvents == 0 {
 						t.Fatal("WithObs(true) recorded no events")
 					}
+					if rep.Obs == nil {
+						t.Fatal("WithObs(true) produced no Obs digest")
+					}
+					wantClock := "wall-ns"
+					if backend == uniaddr.BackendSim {
+						wantClock = "virtual-cycles"
+					}
+					if rep.Obs.Clock != wantClock {
+						t.Fatalf("Obs clock %q, want %q", rep.Obs.Clock, wantClock)
+					}
+				} else if rep.Obs != nil {
+					t.Fatal("Obs digest present with observability off")
 				}
 			})
 		}
+	}
+}
+
+// TestFacadeTrace drives WithTrace on every backend and checks each
+// emits a self-describing Chrome trace: valid JSON, the backend's
+// clock domain, and at least one steal-category event.
+func TestFacadeTrace(t *testing.T) {
+	for _, tc := range []struct {
+		backend string
+		clock   string
+	}{
+		{uniaddr.BackendSim, "virtual-cycles"},
+		{uniaddr.BackendRT, "wall-ns"},
+		{uniaddr.BackendDist, "wall-ns"},
+	} {
+		t.Run(tc.backend, func(t *testing.T) {
+			if tc.backend == uniaddr.BackendDist && testing.Short() {
+				t.Skip("multi-process run skipped in -short mode")
+			}
+			var buf bytes.Buffer
+			rep, err := sumTo50(t,
+				uniaddr.WithBackend(tc.backend), uniaddr.WithWorkers(2),
+				uniaddr.WithTrace(&buf))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// WithTrace implies WithObs.
+			if rep.Obs == nil {
+				t.Fatal("traced run produced no Obs digest")
+			}
+			var trace struct {
+				ClockDomain string                   `json:"clockDomain"`
+				TraceEvents []map[string]interface{} `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+				t.Fatalf("trace not valid JSON: %v", err)
+			}
+			if trace.ClockDomain != tc.clock {
+				t.Fatalf("clockDomain %q, want %q", trace.ClockDomain, tc.clock)
+			}
+			if len(trace.TraceEvents) == 0 {
+				t.Fatal("empty trace")
+			}
+		})
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"uniaddr/internal/core"
 	"uniaddr/internal/fault"
+	"uniaddr/internal/obs"
 )
 
 // MaybeChild is the worker-process entrypoint hook. Any binary that can
@@ -69,12 +70,13 @@ func dialCtl(spec childSpec, plan *fault.Plan) (*ctlConn, error) {
 // is idempotent, so replays are always safe. setupErrText, when
 // non-empty, travels in the hello and the returned start will be an
 // abort.
-func ctlHandshake(spec childSpec, plan *fault.Plan, setupErrText string, rng *rand.Rand) (*ctlConn, startMsg, error) {
+func ctlHandshake(spec childSpec, plan *fault.Plan, setupErrText string, rng *rand.Rand, wlog *obs.WallLog) (*ctlConn, startMsg, error) {
 	count, digest := core.RegistryFingerprint()
 	hello := helloMsg{Rank: spec.Rank, PID: os.Getpid(), Count: count, Digest: digest, Err: setupErrText}
 	var lastErr error
 	for attempt := 0; attempt < ctlMaxAttempts; attempt++ {
 		if attempt > 0 {
+			wlog.Instant(obs.KCtlRetry, uint64(attempt), 0, -1)
 			ctlBackoff(rng, attempt)
 		}
 		c, err := dialCtl(spec, plan)
@@ -105,10 +107,11 @@ func ctlHandshake(spec childSpec, plan *fault.Plan, setupErrText string, rng *ra
 // redials, replays hello (the coordinator re-sends start immediately,
 // the barrier being long open) and resends the bye. Without the ack a
 // dropped final report would be indistinguishable from success.
-func sendBye(spec childSpec, plan *fault.Plan, c *ctlConn, bye byeMsg, rng *rand.Rand) error {
+func sendBye(spec childSpec, plan *fault.Plan, c *ctlConn, bye byeMsg, rng *rand.Rand, wlog *obs.WallLog) error {
 	var lastErr error
 	for attempt := 0; attempt < ctlMaxAttempts; attempt++ {
 		if attempt > 0 {
+			wlog.Instant(obs.KCtlRetry, uint64(attempt), 0, -1)
 			ctlBackoff(rng, attempt)
 			c.close()
 			var start startMsg
@@ -182,7 +185,16 @@ func childMain(spec childSpec) int {
 			setupErr = err
 		} else {
 			seg, setupErr = attachSegment(b, lay)
+			if setupErr == nil {
+				// Attach this process's views of the segment-hosted event
+				// rings (writes nothing; the parent zeroed the file).
+				setupErr = seg.attachObs(wallClockSince(spec.ObsEpoch))
+			}
 		}
+	}
+	var wlog *obs.WallLog
+	if seg != nil && setupErr == nil {
+		wlog = seg.obsLog(spec.Rank)
 	}
 	plan, planErr := fault.NewPlan(spec.Fault, spec.Workers)
 	if setupErr == nil && planErr != nil {
@@ -194,7 +206,8 @@ func childMain(spec childSpec) int {
 	if setupErr != nil {
 		setupErrText = setupErr.Error()
 	}
-	c, start, err := ctlHandshake(spec, plan, setupErrText, rng)
+	hs := wlog.Clock()
+	c, start, err := ctlHandshake(spec, plan, setupErrText, rng, wlog)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dist child %d: %v\n", spec.Rank, err)
 		return 2
@@ -207,6 +220,7 @@ func childMain(spec childSpec) int {
 		fmt.Fprintf(os.Stderr, "dist child %d: aborted by coordinator: %s\n", spec.Rank, start.Err)
 		return 4
 	}
+	wlog.Emit(obs.KCtlHello, hs, wlog.Clock()-hs, 0, 0, -1)
 
 	// Injected hang: after the delay the whole process falls silent —
 	// the worker wedges at its next task entry AND the heartbeat stops,
@@ -220,6 +234,9 @@ func childMain(spec childSpec) int {
 		go func() {
 			for !hung.Load() {
 				seg.hbStamp(spec.Rank, uint64(time.Now().UnixNano()))
+				// Second producer on the rank's ring — the FAA slot
+				// reservation makes this safe beside the worker goroutine.
+				wlog.Instant(obs.KHeartbeat, 0, 0, -1)
 				time.Sleep(spec.HeartbeatInterval)
 			}
 		}()
@@ -234,10 +251,12 @@ func childMain(spec childSpec) int {
 		seg.failStore(uint64(spec.Rank) + 1)
 		bye.Err = runErr.Error()
 	}
-	if err := sendBye(spec, plan, c, bye, rng); err != nil {
+	bs := wlog.Clock()
+	if err := sendBye(spec, plan, c, bye, rng, wlog); err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		return 2
 	}
+	wlog.Emit(obs.KCtlBye, bs, wlog.Clock()-bs, 0, 0, -1)
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "dist child %d: %v\n", spec.Rank, runErr)
 		return 5

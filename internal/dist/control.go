@@ -55,6 +55,17 @@ type childSpec struct {
 	HangAfter time.Duration
 	// HeartbeatInterval is the stamping period (<= 0 disables).
 	HeartbeatInterval time.Duration
+
+	// Obs/ObsRingCap select the segment-hosted event rings. They are
+	// layout inputs: a child that failed to thread them would compute
+	// offsets that silently disagree with the parent's, so layout() is
+	// the only place a Config is rebuilt from a spec.
+	Obs        bool
+	ObsRingCap int
+	// ObsEpoch is the parent-chosen wall epoch (unix nanos); every
+	// process stamps events as UnixNano()-ObsEpoch so one merged
+	// timeline holds all ranks.
+	ObsEpoch int64
 }
 
 func (s childSpec) encode() (string, error) {
@@ -81,10 +92,12 @@ func childSpecFromEnv() (childSpec, bool, error) {
 // call the same function so the offsets cannot drift.
 func (s childSpec) layout() layout {
 	cfg := Config{
-		Workers:   s.Workers,
-		ArenaSize: s.ArenaSize,
-		DequeCap:  s.DequeCap,
-		RecordCap: s.RecordCap,
+		Workers:    s.Workers,
+		ArenaSize:  s.ArenaSize,
+		DequeCap:   s.DequeCap,
+		RecordCap:  s.RecordCap,
+		Obs:        s.Obs,
+		ObsRingCap: s.ObsRingCap,
 	}
 	return computeLayout(&cfg)
 }

@@ -12,6 +12,7 @@ import (
 
 	"uniaddr/internal/core"
 	"uniaddr/internal/fault"
+	"uniaddr/internal/obs"
 )
 
 // Result is a completed dist run's report: the root task's result plus
@@ -20,6 +21,11 @@ type Result struct {
 	Root      uint64
 	Elapsed   time.Duration
 	PerWorker []Stats
+	// Obs is the harvested wall-clock export when Config.Obs was set
+	// (nil otherwise). It is populated on FAILED runs too — Run returns
+	// it beside WorkerCrashError/WorkerHungError so a dead rank's last
+	// recorded events are still exportable.
+	Obs *obs.Export
 }
 
 // TotalStats sums the per-worker counters.
@@ -136,6 +142,16 @@ func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (R
 	if err != nil {
 		return Result{}, err
 	}
+	// Wall epoch for the run: every process (parent and children, via
+	// the childSpec) stamps events as UnixNano-epoch, so the harvested
+	// rings share one timeline.
+	var obsEpoch int64
+	if cfg.Obs {
+		obsEpoch = time.Now().UnixNano()
+		if err := seg.attachObs(wallClockSince(obsEpoch)); err != nil {
+			return Result{}, err
+		}
+	}
 
 	// --- control server ----------------------------------------------
 	sockDir, err := os.MkdirTemp("", "uniaddr-dist")
@@ -172,6 +188,7 @@ func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (R
 			ShmPath: f.Name(), SegBase: uint64(segBase), SockPath: sockPath,
 			Fault: fc, HangRank: cfg.HangRank, HangAfter: cfg.HangAfter,
 			HeartbeatInterval: cfg.HeartbeatInterval,
+			Obs:               cfg.Obs, ObsRingCap: cfg.ObsRingCap, ObsEpoch: obsEpoch,
 		}
 		envVal, err := spec.encode()
 		if err != nil {
@@ -350,17 +367,27 @@ func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (R
 	wg.Wait()
 	grace.Stop()
 
+	// Harvest the segment-hosted event rings BEFORE the error gates: all
+	// child processes have been wait()ed on (quiescence), the segment is
+	// still mapped, and a crashed or hung rank's last events are exactly
+	// what a failed run's caller wants to see.
+	var obsExport *obs.Export
+	if seg.obs != nil {
+		obsExport = obs.NewWallRecorderOver(seg.obs).Export()
+	}
+
 	if err := errs.get(); err != nil {
-		return Result{}, err
+		return Result{Obs: obsExport}, err
 	}
 	if seg.ctl.done.Load() == 0 {
-		return Result{}, fmt.Errorf("dist: workers exited without completing the root task")
+		return Result{Obs: obsExport}, fmt.Errorf("dist: workers exited without completing the root task")
 	}
 
 	res := Result{
 		Root:      seg.ctl.result.Load(),
 		Elapsed:   elapsed,
 		PerWorker: make([]Stats, cfg.Workers),
+		Obs:       obsExport,
 	}
 	res.PerWorker[0] = w0.stats
 	for _, c := range children {
@@ -372,7 +399,7 @@ func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (R
 			if c.waitErr != nil {
 				detail = c.waitErr.Error()
 			}
-			return Result{}, &WorkerCrashError{Rank: c.rank, PID: c.cmd.Process.Pid, Phase: "report", Detail: detail}
+			return Result{Obs: obsExport}, &WorkerCrashError{Rank: c.rank, PID: c.cmd.Process.Pid, Phase: "report", Detail: detail}
 		}
 		res.PerWorker[c.rank] = c.bye.Stats
 	}
@@ -381,13 +408,21 @@ func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (R
 	// exactly one record — the never-joined root's — still live.
 	for r := 0; r < cfg.Workers; r++ {
 		if n := seg.deques[r].Size(); n != 0 {
-			return Result{}, fmt.Errorf("dist: rank %d deque holds %d entries after completion", r, n)
+			return Result{Obs: obsExport}, fmt.Errorf("dist: rank %d deque holds %d entries after completion", r, n)
 		}
 	}
 	if live := res.TotalStats().RecordsLive; live != 1 {
-		return Result{}, fmt.Errorf("dist: %d records live after completion, want 1 (the root's)", live)
+		return Result{Obs: obsExport}, fmt.Errorf("dist: %d records live after completion, want 1 (the root's)", live)
 	}
 	return res, nil
+}
+
+// wallClockSince returns the shared dist wall clock: nanoseconds since
+// the parent-chosen epoch. Every process uses the same epoch (threaded
+// through the childSpec), so event stamps from different ranks land on
+// one timeline, skewed only by host clock-sync error between calls.
+func wallClockSince(epochNano int64) func() uint64 {
+	return func() uint64 { return uint64(time.Now().UnixNano() - epochNano) }
 }
 
 // atomicFlag is a tiny set-once boolean safe across goroutines.

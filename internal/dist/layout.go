@@ -31,11 +31,13 @@
 package dist
 
 import (
+	"math/bits"
 	"time"
 
 	"uniaddr/internal/core"
 	"uniaddr/internal/fault"
 	"uniaddr/internal/mem"
+	"uniaddr/internal/obs"
 	"uniaddr/internal/sched"
 )
 
@@ -82,6 +84,14 @@ type Config struct {
 	// the backend-neutral steal knobs plus the dist-only control-plane
 	// knobs (dropped/delayed/truncated control messages).
 	Fault fault.Config
+	// Obs hosts one wall-clock event ring per rank INSIDE the shared
+	// segment, so each worker process records into its own region and
+	// the parent harvests them at quiescence — including after a crash
+	// or hang, when the dead rank's last events are still mapped.
+	Obs bool
+	// ObsRingCap is the per-rank event-ring capacity (<= 0 selects
+	// obs.DefaultWallRingCap; rounded up to a power of two).
+	ObsRingCap int
 }
 
 // DefaultConfig returns the standard layout for n worker processes.
@@ -163,15 +173,19 @@ func pageAlign(n uint64) uint64 { return (n + pageSize - 1) &^ (pageSize - 1) }
 //	                              SAME logical range in every worker,
 //	                              which is what makes a stolen frame's
 //	                              interior pointers valid on arrival.
+//	  obs[w] (when obsCap > 0)    obs.WallLogBytes(obsCap): rank w's
+//	                              wall-clock event ring + histograms
 type layout struct {
 	workers   int
 	hbOff     uint64
 	dequeOff  []uint64
 	tableOff  []uint64
 	arenaOff  []uint64
+	obsOff    []uint64
 	dequeCap  uint64
 	recordCap uint64
 	arenaSize uint64
+	obsCap    uint64 // wall-ring slots per rank; 0 = obs off
 	total     uint64
 	arenaBase mem.VA
 }
@@ -184,6 +198,9 @@ func computeLayout(cfg *Config) layout {
 		arenaSize: cfg.ArenaSize,
 		arenaBase: core.DefaultUniBase,
 	}
+	if cfg.Obs {
+		l.obsCap = obsRingCap(cfg.ObsRingCap)
+	}
 	off := pageAlign(ctlBytes)
 	l.hbOff = off
 	off += pageAlign(uint64(cfg.Workers) * hbSlotBytes)
@@ -194,9 +211,26 @@ func computeLayout(cfg *Config) layout {
 		off += pageAlign(sched.TableBytes(cfg.RecordCap))
 		l.arenaOff = append(l.arenaOff, off)
 		off += pageAlign(cfg.ArenaSize)
+		if l.obsCap > 0 {
+			l.obsOff = append(l.obsOff, off)
+			off += pageAlign(obs.WallLogBytes(l.obsCap))
+		}
 	}
 	l.total = off
 	return l
+}
+
+// obsRingCap mirrors obs's capacity normalisation (<=0 → default,
+// else round up to a power of two) so parent and children — which
+// rebuild the layout independently from the childSpec — agree on it.
+func obsRingCap(c int) uint64 {
+	if c <= 0 {
+		return obs.DefaultWallRingCap
+	}
+	if c < 2 {
+		c = 2
+	}
+	return 1 << uint(bits.Len64(uint64(c-1)))
 }
 
 // rootRec is the root task's record handle: record 0 on rank 0,

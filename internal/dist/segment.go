@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"uniaddr/internal/obs"
 	"uniaddr/internal/sched"
 )
 
@@ -64,6 +65,11 @@ type segment struct {
 	tables []*sched.Table
 	arenas []*sched.Arena
 	hb     []hbSlot
+	// obs[r] is rank r's wall-clock event ring, hosted in the segment so
+	// the coordinator can harvest every rank's trace after the run — even
+	// a rank that was SIGKILLed mid-event (the flat ring decodes around
+	// torn slots). nil entries when observability is off.
+	obs []*obs.WallLog
 }
 
 // attachSegment builds views over mapped segment memory. Safe to call
@@ -92,6 +98,35 @@ func attachSegment(b []byte, lay layout) (*segment, error) {
 		s.arenas = append(s.arenas, sched.NewArenaOver(lay.arenaBase, b[lay.arenaOff[r]:lay.arenaOff[r]+lay.arenaSize]))
 	}
 	return s, nil
+}
+
+// attachObs builds per-rank wall-log views over the segment's obs
+// blocks. Like attachSegment it writes nothing — zeroed segment memory
+// IS an empty ring — so the coordinator and every child can attach
+// independently. now is the process-local clock (nil for a
+// harvest-only view).
+func (s *segment) attachObs(now func() uint64) error {
+	if s.lay.obsCap == 0 {
+		return nil
+	}
+	s.obs = make([]*obs.WallLog, s.lay.workers)
+	for r := 0; r < s.lay.workers; r++ {
+		l, err := obs.NewWallLogAt(s.bytes[s.lay.obsOff[r]:], r, s.lay.obsCap, now)
+		if err != nil {
+			return fmt.Errorf("dist: rank %d obs ring: %w", r, err)
+		}
+		s.obs[r] = l
+	}
+	return nil
+}
+
+// obsLog returns rank's wall log (nil when observability is off —
+// every WallLog method is a nil-receiver no-op, so callers just emit).
+func (s *segment) obsLog(rank int) *obs.WallLog {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs[rank]
 }
 
 // stopped is the shared stop predicate: run finished or failed.

@@ -11,6 +11,7 @@ import (
 	"uniaddr/internal/fault"
 	"uniaddr/internal/gas"
 	"uniaddr/internal/mem"
+	"uniaddr/internal/obs"
 	"uniaddr/internal/sched"
 )
 
@@ -109,6 +110,11 @@ type worker struct {
 	res  *sched.Resilience
 	hung *atomic.Bool
 
+	// wlog is this rank's segment-hosted wall-clock event ring (nil when
+	// observability is off; every method is a nil no-op). The heartbeat
+	// goroutine writes the same ring — it is multi-producer-safe.
+	wlog *obs.WallLog
+
 	ctxFree [][]byte
 	envFree []*core.Env
 
@@ -137,6 +143,8 @@ func newWorker(seg *segment, rank int, seed uint64, plan *fault.Plan, hung *atom
 		inj = plan
 	}
 	w.res = sched.NewResilience(rank, sched.DefaultResilienceConfig(), inj)
+	w.wlog = seg.obsLog(rank)
+	w.res.Log = w.wlog
 	w.stopFn = seg.stopped
 	return w
 }
@@ -220,7 +228,9 @@ func (w *worker) idleWait() {
 		return
 	}
 	w.stats.IdleSleeps++
+	ns := w.wlog.Clock()
 	time.Sleep(w.sleep)
+	w.wlog.Nap(ns)
 	if w.sleep < idleSleepMax {
 		w.sleep *= 2
 	}
@@ -309,7 +319,9 @@ func (w *worker) invoke(base mem.VA, size uint64) core.Status {
 	}
 	h := core.DecodeFrameHeader(w.arena.MustSlice(base, core.FrameHeaderBytes))
 	e := w.getEnv(base, size, h.Resume)
+	ts := w.wlog.Clock()
 	st := core.TaskFn(h.Fid)(e)
+	w.wlog.Emit(obs.KTask, ts, w.wlog.Clock()-ts, uint64(h.Fid), 0, -1)
 	if st == core.Done {
 		if !e.Returned() {
 			w.ExecComplete(e.Self(), 0)
@@ -360,8 +372,11 @@ func (w *worker) trySteal() bool {
 		return false
 	}
 	if lv := w.lastVictim; lv >= 0 {
-		if d := w.seg.deques[lv]; d.Occupancy() > 0 && !w.res.Banned(int(lv)) && w.stealFrom(int(lv)) {
-			return true
+		if d := w.seg.deques[lv]; d.Occupancy() > 0 && !w.res.Banned(int(lv)) {
+			w.wlog.Instant(obs.KProbeCache, 0, 0, int(lv))
+			if w.stealFrom(int(lv)) {
+				return true
+			}
 		}
 		w.lastVictim = -1
 	}
@@ -375,6 +390,7 @@ func (w *worker) trySteal() bool {
 			continue
 		}
 		if w.seg.deques[vi].Occupancy() > 0 && !w.res.Banned(vi) {
+			w.wlog.Instant(obs.KProbeHint, 0, 0, vi)
 			return w.stealFrom(vi)
 		}
 	}
@@ -391,6 +407,7 @@ func (w *worker) trySteal() bool {
 			break
 		}
 	}
+	w.wlog.Instant(obs.KProbeBlind, 0, 0, vi)
 	return w.stealFrom(vi)
 }
 
@@ -403,21 +420,27 @@ func (w *worker) trySteal() bool {
 // migration the paper performs with RDMA READ — then release and run.
 func (w *worker) stealFrom(vi int) bool {
 	w.stats.StealAttempts++
+	ts := w.wlog.Clock()
 	ent, outcome := w.res.StealFrom(vi, w.seg.deques[vi], w.seg.arenas[vi], w.arena)
 	switch outcome {
 	case sched.StealEmpty, sched.StealEmptyLocked:
 		w.stats.StealAbortEmpty++
+		w.wlog.Emit(obs.KStealEmpty, ts, w.wlog.Clock()-ts, 0, 0, vi)
 		return false
 	case sched.StealLockBusy:
 		w.stats.StealAbortLock++
+		w.wlog.Emit(obs.KStealBusy, ts, w.wlog.Clock()-ts, 0, 0, vi)
 		return false
 	case sched.StealFaulted:
+		// The resilience layer already recorded the fault/retry/abandon
+		// ladder for this attempt.
 		w.lastVictim = -1
 		return false
 	}
 	w.stats.StealsOK++
 	w.stats.BytesStolen += ent.FrameSize
 	w.lastVictim = int32(vi)
+	w.wlog.StealOK(ts, ent.FrameSize, vi)
 	w.invoke(ent.FrameBase, ent.FrameSize)
 	return true
 }
@@ -523,7 +546,9 @@ func (w *worker) ExecJoin(e *core.Env, resumeRP int, h core.Handle) (uint64, boo
 	w.stats.Suspends++
 	core.SetFrameResume(w.arena.MustSlice(e.FrameBase(), core.FrameHeaderBytes), uint32(resumeRP))
 	buf := w.getCtxBuf(e.FrameSize())
+	ss := w.wlog.Clock()
 	copy(buf, w.arena.MustSlice(e.FrameBase(), e.FrameSize()))
+	w.wlog.Suspend(ss, e.FrameSize())
 	if err := w.arena.FreeLowest(e.FrameBase(), e.FrameSize()); err != nil {
 		panic(err)
 	}

@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// TraceInfo summarises a validated Chrome trace file.
+type TraceInfo struct {
+	Clock       string // clockDomain metadata ("virtual-cycles" or "wall-ns")
+	Events      int    // total trace events
+	StealEvents int    // events in the steal lifecycle (attempt/ok/empty/busy/fault/...)
+}
+
+// CheckTrace validates a trace file produced by the unified exporter
+// (-trace / uniaddr.WithTrace): it must parse as Chrome trace-event
+// JSON, carry the clock-domain metadata that tells a viewer what the
+// timestamps mean, and contain at least one steal-lifecycle event —
+// the signal this whole observability layer exists to expose. CI runs
+// this over the smoke-job artifacts; the CLI exposes it as
+// -check-trace.
+func CheckTrace(path string) (TraceInfo, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return TraceInfo{}, err
+	}
+	var trace struct {
+		ClockDomain string `json:"clockDomain"`
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &trace); err != nil {
+		return TraceInfo{}, fmt.Errorf("%s: not valid Chrome trace JSON: %w", path, err)
+	}
+	info := TraceInfo{Clock: trace.ClockDomain, Events: len(trace.TraceEvents)}
+	if trace.ClockDomain == "" {
+		return info, fmt.Errorf("%s: missing clockDomain metadata — a viewer cannot tell virtual cycles from wall ns", path)
+	}
+	if len(trace.TraceEvents) == 0 {
+		return info, fmt.Errorf("%s: no trace events", path)
+	}
+	for _, e := range trace.TraceEvents {
+		if strings.Contains(e.Cat, "steal") || strings.HasPrefix(e.Name, "steal") {
+			info.StealEvents++
+		}
+	}
+	if info.StealEvents == 0 {
+		return info, fmt.Errorf("%s: %d events but none from the steal lifecycle", path, info.Events)
+	}
+	return info, nil
+}

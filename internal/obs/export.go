@@ -1,0 +1,136 @@
+package obs
+
+// Unified export path: both recorder families (virtual-time Recorder,
+// wall-clock WallRecorder) reduce to an Export — a clock-domain label,
+// per-worker event streams with truncation accounting, optional task
+// lineages, and named histograms — and the Chrome-trace / text-summary
+// writers consume only that, so sim and real-backend traces go through
+// one exporter.
+
+// Clock-domain labels carried by Export and stamped into the Chrome
+// trace's top-level "clockDomain" field.
+const (
+	// ClockVirtual: timestamps are simulation-engine virtual cycles.
+	ClockVirtual = "virtual-cycles"
+	// ClockWallNS: timestamps are wall-clock nanoseconds since the
+	// run's epoch (monotonic within a process; dist aligns processes
+	// on a shared epoch).
+	ClockWallNS = "wall-ns"
+)
+
+// ExportLog is one worker's exported event stream.
+type ExportLog struct {
+	Rank    int32
+	Events  []Event
+	States  []StateChange // sim only; empty for wall logs
+	Total   uint64        // events ever recorded (kept + dropped)
+	Dropped uint64        // events the bounded ring discarded
+}
+
+// NamedHist pairs a histogram with its display name.
+type NamedHist struct {
+	Name string
+	Hist *Hist
+}
+
+// Export is a recorder-family-neutral snapshot ready for the writers.
+type Export struct {
+	Clock string      // ClockVirtual or ClockWallNS
+	Logs  []ExportLog // rank order
+	Tasks []*Lineage  // sim lineage; empty for wall recorders
+	Hists []NamedHist // only non-empty histograms
+}
+
+// Events returns the total number of events ever recorded across all
+// workers (kept + dropped). Nil-safe.
+func (ex *Export) Events() uint64 {
+	if ex == nil {
+		return 0
+	}
+	var n uint64
+	for _, l := range ex.Logs {
+		n += l.Total
+	}
+	return n
+}
+
+// Dropped returns the total number of ring-discarded events. Nil-safe.
+func (ex *Export) Dropped() uint64 {
+	if ex == nil {
+		return 0
+	}
+	var n uint64
+	for _, l := range ex.Logs {
+		n += l.Dropped
+	}
+	return n
+}
+
+// ClockUnit returns the human unit for the export's clock domain.
+func (ex *Export) ClockUnit() string {
+	if ex != nil && ex.Clock == ClockWallNS {
+		return "wall ns"
+	}
+	return "virtual cycles"
+}
+
+func appendHist(hists []NamedHist, name string, h *Hist) []NamedHist {
+	if h == nil || h.Count == 0 {
+		return hists
+	}
+	return append(hists, NamedHist{Name: name, Hist: h})
+}
+
+// Export snapshots the virtual-time recorder (nil on nil).
+func (r *Recorder) Export() *Export {
+	if r == nil {
+		return nil
+	}
+	ex := &Export{Clock: ClockVirtual, Tasks: r.tasks}
+	for _, l := range r.logs {
+		ex.Logs = append(ex.Logs, ExportLog{
+			Rank:    l.rank,
+			Events:  l.Events(),
+			States:  l.states,
+			Total:   l.total,
+			Dropped: l.dropped,
+		})
+	}
+	ex.Hists = appendHist(ex.Hists, "steal latency", &r.StealLatency)
+	ex.Hists = appendHist(ex.Hists, "stack transfer", &r.StackXfer)
+	ex.Hists = appendHist(ex.Hists, "stack bytes", &r.StackBytes)
+	ex.Hists = appendHist(ex.Hists, "software FAA", &r.FAARoundTrip)
+	ex.Hists = appendHist(ex.Hists, "suspend swap", &r.SuspendSwap)
+	return ex
+}
+
+// Export snapshots the wall-clock recorder, merging the per-worker
+// histograms into run-wide aggregates (nil on nil). Call at
+// quiescence — the per-worker rings are decoded here.
+func (r *WallRecorder) Export() *Export {
+	if r == nil {
+		return nil
+	}
+	ex := &Export{Clock: ClockWallNS}
+	var steal, park, copyNS, copyBytes Hist
+	for _, l := range r.logs {
+		if l == nil {
+			continue
+		}
+		ex.Logs = append(ex.Logs, ExportLog{
+			Rank:    l.rank,
+			Events:  l.Events(),
+			Total:   l.Total(),
+			Dropped: l.Dropped(),
+		})
+		steal.Merge(l.StealLatency)
+		park.Merge(l.ParkDur)
+		copyNS.Merge(l.StackCopyNS)
+		copyBytes.Merge(l.StackCopyBytes)
+	}
+	ex.Hists = appendHist(ex.Hists, "steal latency", &steal)
+	ex.Hists = appendHist(ex.Hists, "park duration", &park)
+	ex.Hists = appendHist(ex.Hists, "stack-copy ns", &copyNS)
+	ex.Hists = appendHist(ex.Hists, "stack-copy bytes", &copyBytes)
+	return ex
+}

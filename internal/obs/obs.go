@@ -1,19 +1,26 @@
-// Package obs is the structured, virtual-time observability subsystem
-// of the simulator: per-worker event rings, task-lineage tracking and
+// Package obs is the structured observability subsystem shared by all
+// backends: per-worker event rings, task-lineage tracking and
 // log-bucket latency histograms, with exporters to Chrome trace-event
 // JSON (Perfetto-viewable) and a compact text summary.
 //
-// Everything is recorded in virtual time (the simulation engine's
-// cycle clock), so enabling observability never perturbs a run: two
-// same-seed runs with and without a Recorder attached execute the
-// identical virtual-time schedule. The disabled path is a nil-receiver
-// guard — a nil *Recorder or *WorkerLog accepts every call and does
-// nothing, so instrumented code needs no conditionals and costs one
-// pointer comparison per event when observability is off.
+// Two recorder families share one event vocabulary and one export
+// path (Export → WriteChromeTraceExport / WriteSummaryExport):
 //
-// Concurrency: the simulation engine is sequential (exactly one
-// simulated process executes at a time), so the Recorder needs no
-// locks; it must not be shared across real OS threads.
+//   - Recorder/WorkerLog stamp events with the simulation engine's
+//     virtual cycle clock. The engine is sequential (exactly one
+//     simulated process executes at a time), so they need no locks and
+//     must not be shared across real OS threads. Enabling them never
+//     perturbs a run: two same-seed runs with and without a Recorder
+//     execute the identical virtual-time schedule.
+//   - WallRecorder/WallLog (wall.go) stamp events with a monotonic
+//     wall clock and write flat, pointer-free rings that can live on
+//     the heap or inside a shared-memory segment, for the rt and dist
+//     backends.
+//
+// The disabled path is a nil-receiver guard in both families — a nil
+// *Recorder, *WorkerLog, *WallRecorder or *WallLog accepts every call
+// and does nothing, so instrumented code needs no conditionals and
+// costs one pointer comparison per event when observability is off.
 package obs
 
 import "fmt"
@@ -96,6 +103,34 @@ const (
 	// KDepth samples the owner-observed deque depth (Arg = depth)
 	// after a local push/pop/take.
 	KDepth
+	// --- real-backend (wall-clock) kinds -------------------------------
+	// KProbeCache / KProbeHint / KProbeBlind classify a steal-victim
+	// probe on the rt/dist backends: last-successful-victim cache hit,
+	// occupancy-hint sweep pick, or blind liveness fallback (Peer =
+	// probed victim).
+	KProbeCache
+	KProbeHint
+	KProbeBlind
+	// KNap is one bounded idle sleep in the spin→nap→park ladder
+	// (Dur = ns actually slept).
+	KNap
+	// KPark is one full park on the runtime parking lot, from blocking
+	// on the wake channel to the wake token arriving (Dur = ns parked).
+	KPark
+	// KBlacklist records a victim being blacklisted after consecutive
+	// steal faults (Peer = victim, Arg = ban duration ns).
+	KBlacklist
+	// KHeartbeat is one heartbeat stamp written to the shared segment
+	// by a dist worker process.
+	KHeartbeat
+	// KCtlHello / KCtlBye are dist control-plane round trips: the
+	// hello/start handshake and the bye/ack farewell (Dur = ns for the
+	// full round trip, including any redials).
+	KCtlHello
+	KCtlBye
+	// KCtlRetry is a control-plane redial after a connection fault
+	// (Arg = attempt number).
+	KCtlRetry
 	numKinds
 )
 
@@ -106,6 +141,9 @@ var kindNames = [numKinds]string{
 	"steal-fault", "steal-retry", "steal-rollback", "steal-abandon",
 	"xfer", "READ", "WRITE", "FAA", "net-retry",
 	"lifeline-push", "lifeline-recv", "deque-depth",
+	"probe-cache", "probe-hint", "probe-blind",
+	"nap", "park", "blacklist", "heartbeat",
+	"ctl-hello", "ctl-bye", "ctl-retry",
 }
 
 // String returns the kind name.

@@ -6,29 +6,48 @@ import (
 	"sort"
 )
 
-// WriteSummary renders the compact text post-mortem: per-kind event
-// counts, the latency histograms with tail percentiles, and the task
-// lineage digest (migrated tasks, hop distribution). fname resolves
-// task FuncIDs to names (nil allowed).
+// WriteSummary renders the virtual-time recorder's compact text
+// post-mortem. fname resolves task FuncIDs to names (nil allowed).
 func WriteSummary(w io.Writer, r *Recorder, fname func(uint32) string) {
 	if r == nil {
 		fmt.Fprintln(w, "obs: disabled")
 		return
 	}
+	WriteSummaryExport(w, r.Export(), fname)
+}
+
+// WriteSummaryExport renders any export — virtual-time or wall-clock —
+// as a compact text post-mortem: per-kind event counts, per-worker
+// ring-overflow accounting, the latency histograms with tail
+// percentiles, and (when lineage was tracked) the task lineage digest.
+func WriteSummaryExport(w io.Writer, ex *Export, fname func(uint32) string) {
+	if ex == nil {
+		fmt.Fprintln(w, "obs: disabled")
+		return
+	}
 	var counts [numKinds]uint64
-	var total, dropped uint64
-	for _, l := range r.Logs() {
-		for _, e := range l.Events() {
+	for _, l := range ex.Logs {
+		for _, e := range l.Events {
 			counts[e.Kind]++
 		}
-		total += l.Total()
-		dropped += l.Dropped()
 	}
-	fmt.Fprintf(w, "obs: %d events recorded on %d workers", total, len(r.Logs()))
+	total, dropped := ex.Events(), ex.Dropped()
+	fmt.Fprintf(w, "obs: %d events recorded on %d workers (%s)", total, len(ex.Logs), ex.ClockUnit())
 	if dropped > 0 {
 		fmt.Fprintf(w, " (%d dropped by full rings — oldest first)", dropped)
 	}
 	fmt.Fprintln(w)
+	if dropped > 0 {
+		// Per-worker truncation: a full ring silently biases a trace
+		// toward the run's tail, so name the workers it happened on.
+		fmt.Fprintf(w, "  dropped per worker:")
+		for _, l := range ex.Logs {
+			if l.Dropped > 0 {
+				fmt.Fprintf(w, " w%d:%d", l.Rank, l.Dropped)
+			}
+		}
+		fmt.Fprintln(w)
+	}
 	fmt.Fprintf(w, "  events by kind:")
 	n := 0
 	for k := Kind(0); k < numKinds; k++ {
@@ -43,23 +62,21 @@ func WriteSummary(w io.Writer, r *Recorder, fname func(uint32) string) {
 	}
 	fmt.Fprintln(w)
 
-	fmt.Fprintf(w, "  latency histograms (virtual cycles):\n")
-	fmt.Fprintf(w, "    %-18s %9s %12s %10s %10s %10s %10s\n",
-		"quantity", "count", "mean", "p50", "p95", "p99", "max")
-	hist := func(name string, h *Hist) {
-		if h.Count == 0 {
-			return
+	if len(ex.Hists) > 0 {
+		fmt.Fprintf(w, "  latency histograms (%s):\n", ex.ClockUnit())
+		fmt.Fprintf(w, "    %-18s %9s %12s %10s %10s %10s %10s\n",
+			"quantity", "count", "mean", "p50", "p95", "p99", "max")
+		for _, nh := range ex.Hists {
+			h := nh.Hist
+			fmt.Fprintf(w, "    %-18s %9d %12.1f %10d %10d %10d %10d\n",
+				nh.Name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max)
 		}
-		fmt.Fprintf(w, "    %-18s %9d %12.1f %10d %10d %10d %10d\n",
-			name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max)
 	}
-	hist("steal latency", &r.StealLatency)
-	hist("stack transfer", &r.StackXfer)
-	hist("stack bytes", &r.StackBytes)
-	hist("software FAA", &r.FAARoundTrip)
-	hist("suspend swap", &r.SuspendSwap)
 
-	tasks := r.Tasks()
+	if ex.Clock != ClockVirtual {
+		return // lineage tracking is sim-only
+	}
+	tasks := ex.Tasks
 	migrated, hops, maxHops := 0, 0, 0
 	var farthest *Lineage
 	for _, ln := range tasks {

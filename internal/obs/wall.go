@@ -1,0 +1,363 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// Wall-clock observability for the real backends (rt, dist).
+//
+// A WallLog is a flat, pointer-free event ring plus four latency
+// histograms, laid out so the whole block can live either on the heap
+// or inside a shared-memory segment mapped at the same address in
+// several processes (the `internal/sched` attach-view idiom):
+//
+//	[ header: 1 atomic total word, padded to 64 B ]
+//	[ ring:   ringCap slots × 5 words (40 B each) ]
+//	[ hists:  steal-latency, park-dur, copy-ns, copy-bytes ]
+//
+// Writers reserve a slot with one fetch-and-add on the header word
+// (slot = index & mask), store the four payload words, then store the
+// packed fifth word — peer | kind | flags | lap-tag — last, all with
+// atomic word stores. Multiple producers may share one ring (a dist
+// child's heartbeat goroutine writes beside its worker goroutine); the
+// FAA makes reservations disjoint, so writers never contend on a slot.
+//
+// Readers run at quiescence (after every writer has stopped or died —
+// the dist parent harvests after wait()ing on all children), so they
+// see fully written slots. The lap tag and a kind-validity check make
+// the decode robust to the one case quiescence cannot rule out: a
+// writer SIGKILLed between reserving a slot and completing its stores.
+// Such a slot either still holds the previous lap's fifth word (lap
+// mismatch → skipped) or is all-zero (decodes as KState, which wall
+// rings never contain → skipped). A torn slot is dropped, never
+// misreported.
+//
+// On overflow the ring keeps the NEWEST events: logical indices
+// [total-cap, total) survive, older slots are overwritten in place.
+// Dropped() = total - cap derives from the same header word, so
+// truncation is always visible to exporters.
+//
+// All methods are nil-safe: a nil *WallLog accepts every call and does
+// nothing, so instrumented hot paths need no conditionals and cost one
+// pointer comparison per event when observability is off.
+
+const (
+	// wallEventWords is the flat footprint of one ring slot in words:
+	// Time, Dur, Arg, Task, then peer|kind|flags|lap packed.
+	wallEventWords = 5
+	// wallHdrWords pads the header's single atomic total word out to a
+	// cache line so producer FAAs never false-share with slot 0.
+	wallHdrWords = 8
+	// wallHistCount is the number of flat histograms after the ring.
+	wallHistCount = 4
+)
+
+// DefaultWallRingCap is the per-worker wall-clock ring capacity when a
+// configuration leaves it zero: 2^16 events ≈ 2.6 MB per worker.
+const DefaultWallRingCap = 1 << 16
+
+// wallRingCap normalises a configured capacity: <=0 selects the
+// default, anything else is rounded up to a power of two (the ring
+// masks instead of dividing).
+func wallRingCap(c int) uint64 {
+	if c <= 0 {
+		return DefaultWallRingCap
+	}
+	if c < 2 {
+		c = 2
+	}
+	return 1 << uint(bits.Len64(uint64(c-1)))
+}
+
+// WallLogBytes returns the flat byte footprint of one per-worker wall
+// log with the given (power-of-two) ring capacity.
+func WallLogBytes(ringCap uint64) uint64 {
+	return wallHdrWords*8 + ringCap*wallEventWords*8 +
+		wallHistCount*uint64(unsafe.Sizeof(Hist{}))
+}
+
+// WallLog is one worker's wall-clock event stream over a flat memory
+// block. All methods are nil-safe.
+type WallLog struct {
+	now   func() uint64
+	total *uint64  // header word: events ever reserved
+	slots []uint64 // ringCap × wallEventWords
+	mask  uint64   // ringCap - 1
+	shift uint     // log2(ringCap), for lap tags
+	rank  int32
+
+	// Histograms, recorded by the owning worker only (the ring is
+	// multi-producer; the hists are not). Read them only through a
+	// non-nil log, or via Export.
+	StealLatency   *Hist // successful steal, probe begin → frame installed (ns)
+	ParkDur        *Hist // full park, block → wake token (ns)
+	StackCopyNS    *Hist // stolen/suspended stack memcpy time (ns)
+	StackCopyBytes *Hist // stolen/suspended stack size (bytes)
+}
+
+// NewWallLogAt builds an attach view of the wall log stored in block,
+// which must be 8-byte aligned and at least WallLogBytes(ringCap)
+// long. ringCap must be a power of two >= 2. The block is NOT zeroed:
+// a fresh (zero-filled) block is an empty log, and re-attaching from
+// another process sees whatever has been recorded so far. now supplies
+// the wall clock (nil is allowed for harvest-only views; Clock then
+// returns 0).
+func NewWallLogAt(block []byte, rank int, ringCap uint64, now func() uint64) (*WallLog, error) {
+	if ringCap < 2 || ringCap&(ringCap-1) != 0 {
+		return nil, fmt.Errorf("obs: wall ring cap %d not a power of two >= 2", ringCap)
+	}
+	need := WallLogBytes(ringCap)
+	if uint64(len(block)) < need {
+		return nil, fmt.Errorf("obs: wall log block %d bytes, need %d", len(block), need)
+	}
+	p := unsafe.Pointer(&block[0])
+	if uintptr(p)%8 != 0 {
+		return nil, fmt.Errorf("obs: wall log block not 8-byte aligned")
+	}
+	words := unsafe.Slice((*uint64)(p), need/8)
+	l := &WallLog{
+		now:   now,
+		total: &words[0],
+		slots: words[wallHdrWords : wallHdrWords+ringCap*wallEventWords],
+		mask:  ringCap - 1,
+		shift: uint(bits.TrailingZeros64(ringCap)),
+		rank:  int32(rank),
+	}
+	off := wallHdrWords + ringCap*wallEventWords
+	hw := uint64(unsafe.Sizeof(Hist{})) / 8
+	l.StealLatency = (*Hist)(unsafe.Pointer(&words[off+0*hw]))
+	l.ParkDur = (*Hist)(unsafe.Pointer(&words[off+1*hw]))
+	l.StackCopyNS = (*Hist)(unsafe.Pointer(&words[off+2*hw]))
+	l.StackCopyBytes = (*Hist)(unsafe.Pointer(&words[off+3*hw]))
+	return l, nil
+}
+
+// Clock returns the current wall timestamp (0 on a nil log or a
+// harvest-only view), so call sites can take interval start stamps
+// unconditionally.
+func (l *WallLog) Clock() uint64 {
+	if l == nil || l.now == nil {
+		return 0
+	}
+	return l.now()
+}
+
+// EmitFlags records an interval event [time, time+dur) of kind k with
+// explicit flags.
+func (l *WallLog) EmitFlags(k Kind, time, dur, arg uint64, task TaskID, peer int, flags uint8) {
+	if l == nil {
+		return
+	}
+	idx := atomic.AddUint64(l.total, 1) - 1
+	base := (idx & l.mask) * wallEventWords
+	s := l.slots
+	atomic.StoreUint64(&s[base+0], time)
+	atomic.StoreUint64(&s[base+1], dur)
+	atomic.StoreUint64(&s[base+2], arg)
+	atomic.StoreUint64(&s[base+3], uint64(task))
+	lap := (idx >> l.shift) & 0xffff
+	atomic.StoreUint64(&s[base+4],
+		uint64(uint32(peer))|uint64(uint8(k))<<32|uint64(flags)<<40|lap<<48)
+}
+
+// Emit records an interval event [time, time+dur) of kind k.
+func (l *WallLog) Emit(k Kind, time, dur, arg uint64, task TaskID, peer int) {
+	l.EmitFlags(k, time, dur, arg, task, peer, 0)
+}
+
+// Instant records a zero-duration event stamped now.
+func (l *WallLog) Instant(k Kind, arg uint64, task TaskID, peer int) {
+	if l == nil {
+		return
+	}
+	l.EmitFlags(k, l.Clock(), 0, arg, task, peer, 0)
+}
+
+// StealOK records a successful steal that began at start: a KStealOK
+// interval (Arg = stolen bytes, Peer = victim) plus a steal-latency
+// histogram sample.
+func (l *WallLog) StealOK(start, bytes uint64, peer int) {
+	if l == nil {
+		return
+	}
+	d := l.Clock() - start
+	l.EmitFlags(KStealOK, start, d, bytes, 0, peer, 0)
+	l.StealLatency.Record(d)
+}
+
+// Park records a full park that began blocking at start: a KPark
+// interval plus a park-duration histogram sample.
+func (l *WallLog) Park(start uint64) {
+	if l == nil {
+		return
+	}
+	d := l.Clock() - start
+	l.EmitFlags(KPark, start, d, 0, 0, -1, 0)
+	l.ParkDur.Record(d)
+}
+
+// Nap records one bounded idle sleep that began at start.
+func (l *WallLog) Nap(start uint64) {
+	if l == nil {
+		return
+	}
+	l.EmitFlags(KNap, start, l.Clock()-start, 0, 0, -1, 0)
+}
+
+// Copy records a cross-arena stack copy that began at start (KXfer,
+// Peer = victim) plus stack-copy time/size histogram samples.
+func (l *WallLog) Copy(start, bytes uint64, peer int) {
+	if l == nil {
+		return
+	}
+	d := l.Clock() - start
+	l.EmitFlags(KXfer, start, d, bytes, 0, peer, 0)
+	l.StackCopyNS.Record(d)
+	l.StackCopyBytes.Record(bytes)
+}
+
+// Suspend records a suspend-to-heap stack copy that began at start
+// (KSuspend, Arg = frame bytes) plus stack-copy histogram samples.
+func (l *WallLog) Suspend(start, bytes uint64) {
+	if l == nil {
+		return
+	}
+	d := l.Clock() - start
+	l.EmitFlags(KSuspend, start, d, bytes, 0, -1, 0)
+	l.StackCopyNS.Record(d)
+	l.StackCopyBytes.Record(bytes)
+}
+
+// Rank returns the worker rank the log belongs to (-1 on nil).
+func (l *WallLog) Rank() int {
+	if l == nil {
+		return -1
+	}
+	return int(l.rank)
+}
+
+// Total returns how many events were ever recorded (kept + dropped).
+func (l *WallLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	return atomic.LoadUint64(l.total)
+}
+
+// Dropped returns how many events the bounded ring discarded.
+func (l *WallLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	total, ringCap := atomic.LoadUint64(l.total), l.mask+1
+	if total <= ringCap {
+		return 0
+	}
+	return total - ringCap
+}
+
+// Events decodes the ring contents in logical (reservation) order:
+// indices [max(0, total-cap), total). Call at quiescence; slots a dead
+// writer reserved but never finished are skipped, not misread.
+func (l *WallLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	total := atomic.LoadUint64(l.total)
+	ringCap := l.mask + 1
+	start := uint64(0)
+	if total > ringCap {
+		start = total - ringCap
+	}
+	out := make([]Event, 0, total-start)
+	for i := start; i < total; i++ {
+		base := (i & l.mask) * wallEventWords
+		w4 := atomic.LoadUint64(&l.slots[base+4])
+		if (w4>>48)&0xffff != (i>>l.shift)&0xffff {
+			continue // reserved but never committed (dead writer) or stale lap
+		}
+		k := Kind(uint8(w4 >> 32))
+		// KState never enters a wall ring, so an all-zero slot (fresh
+		// memory behind a reserved-but-unwritten index) is rejected here.
+		if k == KState || k >= numKinds {
+			continue
+		}
+		out = append(out, Event{
+			Time:  atomic.LoadUint64(&l.slots[base+0]),
+			Dur:   atomic.LoadUint64(&l.slots[base+1]),
+			Arg:   atomic.LoadUint64(&l.slots[base+2]),
+			Task:  TaskID(atomic.LoadUint64(&l.slots[base+3])),
+			Peer:  int32(uint32(w4)),
+			Kind:  k,
+			Flags: uint8(w4 >> 40),
+		})
+	}
+	return out
+}
+
+// WallRecorder collects the per-worker WallLogs of one rt run (heap
+// blocks) or one dist run (attach views over the shared segment). All
+// methods are nil-safe.
+type WallRecorder struct {
+	logs  []*WallLog
+	clock func() uint64
+}
+
+// NewWallRecorder builds a heap-backed wall recorder for n workers
+// with the given per-worker ring capacity (<= 0 selects
+// DefaultWallRingCap; other values round up to a power of two). The
+// clock is monotonic ns since the recorder was created.
+func NewWallRecorder(n, ringCap int) *WallRecorder {
+	cp := wallRingCap(ringCap)
+	epoch := time.Now()
+	now := func() uint64 { return uint64(time.Since(epoch)) }
+	r := &WallRecorder{clock: now, logs: make([]*WallLog, n)}
+	for i := range r.logs {
+		// A []uint64 backing keeps the block 8-aligned; the log's
+		// interior pointers keep it alive.
+		words := make([]uint64, WallLogBytes(cp)/8)
+		block := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(words)*8)
+		l, err := NewWallLogAt(block, i, cp, now)
+		if err != nil {
+			panic(err) // sizing is self-consistent; unreachable
+		}
+		r.logs[i] = l
+	}
+	return r
+}
+
+// NewWallRecorderOver wraps existing wall logs (e.g. segment attach
+// views) for export. logs must be in rank order.
+func NewWallRecorderOver(logs []*WallLog) *WallRecorder {
+	return &WallRecorder{logs: logs}
+}
+
+// Now returns the recorder's current wall timestamp (0 on nil or on a
+// harvest-only recorder).
+func (r *WallRecorder) Now() uint64 {
+	if r == nil || r.clock == nil {
+		return 0
+	}
+	return r.clock()
+}
+
+// Worker returns rank's log (nil on a nil recorder, so the result can
+// be stored unconditionally).
+func (r *WallRecorder) Worker(rank int) *WallLog {
+	if r == nil {
+		return nil
+	}
+	return r.logs[rank]
+}
+
+// Logs returns all worker logs in rank order (nil on nil).
+func (r *WallRecorder) Logs() []*WallLog {
+	if r == nil {
+		return nil
+	}
+	return r.logs
+}

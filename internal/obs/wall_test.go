@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// alignedBlock returns an 8-byte-aligned zeroed block of n bytes.
+func alignedBlock(n uint64) []byte {
+	words := make([]uint64, (n+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), int(n))
+}
+
+func TestWallLogBytesLayout(t *testing.T) {
+	if s := unsafe.Sizeof(Hist{}); s%8 != 0 {
+		t.Fatalf("Hist size %d not word-multiple", s)
+	}
+	want := uint64(64) + 8*wallEventWords*8 + 4*uint64(unsafe.Sizeof(Hist{}))
+	if got := WallLogBytes(8); got != want {
+		t.Fatalf("WallLogBytes(8) = %d, want %d", got, want)
+	}
+}
+
+func TestWallRingCapRounding(t *testing.T) {
+	cases := map[int]uint64{
+		-1: DefaultWallRingCap, 0: DefaultWallRingCap,
+		1: 2, 2: 2, 3: 4, 1000: 1024, 1 << 12: 1 << 12,
+	}
+	for in, want := range cases {
+		if got := wallRingCap(in); got != want {
+			t.Errorf("wallRingCap(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestWallLogAtRejectsBadArgs(t *testing.T) {
+	block := alignedBlock(WallLogBytes(8))
+	if _, err := NewWallLogAt(block, 0, 7, nil); err == nil {
+		t.Fatal("non-power-of-two cap accepted")
+	}
+	if _, err := NewWallLogAt(block[:100], 0, 8, nil); err == nil {
+		t.Fatal("short block accepted")
+	}
+	mis := alignedBlock(WallLogBytes(8) + 8)
+	if _, err := NewWallLogAt(mis[1:], 0, 8, nil); err == nil {
+		t.Fatal("misaligned block accepted")
+	}
+}
+
+func TestWallLogRoundTrip(t *testing.T) {
+	var tick uint64
+	now := func() uint64 { tick += 10; return tick }
+	l, err := NewWallLogAt(alignedBlock(WallLogBytes(16)), 0, 16, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Emit(KStealOK, 100, 50, 128, 7, 3)
+	l.EmitFlags(KStealFault, 200, 0, 0, 0, 1, FFailed)
+	l.Instant(KProbeBlind, 9, 0, 2)
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	e := evs[0]
+	if e.Kind != KStealOK || e.Time != 100 || e.Dur != 50 || e.Arg != 128 || e.Task != 7 || e.Peer != 3 {
+		t.Fatalf("event 0 round-trip: %+v", e)
+	}
+	if !evs[1].Failed() || evs[1].Peer != 1 {
+		t.Fatalf("flags/peer lost: %+v", evs[1])
+	}
+	if evs[2].Kind != KProbeBlind || evs[2].Time != 10 || evs[2].Arg != 9 {
+		t.Fatalf("instant: %+v", evs[2])
+	}
+	if l.Total() != 3 || l.Dropped() != 0 {
+		t.Fatalf("total %d dropped %d", l.Total(), l.Dropped())
+	}
+	if l.Clock() == 0 {
+		t.Fatal("Clock returned 0 with a live clock")
+	}
+}
+
+func TestWallLogWrapKeepsNewest(t *testing.T) {
+	l, err := NewWallLogAt(alignedBlock(WallLogBytes(4)), 0, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		l.Emit(KProbeBlind, i, 0, i, 0, int(i))
+	}
+	if l.Total() != 10 || l.Dropped() != 6 {
+		t.Fatalf("total %d dropped %d, want 10/6", l.Total(), l.Dropped())
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(6 + i); e.Arg != want || e.Time != want {
+			t.Fatalf("event %d = %+v, want arg %d (newest kept, oldest first)", i, e, want)
+		}
+	}
+}
+
+// TestWallLogSharedAttach simulates the dist pattern: two views over
+// the same block (as two processes would have), one writing, the other
+// harvesting — including a "dead writer" slot that was reserved but
+// never committed.
+func TestWallLogSharedAttach(t *testing.T) {
+	block := alignedBlock(WallLogBytes(8))
+	wr, err := NewWallLogAt(block, 3, 8, func() uint64 { return 42 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr.Instant(KHeartbeat, 0, 0, -1)
+	wr.StealOK(40, 256, 1)
+
+	// Simulate a writer killed between FAA and the word stores: bump
+	// total without writing the slot.
+	wr.reserveOnly()
+
+	rd, err := NewWallLogAt(block, 3, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Rank() != 3 {
+		t.Fatalf("rank %d", rd.Rank())
+	}
+	if rd.Total() != 3 {
+		t.Fatalf("total %d", rd.Total())
+	}
+	evs := rd.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2 (torn slot skipped)", len(evs))
+	}
+	if evs[0].Kind != KHeartbeat || evs[1].Kind != KStealOK {
+		t.Fatalf("kinds %v %v", evs[0].Kind, evs[1].Kind)
+	}
+	if rd.StealLatency.Count != 1 || rd.StealLatency.Max != 2 {
+		t.Fatalf("steal hist not shared: %+v", rd.StealLatency)
+	}
+}
+
+// TestWallLogConcurrentMPSC hammers one shared ring and eight private
+// rings from eight goroutines, then reads at quiescence — the -race
+// stress for the wall recorder's memory-ordering argument.
+func TestWallLogConcurrentMPSC(t *testing.T) {
+	const writers = 8
+	const perWriter = 4096
+	rec := NewWallRecorder(writers, 1024)
+	shared, err := NewWallLogAt(alignedBlock(WallLogBytes(1024)), 99, 1024, rec.Worker(0).now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := rec.Worker(w)
+			for i := 0; i < perWriter; i++ {
+				own.Instant(KProbeBlind, uint64(i), 0, w)
+				own.StealOK(own.Clock(), uint64(i), (w+1)%writers)
+				shared.Emit(KHeartbeat, uint64(w)<<32|uint64(i), 0, 0, 0, w)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for w := 0; w < writers; w++ {
+		l := rec.Worker(w)
+		if got := l.Total(); got != 2*perWriter {
+			t.Fatalf("worker %d total %d, want %d", w, got, 2*perWriter)
+		}
+		for _, e := range l.Events() {
+			if e.Kind != KProbeBlind && e.Kind != KStealOK {
+				t.Fatalf("worker %d: unexpected kind %v", w, e.Kind)
+			}
+		}
+		if l.StealLatency.Count != perWriter {
+			t.Fatalf("worker %d steal hist count %d", w, l.StealLatency.Count)
+		}
+	}
+	if got := shared.Total(); got != writers*perWriter {
+		t.Fatalf("shared total %d, want %d", got, writers*perWriter)
+	}
+	evs := shared.Events()
+	// With racing multi-lap writers a slot's final content may be from
+	// an older lap (the decoder skips it), so the retained window can
+	// be slightly short of cap — but never longer, and never corrupt.
+	if len(evs) > 1024 || len(evs) < 1024-2*writers {
+		t.Fatalf("shared ring kept %d, want ~cap 1024", len(evs))
+	}
+	for _, e := range evs {
+		if e.Kind != KHeartbeat {
+			t.Fatalf("shared ring corrupt kind %v", e.Kind)
+		}
+		if w := int(e.Time >> 32); w != int(e.Peer) {
+			t.Fatalf("shared ring torn slot: writer tag %d vs peer %d", w, e.Peer)
+		}
+	}
+	if d := shared.Dropped(); d != writers*perWriter-1024 {
+		t.Fatalf("shared dropped %d", d)
+	}
+}
+
+func TestWallNilSafety(t *testing.T) {
+	var l *WallLog
+	l.Emit(KTask, 1, 2, 3, 4, 5)
+	l.EmitFlags(KTask, 1, 2, 3, 4, 5, FFailed)
+	l.Instant(KPark, 0, 0, -1)
+	l.StealOK(0, 0, 0)
+	l.Park(0)
+	l.Nap(0)
+	l.Copy(0, 0, 0)
+	l.Suspend(0, 0)
+	if l.Clock() != 0 || l.Total() != 0 || l.Dropped() != 0 || l.Rank() != -1 || l.Events() != nil {
+		t.Fatal("nil WallLog leaked state")
+	}
+	var r *WallRecorder
+	if r.Now() != 0 || r.Worker(0) != nil || r.Logs() != nil || r.Export() != nil {
+		t.Fatal("nil WallRecorder leaked state")
+	}
+}
+
+// TestWallExportChrome drives wall-clock events through the unified
+// exporter and checks the trace is valid Chrome JSON with the wall
+// clock domain and per-worker drop accounting.
+func TestWallExportChrome(t *testing.T) {
+	rec := NewWallRecorder(2, 16)
+	w0, w1 := rec.Worker(0), rec.Worker(1)
+	w0.Instant(KProbeHint, 0, 0, 1)
+	w0.StealOK(w0.Clock(), 512, 1)
+	w0.Copy(w0.Clock(), 512, 1)
+	w0.Park(w0.Clock())
+	w0.Nap(w0.Clock())
+	w0.Suspend(w0.Clock(), 256)
+	for i := 0; i < 40; i++ { // overflow w1's 16-slot ring
+		w1.Instant(KHeartbeat, 0, 0, -1)
+	}
+	ex := rec.Export()
+	if ex.Clock != ClockWallNS {
+		t.Fatalf("clock %q", ex.Clock)
+	}
+	if ex.Dropped() == 0 {
+		t.Fatal("expected drops on w1")
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTraceExport(&buf, ex, nil); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+		ClockDomain string                   `json:"clockDomain"`
+		OtherData   map[string]uint64        `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if trace.ClockDomain != ClockWallNS {
+		t.Fatalf("clockDomain %q", trace.ClockDomain)
+	}
+	names := map[string]bool{}
+	for _, e := range trace.TraceEvents {
+		if n, ok := e["name"].(string); ok {
+			names[n] = true
+		}
+	}
+	for _, want := range []string{"steal", "probe-hint", "xfer", "park", "nap", "suspend", "heartbeat"} {
+		if !names[want] {
+			t.Errorf("trace missing %q event", want)
+		}
+	}
+	if _, ok := trace.OtherData["dropped_events_w1"]; !ok {
+		t.Error("otherData missing per-worker drop count")
+	}
+	if _, ok := trace.OtherData["steal_latency_p50"]; !ok {
+		t.Error("otherData missing steal latency percentiles")
+	}
+
+	var sum strings.Builder
+	WriteSummaryExport(&sum, ex, nil)
+	for _, want := range []string{"wall ns", "dropped per worker", "steal latency", "park duration"} {
+		if !strings.Contains(sum.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, sum.String())
+		}
+	}
+}
+
+// reserveOnly models a writer dying between the slot FAA and the word
+// stores (test hook).
+func (l *WallLog) reserveOnly() {
+	*l.total++
+}

@@ -1,5 +1,7 @@
 package rt
 
+import "uniaddr/internal/obs"
+
 // Hint-guided victim selection. The pre-optimization trySteal probed
 // one uniformly random victim per idle round; with W workers and one
 // busy victim, an idle worker burned W-2 empty probes (each a real
@@ -26,6 +28,7 @@ func (w *Worker) trySteal() bool {
 	if lv := w.lastVictim; lv >= 0 {
 		if v := w.rt.workers[lv]; v.deque.Occupancy() > 0 && !w.res.Banned(int(lv)) {
 			w.stats.StealCacheProbes++
+			w.wlog.Instant(obs.KProbeCache, 0, 0, int(lv))
 			if w.stealFrom(v, int(lv)) {
 				return true
 			}
@@ -47,6 +50,7 @@ func (w *Worker) trySteal() bool {
 		}
 		if v := w.rt.workers[vi]; v.deque.Occupancy() > 0 && !w.res.Banned(vi) {
 			w.stats.StealHintProbes++
+			w.wlog.Instant(obs.KProbeHint, 0, 0, vi)
 			return w.stealFrom(v, vi)
 		}
 	}
@@ -59,6 +63,7 @@ func (w *Worker) trySteal() bool {
 	// liveness never depends on bans expiring on time).
 	vi := w.blindVictim(n)
 	w.stats.StealBlindProbes++
+	w.wlog.Instant(obs.KProbeBlind, 0, 0, vi)
 	return w.stealFrom(w.rt.workers[vi], vi)
 }
 
@@ -87,23 +92,28 @@ func (w *Worker) blindVictim(n int) int {
 // success v becomes the cached victim for the next round.
 func (w *Worker) stealFrom(v *Worker, vi int) bool {
 	w.stats.StealAttempts++
+	ts := w.wlog.Clock()
 	ent, outcome := w.res.StealFrom(vi, v.deque, v.arena, w.arena)
 	switch outcome {
 	case StealEmpty, StealEmptyLocked:
 		w.stats.StealAbortEmpty++
+		w.wlog.Emit(obs.KStealEmpty, ts, w.wlog.Clock()-ts, 0, 0, vi)
 		return false
 	case StealLockBusy:
 		w.stats.StealAbortLock++
+		w.wlog.Emit(obs.KStealBusy, ts, w.wlog.Clock()-ts, 0, 0, vi)
 		return false
 	case StealFaulted:
 		// Fault budget exhausted against this victim; drop the cache so
-		// the next round picks someone else.
+		// the next round picks someone else. (The resilience layer
+		// already emitted the fault/retry/abandon events.)
 		w.lastVictim = -1
 		return false
 	}
 	w.stats.StealsOK++
 	w.stats.BytesStolen += ent.FrameSize
 	w.lastVictim = int32(vi)
+	w.wlog.StealOK(ts, ent.FrameSize, vi)
 	w.invoke(ent.FrameBase, ent.FrameSize)
 	return true
 }

@@ -201,7 +201,9 @@ func (w *Worker) park() {
 		return
 	}
 	w.stats.Parks++
+	ps := w.wlog.Clock()
 	<-w.wakeCh
+	w.wlog.Park(ps)
 	w.stats.Wakes++
 }
 
@@ -216,7 +218,9 @@ func (w *Worker) idlePark() {
 	case actSpin:
 		runtime.Gosched()
 	case actNap:
+		ns := w.wlog.Clock()
 		time.Sleep(nap)
+		w.wlog.Nap(ns)
 	case actPark:
 		w.park()
 		w.idle.reset()

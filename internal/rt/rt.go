@@ -10,6 +10,7 @@ import (
 	"uniaddr/internal/core"
 	"uniaddr/internal/fault"
 	"uniaddr/internal/mem"
+	"uniaddr/internal/obs"
 	"uniaddr/internal/sched"
 )
 
@@ -53,6 +54,14 @@ type Config struct {
 	// failures and delays); sim-only and dist-only knobs are rejected
 	// at the facade.
 	Fault fault.Config
+	// Obs attaches a wall-clock recorder: one lock-free event ring per
+	// worker plus steal/park/copy latency histograms (obs.WallRecorder).
+	// Off by default — the disabled path costs one pointer compare per
+	// instrumentation site and allocates nothing.
+	Obs bool
+	// ObsRingCap is the per-worker event-ring capacity (<= 0 selects
+	// obs.DefaultWallRingCap; rounded up to a power of two).
+	ObsRingCap int
 }
 
 // DefaultConfig returns the standard layout for n workers.
@@ -120,6 +129,10 @@ type Runtime struct {
 	// wakes them (park.go).
 	lot parkingLot
 
+	// rec is the wall-clock observability recorder (nil when Config.Obs
+	// is off — every instrumented site is nil-safe).
+	rec *obs.WallRecorder
+
 	ran     bool
 	elapsed time.Duration
 }
@@ -141,6 +154,9 @@ func New(cfg Config) *Runtime {
 	if plan != nil {
 		inj = plan
 	}
+	if cfg.Obs {
+		r.rec = obs.NewWallRecorder(cfg.Workers, cfg.ObsRingCap)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		seed := cfg.Seed*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + 1
 		w := &Worker{
@@ -155,6 +171,8 @@ func New(cfg Config) *Runtime {
 			lastVictim: -1,
 		}
 		w.res = sched.NewResilience(i, sched.DefaultResilienceConfig(), inj)
+		w.wlog = r.rec.Worker(i)
+		w.res.Log = w.wlog
 		w.stopFn = r.stopped
 		r.workers = append(r.workers, w)
 	}
@@ -230,6 +248,10 @@ func (r *Runtime) stopped() bool { return r.done.Load() }
 
 // Elapsed returns the wall-clock duration of the completed run.
 func (r *Runtime) Elapsed() time.Duration { return r.elapsed }
+
+// Obs returns the wall-clock recorder (nil when observability is off).
+// Export it only after Run returns — the rings are read at quiescence.
+func (r *Runtime) Obs() *obs.WallRecorder { return r.rec }
 
 // Workers returns the worker count.
 func (r *Runtime) Workers() int { return len(r.workers) }

@@ -9,6 +9,7 @@ import (
 	"uniaddr/internal/core"
 	"uniaddr/internal/gas"
 	"uniaddr/internal/mem"
+	"uniaddr/internal/obs"
 	"uniaddr/internal/sched"
 )
 
@@ -114,6 +115,10 @@ type Worker struct {
 	// res is the thief-side fault state machine (owner-only); with no
 	// injector configured it is dormant and free (see sched.Resilience).
 	res *sched.Resilience
+
+	// wlog is this worker's wall-clock event ring (nil when obs is off;
+	// every emission is a nil-safe method call).
+	wlog *obs.WallLog
 
 	// Per-worker free lists (owner-only): suspended-context buffers and
 	// task Envs, recycled instead of heap-allocated per use.
@@ -278,7 +283,9 @@ func (w *Worker) putCtxBuf(buf []byte) {
 func (w *Worker) invoke(base mem.VA, size uint64) core.Status {
 	h := core.DecodeFrameHeader(w.arena.MustSlice(base, core.FrameHeaderBytes))
 	e := w.getEnv(base, size, h.Resume)
+	ts := w.wlog.Clock()
 	st := core.TaskFn(h.Fid)(e)
+	w.wlog.Emit(obs.KTask, ts, w.wlog.Clock()-ts, uint64(h.Fid), 0, -1)
 	if st == core.Done {
 		if !e.Returned() {
 			w.ExecComplete(e.Self(), 0)
@@ -444,7 +451,9 @@ func (w *Worker) ExecJoin(e *core.Env, resumeRP int, h core.Handle) (uint64, boo
 	w.stats.Suspends++
 	core.SetFrameResume(w.arena.MustSlice(e.FrameBase(), core.FrameHeaderBytes), uint32(resumeRP))
 	buf := w.getCtxBuf(e.FrameSize())
+	ss := w.wlog.Clock()
 	copy(buf, w.arena.MustSlice(e.FrameBase(), e.FrameSize()))
+	w.wlog.Suspend(ss, e.FrameSize())
 	if err := w.arena.FreeLowest(e.FrameBase(), e.FrameSize()); err != nil {
 		panic(err)
 	}

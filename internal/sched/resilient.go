@@ -1,6 +1,10 @@
 package sched
 
-import "time"
+import (
+	"time"
+
+	"uniaddr/internal/obs"
+)
 
 // Resilient steal protocol for the real backends — the wall-clock port
 // of the simulator's bounded-retry / backoff / rollback / blacklist
@@ -90,6 +94,11 @@ type Resilience struct {
 	banned map[int]time.Time // victim → ban expiry
 
 	Stats ResilienceStats
+
+	// Log is the owning worker's wall-clock event log; nil (the
+	// default) disables event emission at the cost of one pointer
+	// compare per call. Set by the backend after construction.
+	Log *obs.WallLog
 }
 
 // NewResilience builds the state machine for one worker. inj may be
@@ -139,11 +148,13 @@ func (r *Resilience) noteFault(victim int) {
 		r.banned[victim] = r.now().Add(r.cfg.BlacklistFor)
 		delete(r.fails, victim)
 		r.Stats.VictimBlacklists++
+		r.Log.Instant(obs.KBlacklist, uint64(r.cfg.BlacklistFor), 0, victim)
 	}
 }
 
-// backoff sleeps the capped exponential delay for the given attempt.
-func (r *Resilience) backoff(attempt int) {
+// backoff sleeps the capped exponential delay for the given attempt
+// and returns it.
+func (r *Resilience) backoff(attempt int) time.Duration {
 	d := r.cfg.BackoffBase << uint(attempt)
 	if r.cfg.BackoffCap > 0 && d > r.cfg.BackoffCap {
 		d = r.cfg.BackoffCap
@@ -152,6 +163,7 @@ func (r *Resilience) backoff(attempt int) {
 		r.Stats.BackoffNS += uint64(d)
 		r.sleep(d)
 	}
+	return d
 }
 
 // StealFrom runs one resilient steal against victim's deque vd,
@@ -174,13 +186,17 @@ func (r *Resilience) StealFrom(victim int, vd *Deque, src, dst *Arena) (Entry, S
 			if fail {
 				// Lost claim op: nothing happened on the victim, so
 				// retry or abandon — never roll back.
+				r.Log.Instant(obs.KStealFault, 0, 0, victim)
 				r.noteFault(victim)
 				if attempt >= r.cfg.MaxRetries || r.Banned(victim) {
 					r.Stats.StealAbortsFault++
+					r.Log.Instant(obs.KStealAbandon, 0, 0, victim)
 					return Entry{}, StealFaulted
 				}
 				r.Stats.StealRetries++
-				r.backoff(attempt)
+				bs := r.Log.Clock()
+				d := r.backoff(attempt)
+				r.Log.Emit(obs.KStealRetry, bs, uint64(d), uint64(attempt), 0, victim)
 				continue
 			}
 		}
@@ -198,7 +214,9 @@ func (r *Resilience) StealFrom(victim int, vd *Deque, src, dst *Arena) (Entry, S
 		if err != nil {
 			panic(err)
 		}
+		cs := r.Log.Clock()
 		copy(dst.MustSlice(ent.FrameBase, ent.FrameSize), sb)
+		r.Log.Copy(cs, ent.FrameSize, victim)
 		if r.inj != nil {
 			stall, fail := r.inj.StealCopy(r.rank, victim)
 			if stall > 0 {
@@ -218,6 +236,7 @@ func (r *Resilience) StealFrom(victim int, vd *Deque, src, dst *Arena) (Entry, S
 				}
 				vd.StealAbort()
 				r.Stats.StealRollbacks++
+				r.Log.Instant(obs.KStealRollback, 0, 0, victim)
 				r.noteFault(victim)
 				r.Stats.StealAbortsFault++
 				return Entry{}, StealFaulted

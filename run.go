@@ -2,11 +2,13 @@ package uniaddr
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"uniaddr/internal/core"
 	"uniaddr/internal/dist"
 	"uniaddr/internal/fault"
+	"uniaddr/internal/obs"
 	"uniaddr/internal/rt"
 )
 
@@ -48,6 +50,7 @@ type options struct {
 	net     *NetParams
 	fault   *FaultConfig
 	obs     bool
+	trace   io.Writer
 	maxWall time.Duration
 }
 
@@ -80,11 +83,22 @@ func WithNet(p NetParams) Option { return func(o *options) { o.net = &p } }
 // never silently ignored.
 func WithFault(fc FaultConfig) Option { return func(o *options) { o.fault = &fc } }
 
-// WithObs toggles the structured observability recorder (event rings,
-// task lineage). Recording never perturbs virtual time. Sim backend
-// only. The Report's ObsEvents says how many events were captured;
-// deeper analysis (traces, lineage) stays on the NewMachine path.
+// WithObs toggles the structured observability recorder on ANY
+// backend: virtual-time event rings and task lineage on sim,
+// wall-clock per-worker rings on rt, segment-hosted per-rank rings on
+// dist (harvested by the parent even after a worker crash). The
+// Report's Obs block carries the event counts, per-worker ring
+// overflow and latency histograms; combine with WithTrace for a
+// Perfetto timeline. When off (the default) the real backends'
+// recorders are nil and the instrumented hot paths cost one pointer
+// compare per event site.
 func WithObs(on bool) Option { return func(o *options) { o.obs = on } }
+
+// WithTrace streams a Chrome/Perfetto trace of the run to w (implies
+// WithObs(true)). The trace's top-level clockDomain field names the
+// timestamp domain: virtual cycles on sim, wall nanoseconds on
+// rt/dist. Works on every backend.
+func WithTrace(w io.Writer) Option { return func(o *options) { o.trace = w } }
 
 // WithMaxWall bounds a real backend's wall-clock run time (rt, dist);
 // exceeding it aborts the run with an error instead of hanging. Zero
@@ -162,8 +176,76 @@ type Report struct {
 	VictimBlacklists uint64 `json:"victim_blacklists,omitempty"`
 
 	// ObsEvents counts events the observability recorder captured
-	// (WithObs(true), sim only).
+	// (WithObs(true), any backend). Kept for seed-era tooling; Obs has
+	// the full breakdown.
 	ObsEvents uint64 `json:"obs_events,omitempty"`
+
+	// Obs is the observability digest when WithObs/WithTrace was set:
+	// clock domain, event and ring-overflow accounting, and the latency
+	// histograms. Nil when observability was off.
+	Obs *ObsReport `json:"obs,omitempty"`
+}
+
+// ObsReport is the Report's observability digest.
+type ObsReport struct {
+	// Clock names the timestamp domain ("virtual-cycles" or "wall-ns").
+	Clock string `json:"clock"`
+	// Events counts events ever recorded (kept + dropped).
+	Events uint64 `json:"events"`
+	// Dropped counts events discarded by full bounded rings.
+	Dropped uint64 `json:"dropped,omitempty"`
+	// DroppedPerWorker is the per-rank ring-overflow count (index =
+	// rank; omitted when no ring overflowed).
+	DroppedPerWorker []uint64 `json:"dropped_per_worker,omitempty"`
+	// Hists are the run's latency histograms in the report's clock unit.
+	Hists []ObsHist `json:"hists,omitempty"`
+}
+
+// ObsHist is one latency histogram's digest.
+type ObsHist struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P95   uint64  `json:"p95"`
+	P99   uint64  `json:"p99"`
+	Max   uint64  `json:"max"`
+}
+
+// finishObs folds an export into the report (digest + legacy ObsEvents)
+// and writes the Chrome trace when requested. Nil ex is a no-op (obs
+// was off); a non-nil trace writer with nil ex is an error — the caller
+// asked for a trace the backend never recorded.
+func finishObs(rep *Report, ex *obs.Export, trace io.Writer) error {
+	if ex == nil {
+		if trace != nil {
+			return fmt.Errorf("uniaddr: WithTrace set but the run produced no observability data")
+		}
+		return nil
+	}
+	o := &ObsReport{Clock: ex.Clock, Events: ex.Events(), Dropped: ex.Dropped()}
+	if o.Dropped > 0 {
+		for _, l := range ex.Logs {
+			o.DroppedPerWorker = append(o.DroppedPerWorker, l.Dropped)
+		}
+	}
+	for _, nh := range ex.Hists {
+		h := nh.Hist
+		o.Hists = append(o.Hists, ObsHist{
+			Name: nh.Name, Count: h.Count, Mean: h.Mean(),
+			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+			Max: h.Max,
+		})
+	}
+	rep.Obs = o
+	rep.ObsEvents = o.Events
+	if trace != nil {
+		opts := &obs.ChromeOpts{FuncName: func(id uint32) string { return core.FuncName(core.FuncID(id)) }}
+		if err := obs.WriteChromeTraceExport(trace, ex, opts); err != nil {
+			return fmt.Errorf("uniaddr: writing trace: %w", err)
+		}
+	}
+	return nil
 }
 
 // Run executes a root task of fid with localsLen bytes of frame locals
@@ -199,7 +281,6 @@ func Run(fid FuncID, localsLen uint32, init func(*Env), opts ...Option) (Report,
 		}{
 			{o.costs != nil, "WithCosts"},
 			{o.net != nil, "WithNet"},
-			{o.obs, "WithObs"},
 		} {
 			if bad.set {
 				return Report{}, &UnsupportedOptionError{Backend: o.backend, Option: bad.name}
@@ -233,7 +314,7 @@ func runSim(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, e
 	if o.fault != nil {
 		cfg.Fault = *o.fault
 	}
-	cfg.Obs = o.obs
+	cfg.Obs = o.obs || o.trace != nil
 	m, err := core.NewMachine(cfg)
 	if err != nil {
 		return Report{}, err
@@ -256,10 +337,8 @@ func runSim(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, e
 		StealAbortsFault: ts.StealAbortsFault, StealRollbacks: ts.StealRollbacks,
 		VictimBlacklists: ts.VictimBlacklists,
 	}
-	if rec := m.Obs(); rec != nil {
-		for _, l := range rec.Logs() {
-			rep.ObsEvents += l.Total()
-		}
+	if err := finishObs(&rep, m.Obs().Export(), o.trace); err != nil {
+		return Report{}, err
 	}
 	return rep, nil
 }
@@ -267,6 +346,7 @@ func runSim(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, e
 func runRT(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, error) {
 	cfg := rt.DefaultConfig(o.workers)
 	cfg.Seed = o.seed
+	cfg.Obs = o.obs || o.trace != nil
 	if o.maxWall != 0 {
 		cfg.MaxWall = o.maxWall
 	}
@@ -282,7 +362,7 @@ func runRT(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, er
 		return Report{}, err
 	}
 	ts := r.TotalStats()
-	return Report{
+	rep := Report{
 		Backend: BackendRT, Workers: o.workers, Root: root,
 		WallNS: r.Elapsed().Nanoseconds(),
 		Tasks:  ts.TasksExecuted, Spawns: ts.Spawns, Suspends: ts.Suspends,
@@ -291,12 +371,17 @@ func runRT(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, er
 		StealFaults: ts.StealFaults, StealRetries: ts.StealRetries,
 		StealAbortsFault: ts.StealAbortsFault, StealRollbacks: ts.StealRollbacks,
 		VictimBlacklists: ts.VictimBlacklists,
-	}, nil
+	}
+	if err := finishObs(&rep, r.Obs().Export(), o.trace); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
 }
 
 func runDist(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, error) {
 	cfg := dist.DefaultConfig(o.workers)
 	cfg.Seed = o.seed
+	cfg.Obs = o.obs || o.trace != nil
 	if o.maxWall != 0 {
 		cfg.MaxWall = o.maxWall
 	}
@@ -305,10 +390,17 @@ func runDist(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, 
 	}
 	res, err := dist.Run(cfg, fid, localsLen, init)
 	if err != nil {
+		// A failed run may still carry the harvested rings (crash
+		// forensics); stream the trace if one was requested so the dead
+		// rank's last events are not lost with the error.
+		if o.trace != nil && res.Obs != nil {
+			opts := &obs.ChromeOpts{FuncName: func(id uint32) string { return core.FuncName(core.FuncID(id)) }}
+			_ = obs.WriteChromeTraceExport(o.trace, res.Obs, opts)
+		}
 		return Report{}, err
 	}
 	ts := res.TotalStats()
-	return Report{
+	rep := Report{
 		Backend: BackendDist, Workers: o.workers, Root: res.Root,
 		WallNS: res.Elapsed.Nanoseconds(),
 		Tasks:  ts.TasksExecuted, Spawns: ts.Spawns, Suspends: ts.Suspends,
@@ -317,5 +409,9 @@ func runDist(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, 
 		StealFaults: ts.StealFaults, StealRetries: ts.StealRetries,
 		StealAbortsFault: ts.StealAbortsFault, StealRollbacks: ts.StealRollbacks,
 		VictimBlacklists: ts.VictimBlacklists,
-	}, nil
+	}
+	if err := finishObs(&rep, res.Obs, o.trace); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
 }
