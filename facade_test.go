@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"uniaddr"
+	"uniaddr/internal/workloads"
 )
 
 // TestMain routes re-exec'd dist worker processes into the worker
@@ -303,5 +304,52 @@ func TestFacadeFaultKnobClasses(t *testing.T) {
 	}
 	if rep.Root != want {
 		t.Fatalf("dist faulted run: root %d, want %d", rep.Root, want)
+	}
+}
+
+// TestFacadeScalingKnobs covers the ISSUE-9 tuning surface: WithGrain
+// works on every backend (granularity is a workload property), while
+// the steal-transport knobs — WithStealBatch, WithTierGroup — are
+// honoured by the real backends and rejected by sim, whose steal model
+// is single-entry and whose victim order is flat.
+func TestFacadeScalingKnobs(t *testing.T) {
+	spec := workloads.Fib(16, 0)
+	run := func(opts ...uniaddr.Option) (uniaddr.Report, error) {
+		return uniaddr.Run(spec.Fid, spec.Locals, spec.Init, opts...)
+	}
+
+	for _, backend := range []string{uniaddr.BackendSim, uniaddr.BackendRT} {
+		for _, grain := range []uint64{4, uniaddr.GrainAuto} {
+			rep, err := run(uniaddr.WithBackend(backend), uniaddr.WithWorkers(2), uniaddr.WithGrain(grain))
+			if err != nil {
+				t.Fatalf("%s grain=%d: %v", backend, grain, err)
+			}
+			if rep.Root != spec.Expected {
+				t.Fatalf("%s grain=%d: root %d, want %d", backend, grain, rep.Root, spec.Expected)
+			}
+		}
+	}
+
+	// Real backend honours the transport knobs; single-entry mode must
+	// keep every batch at width 1.
+	rep, err := run(uniaddr.WithBackend(uniaddr.BackendRT), uniaddr.WithWorkers(4),
+		uniaddr.WithStealBatch(1), uniaddr.WithTierGroup(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Root != spec.Expected {
+		t.Fatalf("rt batch=1: root %d, want %d", rep.Root, spec.Expected)
+	}
+	if rep.StealBatches != rep.StealsOK {
+		t.Fatalf("WithStealBatch(1) moved %d entries in %d round trips — batching not bounded",
+			rep.StealsOK, rep.StealBatches)
+	}
+
+	// Sim rejects them with the structured error.
+	for _, opt := range []uniaddr.Option{uniaddr.WithStealBatch(1), uniaddr.WithTierGroup(2)} {
+		var uo *uniaddr.UnsupportedOptionError
+		if _, err := run(uniaddr.WithBackend(uniaddr.BackendSim), opt); !errors.As(err, &uo) {
+			t.Fatalf("sim accepted a steal-transport knob (err=%v)", err)
+		}
 	}
 }

@@ -48,10 +48,31 @@ type Exec interface {
 	ExecGasGetU64(r gas.Ref) uint64
 	ExecGasPutU64(r gas.Ref, v uint64)
 	ExecGasAlloc(n uint64) gas.Ref
+	// ExecGrain returns the configured task-granularity cutoff (see
+	// Config.Grain / GrainAuto): 0 = no coalescing, GrainAuto = let the
+	// workload pick a cutoff and gate it on ExecCoalesce.
+	ExecGrain() uint64
+	// ExecCoalesce reports whether, right now, spawning more parallelism
+	// looks pointless — the adaptive signal behind GrainAuto. Backends
+	// answer from local scheduler state (e.g. "my deque already holds
+	// plenty of unstolen work"), so it is cheap and advisory.
+	ExecCoalesce() bool
 	// SimWorker returns the simulated worker executing the task, or nil
 	// when the backend is not the simulator.
 	SimWorker() *Worker
 }
+
+// GrainAuto, as a Config.Grain / Env.Grain value, selects the
+// workload's own default sequential cutoff applied adaptively: the
+// workload inlines a subtree only when Env.Coalesce reports local
+// surplus of stealable work.
+const GrainAuto = ^uint64(0)
+
+// CoalesceDequeMin is the local-deque occupancy at which a backend
+// answers ExecCoalesce true: enough unstolen entries that thieves are
+// demonstrably not keeping up, so finer spawning only adds overhead.
+// Shared by all three backends so the adaptive signal is comparable.
+const CoalesceDequeMin = 4
 
 // --- *Worker as an Exec (the simulator backend) ----------------------
 
@@ -101,6 +122,13 @@ func (w *Worker) ExecGasPutU64(r gas.Ref, v uint64) { w.mustGas().PutU64(w.proc,
 // ExecGasAlloc allocates on this worker's global-heap segment.
 func (w *Worker) ExecGasAlloc(n uint64) gas.Ref { return w.mustGas().MustAlloc(w.proc, n) }
 
+// ExecGrain returns the machine's configured granularity cutoff.
+func (w *Worker) ExecGrain() uint64 { return w.m.cfg.Grain }
+
+// ExecCoalesce reports local work surplus: the worker's own deque
+// already holds CoalesceDequeMin+ unstolen entries.
+func (w *Worker) ExecCoalesce() bool { return w.deque.Size() >= CoalesceDequeMin }
+
 // SimWorker returns w: the simulator is its own Exec.
 func (w *Worker) SimWorker() *Worker { return w }
 
@@ -127,6 +155,18 @@ func (e *Env) Reset(x Exec, base mem.VA, size uint64, rp uint32) {
 // this entry. Backends use it after a Done return to record the default
 // zero result when the task never returned explicitly.
 func (e *Env) Returned() bool { return e.returned }
+
+// Grain returns the backend's granularity cutoff for this run: 0 = no
+// coalescing, GrainAuto = workload-chosen cutoff gated on Coalesce,
+// any other value = a static size metric below which the workload
+// should run subtrees sequentially. Workloads that honour it must
+// still charge the same ExecWork cycles the spawned subtree would
+// have, so results and work accounting stay backend-comparable.
+func (e *Env) Grain() uint64 { return e.x.ExecGrain() }
+
+// Coalesce reports whether spawning more parallelism currently looks
+// pointless (see Exec.ExecCoalesce) — the adaptive gate for GrainAuto.
+func (e *Env) Coalesce() bool { return e.x.ExecCoalesce() }
 
 // TaskFn returns the registered task function for id, panicking on an
 // unregistered id (mirrors the simulator's internal lookup).

@@ -53,6 +53,13 @@ type Config struct {
 	// paper's process-per-core scheme.
 	SlotsPerProcess int
 
+	// Grain is the task-granularity cutoff workloads read back through
+	// Env.Grain: subtrees whose size metric is at or below it run as
+	// one sequential task instead of spawning. 0 (the default) disables
+	// coalescing; GrainAuto asks the workload to pick a cutoff and
+	// apply it adaptively, keyed off Env.Coalesce.
+	Grain uint64
+
 	// MaxCycles aborts the run if the virtual clock passes it (guards
 	// against deadlocked workloads).
 	MaxCycles uint64

@@ -242,7 +242,7 @@ func childMain(spec childSpec) int {
 		}()
 	}
 
-	w := newWorker(seg, spec.Rank, spec.Seed, plan, &hung)
+	w := newWorker(seg, spec.Rank, spec.Seed, plan, &hung, tuning{grain: spec.Grain, stealBatch: spec.StealBatch, tierGroup: spec.TierGroup})
 	runErr := w.run()
 	bye := byeMsg{Rank: spec.Rank, Stats: w.stats}
 	if runErr != nil {

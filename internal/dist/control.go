@@ -46,6 +46,14 @@ type childSpec struct {
 	SegBase   uint64
 	SockPath  string
 
+	// Scheduler tuning (see Config): granularity cutoff, per-steal
+	// batch bound and victim-tier group width. Every process must agree
+	// on these — StealBatch in particular sizes the claim bound thieves
+	// assume against each other's deques.
+	Grain      uint64
+	StealBatch int
+	TierGroup  int
+
 	// Fault is the run's deterministic fault schedule; every process
 	// rebuilds the same Plan from it (pure function of config), so
 	// thief-side decisions agree no matter which process draws them.

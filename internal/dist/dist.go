@@ -45,6 +45,11 @@ func (r *Result) TotalStats() Stats {
 		t.StealAbortEmpty += s.StealAbortEmpty
 		t.StealAbortLock += s.StealAbortLock
 		t.BytesStolen += s.BytesStolen
+		t.StealBatches += s.StealBatches
+		t.StealBatchEntries += s.StealBatchEntries
+		t.StealHintProbes += s.StealHintProbes
+		t.StealCacheProbes += s.StealCacheProbes
+		t.StealBlindProbes += s.StealBlindProbes
 		t.IdleSleeps += s.IdleSleeps
 		t.WorkCycles += s.WorkCycles
 		t.RecordsLive += s.RecordsLive
@@ -186,6 +191,7 @@ func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (R
 			Rank: r, Workers: cfg.Workers, Seed: cfg.Seed,
 			ArenaSize: cfg.ArenaSize, DequeCap: cfg.DequeCap, RecordCap: cfg.RecordCap,
 			ShmPath: f.Name(), SegBase: uint64(segBase), SockPath: sockPath,
+			Grain: cfg.Grain, StealBatch: cfg.StealBatch, TierGroup: cfg.TierGroup,
 			Fault: fc, HangRank: cfg.HangRank, HangAfter: cfg.HangAfter,
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			Obs:               cfg.Obs, ObsRingCap: cfg.ObsRingCap, ObsEpoch: obsEpoch,
@@ -275,9 +281,20 @@ func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (R
 	// fail word, then kill the wedged process so shutdown is not gated
 	// on it. Detection latency is bounded by timeout + one poll tick.
 	hbStop := make(chan struct{})
-	defer close(hbStop)
+	var hbDone chan struct{}
+	// Join, don't just signal: the monitor may be mid-read of the
+	// segment when Run returns, and the deferred unmapSegment would
+	// yank the mapping out from under it.
+	defer func() {
+		close(hbStop)
+		if hbDone != nil {
+			<-hbDone
+		}
+	}()
 	if cfg.HeartbeatTimeout > 0 && len(children) > 0 {
+		hbDone = make(chan struct{})
 		go func() {
+			defer close(hbDone)
 			tick := cfg.HeartbeatTimeout / 4
 			if tick > 50*time.Millisecond {
 				tick = 50 * time.Millisecond
@@ -347,7 +364,7 @@ func Run(cfg Config, fid core.FuncID, localsLen uint32, init func(*core.Env)) (R
 	}
 
 	start := time.Now()
-	w0 := newWorker(seg, 0, cfg.Seed, plan, nil)
+	w0 := newWorker(seg, 0, cfg.Seed, plan, nil, tuning{grain: cfg.Grain, stealBatch: cfg.StealBatch, tierGroup: cfg.TierGroup})
 	w0.rootFid, w0.rootLocals, w0.rootInit = fid, localsLen, init
 	if runErr := w0.run(); runErr != nil {
 		seg.failStore(1)

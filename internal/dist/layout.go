@@ -59,6 +59,17 @@ type Config struct {
 	RecordCap uint64
 	// MaxWall aborts a run that exceeds this wall-clock budget.
 	MaxWall time.Duration
+	// Grain is the task-granularity cutoff workloads read back through
+	// core.Env.Grain (0 = off, core.GrainAuto = adaptive workload
+	// default); identical semantics to rt.Config.Grain.
+	Grain uint64
+	// StealBatch bounds how many entries one steal round trip may move:
+	// 0 selects the deque's own bound (steal-half default), 1 restores
+	// single-entry steals.
+	StealBatch int
+	// TierGroup is the rank-block width for distance-tiered victim
+	// selection (<= 0 selects sched.DefaultTierGroup).
+	TierGroup int
 	// KillRank, when > 0, SIGKILLs that child rank KillAfter into the
 	// run — deterministic crash injection for the resilience tests and
 	// the harness's crash probe. (Rank 0 is the parent and cannot be

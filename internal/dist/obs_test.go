@@ -21,15 +21,27 @@ func TestDistObsHarvest(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process obs test skipped in -short mode")
 	}
-	cfg := dist.DefaultConfig(3)
-	cfg.Obs = true
+	// With steal-half batching a short run on a loaded host can finish
+	// before any child process wins a steal; the harvest checks below
+	// need at least one, so retry the run a few times (each run is a
+	// fresh process tree — seed variation changes the interleaving).
+	var res dist.Result
 	spec := workloads.Fib(20, 100)
-	res, err := dist.Run(cfg, spec.Fid, spec.Locals, spec.Init)
-	if err != nil {
-		t.Fatalf("dist.Run: %v", err)
-	}
-	if res.Root != spec.Expected {
-		t.Fatalf("root result %d, want %d", res.Root, spec.Expected)
+	for attempt := 0; ; attempt++ {
+		cfg := dist.DefaultConfig(3)
+		cfg.Obs = true
+		cfg.Seed = uint64(1 + attempt)
+		var err error
+		res, err = dist.Run(cfg, spec.Fid, spec.Locals, spec.Init)
+		if err != nil {
+			t.Fatalf("dist.Run: %v", err)
+		}
+		if res.Root != spec.Expected {
+			t.Fatalf("root result %d, want %d", res.Root, spec.Expected)
+		}
+		if res.TotalStats().StealsOK > 0 || attempt >= 4 {
+			break
+		}
 	}
 	ex := res.Obs
 	if ex == nil {
@@ -69,8 +81,10 @@ func TestDistObsHarvest(t *testing.T) {
 		t.Errorf("control-plane events missing: hello %d bye %d",
 			kinds[obs.KCtlHello], kinds[obs.KCtlBye])
 	}
-	if ts := res.TotalStats(); res.Obs.Dropped() == 0 && kinds[obs.KStealOK] != ts.StealsOK {
-		t.Errorf("KStealOK events %d, StealsOK counter %d", kinds[obs.KStealOK], ts.StealsOK)
+	// One KStealOK interval per successful batched round trip;
+	// StealsOK counts the entries those trips moved.
+	if ts := res.TotalStats(); res.Obs.Dropped() == 0 && kinds[obs.KStealOK] != ts.StealBatches {
+		t.Errorf("KStealOK events %d, StealBatches counter %d", kinds[obs.KStealOK], ts.StealBatches)
 	}
 
 	// The harvested export must drive the unified Chrome exporter.

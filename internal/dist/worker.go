@@ -35,6 +35,18 @@ type Stats struct {
 	StealAbortLock  uint64
 	BytesStolen     uint64
 
+	// Steal-half batching, mirroring rt.Stats: batched round trips and
+	// the entries they moved.
+	StealBatches      uint64
+	StealBatchEntries uint64
+
+	// Steal-hint counters, mirroring rt.Stats: probes routed by the
+	// victim's segment-hosted occupancy hint or the last-victim cache
+	// vs blind random probes.
+	StealHintProbes  uint64
+	StealCacheProbes uint64
+	StealBlindProbes uint64
+
 	// IdleSleeps counts idle-backoff sleep episodes — the dist analogue
 	// of rt's Parks (there is no cross-process futex to park on, so an
 	// idle worker sleeps in capped exponential backoff instead).
@@ -104,6 +116,14 @@ type worker struct {
 	idleRounds int
 	sleep      time.Duration
 
+	// tiers orders victim ranks by rank-group distance (the dist
+	// stand-in for fabric topology); the hint sweep walks them
+	// near-to-far. stealBuf is the reusable batch buffer; grain is the
+	// workload granularity cutoff surfaced via ExecGrain.
+	tiers    [sched.NumTiers][]int
+	stealBuf []sched.Entry
+	grain    uint64
+
 	// res is the thief-side fault state machine (owner-only; dormant
 	// and free without an injector). hung, when non-nil and set, wedges
 	// the worker at its next task entry (injected hang; see childMain).
@@ -125,7 +145,28 @@ type worker struct {
 	rootInit   func(*core.Env)
 }
 
-func newWorker(seg *segment, rank int, seed uint64, plan *fault.Plan, hung *atomic.Bool) *worker {
+// tuning bundles the scheduler knobs every process must agree on; the
+// parent fills it from Config, children from the childSpec.
+type tuning struct {
+	grain      uint64
+	stealBatch int
+	tierGroup  int
+}
+
+// stealBatchLimit resolves the StealBatch knob against the deque's
+// claim bound: 0 → maxClaim, otherwise clamp to [1, maxClaim].
+func stealBatchLimit(batch int, maxClaim uint64) int {
+	n := int(maxClaim)
+	if batch > 0 && batch < n {
+		n = batch
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func newWorker(seg *segment, rank int, seed uint64, plan *fault.Plan, hung *atomic.Bool, tune tuning) *worker {
 	w := &worker{
 		seg:        seg,
 		rank:       rank,
@@ -135,7 +176,10 @@ func newWorker(seg *segment, rank int, seed uint64, plan *fault.Plan, hung *atom
 		rng:        rand.New(rand.NewSource(int64(seed*0x9e3779b97f4a7c15 + uint64(rank)*0xbf58476d1ce4e5b9 + 1))),
 		lastVictim: -1,
 		hung:       hung,
+		grain:      tune.grain,
+		tiers:      sched.BuildTiers(rank, seg.lay.workers, tune.tierGroup),
 	}
+	w.stealBuf = make([]sched.Entry, stealBatchLimit(tune.stealBatch, w.deque.MaxClaim()))
 	// The interface value must be nil (not a typed nil *Plan) for the
 	// resilience fast path to collapse.
 	var inj sched.StealInjector
@@ -364,8 +408,12 @@ func (w *worker) resumeSaved(sc savedCtx) {
 }
 
 // trySteal attempts one steal round, hint-guided as in rt: cached
-// victim, then an occupancy-hint sweep, then one blind probe. Every
-// read here is a one-sided load on another process's deque region.
+// victim, then a distance-tiered occupancy-hint sweep (near ranks
+// first; see sched.BuildTiers), then one blind probe. Every read here
+// is a one-sided load on another process's deque region — the
+// occupancy hint word lives in the victim's deque header INSIDE the
+// shared segment, so a probe decision costs one remote cache line, not
+// a lock RMW.
 func (w *worker) trySteal() bool {
 	n := w.seg.lay.workers
 	if n < 2 || !w.arena.Empty() {
@@ -373,6 +421,7 @@ func (w *worker) trySteal() bool {
 	}
 	if lv := w.lastVictim; lv >= 0 {
 		if d := w.seg.deques[lv]; d.Occupancy() > 0 && !w.res.Banned(int(lv)) {
+			w.stats.StealCacheProbes++
 			w.wlog.Instant(obs.KProbeCache, 0, 0, int(lv))
 			if w.stealFrom(int(lv)) {
 				return true
@@ -380,18 +429,19 @@ func (w *worker) trySteal() bool {
 		}
 		w.lastVictim = -1
 	}
-	start := w.rng.Intn(n)
-	for i := 0; i < n; i++ {
-		vi := start + i
-		if vi >= n {
-			vi -= n
-		}
-		if vi == w.rank {
+	for tier := range w.tiers {
+		cands := w.tiers[tier]
+		if len(cands) == 0 {
 			continue
 		}
-		if w.seg.deques[vi].Occupancy() > 0 && !w.res.Banned(vi) {
-			w.wlog.Instant(obs.KProbeHint, 0, 0, vi)
-			return w.stealFrom(vi)
+		start := w.rng.Intn(len(cands))
+		for i := 0; i < len(cands); i++ {
+			vi := cands[(start+i)%len(cands)]
+			if w.seg.deques[vi].Occupancy() > 0 && !w.res.Banned(vi) {
+				w.stats.StealHintProbes++
+				w.wlog.Instant(obs.KProbeHint, 0, 0, vi)
+				return w.stealFrom(vi)
+			}
 		}
 	}
 	// Blind probe, steering around blacklisted victims for a few
@@ -407,21 +457,24 @@ func (w *worker) trySteal() bool {
 			break
 		}
 	}
+	w.stats.StealBlindProbes++
 	w.wlog.Instant(obs.KProbeBlind, 0, 0, vi)
 	return w.stealFrom(vi)
 }
 
 // stealFrom is the thief side of the THE protocol against rank vi,
-// through the shared resilience layer (sched.Resilience.StealFrom):
-// claim under the victim's FAA lock — with bounded retries and THE
-// rollback when faults are injected — copy the stack bytes from the
-// victim's arena region into the SAME offset of ours — two windows of
-// the shared segment, so this memcpy is the cross-process one-sided
-// migration the paper performs with RDMA READ — then release and run.
+// through the shared resilience layer — batched: one claim/verify
+// round trip moves up to ⌈size/2⌉ entries as ONE contiguous memcpy
+// between two windows of the shared segment, the cross-process
+// one-sided migration the paper performs with RDMA READ, now amortised
+// over the batch. The stolen entries are pushed onto our own deque
+// oldest-first (preserving deque order and the arena's descending-VA
+// chain); the newest is popped and run, the rest stay stealable by
+// other ranks.
 func (w *worker) stealFrom(vi int) bool {
 	w.stats.StealAttempts++
 	ts := w.wlog.Clock()
-	ent, outcome := w.res.StealFrom(vi, w.seg.deques[vi], w.seg.arenas[vi], w.arena)
+	n, outcome := w.res.StealBatchFrom(vi, w.seg.deques[vi], w.seg.arenas[vi], w.arena, w.stealBuf)
 	switch outcome {
 	case sched.StealEmpty, sched.StealEmptyLocked:
 		w.stats.StealAbortEmpty++
@@ -437,11 +490,24 @@ func (w *worker) stealFrom(vi int) bool {
 		w.lastVictim = -1
 		return false
 	}
-	w.stats.StealsOK++
-	w.stats.BytesStolen += ent.FrameSize
+	var total uint64
+	for i := 0; i < n; i++ {
+		total += w.stealBuf[i].FrameSize
+		if err := w.deque.Push(w.stealBuf[i]); err != nil {
+			panic(err)
+		}
+	}
+	w.stats.StealsOK += uint64(n)
+	w.stats.BytesStolen += total
+	w.stats.StealBatches++
+	w.stats.StealBatchEntries += uint64(n)
 	w.lastVictim = int32(vi)
-	w.wlog.StealOK(ts, ent.FrameSize, vi)
-	w.invoke(ent.FrameBase, ent.FrameSize)
+	w.wlog.StealOK(ts, total, vi)
+	// Pop (not invoke directly): entries on our deque are claimable by
+	// other ranks, so only a successful pop grants execution rights.
+	if ent, ok := w.deque.Pop(w.stopFn); ok {
+		w.invoke(ent.FrameBase, ent.FrameSize)
+	}
 	return true
 }
 
@@ -596,6 +662,14 @@ func (w *worker) ExecGasPutU64(r gas.Ref, v uint64) { w.execGasPanic() }
 
 // ExecGasAlloc implements core.Exec; unsupported on dist.
 func (w *worker) ExecGasAlloc(n uint64) gas.Ref { w.execGasPanic(); return gas.Ref(0) }
+
+// ExecGrain returns the run's configured granularity cutoff.
+func (w *worker) ExecGrain() uint64 { return w.grain }
+
+// ExecCoalesce reports local work surplus: this rank's own deque
+// already holds enough unstolen entries that spawning finer tasks only
+// adds overhead (the adaptive gate for core.GrainAuto).
+func (w *worker) ExecCoalesce() bool { return w.deque.Size() >= core.CoalesceDequeMin }
 
 // SimWorker returns nil: this backend is not the simulator.
 func (w *worker) SimWorker() *core.Worker { return nil }

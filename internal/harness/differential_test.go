@@ -68,7 +68,7 @@ func TestDiffWorkloadsCoverCatalog(t *testing.T) {
 }
 
 func TestRTBenchReportJSON(t *testing.T) {
-	rep, err := RunRTBench(DiffWorkloads(), []int{1, 2}, 1, 1, true)
+	rep, err := RunRTBench(DiffWorkloads(), []int{1, 2}, 1, 1, true, BenchTuning{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -51,8 +51,9 @@ func DistDiffBackend() DiffBackend {
 // RunDistBench measures every runnable workload at every process count,
 // reps times each, keeping the fastest run. The report reuses the
 // RTBenchReport schema (Benchmark: "dist-scaling") so the comparison
-// tooling works across backends; it lands in BENCH_dist.json.
-func RunDistBench(wls []DiffWorkload, procCounts []int, reps int, seed uint64) (RTBenchReport, error) {
+// tooling works across backends; it lands in BENCH_dist.json. tune and
+// the underprovisioned tagging work exactly as in RunRTBench.
+func RunDistBench(wls []DiffWorkload, procCounts []int, reps int, seed uint64, tune BenchTuning) (RTBenchReport, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -61,18 +62,24 @@ func RunDistBench(wls []DiffWorkload, procCounts []int, reps int, seed uint64) (
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Seed:       seed,
+		Tuning:     tune,
 	}
+	warned := map[int]bool{}
 	for _, wl := range wls {
 		if reason := DistSkipReason(wl.Spec); reason != "" {
 			rep.Skipped = append(rep.Skipped, RTBenchSkip{Workload: wl.Name, Reason: reason})
 			continue
 		}
 		for _, procs := range procCounts {
-			row := RTBenchRow{Workload: wl.Name, Workers: procs, Reps: reps}
+			row := RTBenchRow{Workload: wl.Name, Workers: procs, Reps: reps,
+				Underprovisioned: warnUnderprovisioned("dist-scaling", procs, warned)}
 			var wallSum int64
 			for i := 0; i < reps; i++ {
 				cfg := dist.DefaultConfig(procs)
 				cfg.Seed = seed + uint64(i)
+				cfg.Grain = tune.Grain
+				cfg.StealBatch = tune.StealBatch
+				cfg.TierGroup = tune.TierGroup
 				res, err := dist.Run(cfg, wl.Spec.Fid, wl.Spec.Locals, wl.Spec.Init)
 				if err != nil {
 					return RTBenchReport{}, fmt.Errorf("dist bench %s procs=%d: %w", wl.Name, procs, err)
@@ -88,6 +95,7 @@ func RunDistBench(wls []DiffWorkload, procCounts []int, reps int, seed uint64) (
 					row.Result = res.Root
 					row.Tasks = ts.TasksExecuted
 					row.StealsOK = ts.StealsOK
+					row.StealBatches = ts.StealBatches
 					row.BytesStolen = ts.BytesStolen
 					row.Suspends = ts.Suspends
 					row.StealAttempts = ts.StealAttempts

@@ -67,7 +67,7 @@ func TestDistBenchReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process bench skipped in -short mode")
 	}
-	rep, err := RunDistBench(DiffWorkloads(), []int{2}, 1, 1)
+	rep, err := RunDistBench(DiffWorkloads(), []int{2}, 1, 1, BenchTuning{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"text/tabwriter"
 
@@ -34,8 +35,11 @@ type RTBenchRow struct {
 	Items       uint64  `json:"items,omitempty"`
 	ItemsPerSec float64 `json:"items_per_second,omitempty"`
 	StealsOK    uint64  `json:"steals_ok"`
-	BytesStolen uint64  `json:"bytes_stolen"`
-	Suspends    uint64  `json:"suspends"`
+	// StealBatches counts successful steal round trips; StealsOK counts
+	// the entries they moved (mean batch width = StealsOK/StealBatches).
+	StealBatches uint64 `json:"steal_batches,omitempty"`
+	BytesStolen  uint64 `json:"bytes_stolen"`
+	Suspends     uint64 `json:"suspends"`
 	// Steal-churn counters: how many probes the thieves burned, and how
 	// they failed. These are the regression targets for the steal-hint
 	// work — a hint-guided thief should convert more attempts into
@@ -46,7 +50,38 @@ type RTBenchRow struct {
 	// Parks counts idle-parking episodes (0 on runtimes without a
 	// parking lot, e.g. the committed pre-optimization baseline).
 	Parks uint64 `json:"parks,omitempty"`
-	Note  string `json:"note,omitempty"`
+	// Underprovisioned flags a row measured with more workers than the
+	// host has CPUs: the workers time-slice one another, so the row says
+	// NOTHING about scaling — absolute throughput and speedup ratios
+	// from such rows must not be compared against provisioned hosts.
+	// See EXPERIMENTS.md.
+	Underprovisioned bool   `json:"underprovisioned,omitempty"`
+	Note             string `json:"note,omitempty"`
+}
+
+// BenchTuning carries the ISSUE-9 scheduler knobs a bench run applies
+// to every backend config. The zero value keeps backend defaults
+// (steal-half batching on, flat grain off, default tier width).
+type BenchTuning struct {
+	Grain      uint64 `json:"grain,omitempty"`
+	StealBatch int    `json:"steal_batch,omitempty"`
+	TierGroup  int    `json:"tier_group,omitempty"`
+}
+
+// warnUnderprovisioned emits the bench-environment blind-spot warning
+// once per (benchmark, workers) and reports whether the host is
+// underprovisioned for the requested worker count.
+func warnUnderprovisioned(benchmark string, workers int, warned map[int]bool) bool {
+	if runtime.NumCPU() >= workers {
+		return false
+	}
+	if !warned[workers] {
+		warned[workers] = true
+		fmt.Fprintf(os.Stderr,
+			"%s: WARNING: %d workers on %d CPUs — rows tagged underprovisioned; speedups are not meaningful on this host\n",
+			benchmark, workers, runtime.NumCPU())
+	}
+	return true
 }
 
 // RTBenchSkip records a workload the rt backend could not run, and why
@@ -58,19 +93,27 @@ type RTBenchSkip struct {
 
 // RTBenchReport is the schema of BENCH_rt.json.
 type RTBenchReport struct {
-	Benchmark  string        `json:"benchmark"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"num_cpu"`
-	Seed       uint64        `json:"seed"`
-	Rows       []RTBenchRow  `json:"rows"`
-	Skipped    []RTBenchSkip `json:"skipped,omitempty"`
+	Benchmark  string `json:"benchmark"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Seed       uint64 `json:"seed"`
+	// Tuning records the scheduler knobs the sweep ran with, so two
+	// BENCH files are only comparable when their tunings agree.
+	Tuning BenchTuning `json:"tuning"`
+	// Note is free-form provenance for committed artifacts (host
+	// regime, regeneration caveats); the harness never sets it.
+	Note    string        `json:"note,omitempty"`
+	Rows    []RTBenchRow  `json:"rows"`
+	Skipped []RTBenchSkip `json:"skipped,omitempty"`
 }
 
 // RunRTBench measures every runnable workload at every worker count,
 // reps times each, keeping the fastest run. Workloads rt cannot execute
 // (and workloads with a nil root-task Init producing no work) are
-// reported in Skipped with a reason.
-func RunRTBench(wls []DiffWorkload, workerCounts []int, reps int, seed uint64, noPin bool) (RTBenchReport, error) {
+// reported in Skipped with a reason. tune applies the ISSUE-9 scheduler
+// knobs to every run; rows measured with more workers than CPUs are
+// tagged Underprovisioned (and a warning lands on stderr).
+func RunRTBench(wls []DiffWorkload, workerCounts []int, reps int, seed uint64, noPin bool, tune BenchTuning) (RTBenchReport, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -79,19 +122,25 @@ func RunRTBench(wls []DiffWorkload, workerCounts []int, reps int, seed uint64, n
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Seed:       seed,
+		Tuning:     tune,
 	}
+	warned := map[int]bool{}
 	for _, wl := range wls {
 		if reason := RTSkipReason(wl.Spec); reason != "" {
 			rep.Skipped = append(rep.Skipped, RTBenchSkip{Workload: wl.Name, Reason: reason})
 			continue
 		}
 		for _, workers := range workerCounts {
-			row := RTBenchRow{Workload: wl.Name, Workers: workers, Reps: reps}
+			row := RTBenchRow{Workload: wl.Name, Workers: workers, Reps: reps,
+				Underprovisioned: warnUnderprovisioned("rt-scaling", workers, warned)}
 			var wallSum int64
 			for i := 0; i < reps; i++ {
 				cfg := rt.DefaultConfig(workers)
 				cfg.Seed = seed + uint64(i)
 				cfg.NoPin = noPin
+				cfg.Grain = tune.Grain
+				cfg.StealBatch = tune.StealBatch
+				cfg.TierGroup = tune.TierGroup
 				r := rt.New(cfg)
 				res, err := r.Run(wl.Spec.Fid, wl.Spec.Locals, wl.Spec.Init)
 				if err != nil {
@@ -108,6 +157,7 @@ func RunRTBench(wls []DiffWorkload, workerCounts []int, reps int, seed uint64, n
 					row.Result = res
 					row.Tasks = ts.TasksExecuted
 					row.StealsOK = ts.StealsOK
+					row.StealBatches = ts.StealBatches
 					row.BytesStolen = ts.BytesStolen
 					row.Suspends = ts.Suspends
 					row.StealAttempts = ts.StealAttempts
@@ -171,8 +221,21 @@ func RTBenchWorkloads(scale string) ([]DiffWorkload, error) {
 			{"nqueens", workloads.NQueens(10, 100)},
 			{"pingpong", workloads.PingPong(512, 2000, 0)},
 		}, nil
+	case "bench":
+		// The ISSUE-9 scaling suite: per-task work is high enough that a
+		// single worker spends SECONDS per workload (so wall times dwarf
+		// startup, steal latency and timer jitter) and the spawn tree is
+		// deep enough that coalescing (WithGrain) has structure to chew
+		// on. This is the suite the CI rt-perf job and the scalefloor
+		// experiment run at {1, 8} workers.
+		return []DiffWorkload{
+			{"fib", workloads.Fib(26, 2500)},
+			{"btc", workloads.BTC(9, 2, 2500)},
+			{"uts", workloads.UTS(19, 10, workloads.DefaultUTSB0, 2500)},
+			{"nqueens", workloads.NQueens(9, 2500)},
+		}, nil
 	default:
-		return nil, fmt.Errorf("unknown scale %q (tiny | small | large)", scale)
+		return nil, fmt.Errorf("unknown scale %q (tiny | small | large | bench)", scale)
 	}
 }
 
@@ -182,18 +245,26 @@ func PrintRTBench(w io.Writer, rep RTBenchReport) {
 	fmt.Fprintf(w, "%s (wall clock; GOMAXPROCS=%d, %d CPUs; best of reps)\n",
 		rep.Benchmark, rep.GoMaxProcs, rep.NumCPU)
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "workload\tworkers\twall ms\ttasks/s\titems/s\tsteals\tMB stolen")
+	fmt.Fprintln(tw, "workload\tworkers\twall ms\ttasks/s\titems/s\tsteals\tbatches\tMB stolen")
+	var underprovisioned bool
 	for _, row := range rep.Rows {
 		items := "-"
 		if row.ItemsPerSec > 0 {
 			items = fmt.Sprintf("%.3g", row.ItemsPerSec)
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.3g\t%s\t%d\t%.2f\n",
-			row.Workload, row.Workers, float64(row.WallNS)/1e6,
-			row.TasksPerSec, items, row.StealsOK,
+		mark := ""
+		if row.Underprovisioned {
+			mark, underprovisioned = "*", true
+		}
+		fmt.Fprintf(tw, "%s\t%d%s\t%.2f\t%.3g\t%s\t%d\t%d\t%.2f\n",
+			row.Workload, row.Workers, mark, float64(row.WallNS)/1e6,
+			row.TasksPerSec, items, row.StealsOK, row.StealBatches,
 			float64(row.BytesStolen)/(1<<20))
 	}
 	tw.Flush()
+	if underprovisioned {
+		fmt.Fprintf(w, "* underprovisioned: more workers than the host's %d CPUs; not a scaling measurement\n", rep.NumCPU)
+	}
 	for _, sk := range rep.Skipped {
 		fmt.Fprintf(w, "skipped %s: %s\n", sk.Workload, sk.Reason)
 	}

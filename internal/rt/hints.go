@@ -2,22 +2,30 @@ package rt
 
 import "uniaddr/internal/obs"
 
-// Hint-guided victim selection. The pre-optimization trySteal probed
-// one uniformly random victim per idle round; with W workers and one
-// busy victim, an idle worker burned W-2 empty probes (each a real
-// StealBegin: an atomic RMW on the victim's lock line) for every hit.
-// The replacement consults advisory occupancy hints — one atomic load
-// per candidate, no RMW — and a last-successful-victim cache before
-// falling back to a single blind probe.
+// Hint-guided, distance-tiered victim selection. The pre-optimization
+// trySteal probed one uniformly random victim per idle round; with W
+// workers and one busy victim, an idle worker burned W-2 empty probes
+// (each a real StealBegin: an atomic RMW on the victim's lock line)
+// for every hit. The replacement consults advisory occupancy hints —
+// one atomic load per candidate, no RMW — and a last-successful-victim
+// cache before falling back to a single blind probe.
 //
-// The hints are ADVISORY. A stale-high hint costs one wasted probe; a
-// stale-low hint could starve a victim of thieves forever, which is why
-// the no-hints-anywhere path still probes one random victim blindly:
-// liveness never depends on hint freshness (DESIGN.md §10).
+// The hint sweep walks victims in DISTANCE order (sched.BuildTiers,
+// after distbdd-spin17's VERYNEAR/NEAR/FAR/VERYFAR arrays): candidates
+// in the thief's own rank block first, then outward tier by tier, with
+// a random start inside each tier so thieves don't convoy on the
+// lowest rank. On rt the tiers model cache/NUMA affinity between
+// neighbouring workers; on dist the same construction tiers process
+// ranks. Tier order is a pure preference — liveness never depends on
+// it, nor on hint freshness: a stale-high hint costs one wasted probe;
+// a stale-low hint could starve a victim of thieves forever, which is
+// why the no-hints-anywhere path still probes one random victim
+// blindly (DESIGN.md §10).
 
-// trySteal attempts one steal round: cache first, then a hint sweep
-// from a random start, then one blind probe. Returns true when a thread
-// was stolen and executed. At most two StealBegin probes per round.
+// trySteal attempts one steal round: cache first, then the tiered hint
+// sweep, then one blind probe. Returns true when at least one thread
+// was stolen (and the newest stolen thread executed). At most two
+// StealBegin probes per round.
 func (w *Worker) trySteal() bool {
 	n := len(w.rt.workers)
 	if n < 2 || !w.arena.Empty() {
@@ -35,23 +43,22 @@ func (w *Worker) trySteal() bool {
 		}
 		w.lastVictim = -1
 	}
-	// 2. Hint sweep: scan every other worker's hint (cheap loads) from
-	// a random start, probing the first that advertises work and is not
-	// blacklisted. The random start keeps thieves from convoying on the
-	// lowest rank.
-	start := w.rng.Intn(n)
-	for i := 0; i < n; i++ {
-		vi := start + i
-		if vi >= n {
-			vi -= n
-		}
-		if vi == w.rank {
+	// 2. Tiered hint sweep: scan each distance tier's hints (cheap
+	// loads) near-to-far, probing the first candidate that advertises
+	// work and is not blacklisted.
+	for tier := range w.tiers {
+		cands := w.tiers[tier]
+		if len(cands) == 0 {
 			continue
 		}
-		if v := w.rt.workers[vi]; v.deque.Occupancy() > 0 && !w.res.Banned(vi) {
-			w.stats.StealHintProbes++
-			w.wlog.Instant(obs.KProbeHint, 0, 0, vi)
-			return w.stealFrom(v, vi)
+		start := w.rng.Intn(len(cands))
+		for i := 0; i < len(cands); i++ {
+			vi := cands[(start+i)%len(cands)]
+			if v := w.rt.workers[vi]; v.deque.Occupancy() > 0 && !w.res.Banned(vi) {
+				w.stats.StealHintProbes++
+				w.wlog.Instant(obs.KProbeHint, 0, 0, vi)
+				return w.stealFrom(v, vi)
+			}
 		}
 	}
 	// 3. Every hint reads empty (or banned). Hints can be stale-low (a
@@ -85,15 +92,22 @@ func (w *Worker) blindVictim(n int) int {
 }
 
 // stealFrom runs the thief side of Fig. 6 against victim v through the
-// shared resilience layer (sched.Resilience.StealFrom): claim under the
-// FAA lock — with bounded retries and rollback when faults are injected
-// — memcpy the stack into the same offset of our own arena, release,
-// run. Legal only while our region is empty (the caller checked). On
-// success v becomes the cached victim for the next round.
+// shared resilience layer — batched: one claim/verify round trip moves
+// up to ⌈size/2⌉ entries (sched.Resilience.StealBatchFrom), landing as
+// ONE contiguous install+memcpy in our arena. Legal only while our
+// region is empty (the caller checked).
+//
+// The stolen entries are pushed onto our OWN deque oldest-first, so
+// the deque order (and the arena's descending-VA chain) is preserved:
+// the newest entry is popped and run immediately — exactly what the
+// single-steal path executed — while the rest are real local work that
+// other thieves can re-steal from us, which is how one round trip
+// fans work out. On success v becomes the cached victim for the next
+// round.
 func (w *Worker) stealFrom(v *Worker, vi int) bool {
 	w.stats.StealAttempts++
 	ts := w.wlog.Clock()
-	ent, outcome := w.res.StealFrom(vi, v.deque, v.arena, w.arena)
+	n, outcome := w.res.StealBatchFrom(vi, v.deque, v.arena, w.arena, w.stealBuf)
 	switch outcome {
 	case StealEmpty, StealEmptyLocked:
 		w.stats.StealAbortEmpty++
@@ -110,10 +124,28 @@ func (w *Worker) stealFrom(v *Worker, vi int) bool {
 		w.lastVictim = -1
 		return false
 	}
-	w.stats.StealsOK++
-	w.stats.BytesStolen += ent.FrameSize
+	var total uint64
+	for i := 0; i < n; i++ {
+		total += w.stealBuf[i].FrameSize
+		if err := w.deque.Push(w.stealBuf[i]); err != nil {
+			panic(err)
+		}
+	}
+	w.stats.StealsOK += uint64(n)
+	w.stats.BytesStolen += total
+	w.stats.StealBatches++
+	w.stats.StealBatchEntries += uint64(n)
 	w.lastVictim = int32(vi)
-	w.wlog.StealOK(ts, ent.FrameSize, vi)
-	w.invoke(ent.FrameBase, ent.FrameSize)
+	w.wlog.StealOK(ts, total, vi)
+	// Extra entries just became stealable from us: release a parked
+	// worker so the fan-out actually happens.
+	if n > 1 && w.rt.lot.count.Load() > 0 {
+		w.rt.lot.wakeOne()
+	}
+	// Pop (not invoke directly): an entry on our deque is claimable by
+	// other thieves, so only a successful pop grants execution rights.
+	if ent, ok := w.deque.Pop(w.stopFn); ok {
+		w.invoke(ent.FrameBase, ent.FrameSize)
+	}
 	return true
 }

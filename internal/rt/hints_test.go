@@ -79,7 +79,9 @@ func TestStealProbeAccounting(t *testing.T) {
 					ts.StealCacheProbes, ts.StealHintProbes, ts.StealBlindProbes,
 					ts.StealAttempts)
 			}
-			outcomes := ts.StealsOK + ts.StealAbortEmpty + ts.StealAbortLock
+			// One attempt = one round trip, which may move a whole
+			// batch: conservation is over StealBatches, not entries.
+			outcomes := ts.StealBatches + ts.StealAbortEmpty + ts.StealAbortLock
 			if outcomes != ts.StealAttempts {
 				t.Errorf("%s on %d workers: outcomes %d != attempts %d",
 					spec.Name, workers, outcomes, ts.StealAttempts)

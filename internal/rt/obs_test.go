@@ -43,8 +43,13 @@ func TestRTObsStealLifecycle(t *testing.T) {
 	if ex.Dropped() == 0 {
 		// Default ring cap comfortably holds this run; every counter
 		// must then match its event kind exactly.
-		if kinds[obs.KStealOK] != ts.StealsOK {
-			t.Errorf("KStealOK events %d, StealsOK %d", kinds[obs.KStealOK], ts.StealsOK)
+		// One KStealOK interval per successful batched round trip;
+		// StealsOK counts the entries those trips moved.
+		if kinds[obs.KStealOK] != ts.StealBatches {
+			t.Errorf("KStealOK events %d, StealBatches %d", kinds[obs.KStealOK], ts.StealBatches)
+		}
+		if ts.StealBatchEntries != ts.StealsOK {
+			t.Errorf("StealBatchEntries %d, StealsOK %d", ts.StealBatchEntries, ts.StealsOK)
 		}
 		probes := kinds[obs.KProbeCache] + kinds[obs.KProbeHint] + kinds[obs.KProbeBlind]
 		if probes != ts.StealAttempts {
@@ -66,8 +71,8 @@ func TestRTObsStealLifecycle(t *testing.T) {
 			stealHist = nh.Hist.Count
 		}
 	}
-	if stealHist != ts.StealsOK {
-		t.Errorf("steal latency samples %d, StealsOK %d", stealHist, ts.StealsOK)
+	if stealHist != ts.StealBatches {
+		t.Errorf("steal latency samples %d, StealBatches %d", stealHist, ts.StealBatches)
 	}
 }
 

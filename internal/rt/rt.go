@@ -49,6 +49,19 @@ type Config struct {
 	// NoPin disables runtime.LockOSThread per worker (useful in tests
 	// that run many runtimes concurrently).
 	NoPin bool
+	// Grain is the task-granularity cutoff workloads read back through
+	// core.Env.Grain: 0 (default) disables coalescing, core.GrainAuto
+	// selects the workload's own cutoff applied adaptively, any other
+	// value is a static size-metric cutoff.
+	Grain uint64
+	// StealBatch bounds how many entries one steal round trip may move:
+	// 0 selects the deque's own bound (MaxClaim — the steal-half
+	// default), 1 restores single-entry steals, larger values clamp to
+	// MaxClaim.
+	StealBatch int
+	// TierGroup is the rank-block width for distance-tiered victim
+	// selection (<= 0 selects sched.DefaultTierGroup).
+	TierGroup int
 	// Fault is the deterministic fault schedule (zero value = none).
 	// Only the backend-neutral knobs apply here (steal claim/copy
 	// failures and delays); sim-only and dist-only knobs are rejected
@@ -174,9 +187,25 @@ func New(cfg Config) *Runtime {
 		w.wlog = r.rec.Worker(i)
 		w.res.Log = w.wlog
 		w.stopFn = r.stopped
+		w.grain = cfg.Grain
+		w.tiers = sched.BuildTiers(i, cfg.Workers, cfg.TierGroup)
+		w.stealBuf = make([]sched.Entry, stealBatchLimit(cfg.StealBatch, w.deque.MaxClaim()))
 		r.workers = append(r.workers, w)
 	}
 	return r
+}
+
+// stealBatchLimit resolves the Config.StealBatch knob against the
+// deque's claim bound: 0 → maxClaim, otherwise clamp to [1, maxClaim].
+func stealBatchLimit(batch int, maxClaim uint64) int {
+	n := int(maxClaim)
+	if batch > 0 && batch < n {
+		n = batch
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Run executes the root task fid(localsLen bytes of locals, initialised
@@ -293,6 +322,8 @@ func (r *Runtime) TotalStats() Stats {
 		t.StealAbortEmpty += s.StealAbortEmpty
 		t.StealAbortLock += s.StealAbortLock
 		t.BytesStolen += s.BytesStolen
+		t.StealBatches += s.StealBatches
+		t.StealBatchEntries += s.StealBatchEntries
 		t.StealHintProbes += s.StealHintProbes
 		t.StealCacheProbes += s.StealCacheProbes
 		t.StealBlindProbes += s.StealBlindProbes

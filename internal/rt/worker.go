@@ -32,6 +32,13 @@ type Stats struct {
 	StealAbortLock  uint64
 	BytesStolen     uint64
 
+	// Steal-half batching: StealBatches counts successful batched
+	// round trips, StealBatchEntries the entries they moved (so the
+	// mean batch width is StealBatchEntries/StealBatches; StealsOK
+	// counts the same entries for continuity with older reports).
+	StealBatches      uint64
+	StealBatchEntries uint64
+
 	// Steal-hint counters: probes routed by a victim's occupancy hint or
 	// by the last-successful-victim cache, vs blind random probes. Every
 	// StealAttempt falls into exactly one bucket.
@@ -111,6 +118,17 @@ type Worker struct {
 	// lastVictim caches the rank of the last successful steal victim
 	// (-1 none); owner-only (see hints.go).
 	lastVictim int32
+
+	// tiers orders potential victims by rank-group distance; the hint
+	// sweep walks them near-to-far (see hints.go and sched.BuildTiers).
+	tiers [sched.NumTiers][]int
+
+	// stealBuf is the reusable batch buffer for StealBatchFrom, sized
+	// to the configured per-steal entry bound (owner-only).
+	stealBuf []sched.Entry
+
+	// grain is Config.Grain, surfaced to workloads via ExecGrain.
+	grain uint64
 
 	// res is the thief-side fault state machine (owner-only); with no
 	// injector configured it is dormant and free (see sched.Resilience).
@@ -503,6 +521,14 @@ func (w *Worker) ExecGasPutU64(r gas.Ref, v uint64) { w.execGasPanic() }
 
 // ExecGasAlloc implements core.Exec; unsupported on rt.
 func (w *Worker) ExecGasAlloc(n uint64) gas.Ref { w.execGasPanic(); return gas.Ref(0) }
+
+// ExecGrain returns the runtime's configured granularity cutoff.
+func (w *Worker) ExecGrain() uint64 { return w.grain }
+
+// ExecCoalesce reports local work surplus: this worker's own deque
+// already holds enough unstolen entries that spawning finer tasks only
+// adds overhead (the adaptive gate for core.GrainAuto).
+func (w *Worker) ExecCoalesce() bool { return w.deque.Size() >= core.CoalesceDequeMin }
 
 // SimWorker returns nil: this backend is not the simulator.
 func (w *Worker) SimWorker() *core.Worker { return nil }

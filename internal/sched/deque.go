@@ -57,14 +57,22 @@ import (
 // require cap task spawns on the owner; with the default cap of 8192
 // this cannot occur in practice, matching the simulator's stance.
 //
+// Batched steals (StealBeginBatch) claim up to maxClaim entries under
+// ONE lock acquisition and ONE claim/verify exchange — the steal-half
+// amortisation. The ring therefore reserves maxClaim slots instead of
+// one (see Push); maxClaim is derived from the capacity alone
+// (maxClaimFor), so every process view of a shared region computes the
+// same bound without coordination.
+//
 // Layout: the flat region starts with four words, each alone on a
 // 64-byte line (lock, top, bottom, occupancy), followed by cap 16-byte
 // entry slots. A Deque value is one process's *view* of such a region;
 // any number of views may attach to the same region.
 type Deque struct {
-	hdr   *dequeHdr
-	slots []dqSlot
-	cap   uint64
+	hdr      *dequeHdr
+	slots    []dqSlot
+	cap      uint64
+	maxClaim uint64
 }
 
 // dequeHdr is the shared word block at the start of a deque region.
@@ -148,12 +156,30 @@ func (o StealOutcome) String() string {
 	}
 }
 
+// maxClaimFor bounds how many entries one batched claim may take from a
+// deque of the given capacity: a quarter of the ring, clamped to
+// [1, 64]. A quarter keeps the reservation (see Push) small relative to
+// the usable ring; 64 caps the bytes a thief moves while holding the
+// victim's lock. Deterministic in capacity alone so independent process
+// views of one shared region agree without coordination.
+func maxClaimFor(capacity uint64) uint64 {
+	m := capacity / 4
+	if m < 1 {
+		m = 1
+	}
+	if m > 64 {
+		m = 64
+	}
+	return m
+}
+
 // NewDequeAt attaches a deque view to a flat region (zeroed at first
 // attach; attaching to a live region yields a coherent second view,
 // which is how dist thieves address a victim's deque). The region must
 // be 8-byte aligned and hold DequeBytes(capacity). The deque holds up
-// to capacity-1 entries (one ring slot is reserved for an in-flight
-// claim; see Push). capacity must be a power of two >= 2.
+// to capacity-maxClaimFor(capacity) entries (ring slots are reserved
+// for an in-flight batched claim; see Push). capacity must be a power
+// of two >= 2.
 func NewDequeAt(region []byte, capacity uint64) (*Deque, error) {
 	if capacity < 2 || capacity&(capacity-1) != 0 {
 		return nil, fmt.Errorf("sched: deque capacity %d not a power of two >= 2", capacity)
@@ -162,9 +188,10 @@ func NewDequeAt(region []byte, capacity uint64) (*Deque, error) {
 		return nil, err
 	}
 	d := &Deque{
-		hdr:   (*dequeHdr)(unsafe.Pointer(&region[0])),
-		slots: unsafe.Slice((*dqSlot)(unsafe.Pointer(&region[dequeHdrBytes])), capacity),
-		cap:   capacity,
+		hdr:      (*dequeHdr)(unsafe.Pointer(&region[0])),
+		slots:    unsafe.Slice((*dqSlot)(unsafe.Pointer(&region[dequeHdrBytes])), capacity),
+		cap:      capacity,
+		maxClaim: maxClaimFor(capacity),
 	}
 	return d, nil
 }
@@ -194,17 +221,17 @@ func (d *Deque) entryAt(i uint64) Entry {
 	return Entry{FrameBase: mem.VA(s.base.Load()), FrameSize: s.size.Load()}
 }
 
-// Push publishes an entry at bottom (owner only, lock-free). One slot
-// of the ring is reserved: a thief's in-flight claim inflates top by
-// one until it commits or aborts, so the owner's occupancy read b-t can
-// undercount by one — pushing into that slack would overwrite either
-// the slot the thief is still copying or an entry an abort is about to
-// hand back. At most one claim is ever in flight (the lock), so one
-// reserved slot restores the bound.
+// Push publishes an entry at bottom (owner only, lock-free). maxClaim
+// slots of the ring are reserved: a thief's in-flight claim inflates
+// top by up to maxClaim until it commits or aborts, so the owner's
+// occupancy read b-t can undercount by that much — pushing into the
+// slack would overwrite either slots the thief is still copying or
+// entries an abort is about to hand back. At most one claim is ever in
+// flight (the lock), so maxClaim reserved slots restore the bound.
 func (d *Deque) Push(e Entry) error {
 	t := d.hdr.top.Load()
 	b := d.hdr.bottom.Load()
-	if b-t >= d.cap-1 {
+	if b-t >= d.cap-d.maxClaim {
 		return fmt.Errorf("sched: deque overflow (cap %d)", d.cap)
 	}
 	s := &d.slots[b&(d.cap-1)]
@@ -306,6 +333,103 @@ func (d *Deque) StealCommit() {
 // lock — the THE abort the simulator's fault-injection tests exercise.
 func (d *Deque) StealAbort() {
 	d.hdr.top.Store(d.hdr.top.Load() - 1)
+	d.syncOccupancy()
+	d.Unlock()
+}
+
+// MaxClaim returns the upper bound on a batched claim (and the ring
+// slack Push reserves for one). Callers size their steal buffers with
+// it.
+func (d *Deque) MaxClaim() uint64 { return d.maxClaim }
+
+// StealBeginBatch is the steal-half generalisation of StealBegin: one
+// FAA lock acquisition, one claim write, one bottom verify — and up to
+// ⌈size/2⌉ entries claimed instead of one. On StealOK it fills
+// buf[0..k) with the claimed entries in deque order (buf[0] is the
+// oldest, at the victim's top) and returns k with the victim's lock
+// HELD; the caller copies the frames and then calls StealCommit, or
+// StealAbortBatch(k) to hand everything back. k is bounded by len(buf)
+// and MaxClaim (the ring reservation that keeps the owner from
+// overwriting claimed slots).
+//
+// Sizing: the target ⌈n/2⌉ is computed from the bottom value read
+// BEFORE the claim write, so the batch can never extend into entries
+// the owner pushes after the claim; the post-claim re-read of bottom
+// (the THE verify) then only ever SHRINKS the batch, when owner pops
+// raced the claim. If the re-read shows the deque fully drained the
+// claim retreats exactly as in StealBegin.
+//
+// Why one claim/verify exchange suffices for k entries: the claim
+// write top = t+kTry publishes intent for the whole range before
+// bottom is re-read, so the owner's pop conflict path (which fires
+// when its bottom decrement crosses top) serialises against the WHOLE
+// batch through the same lock as a single steal — entries [t, t+k)
+// are exclusively the thief's once bottom >= t+k was observed, because
+// any owner pop that could touch them must first win the lock the
+// thief holds. A transiently over-advanced top (kTry > final k) only
+// makes a concurrent owner pop enter its conflict path spuriously;
+// it parks on the lock and re-checks after the thief settles top.
+//
+// Contiguity: entries resident on one deque always form an adjacent
+// descending-VA chain (each frame is bump-allocated immediately below
+// its pusher's previous one, and steals only peel frames off the top
+// of the chain), so the claimed batch is ONE contiguous byte range —
+// buf[k-1].FrameBase up to buf[0].FrameBase+buf[0].FrameSize — and the
+// caller can move it with a single Install and a single memcpy. The
+// scan below verifies the chain defensively and shrinks k to the
+// contiguous prefix rather than trusting the invariant blindly.
+func (d *Deque) StealBeginBatch(buf []Entry) (int, StealOutcome) {
+	t := d.hdr.top.Load()
+	b := d.hdr.bottom.Load()
+	if b <= t || len(buf) == 0 {
+		return 0, StealEmpty
+	}
+	if d.hdr.lock.Add(1) != 1 {
+		return 0, StealLockBusy
+	}
+	t = d.hdr.top.Load()
+	// Target half of the PRE-claim size (rounded up); b may predate the
+	// lock, so guard the t reload having passed it.
+	var kTry uint64 = 1
+	if b > t {
+		kTry = (b - t + 1) / 2
+	}
+	if kTry > uint64(len(buf)) {
+		kTry = uint64(len(buf))
+	}
+	if kTry > d.maxClaim {
+		kTry = d.maxClaim
+	}
+	d.hdr.top.Store(t + kTry) // claim BEFORE re-reading bottom (THE order)
+	b = d.hdr.bottom.Load()
+	if b <= t {
+		// Drained while we were locking; retreat the whole claim.
+		d.hdr.top.Store(t)
+		d.Unlock()
+		return 0, StealEmptyLocked
+	}
+	k := kTry
+	if avail := b - t; k > avail {
+		k = avail
+	}
+	// Fill buf with the contiguous prefix of the claimed range.
+	buf[0] = d.entryAt(t)
+	n := uint64(1)
+	for ; n < k; n++ {
+		e := d.entryAt(t + n)
+		if prev := buf[n-1]; e.FrameBase+mem.VA(e.FrameSize) != prev.FrameBase {
+			break
+		}
+		buf[n] = e
+	}
+	d.hdr.top.Store(t + n) // settle: hand back anything over-claimed
+	return int(n), StealOK
+}
+
+// StealAbortBatch hands back all n entries of a batched claim and
+// releases the lock — StealAbort generalised to the batch width.
+func (d *Deque) StealAbortBatch(n int) {
+	d.hdr.top.Store(d.hdr.top.Load() - uint64(n))
 	d.syncOccupancy()
 	d.Unlock()
 }

@@ -1,0 +1,340 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uniaddr/internal/mem"
+)
+
+// White-box tests for the batched claim-then-verify steal
+// (StealBeginBatch / StealAbortBatch). Batch entries must form an
+// adjacent descending-VA chain — the invariant real deques satisfy
+// because frames bump-allocate downward — so these helpers build
+// chains instead of the scattered ent(i) entries the single-steal
+// tests use.
+
+// chainEnts returns n entries forming an adjacent descending chain:
+// entry 0 sits highest (it will be pushed first, so thieves take it
+// first), each later entry ends exactly at its predecessor's base.
+func chainEnts(n int, size uint64) []Entry {
+	base := mem.VA(0x7f00_0000_0000)
+	out := make([]Entry, n)
+	for i := 0; i < n; i++ {
+		base -= mem.VA(size)
+		out[i] = Entry{FrameBase: base, FrameSize: size}
+	}
+	return out
+}
+
+func pushAll(t *testing.T, d *Deque, ents []Entry) {
+	t.Helper()
+	for _, e := range ents {
+		if err := d.Push(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDequeStealBatchTakesHalf(t *testing.T) {
+	d := NewDeque(32) // MaxClaim 8
+	ents := chainEnts(8, 64)
+	pushAll(t, d, ents)
+	buf := make([]Entry, d.MaxClaim())
+
+	// ⌈8/2⌉ = 4 oldest entries, FIFO order.
+	n, out := d.StealBeginBatch(buf)
+	if out != StealOK || n != 4 {
+		t.Fatalf("first batch: n=%d %v, want 4 ok", n, out)
+	}
+	for i := 0; i < n; i++ {
+		if buf[i] != ents[i] {
+			t.Fatalf("buf[%d] = %+v, want %+v", i, buf[i], ents[i])
+		}
+	}
+	d.StealCommit()
+	if got := d.Size(); got != 4 {
+		t.Fatalf("size %d after batch of 4, want 4", got)
+	}
+
+	// Steal-half again: ⌈4/2⌉ = 2, continuing where the first left off.
+	n, out = d.StealBeginBatch(buf)
+	if out != StealOK || n != 2 {
+		t.Fatalf("second batch: n=%d %v, want 2 ok", n, out)
+	}
+	if buf[0] != ents[4] || buf[1] != ents[5] {
+		t.Fatalf("second batch got %+v %+v, want ents[4..5]", buf[0], buf[1])
+	}
+	d.StealCommit()
+
+	// The owner keeps LIFO access to the remainder.
+	for i := 7; i >= 6; i-- {
+		e, ok := d.Pop(nil)
+		if !ok || e != ents[i] {
+			t.Fatalf("pop: %v %+v, want %+v", ok, e, ents[i])
+		}
+	}
+}
+
+func TestDequeStealBatchNearEmpty(t *testing.T) {
+	d := NewDeque(32)
+	buf := make([]Entry, d.MaxClaim())
+	if n, out := d.StealBeginBatch(buf); n != 0 || out != StealEmpty {
+		t.Fatalf("empty deque: n=%d %v", n, out)
+	}
+	ents := chainEnts(1, 64)
+	pushAll(t, d, ents)
+	// One entry: ⌈1/2⌉ = 1, degenerating to the single steal.
+	n, out := d.StealBeginBatch(buf)
+	if out != StealOK || n != 1 || buf[0] != ents[0] {
+		t.Fatalf("single-entry batch: n=%d %v %+v", n, out, buf[0])
+	}
+	d.StealCommit()
+	if d.Size() != 0 {
+		t.Fatalf("size %d", d.Size())
+	}
+}
+
+func TestDequeStealBatchAbortRollsBack(t *testing.T) {
+	d := NewDeque(32)
+	ents := chainEnts(6, 64)
+	pushAll(t, d, ents)
+	buf := make([]Entry, d.MaxClaim())
+	n, out := d.StealBeginBatch(buf)
+	if out != StealOK || n != 3 {
+		t.Fatalf("batch: n=%d %v, want 3", n, out)
+	}
+	d.StealAbortBatch(n)
+	if got := d.hdr.lock.Load(); got != 0 {
+		t.Fatalf("lock word %d after abort", got)
+	}
+	if got := d.Size(); got != 6 {
+		t.Fatalf("size %d after rollback, want 6", got)
+	}
+	// Every entry is recoverable, owner side, in LIFO order.
+	for i := 5; i >= 0; i-- {
+		e, ok := d.Pop(nil)
+		if !ok || e != ents[i] {
+			t.Fatalf("pop %d after rollback: %v %+v, want %+v", i, ok, e, ents[i])
+		}
+	}
+	// And a fresh thief can re-steal what was handed back.
+	pushAll(t, d, ents)
+	if n, out := d.StealBeginBatch(buf); out != StealOK || n != 3 || buf[0] != ents[0] {
+		t.Fatalf("re-steal after rollback: n=%d %v", n, out)
+	} else {
+		d.StealCommit()
+	}
+}
+
+// TestDequeStealBatchStopsAtChainBreak: the defensive contiguity scan
+// must shrink the batch to the adjacent prefix when the resident
+// entries do not chain (possible transiently after owner pops and
+// re-pushes interleave with steals).
+func TestDequeStealBatchStopsAtChainBreak(t *testing.T) {
+	d := NewDeque(32)
+	ents := chainEnts(6, 64)
+	ents[2].FrameBase -= 4096 // break the chain between [1] and [2]
+	pushAll(t, d, ents)
+	buf := make([]Entry, d.MaxClaim())
+	n, out := d.StealBeginBatch(buf)
+	if out != StealOK || n != 2 {
+		t.Fatalf("batch across chain break: n=%d %v, want 2", n, out)
+	}
+	if buf[0] != ents[0] || buf[1] != ents[1] {
+		t.Fatalf("batch contents %+v %+v", buf[0], buf[1])
+	}
+	d.StealCommit()
+	// The over-claim was settled back: entry 2 is still stealable.
+	n, out = d.StealBeginBatch(buf)
+	if out != StealOK || buf[0] != ents[2] {
+		t.Fatalf("steal after settle: n=%d %v %+v", n, out, buf[0])
+	}
+	d.StealCommit()
+}
+
+// TestDequeStealBatchClaimBound pins the ring reservation: a claim
+// never exceeds MaxClaim = cap/4 (clamped to [1,64]) no matter how
+// deep the deque, and Push respects the reserved slack.
+func TestDequeStealBatchClaimBound(t *testing.T) {
+	if got := maxClaimFor(4); got != 1 {
+		t.Fatalf("maxClaimFor(4) = %d, want 1", got)
+	}
+	if got := maxClaimFor(32); got != 8 {
+		t.Fatalf("maxClaimFor(32) = %d, want 8", got)
+	}
+	if got := maxClaimFor(1 << 13); got != 64 {
+		t.Fatalf("maxClaimFor(8192) = %d, want 64 (clamp)", got)
+	}
+
+	d := NewDeque(32) // 32-8 = 24 usable slots
+	ents := chainEnts(24, 64)
+	pushAll(t, d, ents)
+	if err := d.Push(ent(99)); err == nil {
+		t.Fatal("push into reserved claim slack succeeded")
+	}
+	buf := make([]Entry, 64)
+	n, out := d.StealBeginBatch(buf) // ⌈24/2⌉ = 12 > MaxClaim 8
+	if out != StealOK || n != 8 {
+		t.Fatalf("claim-bound batch: n=%d %v, want 8", n, out)
+	}
+	d.StealCommit()
+	// Claim freed 8 slots: the owner can push again.
+	if err := d.Push(Entry{FrameBase: ents[23].FrameBase - 64, FrameSize: 64}); err != nil {
+		t.Fatalf("push after batch: %v", err)
+	}
+}
+
+func TestDequeStealBatchBufLenBound(t *testing.T) {
+	d := NewDeque(32)
+	pushAll(t, d, chainEnts(8, 64))
+	buf := make([]Entry, 2)
+	n, out := d.StealBeginBatch(buf)
+	if out != StealOK || n != 2 {
+		t.Fatalf("buf-bound batch: n=%d %v, want 2", n, out)
+	}
+	d.StealCommit()
+	if got := d.Size(); got != 6 {
+		t.Fatalf("size %d, want 6", got)
+	}
+}
+
+// TestDequeStealBatchRingWrap drives batches across the index
+// wraparound: every round leaves the ring offset shifted, so repeated
+// rounds cover claims that straddle the physical end of the ring.
+func TestDequeStealBatchRingWrap(t *testing.T) {
+	d := NewDeque(8) // MaxClaim 2, 6 usable
+	buf := make([]Entry, 8)
+	for round := 0; round < 20; round++ {
+		ents := chainEnts(5, 64)
+		pushAll(t, d, ents)
+		n, out := d.StealBeginBatch(buf) // min(⌈5/2⌉, MaxClaim) = 2
+		if out != StealOK || n != 2 {
+			t.Fatalf("round %d: n=%d %v, want 2", round, n, out)
+		}
+		if buf[0] != ents[0] || buf[1] != ents[1] {
+			t.Fatalf("round %d batch: %+v %+v", round, buf[0], buf[1])
+		}
+		d.StealCommit()
+		for i := 4; i >= 2; i-- {
+			if e, ok := d.Pop(nil); !ok || e != ents[i] {
+				t.Fatalf("round %d pop %d: %v %+v", round, i, ok, e)
+			}
+		}
+		if d.Size() != 0 {
+			t.Fatalf("round %d size %d", round, d.Size())
+		}
+	}
+}
+
+// TestDequeStressMixedStealsRace is the satellite's -race headline: an
+// owner pushing chained frames and popping, four single-entry thieves
+// and four batch thieves racing it, with random batch aborts. Every
+// pushed entry must be consumed exactly once.
+func TestDequeStressMixedStealsRace(t *testing.T) {
+	const (
+		singleThieves = 4
+		batchThieves  = 4
+		total         = 20000
+		frameSize     = 64
+	)
+	d := NewDeque(1 << 8) // MaxClaim 64
+	var stop atomic.Bool
+	stolen := make(chan Entry, total)
+	var wg sync.WaitGroup
+	for i := 0; i < singleThieves; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				e, outcome := d.StealBegin()
+				if outcome == StealOK {
+					if rng.Intn(16) == 0 {
+						d.StealAbort()
+					} else {
+						d.StealCommit()
+						stolen <- e
+					}
+				}
+			}
+		}(int64(i) + 1)
+	}
+	for i := 0; i < batchThieves; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			buf := make([]Entry, d.MaxClaim())
+			for !stop.Load() {
+				n, outcome := d.StealBeginBatch(buf)
+				if outcome != StealOK {
+					continue
+				}
+				if rng.Intn(4) == 0 {
+					time.Sleep(time.Microsecond) // hold the lock like a copy
+				}
+				if rng.Intn(16) == 0 {
+					d.StealAbortBatch(n)
+				} else {
+					d.StealCommit()
+					for j := 0; j < n; j++ {
+						stolen <- buf[j]
+					}
+				}
+			}
+		}(int64(100 + i))
+	}
+
+	// The owner pushes one long descending chain (as a real arena
+	// would), popping under pressure.
+	var popped []Entry
+	rng := rand.New(rand.NewSource(42))
+	base := mem.VA(0x7f00_0000_0000)
+	for i := 0; i < total; i++ {
+		base -= frameSize
+		e := Entry{FrameBase: base, FrameSize: frameSize}
+		for d.Push(e) != nil {
+			if p, ok := d.Pop(nil); ok {
+				popped = append(popped, p)
+			}
+		}
+		if rng.Intn(3) == 0 {
+			if p, ok := d.Pop(nil); ok {
+				popped = append(popped, p)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	for {
+		p, ok := d.Pop(nil)
+		if !ok {
+			break
+		}
+		popped = append(popped, p)
+	}
+	close(stolen)
+
+	seen := make(map[Entry]int, total)
+	for _, e := range popped {
+		seen[e]++
+	}
+	for e := range stolen {
+		seen[e]++
+	}
+	if len(seen) != total {
+		t.Fatalf("consumed %d distinct entries, want %d", len(seen), total)
+	}
+	for e, n := range seen {
+		if n != 1 {
+			t.Fatalf("entry %+v consumed %d times", e, n)
+		}
+	}
+	if got := d.hdr.lock.Load(); got != 0 {
+		t.Fatalf("lock word %d at rest", got)
+	}
+}

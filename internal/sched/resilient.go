@@ -250,3 +250,86 @@ func (r *Resilience) StealFrom(victim int, vd *Deque, src, dst *Arena) (Entry, S
 		return ent, StealOK
 	}
 }
+
+// StealBatchFrom is StealFrom generalised to the steal-half batch: one
+// resilient round trip that claims up to len(buf) entries
+// (StealBeginBatch), moves them with a SINGLE cross-arena memcpy — the
+// batch is one contiguous byte range, see the deque's chain-contiguity
+// argument — and commits. The fault model amortises with the batch:
+// one claim consult gates the whole claim, one copy consult gates the
+// whole transfer, and a transfer fault rolls back ALL claimed entries
+// (FreeLowest of the combined range, StealAbortBatch) — a lost RDMA
+// READ loses the whole message, not one frame of it.
+//
+// On StealOK buf[0..n) holds the stolen entries in deque order
+// (buf[0] oldest / highest VA, buf[n-1] newest / lowest VA) and the
+// frames are installed in dst. With a nil injector this is exactly
+// one StealBeginBatch, one copy, one StealCommit.
+func (r *Resilience) StealBatchFrom(victim int, vd *Deque, src, dst *Arena, buf []Entry) (int, StealOutcome) {
+	for attempt := 0; ; attempt++ {
+		if r.inj != nil {
+			stall, fail := r.inj.StealClaim(r.rank, victim)
+			if stall > 0 {
+				r.sleep(stall)
+			}
+			if fail {
+				r.Log.Instant(obs.KStealFault, 0, 0, victim)
+				r.noteFault(victim)
+				if attempt >= r.cfg.MaxRetries || r.Banned(victim) {
+					r.Stats.StealAbortsFault++
+					r.Log.Instant(obs.KStealAbandon, 0, 0, victim)
+					return 0, StealFaulted
+				}
+				r.Stats.StealRetries++
+				bs := r.Log.Clock()
+				d := r.backoff(attempt)
+				r.Log.Emit(obs.KStealRetry, bs, uint64(d), uint64(attempt), 0, victim)
+				continue
+			}
+		}
+		n, outcome := vd.StealBeginBatch(buf)
+		if outcome != StealOK {
+			return 0, outcome
+		}
+		// Claimed; the victim's lock is held across the whole batch. The
+		// n entries tile one contiguous range [low, low+total): buf[0] is
+		// the highest frame, buf[n-1] the lowest.
+		low := buf[n-1].FrameBase
+		total := uint64(buf[0].FrameBase-low) + buf[0].FrameSize
+		if err := dst.Install(low, total); err != nil {
+			panic(err)
+		}
+		sb, err := src.Slice(low, total)
+		if err != nil {
+			panic(err)
+		}
+		cs := r.Log.Clock()
+		copy(dst.MustSlice(low, total), sb)
+		r.Log.Copy(cs, total, victim)
+		if r.inj != nil {
+			stall, fail := r.inj.StealCopy(r.rank, victim)
+			if stall > 0 {
+				r.sleep(stall)
+			}
+			if fail {
+				// The whole transfer failed after the bytes moved: roll
+				// back the full batch through the existing THE abort
+				// path — free our combined copy, hand every entry back.
+				if err := dst.FreeLowest(low, total); err != nil {
+					panic(err)
+				}
+				vd.StealAbortBatch(n)
+				r.Stats.StealRollbacks++
+				r.Log.Instant(obs.KStealRollback, 0, 0, victim)
+				r.noteFault(victim)
+				r.Stats.StealAbortsFault++
+				return 0, StealFaulted
+			}
+		}
+		vd.StealCommit()
+		if r.fails != nil {
+			delete(r.fails, victim)
+		}
+		return n, StealOK
+	}
+}

@@ -257,3 +257,101 @@ func (e *everyNthCopy) StealCopy(thief, victim int) (time.Duration, bool) {
 	e.c++
 	return 0, e.c%e.n == 0
 }
+
+// batchRig builds a victim with four CONTIGUOUS 256-byte frames (the
+// adjacent descending chain real arenas produce) so batched steals can
+// move a multi-frame block.
+func newBatchRig(t *testing.T) *testRig {
+	t.Helper()
+	const base, size = mem.VA(0x1000), uint64(1 << 16)
+	src := NewArena(base, size)
+	dst := NewArena(base, size)
+	vd := NewDeque(8) // MaxClaim 2
+	for i := 0; i < 4; i++ {
+		fb, err := src.AllocBelow(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := src.MustSlice(fb, 256)
+		for j := range b {
+			b[j] = byte(16*i + j%16)
+		}
+		if err := vd.Push(Entry{FrameBase: fb, FrameSize: 256}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &testRig{vd: vd, src: src, dst: dst}
+}
+
+// TestResilienceBatchMovesBlock: a fault-free batched steal moves the
+// claimed frames as one contiguous block, bytes intact.
+func TestResilienceBatchMovesBlock(t *testing.T) {
+	rig := newBatchRig(t)
+	r := NewResilience(1, fastCfg(), nil)
+	buf := make([]Entry, rig.vd.MaxClaim())
+	n, out := r.StealBatchFrom(0, rig.vd, rig.src, rig.dst, buf)
+	if out != StealOK || n != 2 {
+		t.Fatalf("batch steal: n=%d %v, want 2 ok", n, out)
+	}
+	if rig.vd.Size() != 2 {
+		t.Fatalf("victim deque size %d, want 2", rig.vd.Size())
+	}
+	// Both frames' bytes landed at their uni-addresses in the thief's
+	// arena.
+	for i := 0; i < n; i++ {
+		got := rig.dst.MustSlice(buf[i].FrameBase, buf[i].FrameSize)
+		want := rig.src.MustSlice(buf[i].FrameBase, buf[i].FrameSize)
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("frame %d byte %d: %d != %d", i, j, got[j], want[j])
+			}
+		}
+	}
+	if r.Stats != (ResilienceStats{}) {
+		t.Fatalf("fault counters moved without injector: %+v", r.Stats)
+	}
+}
+
+// TestResilienceBatchCopyFaultRollsBack: a copy fault mid-batch hands
+// EVERY claimed entry back and frees the thief-side block — the THE
+// abort generalised to the batch.
+func TestResilienceBatchCopyFaultRollsBack(t *testing.T) {
+	rig := newBatchRig(t)
+	r := NewResilience(1, fastCfg(), &scriptInjector{copyFails: 1})
+	r.sleep = func(time.Duration) {}
+	buf := make([]Entry, rig.vd.MaxClaim())
+	n, out := r.StealBatchFrom(0, rig.vd, rig.src, rig.dst, buf)
+	if out != StealFaulted || n != 0 {
+		t.Fatalf("batch under copy fault: n=%d %v, want rollback", n, out)
+	}
+	if r.Stats.StealRollbacks != 1 || r.Stats.StealAbortsFault != 1 {
+		t.Fatalf("stats %+v, want one rollback", r.Stats)
+	}
+	if rig.vd.Size() != 4 {
+		t.Fatalf("victim deque size %d after rollback, want 4", rig.vd.Size())
+	}
+	if !rig.dst.Empty() {
+		t.Fatal("thief arena not empty after batch rollback")
+	}
+	// The block is still stealable by a healthy thief.
+	r2 := NewResilience(2, fastCfg(), nil)
+	if n, out := r2.StealBatchFrom(0, rig.vd, rig.src, rig.dst, buf); out != StealOK || n != 2 {
+		t.Fatalf("re-steal after rollback: n=%d %v", n, out)
+	}
+}
+
+// TestResilienceBatchClaimRetries: claim faults burn retries exactly as
+// in the single-entry path, then the batch proceeds.
+func TestResilienceBatchClaimRetries(t *testing.T) {
+	rig := newBatchRig(t)
+	r := NewResilience(1, fastCfg(), &scriptInjector{claimFails: 2})
+	r.sleep = func(time.Duration) {}
+	buf := make([]Entry, rig.vd.MaxClaim())
+	n, out := r.StealBatchFrom(0, rig.vd, rig.src, rig.dst, buf)
+	if out != StealOK || n != 2 {
+		t.Fatalf("batch after claim retries: n=%d %v", n, out)
+	}
+	if r.Stats.StealFaults != 2 || r.Stats.StealRetries != 2 {
+		t.Fatalf("stats %+v, want 2 faults / 2 retries", r.Stats)
+	}
+}

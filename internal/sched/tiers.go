@@ -1,0 +1,63 @@
+package sched
+
+// Distance-tiered victim selection, after distbdd-spin17's wstealer
+// VERYNEAR/NEAR/FAR/VERYFAR arrays: a thief sweeps candidates in
+// distance order, preferring victims whose frames are cheap to reach
+// (same node / same process / hint-warm) and falling outward only when
+// the near tiers are dry. On this repo's backends the "distance" is a
+// rank-group metric — ranks are grouped into blocks of TierGroup and
+// tiered by block distance — which stands in for the NUMA/fabric
+// topology the original read from the machine. Selection order is a
+// pure heuristic: correctness and liveness never depend on it (the
+// backends keep their blind-probe fallback).
+
+// NumTiers is the number of distance classes (VERYNEAR, NEAR, FAR,
+// VERYFAR).
+const NumTiers = 4
+
+// DefaultTierGroup is the default rank-group width used to derive
+// distance tiers.
+const DefaultTierGroup = 4
+
+// BuildTiers partitions the victims of rank (all ranks in [0, n)
+// except rank itself) into NumTiers distance classes. group is the
+// rank-block width (<= 0 selects DefaultTierGroup); with block
+// distance d = |rank/group - v/group|:
+//
+//	tier 0 (VERYNEAR): d == 0 — same block
+//	tier 1 (NEAR):     d == 1 — adjacent block
+//	tier 2 (FAR):      d <= 4
+//	tier 3 (VERYFAR):  everything beyond
+//
+// Within a tier victims keep ascending rank order; the caller
+// randomises its sweep start per tier. Tiers may be empty (a 4-worker
+// run has only tier 0).
+func BuildTiers(rank, n, group int) [NumTiers][]int {
+	var tiers [NumTiers][]int
+	if group <= 0 {
+		group = DefaultTierGroup
+	}
+	myBlock := rank / group
+	for v := 0; v < n; v++ {
+		if v == rank {
+			continue
+		}
+		d := v/group - myBlock
+		if d < 0 {
+			d = -d
+		}
+		var tier int
+		switch {
+		case d == 0:
+			tier = 0
+		case d == 1:
+			tier = 1
+		case d <= 4:
+			tier = 2
+		default:
+			tier = 3
+		}
+		tiers[tier] = append(tiers[tier], v)
+	}
+	return tiers
+}

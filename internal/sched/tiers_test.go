@@ -1,0 +1,71 @@
+package sched
+
+import "testing"
+
+func TestBuildTiersPartition(t *testing.T) {
+	// Every victim lands in exactly one tier, self excluded, ascending
+	// rank order within a tier — across group widths and ranks.
+	for _, n := range []int{1, 2, 4, 7, 16, 33} {
+		for _, group := range []int{0, 1, 2, 4, 8} {
+			for rank := 0; rank < n; rank++ {
+				tiers := BuildTiers(rank, n, group)
+				seen := map[int]bool{}
+				for _, tier := range tiers {
+					prev := -1
+					for _, v := range tier {
+						if v == rank {
+							t.Fatalf("n=%d group=%d rank=%d: self in tiers", n, group, rank)
+						}
+						if v < 0 || v >= n {
+							t.Fatalf("n=%d group=%d rank=%d: victim %d out of range", n, group, rank, v)
+						}
+						if seen[v] {
+							t.Fatalf("n=%d group=%d rank=%d: victim %d in two tiers", n, group, rank, v)
+						}
+						if v <= prev {
+							t.Fatalf("n=%d group=%d rank=%d: tier not ascending at %d", n, group, rank, v)
+						}
+						seen[v] = true
+						prev = v
+					}
+				}
+				if len(seen) != n-1 {
+					t.Fatalf("n=%d group=%d rank=%d: %d victims tiered, want %d", n, group, rank, len(seen), n-1)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildTiersDistances(t *testing.T) {
+	// 32 ranks, group 4, thief rank 5 (block 1): blockmates are
+	// VERYNEAR, blocks 0 and 2 NEAR, blocks up to distance 4 FAR, the
+	// rest VERYFAR.
+	tiers := BuildTiers(5, 32, 4)
+	want := [NumTiers][]int{
+		{4, 6, 7},
+		{0, 1, 2, 3, 8, 9, 10, 11},
+		{12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23},
+		{24, 25, 26, 27, 28, 29, 30, 31},
+	}
+	for i := range want {
+		if len(tiers[i]) != len(want[i]) {
+			t.Fatalf("tier %d: %v, want %v", i, tiers[i], want[i])
+		}
+		for j := range want[i] {
+			if tiers[i][j] != want[i][j] {
+				t.Fatalf("tier %d: %v, want %v", i, tiers[i], want[i])
+			}
+		}
+	}
+	// Small runs collapse into tier 0 entirely.
+	tiers = BuildTiers(2, 4, 4)
+	if len(tiers[0]) != 3 || len(tiers[1])+len(tiers[2])+len(tiers[3]) != 0 {
+		t.Fatalf("4-worker tiers: %v", tiers)
+	}
+	// group=1 degenerates to pure rank distance.
+	tiers = BuildTiers(0, 8, 1)
+	if len(tiers[0]) != 0 || len(tiers[1]) != 1 || len(tiers[2]) != 3 || len(tiers[3]) != 3 {
+		t.Fatalf("group=1 tiers: %v", tiers)
+	}
+}

@@ -39,6 +39,17 @@ func btcTask(e *core.Env) core.Status {
 				e.ReturnU64(1)
 				return core.Done
 			}
+			if d := e.U64(btcDepth); grainCutoff(e, btcGrainAuto) >= d {
+				// Coalesce: the whole depth-d subtree inline. It holds
+				// BTCTaskCount(d, iter) tasks; one task's work was
+				// charged above, so charge the rest.
+				count := BTCTaskCount(d, e.U64(btcIter))
+				if w := e.U64(btcWork); w > 0 && count > 1 {
+					e.Work(w * (count - 1))
+				}
+				e.ReturnU64(count)
+				return core.Done
+			}
 			e.SetU64(btcAcc, 1)
 			e.SetU64(btcI, 0)
 			rp = 1

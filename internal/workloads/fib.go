@@ -34,6 +34,16 @@ func fibTask(e *core.Env) core.Status {
 			return core.Done
 		}
 		work := e.U64(fibWork)
+		if g := grainCutoff(e, fibGrainAuto); g > 0 && uint64(n) <= g {
+			// Coalesce: compute the subtree inline. It holds
+			// 2·fib(n+1)-1 tasks; this activation already charged one
+			// task's work above, so charge the other 2·fib(n+1)-2.
+			if work > 0 {
+				e.Work(work * (2*FibSequential(uint64(n)+1) - 2))
+			}
+			e.ReturnU64(FibSequential(uint64(n)))
+			return core.Done
+		}
 		if !e.Spawn(1, fibH1, fibFID, fibLocals, func(c *core.Env) {
 			c.SetI64(fibN, n-1)
 			c.SetU64(fibWork, work)

@@ -1,0 +1,52 @@
+package workloads
+
+import "uniaddr/internal/core"
+
+// Granularity control (ISSUE 9): every recursive workload gains a
+// sequential cutoff — below it a task computes its remaining subtree
+// inline instead of spawning, trading exposed parallelism for far fewer
+// deque operations. The inline paths are RESULT- and WORK-preserving:
+// they return exactly the value the spawned subtree would have joined
+// to, and they charge exactly the Work cycles the subtree's tasks would
+// have charged, so goldens, differential comparisons and cycle
+// accounting are unchanged — only the task count shrinks.
+//
+// The knob is core.Env.Grain():
+//
+//	0               coalescing off (the default; every spec stays a
+//	                pure fork-join tree)
+//	core.GrainAuto  adaptive: use the workload's default cutoff, but
+//	                only while the backend reports local work surplus
+//	                (Env.Coalesce()) — when the deque runs low the
+//	                cutoff collapses to 0 so fresh steal targets keep
+//	                being produced for idle thieves
+//	n               static cutoff n, always applied
+//
+// Per-workload auto cutoffs, sized so an inlined subtree is tens to a
+// few hundred leaf-equivalents — big enough to amortise a spawn, small
+// enough that steal victims still expose outer tasks:
+const (
+	fibGrainAuto = 12 // subtree of 2·fib(13)-1 = 465 tasks
+	btcGrainAuto = 3  // depth-3 subtree: 85 tasks at iter=2
+	utsGrainAuto = 3  // ≤3 remaining levels of the geometric tree
+	nqGrainAuto  = 3  // ≤3 remaining board rows
+)
+
+// grainCutoff resolves the effective cutoff for one task activation.
+// auto is the workload's default used under GrainAuto; the adaptive
+// branch consults Env.Coalesce() EVERY activation, so the same worker
+// alternates between coalescing (deque deep) and full expansion (deque
+// shallow) as steal pressure drains it.
+func grainCutoff(e *core.Env, auto uint64) uint64 {
+	switch g := e.Grain(); g {
+	case 0:
+		return 0
+	case core.GrainAuto:
+		if e.Coalesce() {
+			return auto
+		}
+		return 0
+	default:
+		return g
+	}
+}

@@ -1,0 +1,103 @@
+package workloads
+
+import (
+	"testing"
+
+	"uniaddr/internal/core"
+)
+
+// TestGrainPreservesResults pins the granularity-control contract: a
+// sequential cutoff — static or adaptive — changes HOW MUCH of the tree
+// is spawned, never WHAT it computes. Every workload must return its
+// exact sequential reference under every grain setting.
+func TestGrainPreservesResults(t *testing.T) {
+	specs := []Spec{
+		Fib(16, 10),
+		BTC(6, 2, 10),
+		UTS(0, 8, DefaultUTSB0, 10),
+		NQueens(7, 10),
+	}
+	for _, s := range specs {
+		for _, grain := range []uint64{1, 3, 8, core.GrainAuto} {
+			for _, workers := range []int{1, 5} {
+				cfg := core.DefaultConfig(workers)
+				cfg.Seed = 7
+				cfg.Grain = grain
+				m, res, err := s.Run(cfg)
+				if err != nil {
+					t.Fatalf("%s grain=%d workers=%d: %v", s.Name, grain, workers, err)
+				}
+				if res != s.Expected {
+					t.Fatalf("%s grain=%d workers=%d: result %d, want %d",
+						s.Name, grain, workers, res, s.Expected)
+				}
+				if err := m.CheckQuiescence(); err != nil {
+					t.Fatalf("%s grain=%d workers=%d: %v", s.Name, grain, workers, err)
+				}
+			}
+		}
+	}
+}
+
+// TestGrainPreservesWorkCycles pins the accounting half of the
+// contract: an inlined subtree charges exactly the Work cycles its
+// spawned form would have, so cycle-level metrics stay comparable
+// across grain settings. Single worker keeps the schedule deterministic
+// enough that total WorkCycles must match bit-for-bit.
+func TestGrainPreservesWorkCycles(t *testing.T) {
+	specs := []Spec{
+		Fib(14, 25),
+		BTC(5, 2, 25),
+		UTS(0, 7, DefaultUTSB0, 25),
+		NQueens(6, 25),
+	}
+	for _, s := range specs {
+		run := func(grain uint64) (work, tasks uint64) {
+			cfg := core.DefaultConfig(1)
+			cfg.Grain = grain
+			m, res, err := s.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s grain=%d: %v", s.Name, grain, err)
+			}
+			if res != s.Expected {
+				t.Fatalf("%s grain=%d: result %d, want %d", s.Name, grain, res, s.Expected)
+			}
+			ts := m.TotalStats()
+			return ts.WorkCycles, ts.TasksExecuted
+		}
+		baseWork, baseTasks := run(0)
+		coalWork, coalTasks := run(4)
+		if coalWork != baseWork {
+			t.Errorf("%s: WorkCycles %d with grain=4, %d with grain=0 — inline path mischarges",
+				s.Name, coalWork, baseWork)
+		}
+		if coalTasks >= baseTasks {
+			t.Errorf("%s: grain=4 executed %d tasks vs %d without — coalescing had no effect",
+				s.Name, coalTasks, baseTasks)
+		}
+	}
+}
+
+// TestGrainAutoAdapts pins the adaptive default: under GrainAuto a
+// single worker (deque always deep once the tree fans out) coalesces
+// heavily, so it must execute far fewer tasks than the uncoalesced run
+// while returning the same result.
+func TestGrainAutoAdapts(t *testing.T) {
+	s := Fib(18, 0)
+	count := func(grain uint64) uint64 {
+		cfg := core.DefaultConfig(1)
+		cfg.Grain = grain
+		m, res, err := s.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != s.Expected {
+			t.Fatalf("grain=%d: result %d, want %d", grain, res, s.Expected)
+		}
+		return m.TotalStats().TasksExecuted
+	}
+	base, auto := count(0), count(core.GrainAuto)
+	if auto >= base/2 {
+		t.Fatalf("GrainAuto executed %d tasks vs %d uncoalesced — adaptive cutoff not engaging", auto, base)
+	}
+}

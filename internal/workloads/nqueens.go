@@ -64,6 +64,17 @@ func nqTask(e *core.Env) core.Status {
 		case 0:
 			n := e.U64(nqN)
 			lo, hi := e.U64(nqLo), e.U64(nqHi)
+			if row := e.U64(nqRow); grainCutoff(e, nqGrainAuto) >= n-row {
+				// Coalesce: ≤cutoff rows left — search the remaining
+				// board inline. Every attempted placement charges one
+				// task's work, exactly as the spawned tree would.
+				sol, nodes := nqRangeWalk(e.Bytes(nqBoardOff, int(n)), n, row, lo, hi)
+				if w := e.U64(nqWork); w > 0 && nodes > 0 {
+					e.Work(w * nodes)
+				}
+				e.ReturnU64(PackNQ(sol, nodes))
+				return core.Done
+			}
 			if hi-lo > 1 {
 				mid := (lo + hi) / 2
 				if !e.Spawn(1, nqH1, nqFID, nqLocals(n), nqSubRange(e, lo, mid)) {
@@ -157,6 +168,33 @@ func nqNextRow(parent *core.Env) func(*core.Env) {
 		c.SetU64(nqWork, work)
 		copy(c.Bytes(nqBoardOff, int(n)), board)
 	}
+}
+
+// nqRangeWalk searches columns [lo,hi) of row and everything below
+// sequentially, against a private copy of the partial board — the
+// inline-path analogue of one range task's whole subtree. Counting
+// conventions match the task program exactly: every attempted
+// placement is one node.
+func nqRangeWalk(board []byte, n, row, lo, hi uint64) (solutions, nodes uint64) {
+	b := make([]byte, n)
+	copy(b, board)
+	var rec func(row, lo, hi uint64)
+	rec = func(row, lo, hi uint64) {
+		for col := lo; col < hi; col++ {
+			nodes++
+			if !nqSafe(b, row, col) {
+				continue
+			}
+			if row == n-1 {
+				solutions++
+				continue
+			}
+			b[row] = byte(col)
+			rec(row+1, 0, n)
+		}
+	}
+	rec(row, lo, hi)
+	return solutions, nodes
 }
 
 // NQueensSequential returns the exact (solutions, nodes) for N with the

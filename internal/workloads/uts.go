@@ -126,6 +126,19 @@ func utsNodeTask(e *core.Env) core.Status {
 			e.Work(w)
 		}
 		desc := e.Bytes(0, descLen)
+		if d, cut := e.U64(utsDepth), e.U64(utsCut); d <= cut {
+			if g := grainCutoff(e, utsGrainAuto); g > 0 && cut-d <= g {
+				// Coalesce: ≤g remaining levels — walk the subtree
+				// inline. Only node tasks charge work (range tasks are
+				// free), and this node's share was charged above.
+				nodes := utsSubtreeNodes(desc, d, cut, e.U64(utsB0))
+				if w := e.U64(utsWork); w > 0 && nodes > 1 {
+					e.Work(w * (nodes - 1))
+				}
+				e.ReturnU64(nodes)
+				return core.Done
+			}
+		}
 		k := utsChildCount(desc, e.U64(utsDepth), e.U64(utsCut), e.U64(utsB0))
 		if k == 0 {
 			e.ReturnU64(1)
@@ -230,6 +243,31 @@ func utsSubRange(parent *core.Env, lo, hi uint64) func(*core.Env) {
 		c.SetU64(utsLo, lo)
 		c.SetU64(utsHi, hi)
 	}
+}
+
+// utsSubtreeNodes counts the geometric-tree subtree rooted at an
+// arbitrary node (inclusive) — the inline-path analogue of
+// UTSSequential, which always starts at the root.
+func utsSubtreeNodes(desc []byte, depth, cutoff, b0 uint64) uint64 {
+	type item struct {
+		desc  [descLen]byte
+		depth uint64
+	}
+	var root item
+	copy(root.desc[:], desc)
+	root.depth = depth
+	stack := []item{root}
+	var nodes uint64
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+		k := utsChildCount(it.desc[:], it.depth, cutoff, b0)
+		for i := uint64(0); i < k; i++ {
+			stack = append(stack, item{utsChildDesc(it.desc[:], uint32(i)), it.depth + 1})
+		}
+	}
+	return nodes
 }
 
 // UTSSequential walks the tree iteratively and returns the exact node

@@ -43,15 +43,18 @@ const (
 
 // options collects the functional-option state for one Run.
 type options struct {
-	backend string
-	workers int
-	seed    uint64
-	costs   *Costs
-	net     *NetParams
-	fault   *FaultConfig
-	obs     bool
-	trace   io.Writer
-	maxWall time.Duration
+	backend    string
+	workers    int
+	seed       uint64
+	costs      *Costs
+	net        *NetParams
+	fault      *FaultConfig
+	obs        bool
+	trace      io.Writer
+	maxWall    time.Duration
+	grain      uint64
+	stealBatch int
+	tierGroup  int
 }
 
 // Option configures Run.
@@ -104,6 +107,34 @@ func WithTrace(w io.Writer) Option { return func(o *options) { o.trace = w } }
 // exceeding it aborts the run with an error instead of hanging. Zero
 // keeps the backend default.
 func WithMaxWall(d time.Duration) Option { return func(o *options) { o.maxWall = d } }
+
+// GrainAuto selects adaptive granularity: each workload applies its
+// default sequential cutoff only while the worker's own deque holds
+// surplus work, collapsing to full task expansion when steal pressure
+// drains it.
+const GrainAuto = core.GrainAuto
+
+// WithGrain sets the granularity-control cutoff passed to grain-aware
+// workloads (every workload in internal/workloads honours it): 0 (the
+// default) disables coalescing, GrainAuto adapts to observed steal
+// demand, any other value is a static sequential cutoff. Coalescing
+// changes task counts only — results and total Work cycles are
+// preserved by construction. Works on every backend.
+func WithGrain(g uint64) Option { return func(o *options) { o.grain = g } }
+
+// WithStealBatch bounds how many deque entries one steal round trip may
+// move on the real backends: 0 (the default) lets the deque's own
+// claim bound apply (steal-half up to cap/4), 1 restores single-entry
+// stealing, larger values clamp to the claim bound. Sim models
+// single-entry steals only and rejects the option.
+func WithStealBatch(n int) Option { return func(o *options) { o.stealBatch = n } }
+
+// WithTierGroup sets the distance-tier width for victim selection on
+// the real backends: workers whose rank falls in the same group of n
+// are VERYNEAR, adjacent groups NEAR, and so on outward; thieves probe
+// near tiers before far ones. 0 keeps the default group width. Sim's
+// victim model is flat and rejects the option.
+func WithTierGroup(n int) Option { return func(o *options) { o.tierGroup = n } }
 
 // UnsupportedOptionError reports an option that the selected backend
 // cannot honour — returned instead of silently ignoring the request,
@@ -164,8 +195,13 @@ type Report struct {
 	Suspends      uint64 `json:"suspends"`
 	StealAttempts uint64 `json:"steal_attempts"`
 	StealsOK      uint64 `json:"steals_ok"`
-	BytesStolen   uint64 `json:"bytes_stolen"`
-	MaxStackUsed  uint64 `json:"max_stack_used,omitempty"`
+	// StealBatches counts successful steal ROUND TRIPS on the real
+	// backends; StealsOK counts the entries they moved, so
+	// StealsOK/StealBatches is the mean batch width. 0 on sim, whose
+	// steal model is single-entry.
+	StealBatches uint64 `json:"steal_batches,omitempty"`
+	BytesStolen  uint64 `json:"bytes_stolen"`
+	MaxStackUsed uint64 `json:"max_stack_used,omitempty"`
 
 	// Failure counters (non-zero only under fault injection; populated
 	// by every backend from its own resilience machinery).
@@ -268,6 +304,21 @@ func Run(fid FuncID, localsLen uint32, init func(*Env), opts ...Option) (Report,
 	}
 	switch o.backend {
 	case BackendSim:
+		// Sim's steal model is single-entry and its victim order flat;
+		// the real-backend steal-transport knobs are rejected, not
+		// ignored (WithGrain is honoured — granularity is a workload
+		// property, not a transport one).
+		for _, bad := range []struct {
+			set  bool
+			name string
+		}{
+			{o.stealBatch != 0, "WithStealBatch"},
+			{o.tierGroup != 0, "WithTierGroup"},
+		} {
+			if bad.set {
+				return Report{}, &UnsupportedOptionError{Backend: o.backend, Option: bad.name}
+			}
+		}
 		return runSim(o, fid, localsLen, init)
 	case BackendRT, BackendDist:
 		// Whole sim-only OPTIONS are rejected, not ignored: a run that
@@ -314,6 +365,7 @@ func runSim(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, e
 	if o.fault != nil {
 		cfg.Fault = *o.fault
 	}
+	cfg.Grain = o.grain
 	cfg.Obs = o.obs || o.trace != nil
 	m, err := core.NewMachine(cfg)
 	if err != nil {
@@ -347,6 +399,9 @@ func runRT(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, er
 	cfg := rt.DefaultConfig(o.workers)
 	cfg.Seed = o.seed
 	cfg.Obs = o.obs || o.trace != nil
+	cfg.Grain = o.grain
+	cfg.StealBatch = o.stealBatch
+	cfg.TierGroup = o.tierGroup
 	if o.maxWall != 0 {
 		cfg.MaxWall = o.maxWall
 	}
@@ -367,7 +422,8 @@ func runRT(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, er
 		WallNS: r.Elapsed().Nanoseconds(),
 		Tasks:  ts.TasksExecuted, Spawns: ts.Spawns, Suspends: ts.Suspends,
 		StealAttempts: ts.StealAttempts, StealsOK: ts.StealsOK,
-		BytesStolen: ts.BytesStolen, MaxStackUsed: ts.MaxStackUsed,
+		StealBatches: ts.StealBatches,
+		BytesStolen:  ts.BytesStolen, MaxStackUsed: ts.MaxStackUsed,
 		StealFaults: ts.StealFaults, StealRetries: ts.StealRetries,
 		StealAbortsFault: ts.StealAbortsFault, StealRollbacks: ts.StealRollbacks,
 		VictimBlacklists: ts.VictimBlacklists,
@@ -382,6 +438,9 @@ func runDist(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, 
 	cfg := dist.DefaultConfig(o.workers)
 	cfg.Seed = o.seed
 	cfg.Obs = o.obs || o.trace != nil
+	cfg.Grain = o.grain
+	cfg.StealBatch = o.stealBatch
+	cfg.TierGroup = o.tierGroup
 	if o.maxWall != 0 {
 		cfg.MaxWall = o.maxWall
 	}
@@ -405,7 +464,8 @@ func runDist(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, 
 		WallNS: res.Elapsed.Nanoseconds(),
 		Tasks:  ts.TasksExecuted, Spawns: ts.Spawns, Suspends: ts.Suspends,
 		StealAttempts: ts.StealAttempts, StealsOK: ts.StealsOK,
-		BytesStolen: ts.BytesStolen, MaxStackUsed: ts.MaxStackUsed,
+		StealBatches: ts.StealBatches,
+		BytesStolen:  ts.BytesStolen, MaxStackUsed: ts.MaxStackUsed,
 		StealFaults: ts.StealFaults, StealRetries: ts.StealRetries,
 		StealAbortsFault: ts.StealAbortsFault, StealRollbacks: ts.StealRollbacks,
 		VictimBlacklists: ts.VictimBlacklists,
