@@ -71,7 +71,7 @@ var simExperiments = []string{
 	"sec4", "ablate-faa", "ablate-stacksize", "ablate-nodes", "ablate-victim", "ablate-multiworker", "ablate-helpfirst", "ablate-straggler", "ablate-lifelines",
 }
 
-var rtExperiments = []string{"bench", "diff", "chaos", "scalefloor"}
+var rtExperiments = []string{"bench", "diff", "chaos", "scalefloor", "service"}
 
 func main() {
 	// MUST run before anything else: when this binary was re-exec'd as a
@@ -93,6 +93,9 @@ func main() {
 	obsOut := flag.Bool("obs", false, "print an observability digest of the run (-exp run|bench|chaos, any backend)")
 	checkTrace := flag.String("check-trace", "", "validate a Chrome trace file produced by -trace (parses, has clock-domain metadata and steal events), then exit")
 	rtJSON := flag.String("rt-json", "BENCH_rt.json", "output path for the rt bench report (-backend rt -exp bench)")
+	qps := flag.Float64("qps", 20, "target Poisson arrival rate, jobs/sec (-backend rt -exp service)")
+	svcJobs := flag.Int("jobs", 120, "number of job arrivals to generate (-backend rt -exp service)")
+	serviceJSON := flag.String("service-json", "BENCH_service.json", "output path for the service load-gen report (-backend rt -exp service)")
 	distJSON := flag.String("dist-json", "BENCH_dist.json", "output path for the dist bench report (-backend dist -exp bench)")
 	runWorkload := flag.String("workload", "fib", "workload for -exp run (see -list)")
 	jsonOut := flag.Bool("json", false, "emit the unified uniaddr.Report as JSON (-exp run, any backend)")
@@ -141,6 +144,10 @@ func main() {
 		if *exp == "chaos" {
 			runChaosMatrix(harness.RTChaosBackend(false), harness.RTChaosSchedules(), *chaosWorkers, *seed, *scale, *chaosJSON)
 			traceRepresentative("rt", *chaosWorkers, *seed, true, *traceOut, *obsOut)
+			return
+		}
+		if *exp == "service" {
+			runServiceBench(*workersFlag, *qps, *svcJobs, *seed, *serviceJSON)
 			return
 		}
 		runRT(*exp, *scale, *seed, *reps, *workersFlag, *rtJSON, *compare, *compareJSON, tune)
@@ -414,6 +421,32 @@ func runRT(exp, scale string, seed uint64, reps int, workersFlag, rtJSON, compar
 		runScaleFloor(out, seed, reps, tune)
 	default:
 		fail(fmt.Errorf("unknown experiment %q for the rt backend; -list shows what exists", exp))
+	}
+}
+
+// runServiceBench is -backend rt -exp service: the open-loop Poisson
+// load generator against one persistent worker pool. It writes
+// BENCH_service.json and exits non-zero if any per-job report diverged
+// from its sequential oracle or a worker exited mid-run — the two
+// invariants the persistent-pool design promises.
+func runServiceBench(workersFlag string, qps float64, jobs int, seed uint64, serviceJSON string) {
+	workers := parseWorkers(workersFlag, []int{4})[0]
+	out := os.Stdout
+	rep, err := harness.RunServiceBench(harness.ServiceBenchConfig{
+		Workers: workers, QPS: qps, Jobs: jobs, Seed: seed,
+	})
+	check(err)
+	harness.PrintServiceBench(out, rep)
+	f, err := os.Create(serviceJSON)
+	check(err)
+	check(harness.WriteServiceBenchJSON(f, rep))
+	check(f.Close())
+	fmt.Fprintf(out, "(machine-readable report written to %s)\n", serviceJSON)
+	if rep.OracleMismatches > 0 {
+		fail(fmt.Errorf("%d per-job reports diverged from their sequential oracle", rep.OracleMismatches))
+	}
+	if rep.WorkersExitedMidRun != 0 {
+		fail(fmt.Errorf("%d workers exited while jobs were still being served", rep.WorkersExitedMidRun))
 	}
 }
 
@@ -732,6 +765,8 @@ func printList(out *os.File) {
 	fmt.Fprintln(out, "  diff       sim-vs-rt differential matrix (root results must agree)")
 	fmt.Fprintln(out, "  chaos      steal-fault matrix: injected claim/copy failures + delays under real threads")
 	fmt.Fprintln(out, "  scalefloor seconds-scale bench at 1 vs 8 workers; fails under a 4x speedup floor (skips on <8 CPUs)")
+	fmt.Fprintln(out, "  service    open-loop Poisson load-gen (-qps, -jobs) against one persistent worker pool;")
+	fmt.Fprintln(out, "             oracle-checks every per-job report, writes BENCH_service.json with latency percentiles")
 	fmt.Fprintln(out, "\nexperiments (-backend dist):")
 	fmt.Fprintln(out, "  bench  multi-process scaling sweep; writes BENCH_dist.json")
 	fmt.Fprintln(out, "  diff   sim-vs-dist differential matrix + SIGKILL crash probe")

@@ -61,6 +61,9 @@ func RunDistBench(wls []DiffWorkload, procCounts []int, reps int, seed uint64, t
 		Benchmark:  "dist-scaling",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
 		Seed:       seed,
 		Tuning:     tune,
 	}

@@ -96,7 +96,12 @@ type RTBenchReport struct {
 	Benchmark  string `json:"benchmark"`
 	GoMaxProcs int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
-	Seed       uint64 `json:"seed"`
+	// Host provenance: toolchain and platform the numbers were measured
+	// on. Empty on reports predating these fields.
+	GoVersion string `json:"go_version,omitempty"`
+	GOOS      string `json:"goos,omitempty"`
+	GOARCH    string `json:"goarch,omitempty"`
+	Seed      uint64 `json:"seed"`
 	// Tuning records the scheduler knobs the sweep ran with, so two
 	// BENCH files are only comparable when their tunings agree.
 	Tuning BenchTuning `json:"tuning"`
@@ -121,6 +126,9 @@ func RunRTBench(wls []DiffWorkload, workerCounts []int, reps int, seed uint64, n
 		Benchmark:  "rt-scaling",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
 		Seed:       seed,
 		Tuning:     tune,
 	}

@@ -39,6 +39,12 @@ type RTBenchDelta struct {
 	BaseStealsOK   uint64 `json:"base_steals_ok"`
 	CurStealsOK    uint64 `json:"cur_steals_ok"`
 	CurParks       uint64 `json:"cur_parks,omitempty"`
+
+	// Underprovisioned marks a pair where either side ran with more
+	// workers than its host's CPUs — the speedup then compares
+	// time-slicing regimes, not the scheduler, and must be discounted.
+	BaseUnderprovisioned bool `json:"base_underprovisioned,omitempty"`
+	CurUnderprovisioned  bool `json:"cur_underprovisioned,omitempty"`
 }
 
 // RTBenchComparison pairs the deltas with the rows that had no partner
@@ -53,7 +59,28 @@ type RTBenchComparison struct {
 }
 
 func rtMachineID(r RTBenchReport) string {
-	return fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d", r.GoMaxProcs, r.NumCPU)
+	id := fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d", r.GoMaxProcs, r.NumCPU)
+	// Toolchain/platform provenance was added later; reports predating
+	// it keep the short form so machine matching stays backward
+	// compatible (an old baseline vs a tagged current run still compares
+	// the CPU topology, the part that moves wall clocks).
+	if r.GoVersion != "" {
+		id += fmt.Sprintf(" %s %s/%s", r.GoVersion, r.GOOS, r.GOARCH)
+	}
+	return id
+}
+
+// rtMachineMatch compares only the fields both reports carry, so a
+// provenance-tagged run still matches an untagged committed baseline
+// from the same host.
+func rtMachineMatch(base, cur RTBenchReport) bool {
+	if base.GoMaxProcs != cur.GoMaxProcs || base.NumCPU != cur.NumCPU {
+		return false
+	}
+	if base.GoVersion == "" || cur.GoVersion == "" {
+		return true
+	}
+	return base.GoVersion == cur.GoVersion && base.GOOS == cur.GOOS && base.GOARCH == cur.GOARCH
 }
 
 // ReadRTBenchJSON loads a report written by WriteRTBenchJSON.
@@ -78,7 +105,7 @@ func CompareRTBench(base, cur RTBenchReport) RTBenchComparison {
 	cmp := RTBenchComparison{
 		BaseMachine:  rtMachineID(base),
 		CurMachine:   rtMachineID(cur),
-		MachineMatch: rtMachineID(base) == rtMachineID(cur),
+		MachineMatch: rtMachineMatch(base, cur),
 	}
 	type key struct {
 		wl string
@@ -109,6 +136,9 @@ func CompareRTBench(base, cur RTBenchReport) RTBenchComparison {
 			BaseStealsOK:   b.StealsOK,
 			CurStealsOK:    c.StealsOK,
 			CurParks:       c.Parks,
+
+			BaseUnderprovisioned: b.Underprovisioned,
+			CurUnderprovisioned:  c.Underprovisioned,
 		}
 		if c.WallNS > 0 {
 			d.Speedup = float64(b.WallNS) / float64(c.WallNS)
@@ -139,13 +169,18 @@ func PrintRTBenchCompare(w io.Writer, cmp RTBenchComparison) {
 	}
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(tw, "workload\tworkers\tbase ms\tcur ms\tspeedup\tmean ×\ttasks/s ×\tabort-empty\tabort-lock\tsteals\tparks")
+	var underprovisioned bool
 	for _, d := range cmp.Deltas {
 		mean := "-"
 		if d.MeanSpeedup > 0 {
 			mean = fmt.Sprintf("%.2fx", d.MeanSpeedup)
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%.2fx\t%s\t%.2fx\t%d → %d\t%d → %d\t%d → %d\t%d\n",
-			d.Workload, d.Workers,
+		mark := ""
+		if d.BaseUnderprovisioned || d.CurUnderprovisioned {
+			mark, underprovisioned = "*", true
+		}
+		fmt.Fprintf(tw, "%s\t%d%s\t%.2f\t%.2f\t%.2fx\t%s\t%.2fx\t%d → %d\t%d → %d\t%d → %d\t%d\n",
+			d.Workload, d.Workers, mark,
 			float64(d.BaseWallNS)/1e6, float64(d.CurWallNS)/1e6,
 			d.Speedup, mean, d.TasksPerSecRatio,
 			d.BaseAbortEmpty, d.CurAbortEmpty,
@@ -154,6 +189,9 @@ func PrintRTBenchCompare(w io.Writer, cmp RTBenchComparison) {
 			d.CurParks)
 	}
 	tw.Flush()
+	if underprovisioned {
+		fmt.Fprintf(w, "* underprovisioned on at least one side (more workers than host CPUs); speedup reflects time-slicing, not the scheduler\n")
+	}
 	for _, r := range cmp.BaseOnly {
 		fmt.Fprintf(w, "baseline-only row (not measured in this run): %s workers=%d\n", r.Workload, r.Workers)
 	}

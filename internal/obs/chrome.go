@@ -38,6 +38,7 @@ type chromeArgs struct {
 	Depth   *uint64 `json:"depth,omitempty"`
 	Failed  bool    `json:"failed,omitempty"`
 	Attempt uint64  `json:"attempt,omitempty"` // ctl redial attempt
+	Job     uint64  `json:"job,omitempty"`     // service job ID
 }
 
 type chromeEvent struct {
@@ -123,7 +124,7 @@ func WriteChromeTraceExport(w io.Writer, ex *Export, opts *ChromeOpts) error {
 		for _, e := range l.Events {
 			switch e.Kind {
 			case KTask:
-				slice(rank, e, fname(uint32(e.Arg)), "task", &chromeArgs{Task: uint64(e.Task)})
+				slice(rank, e, fname(uint32(e.Arg)), "task", &chromeArgs{Task: uint64(e.Task), Job: e.Job})
 			case KSpawn:
 				instant(rank, e.Time, "spawn", "task", &chromeArgs{Task: uint64(e.Task), Parent: e.Arg})
 			case KPopFail:

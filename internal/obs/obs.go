@@ -170,6 +170,10 @@ type Event struct {
 	Peer  int32 // victim/target rank; -1 when not applicable
 	Kind  Kind
 	Flags uint8
+	// Job is the service job the producer was serving when it emitted
+	// the event (0 outside a persistent service; always 0 in the
+	// simulator's virtual-time rings).
+	Job uint64
 }
 
 // Failed reports whether the event carries the injected-failure flag.

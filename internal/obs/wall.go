@@ -47,8 +47,11 @@ import (
 
 const (
 	// wallEventWords is the flat footprint of one ring slot in words:
-	// Time, Dur, Arg, Task, then peer|kind|flags|lap packed.
-	wallEventWords = 5
+	// Time, Dur, Arg, Task, peer|kind|flags|lap packed, then the job ID
+	// the producer was serving (0 outside a persistent service). The
+	// packed word is stored LAST — it carries the lap tag that commits
+	// the slot — so the job word is written before it.
+	wallEventWords = 6
 	// wallHdrWords pads the header's single atomic total word out to a
 	// cache line so producer FAAs never false-share with slot 0.
 	wallHdrWords = 8
@@ -89,6 +92,12 @@ type WallLog struct {
 	mask  uint64   // ringCap - 1
 	shift uint     // log2(ringCap), for lap tags
 	rank  int32
+
+	// job tags every subsequent event with the job the producer is
+	// serving (see SetJob). Atomic because a ring can have several
+	// producers sharing one view (a dist child's heartbeat goroutine
+	// writes beside its worker).
+	job atomic.Uint64
 
 	// Histograms, recorded by the owning worker only (the ring is
 	// multi-producer; the hists are not). Read them only through a
@@ -159,9 +168,20 @@ func (l *WallLog) EmitFlags(k Kind, time, dur, arg uint64, task TaskID, peer int
 	atomic.StoreUint64(&s[base+1], dur)
 	atomic.StoreUint64(&s[base+2], arg)
 	atomic.StoreUint64(&s[base+3], uint64(task))
+	atomic.StoreUint64(&s[base+5], l.job.Load())
 	lap := (idx >> l.shift) & 0xffff
 	atomic.StoreUint64(&s[base+4],
 		uint64(uint32(peer))|uint64(uint8(k))<<32|uint64(flags)<<40|lap<<48)
+}
+
+// SetJob tags every subsequent event from this view with the given job
+// ID (a persistent service sets it when a worker switches onto another
+// job's frames; 0 = no job). Nil-safe like every emission.
+func (l *WallLog) SetJob(id uint64) {
+	if l == nil {
+		return
+	}
+	l.job.Store(id)
 }
 
 // Emit records an interval event [time, time+dur) of kind k.
@@ -294,6 +314,7 @@ func (l *WallLog) Events() []Event {
 			Peer:  int32(uint32(w4)),
 			Kind:  k,
 			Flags: uint8(w4 >> 40),
+			Job:   atomic.LoadUint64(&l.slots[base+5]),
 		})
 	}
 	return out

@@ -295,3 +295,29 @@ func TestWallExportChrome(t *testing.T) {
 func (l *WallLog) reserveOnly() {
 	*l.total++
 }
+
+func TestWallLogJobTagging(t *testing.T) {
+	l, err := NewWallLogAt(alignedBlock(WallLogBytes(8)), 0, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Emit(KTask, 1, 1, 0, 1, -1)
+	l.SetJob(42)
+	l.Emit(KTask, 2, 1, 0, 2, -1)
+	l.Emit(KStealOK, 3, 1, 0, 0, 1)
+	l.SetJob(0)
+	l.Emit(KTask, 4, 1, 0, 3, -1)
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	want := []uint64{0, 42, 42, 0}
+	for i, e := range evs {
+		if e.Job != want[i] {
+			t.Fatalf("event %d job = %d, want %d", i, e.Job, want[i])
+		}
+	}
+	// Nil-safety of the new method.
+	var nilLog *WallLog
+	nilLog.SetJob(7)
+}

@@ -170,6 +170,13 @@ func (l *parkingLot) wakeAll() {
 // — never the advisory occupancy hints: a stale hint here could strand
 // a worker, whereas on the steal path it only wastes a probe.
 func (w *Worker) hasWorkHint() bool {
+	// A queued job is dispatchable work (persistent pools only; the
+	// counter stays 0 elsewhere). Exact for the same reason as the deque
+	// sizes: Submit enqueues before it wakes, so a parker that misses
+	// the count here is claimed by the wake.
+	if w.rt.queuedCount.Load() > 0 {
+		return true
+	}
 	for _, v := range w.rt.workers {
 		if v != w && v.deque.Size() > 0 {
 			return true

@@ -75,6 +75,13 @@ type Config struct {
 	// ObsRingCap is the per-worker event-ring capacity (<= 0 selects
 	// obs.DefaultWallRingCap; rounded up to a power of two).
 	ObsRingCap int
+	// MaxJobs bounds how many jobs may occupy job slots at once on a
+	// persistent Pool (queued jobs beyond it wait in the admission
+	// queue). Single-run Runtimes always use exactly one slot.
+	MaxJobs int
+	// QueueDepth bounds the Pool admission queue; Submit returns
+	// ErrPoolSaturated beyond it. Ignored by single-run Runtimes.
+	QueueDepth int
 }
 
 // DefaultConfig returns the standard layout for n workers.
@@ -90,7 +97,7 @@ func DefaultConfig(n int) Config {
 	}
 }
 
-func (c *Config) fillDefaults() {
+func (c *Config) fillDefaults(persistent bool) {
 	d := DefaultConfig(c.Workers)
 	if c.Workers <= 0 {
 		c.Workers = 1
@@ -110,13 +117,35 @@ func (c *Config) fillDefaults() {
 	if c.RecordCap == 0 {
 		c.RecordCap = d.RecordCap
 	}
-	if c.MaxWall == 0 {
+	// A single run inherits the deadlock-guard default; a persistent
+	// pool has no natural lifetime, so 0 means "no watchdog" there.
+	if c.MaxWall == 0 && !persistent {
 		c.MaxWall = d.MaxWall
+	}
+	if c.MaxJobs <= 0 {
+		if persistent {
+			c.MaxJobs = 2 * c.Workers
+			if c.MaxJobs < 8 {
+				c.MaxJobs = 8
+			}
+		} else {
+			c.MaxJobs = 1
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = c.MaxJobs
+		if c.QueueDepth < 16 {
+			c.QueueDepth = 16
+		}
 	}
 }
 
-// Runtime executes one root task to completion across Config.Workers
-// real workers. A Runtime runs once; build a fresh one per run.
+// Runtime executes task trees across Config.Workers real workers. A
+// single-run Runtime (New + Run) executes one root task and tears the
+// world down; a persistent Runtime (NewPool, service.go) keeps the same
+// workers parked between jobs and multiplexes many task trees over the
+// one set of arenas/deques/record tables, one job slot per admitted
+// job.
 type Runtime struct {
 	cfg     Config
 	workers []*Worker
@@ -146,14 +175,62 @@ type Runtime struct {
 	// is off — every instrumented site is nil-safe).
 	rec *obs.WallRecorder
 
+	// --- job multiplexing (see service.go for the Pool lifecycle) ---
+
+	// persistent marks a Pool-owned runtime: workers park between jobs
+	// instead of exiting, and idle workers dispatch queued jobs.
+	persistent bool
+	// jobs is the flat per-slot job state every worker consults on the
+	// invoke path (state, root handle, grain).
+	jobs *sched.JobTable
+	// jobMeta is the Go-side per-slot companion: the ticket to signal
+	// and the cancel cause. Written under jobMu at dispatch/finalize;
+	// the hot-path id read is ordered by the atomics that publish the
+	// job's frames.
+	jobMeta []jobMeta
+	// jobMu guards the admission queue, the slot free list and ticket
+	// state transitions.
+	jobMu       sync.Mutex
+	jobQueue    []*pendingJob
+	freeSlots   []uint32
+	submitSeq   uint64
+	closed      bool
+	activeTk    map[*Ticket]struct{}
+	jobWG       sync.WaitGroup
+	queuedCount atomic.Int64 // mirror of len(jobQueue), read lock-free by idle workers
+	anyCanceled atomic.Int64 // jobs currently draining; gates the invoke-path drain check
+	jobsDone    atomic.Uint64
+	exited      atomic.Uint64 // workers whose goroutine has returned
+	startT      time.Time
+	watchdog    *time.Timer
+
 	ran     bool
 	elapsed time.Duration
 }
 
-// New builds a Runtime per cfg.
-func New(cfg Config) *Runtime {
-	cfg.fillDefaults()
-	r := &Runtime{cfg: cfg}
+// jobMeta is the Go-side half of a job slot.
+type jobMeta struct {
+	id        uint64 // global submission sequence; tags obs events
+	single    bool   // classic Runtime.Run: finalize via finish()
+	t         *Ticket
+	cancelErr error // set before the Running→Draining CAS that publishes it
+}
+
+// New builds a single-run Runtime per cfg.
+func New(cfg Config) *Runtime { return newRuntime(cfg, false) }
+
+func newRuntime(cfg Config, persistent bool) *Runtime {
+	cfg.fillDefaults(persistent)
+	r := &Runtime{cfg: cfg, persistent: persistent}
+	r.jobs = sched.NewJobTable(uint64(cfg.MaxJobs))
+	r.jobMeta = make([]jobMeta, cfg.MaxJobs)
+	if persistent {
+		r.activeTk = make(map[*Ticket]struct{})
+		r.freeSlots = make([]uint32, 0, cfg.MaxJobs)
+		for i := cfg.MaxJobs - 1; i >= 0; i-- {
+			r.freeSlots = append(r.freeSlots, uint32(i))
+		}
+	}
 	fc := cfg.Fault
 	fc.Seed = cfg.Seed
 	plan, err := fault.NewPlan(fc, cfg.Workers)
@@ -190,6 +267,8 @@ func New(cfg Config) *Runtime {
 		w.grain = cfg.Grain
 		w.tiers = sched.BuildTiers(i, cfg.Workers, cfg.TierGroup)
 		w.stealBuf = make([]sched.Entry, stealBatchLimit(cfg.StealBatch, w.deque.MaxClaim()))
+		w.jobCounts = sched.NewJobCounters(uint64(cfg.MaxJobs))
+		w.curJob = ^uint32(0) // force a slot reload on the first invoke
 		r.workers = append(r.workers, w)
 	}
 	return r
@@ -215,15 +294,24 @@ func (r *Runtime) Run(fid core.FuncID, localsLen uint32, init func(*core.Env)) (
 	if r.ran {
 		return 0, fmt.Errorf("rt: Runtime.Run called twice; build a fresh Runtime per run")
 	}
+	if r.persistent {
+		return 0, fmt.Errorf("rt: Run on a persistent Pool runtime; use Pool.Submit")
+	}
 	r.ran = true
 	if r.initErr != nil {
 		return 0, r.initErr
 	}
 	r.rootFid, r.rootLocals, r.rootInit = fid, localsLen, init
-	// The root record is allocated before any goroutine starts so
-	// every worker's ExecComplete can compare against rootRec without
-	// synchronisation.
-	r.rootRec = r.workers[0].newRecord()
+	// The single run is job slot 0 of the job machinery the persistent
+	// Pool shares: the root record is allocated and tagged before any
+	// goroutine starts, and its handle published in the slot so every
+	// worker's ExecComplete detects the root completion.
+	r.rootRec = r.workers[0].newRecord(sched.JobTag(0))
+	js := r.jobs.Get(0)
+	js.Grain.Store(r.cfg.Grain)
+	js.Root.Store(uint64(r.rootRec))
+	js.State.Store(sched.JobRunning)
+	r.jobMeta[0].single = true
 	watchdog := time.AfterFunc(r.cfg.MaxWall, func() {
 		r.fail(&TimeoutError{Budget: r.cfg.MaxWall})
 	})
@@ -269,6 +357,11 @@ func (r *Runtime) fail(err error) {
 	r.failMu.Unlock()
 	r.done.Store(true)
 	r.lot.wakeAll()
+	// A pool failure must also resolve every outstanding ticket — the
+	// workers are winding down and will never finalize them.
+	if r.persistent {
+		r.failTickets(err)
+	}
 }
 
 // stopped reports whether workers should wind down (root finished or
@@ -310,6 +403,7 @@ func (r *Runtime) TotalStats() Stats {
 	for _, w := range r.workers {
 		s := w.Stats()
 		t.TasksExecuted += s.TasksExecuted
+		t.TasksDrained += s.TasksDrained
 		t.Spawns += s.Spawns
 		t.JoinsFast += s.JoinsFast
 		t.JoinsMiss += s.JoinsMiss

@@ -1,0 +1,544 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uniaddr/internal/core"
+	"uniaddr/internal/obs"
+	"uniaddr/internal/sched"
+)
+
+// Persistent worker pool: the same Config.Workers goroutines, arenas,
+// deques and record tables serve MANY task trees, submitted while the
+// pool runs. Workers park between jobs on the PR-4 idle ladder instead
+// of exiting; an idle worker dispatches the next admitted job by
+// allocating a tagged root record from its own table and invoking the
+// root frame in its own arena. Per-job isolation and quiescence rest on
+// the job tags (sched.Record.Job) and the per-worker counter pairs
+// (sched.JobCounters); see DESIGN.md §15.
+
+// ErrPoolSaturated is returned by Submit when the bounded admission
+// queue is full — the pool's backpressure signal.
+var ErrPoolSaturated = errors.New("rt: pool admission queue full")
+
+// ErrPoolClosed is returned by Submit after Close has been called.
+var ErrPoolClosed = errors.New("rt: pool closed")
+
+// JobCanceledError reports a job that was canceled (by the submitter or
+// a per-job deadline) before completing; Cause carries the reason.
+type JobCanceledError struct {
+	Job   uint64
+	Cause error
+}
+
+func (e *JobCanceledError) Error() string {
+	return fmt.Sprintf("rt: job %d canceled: %v", e.Job, e.Cause)
+}
+
+func (e *JobCanceledError) Unwrap() error { return e.Cause }
+
+// JobParams are the per-job knobs of one Submit.
+type JobParams struct {
+	// Grain is the job's sequential cutoff (same semantics as
+	// Config.Grain, per job).
+	Grain uint64
+	// Weight biases admission order: the dispatcher picks the queued
+	// job with the lowest submission-sequence/weight key, so equal
+	// weights reduce to FIFO and a weight-w job is admitted as if it
+	// had arrived w times earlier. <= 0 means 1.
+	Weight int
+}
+
+// JobResult is one job's per-job report.
+type JobResult struct {
+	// Result is the root task's result (0 for canceled jobs).
+	Result uint64
+	// Tasks and Spawns are the job's own executed/spawned counts
+	// (drained frames of a canceled job count as executed).
+	Tasks  uint64
+	Spawns uint64
+	// QueueNS is submit→dispatch latency; ExecNS dispatch→completion.
+	QueueNS int64
+	ExecNS  int64
+}
+
+// Ticket state, guarded by Runtime.jobMu.
+const (
+	tkQueued = iota
+	tkRunning
+	tkDone
+)
+
+// Ticket is the submitter's handle on one admitted job.
+type Ticket struct {
+	id       uint64
+	done     chan struct{}
+	once     sync.Once
+	res      JobResult
+	err      error
+	submitNS int64
+	// dispatchNS is stamped by the dispatching worker; atomic because a
+	// pool failure may finalize the ticket from another goroutine.
+	dispatchNS atomic.Int64
+	// cancelASAP closes the dispatch/cancel race: Cancel sets it before
+	// trying the Running→Draining transition, the dispatcher rechecks
+	// it after storing Running, so one of the two always lands.
+	cancelASAP atomic.Bool
+
+	// Guarded by Runtime.jobMu:
+	state int
+	slot  uint32
+}
+
+// ID returns the job's global submission sequence number (1-based).
+func (t *Ticket) ID() uint64 { return t.id }
+
+// Done returns a channel closed when the job has been finalized.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the job is finalized and returns its result.
+func (t *Ticket) Wait() (JobResult, error) {
+	<-t.done
+	return t.res, t.err
+}
+
+// deliver publishes the job's outcome exactly once.
+func (t *Ticket) deliver(r *Runtime, res JobResult, err error) {
+	t.once.Do(func() {
+		t.res, t.err = res, err
+		r.jobsDone.Add(1)
+		close(t.done)
+		r.jobWG.Done()
+	})
+}
+
+// pendingJob is one admission-queue entry.
+type pendingJob struct {
+	t      *Ticket
+	fid    core.FuncID
+	locals uint32
+	init   func(*core.Env)
+	grain  uint64
+	weight int
+	seq    uint64
+}
+
+// Pool is a persistent runtime: workers start at NewPool and outlive
+// every job, parking between them.
+type Pool struct {
+	r *Runtime
+}
+
+// NewPool builds the runtime and starts its workers immediately; they
+// park until jobs arrive. In pool mode Config.MaxWall bounds the POOL's
+// whole lifetime (0 = unbounded, the default); bound individual jobs by
+// canceling their tickets.
+func NewPool(cfg Config) (*Pool, error) {
+	r := newRuntime(cfg, true)
+	if r.initErr != nil {
+		return nil, r.initErr
+	}
+	r.ran = true
+	r.startT = time.Now()
+	if r.cfg.MaxWall > 0 {
+		r.watchdog = time.AfterFunc(r.cfg.MaxWall, func() {
+			r.fail(&TimeoutError{Budget: r.cfg.MaxWall})
+		})
+	}
+	for _, w := range r.workers {
+		r.wg.Add(1)
+		go w.run()
+	}
+	return &Pool{r: r}, nil
+}
+
+// Submit admits one job: fid(localsLen bytes of locals, initialised by
+// init), with per-job params. It never blocks: a full admission queue
+// returns ErrPoolSaturated immediately.
+func (p *Pool) Submit(fid core.FuncID, localsLen uint32, init func(*core.Env), par JobParams) (*Ticket, error) {
+	r := p.r
+	if par.Weight <= 0 {
+		par.Weight = 1
+	}
+	r.jobMu.Lock()
+	if r.closed {
+		r.jobMu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	if r.done.Load() {
+		// The pool failed (watchdog or worker panic); surface that
+		// error rather than queueing a job no worker will serve.
+		r.jobMu.Unlock()
+		r.failMu.Lock()
+		err := r.err
+		r.failMu.Unlock()
+		if err == nil {
+			err = ErrPoolClosed
+		}
+		return nil, err
+	}
+	if len(r.jobQueue) >= r.cfg.QueueDepth {
+		r.jobMu.Unlock()
+		return nil, ErrPoolSaturated
+	}
+	r.submitSeq++
+	t := &Ticket{id: r.submitSeq, done: make(chan struct{}), submitNS: nowNS(), state: tkQueued}
+	r.jobQueue = append(r.jobQueue, &pendingJob{
+		t: t, fid: fid, locals: localsLen, init: init,
+		grain: par.Grain, weight: par.Weight, seq: r.submitSeq,
+	})
+	r.queuedCount.Store(int64(len(r.jobQueue)))
+	r.activeTk[t] = struct{}{}
+	r.jobWG.Add(1)
+	r.jobMu.Unlock()
+	// Queued before waking: a parker that registered after our store
+	// either sees the count in its recheck or is claimed by this wake.
+	r.lot.wakeOne()
+	return t, nil
+}
+
+// Cancel requests cancellation of t with the given cause. A queued job
+// is removed and finalized immediately; a running job switches to
+// draining — its remaining frames are completed without running their
+// bodies, co-resident jobs are untouched, and the ticket resolves to a
+// JobCanceledError once the job's quiescence count closes. Returns
+// false if the job had already been finalized.
+func (p *Pool) Cancel(t *Ticket, cause error) bool {
+	r := p.r
+	if cause == nil {
+		cause = errors.New("canceled")
+	}
+	r.jobMu.Lock()
+	switch t.state {
+	case tkDone:
+		r.jobMu.Unlock()
+		return false
+	case tkQueued:
+		for i, pj := range r.jobQueue {
+			if pj.t == t {
+				r.jobQueue = append(r.jobQueue[:i], r.jobQueue[i+1:]...)
+				break
+			}
+		}
+		r.queuedCount.Store(int64(len(r.jobQueue)))
+		t.state = tkDone
+		delete(r.activeTk, t)
+		r.jobMu.Unlock()
+		t.deliver(r, JobResult{QueueNS: nowNS() - t.submitNS},
+			&JobCanceledError{Job: t.id, Cause: cause})
+		return true
+	default: // tkRunning
+		slot := t.slot
+		meta := &r.jobMeta[slot]
+		if meta.t != t {
+			r.jobMu.Unlock()
+			return false
+		}
+		// The cause must be readable by whichever worker finalizes the
+		// drain: published by the Running→Draining CAS below (or by the
+		// dispatcher's cancelASAP recheck).
+		meta.cancelErr = &JobCanceledError{Job: t.id, Cause: cause}
+		t.cancelASAP.Store(true)
+		r.jobMu.Unlock()
+		r.cancelRunning(slot)
+		return true
+	}
+}
+
+// cancelRunning flips a running job to draining and re-runs the
+// quiescence check (the job may already be quiescent, or may never
+// complete another task — e.g. every remaining frame is suspended).
+func (r *Runtime) cancelRunning(slot uint32) {
+	if r.jobs.Get(slot).State.CompareAndSwap(sched.JobRunning, sched.JobDraining) {
+		r.anyCanceled.Add(1)
+		// Parked workers must wake to pop-and-drain the job's frames.
+		r.lot.wakeAll()
+		r.drainCheck(slot)
+	}
+}
+
+// Close stops admission, waits for every submitted job to finalize,
+// winds the workers down and verifies pool quiescence: no frames, no
+// waiters, zero live records (every job's records returned), all slots
+// free. Safe to call once; later calls return ErrPoolClosed.
+func (p *Pool) Close() error {
+	r := p.r
+	r.jobMu.Lock()
+	if r.closed {
+		r.jobMu.Unlock()
+		return ErrPoolClosed
+	}
+	r.closed = true
+	r.jobMu.Unlock()
+	r.jobWG.Wait()
+	r.done.Store(true)
+	r.lot.wakeAll()
+	r.wg.Wait()
+	if r.watchdog != nil {
+		r.watchdog.Stop()
+	}
+	r.elapsed = time.Since(r.startT)
+	r.failMu.Lock()
+	err := r.err
+	r.failMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return r.checkPoolQuiescence()
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.r.Workers() }
+
+// Obs returns the pool's wall-clock recorder (nil when off). Export it
+// only after Close — the rings are read at quiescence.
+func (p *Pool) Obs() *obs.WallRecorder { return p.r.Obs() }
+
+// Elapsed returns the pool's lifetime; call after Close.
+func (p *Pool) Elapsed() time.Duration { return p.r.Elapsed() }
+
+// TotalStats sums all workers' counters; call only after Close.
+func (p *Pool) TotalStats() Stats { return p.r.TotalStats() }
+
+// ParkedWorkers returns how many workers are blocked on the parking lot
+// right now (safe mid-run — one atomic load).
+func (p *Pool) ParkedWorkers() int { return p.r.ParkedWorkers() }
+
+// WorkersExited returns how many worker goroutines have returned. Safe
+// mid-run; it must stay 0 until Close — the proof that the pool reuses
+// workers across jobs instead of recreating them.
+func (p *Pool) WorkersExited() uint64 { return p.r.exited.Load() }
+
+// JobsCompleted returns how many jobs have been finalized (including
+// canceled and failed ones). Safe mid-run.
+func (p *Pool) JobsCompleted() uint64 { return p.r.jobsDone.Load() }
+
+// --- runtime-side job machinery --------------------------------------
+
+func nowNS() int64 { return time.Now().UnixNano() }
+
+// startQueuedJob dispatches the next admitted job onto THIS worker:
+// allocate and tag a root record from the worker's own table (Alloc is
+// owner-only, which is why dispatch happens on a worker, not in
+// Submit), publish it in the job slot, then build and invoke the root
+// frame. Called from the idle loop with an empty deque and a cleared
+// arena, so the root frame has the whole region.
+func (w *Worker) startQueuedJob() bool {
+	r := w.rt
+	if !r.persistent || r.queuedCount.Load() == 0 {
+		return false
+	}
+	pj, slot, ok := r.claimJob()
+	if !ok {
+		return false
+	}
+	// The previous tenant of this slot fully quiesced before the slot
+	// was freed, so plain atomic stores reset every worker's pair.
+	for _, v := range r.workers {
+		v.jobCounts.Reset(slot)
+	}
+	js := r.jobs.Get(slot)
+	js.Grain.Store(pj.grain)
+	js.Result.Store(0)
+	rec := w.newRecord(sched.JobTag(slot))
+	js.Root.Store(uint64(rec))
+	js.State.Store(sched.JobRunning)
+	// Close the dispatch/cancel race: a Cancel that found the slot not
+	// yet Running set cancelASAP before we stored it (see Ticket).
+	if pj.t.cancelASAP.Load() {
+		r.cancelRunning(slot)
+	}
+	size := core.FrameBytes(pj.locals)
+	base := w.newFrame(size)
+	core.EncodeFrameHeader(w.arena.MustSlice(base, core.FrameHeaderBytes), pj.fid, pj.locals, rec)
+	if pj.init != nil {
+		e := w.getEnv(base, size, 0)
+		pj.init(e)
+		w.putEnv(e)
+	}
+	w.invoke(base, size)
+	return true
+}
+
+// claimJob picks the admission-queue entry with the lowest seq/weight
+// key (FIFO at equal weights) and binds it to a free job slot.
+func (r *Runtime) claimJob() (*pendingJob, uint32, bool) {
+	r.jobMu.Lock()
+	defer r.jobMu.Unlock()
+	if len(r.jobQueue) == 0 || len(r.freeSlots) == 0 {
+		return nil, 0, false
+	}
+	best := 0
+	bestKey := float64(r.jobQueue[0].seq) / float64(r.jobQueue[0].weight)
+	for i := 1; i < len(r.jobQueue); i++ {
+		if k := float64(r.jobQueue[i].seq) / float64(r.jobQueue[i].weight); k < bestKey {
+			best, bestKey = i, k
+		}
+	}
+	pj := r.jobQueue[best]
+	r.jobQueue = append(r.jobQueue[:best], r.jobQueue[best+1:]...)
+	r.queuedCount.Store(int64(len(r.jobQueue)))
+	n := len(r.freeSlots) - 1
+	slot := r.freeSlots[n]
+	r.freeSlots = r.freeSlots[:n]
+	meta := &r.jobMeta[slot]
+	meta.id = pj.t.id
+	meta.t = pj.t
+	meta.cancelErr = nil
+	meta.single = false
+	pj.t.state = tkRunning
+	pj.t.slot = slot
+	pj.t.dispatchNS.Store(nowNS())
+	return pj, slot, true
+}
+
+// rootComplete runs inside the ExecComplete that completed a job's root
+// record. Exactly one finalizer wins the slot's state CAS, even against
+// a concurrent cancel.
+func (r *Runtime) rootComplete(slot uint32, result uint64) {
+	js := r.jobs.Get(slot)
+	meta := &r.jobMeta[slot]
+	js.Result.Store(result)
+	if js.State.CompareAndSwap(sched.JobRunning, sched.JobDone) {
+		if meta.single {
+			r.finish(result)
+			return
+		}
+		r.finalizeSlot(slot, result, nil)
+		return
+	}
+	// A cancel won the state race: the job reports canceled even though
+	// its root raced to completion; the drain arithmetic closes it.
+	if js.State.Load() == sched.JobDraining {
+		r.drainCheck(slot)
+	}
+}
+
+// jobSums returns the job's cross-worker (executed, spawned) totals.
+// All Executed counters are read BEFORE any Spawns counter: a spawn is
+// counted before its child can execute, so reading in this order can
+// only over-count spawns relative to executions — executed == spawns+1
+// is therefore never observed early, and is exact once the job is
+// quiescent.
+func (r *Runtime) jobSums(slot uint32) (ex, sp uint64) {
+	for _, w := range r.workers {
+		ex += w.jobCounts.Get(slot).Executed.Load()
+	}
+	for _, w := range r.workers {
+		sp += w.jobCounts.Get(slot).Spawns.Load()
+	}
+	return ex, sp
+}
+
+// drainCheck finalizes a draining job once its quiescence count closes:
+// sweep the record tables for the tags the drained frames abandoned,
+// then deliver the cancellation. Runs after every ExecComplete of a
+// draining job and once from Cancel itself (the job may already be
+// quiescent when the cancel lands).
+func (r *Runtime) drainCheck(slot uint32) {
+	ex, sp := r.jobSums(slot)
+	if ex != sp+1 {
+		return
+	}
+	js := r.jobs.Get(slot)
+	if !js.State.CompareAndSwap(sched.JobDraining, sched.JobDone) {
+		return
+	}
+	r.anyCanceled.Add(-1)
+	tag := sched.JobTag(slot)
+	for _, w := range r.workers {
+		w.records.SweepJob(tag)
+	}
+	r.finalizeSlot(slot, 0, r.jobMeta[slot].cancelErr)
+}
+
+// finalizeSlot releases the job's root record, checks per-job
+// quiescence, delivers the ticket and recycles the slot. Called exactly
+// once per dispatched job, by whichever goroutine won the JobDone CAS.
+func (r *Runtime) finalizeSlot(slot uint32, result uint64, jobErr error) {
+	js := r.jobs.Get(slot)
+	meta := &r.jobMeta[slot]
+	t := meta.t
+	tag := sched.JobTag(slot)
+	// Release the root record unless the cancel sweep already claimed
+	// it (same CAS-the-tag protocol as SweepJob).
+	if h := core.Handle(js.Root.Load()); h.Valid() {
+		tb := r.workers[h.Rank()].records
+		if tb.Get(sched.RecordIndex(h)).Job.CompareAndSwap(tag, 0) {
+			tb.Release(sched.RecordIndex(h))
+		}
+	}
+	ex, sp := r.jobSums(slot)
+	if jobErr == nil && ex != sp+1 {
+		jobErr = fmt.Errorf("rt: job %d quiescence violation: %d tasks executed, %d spawned (+1 root)", meta.id, ex, sp)
+	}
+	disp := t.dispatchNS.Load()
+	res := JobResult{
+		Result:  result,
+		Tasks:   ex,
+		Spawns:  sp,
+		QueueNS: disp - t.submitNS,
+		ExecNS:  nowNS() - disp,
+	}
+	r.jobMu.Lock()
+	t.state = tkDone
+	meta.t = nil
+	js.Root.Store(0)
+	js.State.Store(sched.JobFree)
+	r.freeSlots = append(r.freeSlots, slot)
+	delete(r.activeTk, t)
+	r.jobMu.Unlock()
+	t.deliver(r, res, jobErr)
+}
+
+// failTickets resolves every outstanding ticket with the pool error so
+// a watchdog or worker panic can't strand submitters. Slots are not
+// recycled — the pool is dead.
+func (r *Runtime) failTickets(err error) {
+	r.jobMu.Lock()
+	ts := make([]*Ticket, 0, len(r.activeTk))
+	for t := range r.activeTk {
+		t.state = tkDone
+		ts = append(ts, t)
+	}
+	clear(r.activeTk)
+	r.jobQueue = nil
+	r.queuedCount.Store(0)
+	r.jobMu.Unlock()
+	for _, t := range ts {
+		t.deliver(r, JobResult{}, err)
+	}
+}
+
+// checkPoolQuiescence is the pool analogue of CheckQuiescence: after
+// the last job no frame, waiter or record may survive anywhere (job
+// roots included — finalizeSlot released them), and every slot must be
+// back on the free list.
+func (r *Runtime) checkPoolQuiescence() error {
+	live := 0
+	for _, w := range r.workers {
+		if n := w.deque.Size(); n != 0 {
+			return fmt.Errorf("rt: worker %d deque holds %d entries after pool close", w.rank, n)
+		}
+		if len(w.waitq) != 0 {
+			return fmt.Errorf("rt: worker %d wait queue holds %d suspended threads after pool close", w.rank, len(w.waitq))
+		}
+		live += w.records.Live()
+	}
+	if live != 0 {
+		return fmt.Errorf("rt: %d records live after pool close, want 0", live)
+	}
+	for i := 0; i < r.cfg.MaxJobs; i++ {
+		if st := r.jobs.Get(uint32(i)).State.Load(); st != sched.JobFree {
+			return fmt.Errorf("rt: job slot %d in state %d after pool close, want free", i, st)
+		}
+	}
+	if len(r.freeSlots) != r.cfg.MaxJobs {
+		return fmt.Errorf("rt: %d of %d job slots free after pool close", len(r.freeSlots), r.cfg.MaxJobs)
+	}
+	return nil
+}

@@ -18,7 +18,11 @@ import (
 // by other goroutines only after Runtime.Run returns (WaitGroup edge).
 type Stats struct {
 	TasksExecuted uint64
-	Spawns        uint64
+	// TasksDrained counts frames completed WITHOUT running their body
+	// because their job was canceled (a subset of TasksExecuted — the
+	// quiescence arithmetic treats a drained task as executed).
+	TasksDrained uint64
+	Spawns       uint64
 	JoinsFast     uint64
 	JoinsMiss     uint64
 	Suspends      uint64
@@ -127,8 +131,21 @@ type Worker struct {
 	// to the configured per-steal entry bound (owner-only).
 	stealBuf []sched.Entry
 
-	// grain is Config.Grain, surfaced to workloads via ExecGrain.
+	// grain is the CURRENT job's granularity cutoff, surfaced to
+	// workloads via ExecGrain; reloaded from the job slot when an
+	// invoked frame switches the worker onto another job.
 	grain uint64
+
+	// jobCounts is this worker's per-job-slot spawn/executed pairs: the
+	// per-task bumps land on lines only this worker writes, and the
+	// rare per-job quiescence checks sum across workers (sched.JobCount).
+	jobCounts *sched.JobCounters
+	// curJob / curJobID / curSlot cache the job the last invoked frame
+	// belonged to (owner-only; ^uint32(0) = none yet). curJobID guards
+	// against a slot being recycled to a new job between two frames.
+	curJob   uint32
+	curJobID uint64
+	curSlot  *sched.JobSlot
 
 	// res is the thief-side fault state machine (owner-only); with no
 	// injector configured it is dormant and free (see sched.Resilience).
@@ -167,6 +184,7 @@ func (w *Worker) Stats() Stats {
 // fallback chain with the blocking tail described in DESIGN.md §10).
 func (w *Worker) run() {
 	defer w.rt.wg.Done()
+	defer w.rt.exited.Add(1)
 	defer func() {
 		if r := recover(); r != nil {
 			w.rt.fail(fmt.Errorf("rt: worker %d panicked: %v", w.rank, r))
@@ -176,7 +194,7 @@ func (w *Worker) run() {
 		runtime.LockOSThread()
 		defer runtime.UnlockOSThread()
 	}
-	if w.rank == 0 {
+	if w.rank == 0 && !w.rt.persistent {
 		w.runRoot()
 	}
 	for !w.rt.stopped() {
@@ -198,6 +216,13 @@ func (w *Worker) run() {
 		// Resume before steal: a ready waiter is guaranteed-productive
 		// local work, a steal probe is speculative remote work.
 		if w.resumeReady() {
+			w.idle.reset()
+			continue
+		}
+		// Dispatch before steal: on a persistent pool an idle worker
+		// serves admission latency first — a queued job's root beats
+		// speculative remote probes (stealing then balances the tree).
+		if w.startQueuedJob() {
 			w.idle.reset()
 			continue
 		}
@@ -300,6 +325,36 @@ func (w *Worker) putCtxBuf(buf []byte) {
 // after a steal, inside ExecJoin/ExecSpawn.
 func (w *Worker) invoke(base mem.VA, size uint64) core.Status {
 	h := core.DecodeFrameHeader(w.arena.MustSlice(base, core.FrameHeaderBytes))
+	// Map the frame to its job through its record's tag and switch this
+	// worker's cached job context if the frame belongs to another job
+	// (steals interleave jobs on one worker). The id recheck catches a
+	// slot recycled to a new job between two frames.
+	if tag := w.rt.workers[h.Record.Rank()].records.Get(sched.RecordIndex(h.Record)).Job.Load(); tag != 0 {
+		slot := uint32(tag - 1)
+		if slot != w.curJob || w.rt.jobMeta[slot].id != w.curJobID {
+			w.curJob = slot
+			w.curJobID = w.rt.jobMeta[slot].id
+			w.curSlot = w.rt.jobs.Get(slot)
+			w.grain = w.curSlot.Grain.Load()
+			w.wlog.SetJob(w.curJobID)
+		}
+		// Canceled job: complete the frame without running its body.
+		// Every task of a draining job is reached exactly once — it is
+		// popped, stolen or resumed like any other frame — so the
+		// per-job executed count still closes exactly, and completing
+		// the record here is what unblocks (and in turn drains) any
+		// parent suspended on it. Records the frame held references to
+		// are reclaimed by the post-quiescence sweep (Table.SweepJob).
+		if w.rt.anyCanceled.Load() > 0 && w.curSlot.State.Load() == sched.JobDraining {
+			w.ExecComplete(h.Record, 0)
+			w.stats.TasksExecuted++
+			w.stats.TasksDrained++
+			if err := w.arena.FreeLowest(base, size); err != nil {
+				panic(err)
+			}
+			return core.Done
+		}
+	}
 	e := w.getEnv(base, size, h.Resume)
 	ts := w.wlog.Clock()
 	st := core.TaskFn(h.Fid)(e)
@@ -382,13 +437,29 @@ func (w *Worker) ExecWork(cycles uint64) {
 // least one side always sees the other (DESIGN.md §10).
 func (w *Worker) ExecComplete(rec core.Handle, result uint64) {
 	r := w.rt.workers[rec.Rank()].records.Get(sched.RecordIndex(rec))
+	tag := r.Job.Load()
+	var js *sched.JobSlot
+	var slot uint32
+	if tag != 0 {
+		slot = uint32(tag - 1)
+		js = w.rt.jobs.Get(slot)
+		// The executed bump precedes the Done store: when the root's
+		// completer (whose own bump is below) sums the counters, every
+		// completion the join tree ordered before it is already counted,
+		// which is what makes executed == spawns+1 exact per job.
+		w.jobCounts.Get(slot).Executed.Add(1)
+	}
 	r.Result.Store(result)
 	r.Done.Store(1)
 	if wr := r.Waiter.Load(); wr != 0 {
 		w.rt.lot.wakeWorker(w.rt.workers[wr-1])
 	}
-	if rec == w.rt.rootRec {
-		w.rt.finish(result)
+	if js != nil {
+		if uint64(rec) == js.Root.Load() {
+			w.rt.rootComplete(slot, result)
+		} else if js.State.Load() == sched.JobDraining {
+			w.rt.drainCheck(slot)
+		}
 	}
 }
 
@@ -398,8 +469,12 @@ func (w *Worker) ExecComplete(rec core.Handle, result uint64) {
 // concurrent thief took the parent.
 func (w *Worker) ExecSpawn(e *core.Env, resumeRP, handleSlot int, fid core.FuncID, localsLen uint32, init func(*core.Env)) bool {
 	w.stats.Spawns++
+	// The spawn is counted (and the child's record tagged) against the
+	// spawning frame's job — w.curJob, set by the invoke that entered
+	// this task — BEFORE the child becomes visible to any other worker.
+	w.jobCounts.Get(w.curJob).Spawns.Add(1)
 	core.SetFrameResume(w.arena.MustSlice(e.FrameBase(), core.FrameHeaderBytes), uint32(resumeRP))
-	rec := w.newRecord()
+	rec := w.newRecord(sched.JobTag(w.curJob))
 	// The child's handle lands in the parent's frame BEFORE the
 	// continuation is published, so a migrated parent finds it.
 	e.SetHandle(handleSlot, rec)
@@ -479,12 +554,14 @@ func (w *Worker) ExecJoin(e *core.Env, resumeRP int, h core.Handle) (uint64, boo
 	return 0, false
 }
 
-// newRecord allocates a record on this worker's pool.
-func (w *Worker) newRecord() core.Handle {
+// newRecord allocates a record on this worker's pool, tagged with its
+// job before the handle can escape to another worker.
+func (w *Worker) newRecord(jobTag uint64) core.Handle {
 	idx, err := w.records.Alloc()
 	if err != nil {
 		panic(err)
 	}
+	w.records.Get(idx).Job.Store(jobTag)
 	return sched.RecordHandle(w.rank, idx)
 }
 

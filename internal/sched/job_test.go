@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestJobSlotLayoutIsStable(t *testing.T) {
+	// Like Record, JobSlot is a cross-process ABI: two cache lines per
+	// slot so adjacent jobs never false-share, one line per counter
+	// pair.
+	if got := unsafe.Sizeof(JobSlot{}); got != 128 {
+		t.Fatalf("JobSlot is %d bytes, want 128", got)
+	}
+	if got := unsafe.Sizeof(JobCount{}); got != 64 {
+		t.Fatalf("JobCount is %d bytes, want 64", got)
+	}
+}
+
+func TestJobTableAttachAndTags(t *testing.T) {
+	region := heapRegion(JobTableBytes(4))
+	jt, err := NewJobTableAt(region, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jt.Cap() != 4 {
+		t.Fatalf("Cap() = %d, want 4", jt.Cap())
+	}
+	// Fresh slots are JobFree; a second view over the same region sees
+	// state stored through the first.
+	jt.Get(2).State.Store(JobRunning)
+	jt2, err := NewJobTableAt(region, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := jt2.Get(2).State.Load(); got != JobRunning {
+		t.Fatalf("second view sees state %d, want JobRunning", got)
+	}
+	if jt2.Get(0).State.Load() != JobFree {
+		t.Fatal("fresh slot not JobFree")
+	}
+	if JobTag(0) == 0 {
+		t.Fatal("JobTag(0) must be nonzero (0 means untagged)")
+	}
+	if JobTag(3) != 4 {
+		t.Fatalf("JobTag(3) = %d, want 4", JobTag(3))
+	}
+	if _, err := NewJobTableAt(region[:10], 4); err == nil {
+		t.Fatal("undersized region accepted")
+	}
+}
+
+func TestJobCountersResetAndSum(t *testing.T) {
+	jc := NewJobCounters(2)
+	jc.Get(1).Spawns.Add(3)
+	jc.Get(1).Executed.Add(4)
+	jc.Get(0).Spawns.Add(7)
+	if got := jc.Get(1).Spawns.Load(); got != 3 {
+		t.Fatalf("slot 1 spawns %d, want 3", got)
+	}
+	jc.Reset(1)
+	if jc.Get(1).Spawns.Load() != 0 || jc.Get(1).Executed.Load() != 0 {
+		t.Fatal("Reset did not zero slot 1")
+	}
+	if got := jc.Get(0).Spawns.Load(); got != 7 {
+		t.Fatalf("Reset disturbed slot 0: spawns %d, want 7", got)
+	}
+}
+
+// TestSweepJobReclaimsExactlyTaggedRecords: sweep must free records
+// carrying the tag, skip already-released ones, and never double-free
+// when two sweepers race.
+func TestSweepJobReclaimsExactlyTaggedRecords(t *testing.T) {
+	tb := NewTable(8)
+	var idxs []uint32
+	for i := 0; i < 6; i++ {
+		idx, err := tb.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		idxs = append(idxs, idx)
+	}
+	// Tag four records as job slot 1, two as job slot 2.
+	for _, i := range idxs[:4] {
+		tb.Get(i).Job.Store(JobTag(1))
+	}
+	for _, i := range idxs[4:] {
+		tb.Get(i).Job.Store(JobTag(2))
+	}
+	// A normal release clears the tag, so the sweep skips it.
+	tb.Release(idxs[0])
+	if got := tb.Get(idxs[0]).Job.Load(); got != 0 {
+		t.Fatalf("Release left tag %d", got)
+	}
+	if n := tb.SweepJob(JobTag(1)); n != 3 {
+		t.Fatalf("sweep reclaimed %d records, want 3", n)
+	}
+	if n := tb.SweepJob(JobTag(1)); n != 0 {
+		t.Fatalf("second sweep reclaimed %d records, want 0", n)
+	}
+	// Job 2's records are untouched.
+	for _, i := range idxs[4:] {
+		if got := tb.Get(i).Job.Load(); got != JobTag(2) {
+			t.Fatalf("sweep disturbed other job's record %d: tag %d", i, got)
+		}
+	}
+	if live := tb.Live(); live != 2 {
+		t.Fatalf("Live() = %d after sweep, want 2", live)
+	}
+}

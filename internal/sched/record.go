@@ -45,6 +45,13 @@ type Record struct {
 	// own recheck or woken precisely by the completer — never silently
 	// left parked (see DESIGN.md §10).
 	Waiter atomic.Int64
+	// Job tags the record with its owning job while allocated: slot+1
+	// (see JobTag), 0 when free or outside a persistent pool. The
+	// allocator stores it before the record's handle is published and
+	// Release/ReleaseLocal clear it before the index re-enters a free
+	// list, so SweepJob can reclaim exactly the records a canceled job
+	// leaked — and never one that was already freed and reused.
+	Job atomic.Uint64
 	// next holds idx+1 of the record below this one on the release
 	// stack (0 = end of chain).
 	next atomic.Uint64
@@ -174,6 +181,7 @@ func (t *Table) Alloc() (uint32, error) {
 // Release returns a record to the pool. Called by the joiner — any
 // worker, any process — so it pushes onto the shared release stack.
 func (t *Table) Release(idx uint32) {
+	t.recs[idx].Job.Store(0)
 	for {
 		h := t.hdr.releaseHead.Load()
 		t.recs[idx].next.Store(h)
@@ -188,8 +196,28 @@ func (t *Table) Release(idx uint32) {
 // its own child — the common case) straight onto the private free
 // stack, skipping the CAS of the shared release path.
 func (t *Table) ReleaseLocal(idx uint32) {
+	t.recs[idx].Job.Store(0)
 	t.localFree = append(t.localFree, idx)
 	t.freedLoc++
+}
+
+// SweepJob releases every record still tagged with the given job tag
+// and returns how many it reclaimed. Called (from any worker) after a
+// canceled job's per-job quiescence count has closed: no task of the
+// job is running, so the only records still carrying the tag are the
+// ones drained frames abandoned — suspended joins that were completed
+// without their parent ever running the release, and child handles in
+// frames that were completed without running their bodies. The CAS
+// claims each record exactly once even if two sweepers race.
+func (t *Table) SweepJob(tag uint64) int {
+	n := 0
+	for i := range t.recs {
+		if t.recs[i].Job.Load() == tag && t.recs[i].Job.CompareAndSwap(tag, 0) {
+			t.Release(uint32(i))
+			n++
+		}
+	}
+	return n
 }
 
 // Get returns the record at idx. Valid from any attached view.

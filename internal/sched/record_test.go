@@ -7,9 +7,10 @@ import (
 
 func TestRecordLayoutIsStable(t *testing.T) {
 	// The flat layout is an ABI between processes: Record must stay at
-	// its documented 32-byte stride and the header on two cache lines.
-	if RecordBytes != 32 {
-		t.Fatalf("Record is %d bytes, want 32", RecordBytes)
+	// its documented 40-byte stride (Done, Result, Waiter, Job, next)
+	// and the header on two cache lines.
+	if RecordBytes != 40 {
+		t.Fatalf("Record is %d bytes, want 40", RecordBytes)
 	}
 	if tableHdrBytes != 128 {
 		t.Fatalf("table header is %d bytes, want 128", tableHdrBytes)

@@ -1,6 +1,7 @@
 package uniaddr
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -189,6 +190,12 @@ type Report struct {
 	// Virtual time of the run (sim; 0 on the real backends).
 	VirtualCycles  uint64  `json:"virtual_cycles,omitempty"`
 	VirtualSeconds float64 `json:"virtual_seconds,omitempty"`
+
+	// Job and QueueNS are set only on Service per-job reports: the
+	// job's service-wide ID and its submit→dispatch queueing latency.
+	// Zero (and omitted from JSON) on Run reports.
+	Job     uint64 `json:"job,omitempty"`
+	QueueNS int64  `json:"queue_ns,omitempty"`
 
 	Tasks         uint64 `json:"tasks_executed"`
 	Spawns        uint64 `json:"spawns"`
@@ -395,31 +402,48 @@ func runSim(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, e
 	return rep, nil
 }
 
+// runRT executes a Run on the rt backend as sugar over a throwaway
+// one-job Service: the persistent-pool machinery (job slot, tagged
+// records, per-job quiescence) IS the single-run machinery now, just
+// closed after one job. The Report stays byte-compatible — since the
+// pool ran exactly this one job, its total counters are the job's.
 func runRT(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, error) {
-	cfg := rt.DefaultConfig(o.workers)
-	cfg.Seed = o.seed
-	cfg.Obs = o.obs || o.trace != nil
-	cfg.Grain = o.grain
-	cfg.StealBatch = o.stealBatch
-	cfg.TierGroup = o.tierGroup
-	if o.maxWall != 0 {
-		cfg.MaxWall = o.maxWall
+	maxWall := o.maxWall
+	if maxWall == 0 {
+		// Run keeps the single-run deadlock-guard default; only an
+		// explicit Service is unbounded by default.
+		maxWall = rt.DefaultConfig(o.workers).MaxWall
+	}
+	svcOpts := []ServiceOption{
+		ServiceBackend(BackendRT), ServiceWorkers(o.workers), ServiceSeed(o.seed),
+		ServiceObs(o.obs || o.trace != nil),
+		ServiceStealBatch(o.stealBatch), ServiceTierGroup(o.tierGroup),
+		ServiceMaxWall(maxWall), ServiceMaxJobs(1), ServiceQueueDepth(1),
 	}
 	if o.fault != nil {
-		cfg.Fault = *o.fault
+		svcOpts = append(svcOpts, ServiceFault(*o.fault))
 	}
-	r := rt.New(cfg)
-	root, err := r.Run(fid, localsLen, init)
+	s, err := NewService(svcOpts...)
 	if err != nil {
 		return Report{}, err
 	}
-	if err := r.CheckQuiescence(); err != nil {
+	job, err := s.Submit(context.Background(), fid, localsLen, init, JobGrain(o.grain))
+	if err != nil {
+		_ = s.Close()
 		return Report{}, err
 	}
-	ts := r.TotalStats()
+	jrep, jerr := job.Wait()
+	cerr := s.Close()
+	if jerr != nil {
+		return Report{}, jerr
+	}
+	if cerr != nil {
+		return Report{}, cerr
+	}
+	ts := s.pool.TotalStats()
 	rep := Report{
-		Backend: BackendRT, Workers: o.workers, Root: root,
-		WallNS: r.Elapsed().Nanoseconds(),
+		Backend: BackendRT, Workers: o.workers, Root: jrep.Root,
+		WallNS: jrep.WallNS,
 		Tasks:  ts.TasksExecuted, Spawns: ts.Spawns, Suspends: ts.Suspends,
 		StealAttempts: ts.StealAttempts, StealsOK: ts.StealsOK,
 		StealBatches: ts.StealBatches,
@@ -428,7 +452,7 @@ func runRT(o options, fid FuncID, localsLen uint32, init func(*Env)) (Report, er
 		StealAbortsFault: ts.StealAbortsFault, StealRollbacks: ts.StealRollbacks,
 		VictimBlacklists: ts.VictimBlacklists,
 	}
-	if err := finishObs(&rep, r.Obs().Export(), o.trace); err != nil {
+	if err := finishObs(&rep, s.pool.Obs().Export(), o.trace); err != nil {
 		return Report{}, err
 	}
 	return rep, nil
