@@ -170,11 +170,16 @@ func (l *parkingLot) wakeAll() {
 // — never the advisory occupancy hints: a stale hint here could strand
 // a worker, whereas on the steal path it only wastes a probe.
 func (w *Worker) hasWorkHint() bool {
-	// A queued job is dispatchable work (persistent pools only; the
-	// counter stays 0 elsewhere). Exact for the same reason as the deque
-	// sizes: Submit enqueues before it wakes, so a parker that misses
-	// the count here is claimed by the wake.
-	if w.rt.queuedCount.Load() > 0 {
+	// A queued job is dispatchable work ONLY while a job slot is free
+	// (persistent pools only; queuedCount stays 0 elsewhere): with every
+	// slot occupied, startQueuedJob cannot claim the queue head, and a
+	// hint that ignored the slots would bar every idle worker from
+	// parking — busy-spinning for as long as sustained load keeps the
+	// slots full. Exact for the same reason as the deque sizes: Submit
+	// enqueues before it wakes, and finalizeSlot publishes the freed
+	// slot before it wakes, so a parker that misses either count here is
+	// claimed by the corresponding wake.
+	if w.rt.queuedCount.Load() > 0 && w.rt.freeSlotCount.Load() > 0 {
 		return true
 	}
 	for _, v := range w.rt.workers {

@@ -198,6 +198,11 @@ type Runtime struct {
 	activeTk    map[*Ticket]struct{}
 	jobWG       sync.WaitGroup
 	queuedCount atomic.Int64 // mirror of len(jobQueue), read lock-free by idle workers
+	// freeSlotCount mirrors len(freeSlots). A queued job is only
+	// dispatchable when a slot is free, so the park-side work hint gates
+	// on both counters — otherwise idle workers would busy-spin on a
+	// non-empty queue for as long as every slot stays occupied.
+	freeSlotCount atomic.Int64
 	anyCanceled atomic.Int64 // jobs currently draining; gates the invoke-path drain check
 	jobsDone    atomic.Uint64
 	exited      atomic.Uint64 // workers whose goroutine has returned
@@ -230,6 +235,7 @@ func newRuntime(cfg Config, persistent bool) *Runtime {
 		for i := cfg.MaxJobs - 1; i >= 0; i-- {
 			r.freeSlots = append(r.freeSlots, uint32(i))
 		}
+		r.freeSlotCount.Store(int64(cfg.MaxJobs))
 	}
 	fc := cfg.Fault
 	fc.Seed = cfg.Seed

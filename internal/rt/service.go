@@ -3,6 +3,7 @@ package rt
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,12 +76,17 @@ const (
 
 // Ticket is the submitter's handle on one admitted job.
 type Ticket struct {
-	id       uint64
-	done     chan struct{}
-	once     sync.Once
-	res      JobResult
-	err      error
-	submitNS int64
+	id   uint64
+	done chan struct{}
+	// dispatched is closed by the worker that claims the job off the
+	// admission queue — the anchor for deadlines that must exclude queue
+	// time. Never closed for jobs canceled or failed while still queued
+	// (watch Done alongside it).
+	dispatched chan struct{}
+	once       sync.Once
+	res        JobResult
+	err        error
+	submitNS   int64
 	// dispatchNS is stamped by the dispatching worker; atomic because a
 	// pool failure may finalize the ticket from another goroutine.
 	dispatchNS atomic.Int64
@@ -99,6 +105,11 @@ func (t *Ticket) ID() uint64 { return t.id }
 
 // Done returns a channel closed when the job has been finalized.
 func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Dispatched returns a channel closed when a worker claims the job off
+// the admission queue and begins executing it. It never closes for a
+// job canceled (or failed) while still queued, so select on Done too.
+func (t *Ticket) Dispatched() <-chan struct{} { return t.dispatched }
 
 // Wait blocks until the job is finalized and returns its result.
 func (t *Ticket) Wait() (JobResult, error) {
@@ -186,7 +197,10 @@ func (p *Pool) Submit(fid core.FuncID, localsLen uint32, init func(*core.Env), p
 		return nil, ErrPoolSaturated
 	}
 	r.submitSeq++
-	t := &Ticket{id: r.submitSeq, done: make(chan struct{}), submitNS: nowNS(), state: tkQueued}
+	t := &Ticket{
+		id: r.submitSeq, done: make(chan struct{}),
+		dispatched: make(chan struct{}), submitNS: nowNS(), state: tkQueued,
+	}
 	r.jobQueue = append(r.jobQueue, &pendingJob{
 		t: t, fid: fid, locals: localsLen, init: init,
 		grain: par.Grain, weight: par.Weight, seq: r.submitSeq,
@@ -257,7 +271,7 @@ func (r *Runtime) cancelRunning(slot uint32) {
 		r.anyCanceled.Add(1)
 		// Parked workers must wake to pop-and-drain the job's frames.
 		r.lot.wakeAll()
-		r.drainCheck(slot)
+		r.drainCheck(slot, 0)
 	}
 }
 
@@ -329,7 +343,7 @@ func nowNS() int64 { return time.Now().UnixNano() }
 // arena, so the root frame has the whole region.
 func (w *Worker) startQueuedJob() bool {
 	r := w.rt
-	if !r.persistent || r.queuedCount.Load() == 0 {
+	if !r.persistent || r.queuedCount.Load() == 0 || r.freeSlotCount.Load() == 0 {
 		return false
 	}
 	pj, slot, ok := r.claimJob()
@@ -385,6 +399,7 @@ func (r *Runtime) claimJob() (*pendingJob, uint32, bool) {
 	n := len(r.freeSlots) - 1
 	slot := r.freeSlots[n]
 	r.freeSlots = r.freeSlots[:n]
+	r.freeSlotCount.Store(int64(n))
 	meta := &r.jobMeta[slot]
 	meta.id = pj.t.id
 	meta.t = pj.t
@@ -393,17 +408,24 @@ func (r *Runtime) claimJob() (*pendingJob, uint32, bool) {
 	pj.t.state = tkRunning
 	pj.t.slot = slot
 	pj.t.dispatchNS.Store(nowNS())
+	close(pj.t.dispatched)
 	return pj, slot, true
 }
 
 // rootComplete runs inside the ExecComplete that completed a job's root
-// record. Exactly one finalizer wins the slot's state CAS, even against
-// a concurrent cancel.
+// record (so the caller holds one Pending bracket). Exactly one
+// finalizer wins the slot's state CAS, even against a concurrent
+// cancel.
 func (r *Runtime) rootComplete(slot uint32, result uint64) {
 	js := r.jobs.Get(slot)
 	meta := &r.jobMeta[slot]
 	js.Result.Store(result)
 	if js.State.CompareAndSwap(sched.JobRunning, sched.JobDone) {
+		// Joined children's completers may still be inside their own
+		// brackets (their Done stores landed — the join saw them — but
+		// their slot reads have not necessarily retired). They must all
+		// leave before the slot can be recycled under them.
+		r.waitJobSettled(slot, 1)
 		if meta.single {
 			r.finish(result)
 			return
@@ -414,7 +436,7 @@ func (r *Runtime) rootComplete(slot uint32, result uint64) {
 	// A cancel won the state race: the job reports canceled even though
 	// its root raced to completion; the drain arithmetic closes it.
 	if js.State.Load() == sched.JobDraining {
-		r.drainCheck(slot)
+		r.drainCheck(slot, 1)
 	}
 }
 
@@ -438,8 +460,10 @@ func (r *Runtime) jobSums(slot uint32) (ex, sp uint64) {
 // sweep the record tables for the tags the drained frames abandoned,
 // then deliver the cancellation. Runs after every ExecComplete of a
 // draining job and once from Cancel itself (the job may already be
-// quiescent when the cancel lands).
-func (r *Runtime) drainCheck(slot uint32) {
+// quiescent when the cancel lands). held is the number of Pending
+// brackets the CALLER holds on this slot: 1 from an ExecComplete tail,
+// 0 from the Cancel path.
+func (r *Runtime) drainCheck(slot uint32, held int64) {
 	ex, sp := r.jobSums(slot)
 	if ex != sp+1 {
 		return
@@ -448,12 +472,42 @@ func (r *Runtime) drainCheck(slot uint32) {
 	if !js.State.CompareAndSwap(sched.JobDraining, sched.JobDone) {
 		return
 	}
+	// The count closing proves every frame's Executed bump landed, NOT
+	// that the Result/Done stores sequenced after those bumps did. Wait
+	// for every other in-flight completion bracket to retire before
+	// touching the records, or the sweep below could release (and a new
+	// job re-allocate) a record whose completer is still mid-store.
+	r.waitJobSettled(slot, held)
 	r.anyCanceled.Add(-1)
 	tag := sched.JobTag(slot)
 	for _, w := range r.workers {
 		w.records.SweepJob(tag)
 	}
 	r.finalizeSlot(slot, 0, r.jobMeta[slot].cancelErr)
+}
+
+// pendingSum is the slot's cross-worker in-flight-completion gauge.
+func (r *Runtime) pendingSum(slot uint32) int64 {
+	var n int64
+	for _, w := range r.workers {
+		n += w.jobCounts.Get(slot).Pending.Load()
+	}
+	return n
+}
+
+// waitJobSettled spins until every in-flight ExecComplete bracket for
+// the slot other than the caller's own (held of them) has retired. Only
+// a finalizer that already won the slot's terminal state CAS may call
+// this, and only after quiescence-count closure, so no NEW bracket for
+// this job can open during the wait; brackets never block between their
+// +1 and -1 except to run this very finalization, so the spin is
+// bounded by scheduler preemption. A stale +1 from a previous tenant's
+// finalizer (slot recycled while it was between finalizeSlot and its
+// own -1) only lengthens the wait — it retires without blocking.
+func (r *Runtime) waitJobSettled(slot uint32, held int64) {
+	for r.pendingSum(slot) != held {
+		runtime.Gosched()
+	}
 }
 
 // finalizeSlot releases the job's root record, checks per-job
@@ -490,8 +544,17 @@ func (r *Runtime) finalizeSlot(slot uint32, result uint64, jobErr error) {
 	js.Root.Store(0)
 	js.State.Store(sched.JobFree)
 	r.freeSlots = append(r.freeSlots, slot)
-	delete(r.activeTk, t)
+	r.freeSlotCount.Store(int64(len(r.freeSlots)))
+	wake := len(r.jobQueue) > 0
 	r.jobMu.Unlock()
+	// A queued job just became dispatchable (the park-side work hint
+	// gates on free slots, so parked workers ignored the queue while
+	// every slot was busy). Free-count store before wake: a parker that
+	// registered after the store sees it in its recheck, one that
+	// registered before is claimed by this wake.
+	if wake {
+		r.lot.wakeOne()
+	}
 	t.deliver(r, res, jobErr)
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"uniaddr/internal/core"
 	"uniaddr/internal/fault"
 	"uniaddr/internal/rt"
 	"uniaddr/internal/workloads"
@@ -280,6 +281,106 @@ func TestPoolCancelRunningIsolation(t *testing.T) {
 		if err := p.Close(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
+	}
+}
+
+// TestPoolCancelCompleteRaceStorm hammers the cancel-vs-complete
+// window: rounds of co-resident jobs where most are canceled at
+// staggered points mid-run while a bystander races to completion. The
+// drain finalizer must never sweep-and-recycle a record whose completer
+// is still mid-store (the completion-bracket protocol in ExecComplete /
+// waitJobSettled) — corruption would surface as a bystander oracle
+// miss, a conservation-law violation in a canceled report, or leaked /
+// double-released records failing the Close quiescence check.
+func TestPoolCancelCompleteRaceStorm(t *testing.T) {
+	cfg := rt.DefaultConfig(4)
+	cfg.MaxJobs = 4
+	cfg.QueueDepth = 32
+	p := newPool(t, cfg)
+	victim := workloads.Fib(18, 50)
+	bystander := workloads.Fib(15, 20)
+	for round := 0; round < 20; round++ {
+		v1 := submitSpec(t, p, victim, rt.JobParams{})
+		v2 := submitSpec(t, p, victim, rt.JobParams{})
+		btk := submitSpec(t, p, bystander, rt.JobParams{})
+		// Stagger the two cancels across the jobs' lifetimes so some land
+		// while completions are in full flight and some race the root.
+		time.Sleep(time.Duration(round*37) * time.Microsecond)
+		p.Cancel(v1, errors.New("storm"))
+		time.Sleep(time.Duration(round*11) * time.Microsecond)
+		p.Cancel(v2, errors.New("storm"))
+		for _, tk := range []*rt.Ticket{v1, v2} {
+			res, err := tk.Wait()
+			if err != nil {
+				var jce *rt.JobCanceledError
+				if !errors.As(err, &jce) {
+					t.Fatalf("round %d: job %d: %v", round, tk.ID(), err)
+				}
+			} else if res.Result != victim.Expected {
+				t.Fatalf("round %d: job %d won the race but returned %d, want %d",
+					round, tk.ID(), res.Result, victim.Expected)
+			}
+			// Tasks == Spawns == 0 means the cancel landed while the job
+			// was still queued — nothing dispatched, nothing to conserve.
+			// Any dispatched job executes at least its root.
+			if res.Tasks != res.Spawns+1 && !(res.Tasks == 0 && res.Spawns == 0) {
+				t.Fatalf("round %d: job %d: executed %d != spawned %d + 1",
+					round, tk.ID(), res.Tasks, res.Spawns)
+			}
+		}
+		waitSpec(t, btk, bystander)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolParksWhenSlotsSaturated pins the park-side slot gate and its
+// wake: with the only job slot held by a gated single-task job and
+// another job queued behind it, every idle worker must reach the
+// parking lot — a work hint that looked at the queue alone would bar
+// them from parking and busy-spin until the slot frees — and when the
+// slot DOES free, the finalizer must wake a parker to dispatch the
+// queued job. The gate job blocks on a channel rather than spinning so
+// the idle workers' backoff ladders are not CPU-starved on small boxes.
+func TestPoolParksWhenSlotsSaturated(t *testing.T) {
+	cfg := rt.DefaultConfig(4)
+	cfg.MaxJobs = 1
+	cfg.QueueDepth = 8
+	p := newPool(t, cfg)
+	gate := make(chan struct{})
+	gateFID := core.Register("rt_test.parkgate", func(e *core.Env) core.Status {
+		<-gate
+		e.ReturnU64(7)
+		return core.Done
+	})
+	tk1, err := p.Submit(gateFID, 8, nil, rt.JobParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quick := workloads.Fib(1, 0)
+	tk2 := submitSpec(t, p, quick, rt.JobParams{})
+	// One worker is blocked inside the gate task; the other three are
+	// idle with queuedCount > 0 and no free slot, so all three must park.
+	deadline := time.After(30 * time.Second)
+	for p.ParkedWorkers() < 3 {
+		select {
+		case <-deadline:
+			close(gate)
+			t.Fatalf("only %d of 3 idle workers parked while the queue was barred by slot saturation", p.ParkedWorkers())
+		default:
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	// Freeing the slot must wake a parker: with all idle workers on the
+	// lot, the queued job completes only if finalizeSlot's wake lands.
+	close(gate)
+	if res, err := tk1.Wait(); err != nil || res.Result != 7 {
+		t.Fatalf("gate job: result %d err %v, want 7", res.Result, err)
+	}
+	waitSpec(t, tk2, quick)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -435,32 +435,53 @@ func (w *Worker) ExecWork(cycles uint64) {
 // done, wake that worker precisely; the seq-cst done-store→waiter-load
 // order pairs with the joiner's waiter-store→done-load recheck so at
 // least one side always sees the other (DESIGN.md §10).
+//
+// Job-tagged completions run inside a Pending bracket (+1 before the
+// Executed bump, -1 after everything below has retired). The bracket is
+// what makes slot finalization safe against in-flight completers: the
+// Executed bump must precede the Done store (the root's completer sums
+// the counters, and every completion the join tree ordered before it
+// must already be counted — that is what makes executed == spawns+1
+// exact per job), so a finalizer that observes the count close can
+// still race the stores and the slot reads below. Closure DOES imply
+// every bracket's +1 landed (it precedes the counted bump), so a
+// finalizer that then waits for ΣPending to drain (waitJobSettled)
+// knows every record's Result/Done stores retired before it sweeps,
+// and that no completer will read js.Root/js.State after the slot is
+// recycled. Without the bracket, a drain finalizer could sweep and
+// recycle this frame's still-tagged record between our Executed bump
+// and our Done store — the stores would then land on a record already
+// re-allocated to a co-resident job.
 func (w *Worker) ExecComplete(rec core.Handle, result uint64) {
 	r := w.rt.workers[rec.Rank()].records.Get(sched.RecordIndex(rec))
+	// The tag cannot be stale: the job's quiescence count cannot close
+	// before THIS completion's Executed bump, so the slot it names is
+	// still the record's job for the whole bracket.
 	tag := r.Job.Load()
-	var js *sched.JobSlot
-	var slot uint32
-	if tag != 0 {
-		slot = uint32(tag - 1)
-		js = w.rt.jobs.Get(slot)
-		// The executed bump precedes the Done store: when the root's
-		// completer (whose own bump is below) sums the counters, every
-		// completion the join tree ordered before it is already counted,
-		// which is what makes executed == spawns+1 exact per job.
-		w.jobCounts.Get(slot).Executed.Add(1)
+	if tag == 0 {
+		r.Result.Store(result)
+		r.Done.Store(1)
+		if wr := r.Waiter.Load(); wr != 0 {
+			w.rt.lot.wakeWorker(w.rt.workers[wr-1])
+		}
+		return
 	}
+	slot := uint32(tag - 1)
+	jc := w.jobCounts.Get(slot)
+	jc.Pending.Add(1)
+	jc.Executed.Add(1)
 	r.Result.Store(result)
 	r.Done.Store(1)
 	if wr := r.Waiter.Load(); wr != 0 {
 		w.rt.lot.wakeWorker(w.rt.workers[wr-1])
 	}
-	if js != nil {
-		if uint64(rec) == js.Root.Load() {
-			w.rt.rootComplete(slot, result)
-		} else if js.State.Load() == sched.JobDraining {
-			w.rt.drainCheck(slot)
-		}
+	js := w.rt.jobs.Get(slot)
+	if uint64(rec) == js.Root.Load() {
+		w.rt.rootComplete(slot, result)
+	} else if js.State.Load() == sched.JobDraining {
+		w.rt.drainCheck(slot, 1)
 	}
+	jc.Pending.Add(-1)
 }
 
 // ExecSpawn is the child-first spawn (Fig. 4) on real concurrency:

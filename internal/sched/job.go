@@ -111,7 +111,19 @@ func JobTag(idx uint32) uint64 { return uint64(idx) + 1 }
 type JobCount struct {
 	Spawns   atomic.Uint64
 	Executed atomic.Uint64
-	_        [64 - 2*8]byte
+	// Pending brackets one in-flight completion on this worker: +1
+	// before the Executed bump, -1 after the completion's record stores
+	// AND its finalize/drain dispatch have retired. A finalizer that
+	// observed the quiescence count close must wait for ΣPending to
+	// drain before it may sweep the job's records or recycle the slot —
+	// closure alone only proves every Executed bump landed, not that the
+	// Result/Done stores ordered after those bumps did (see
+	// rt.Runtime.waitJobSettled). Unlike its siblings Pending is NEVER
+	// reset between jobs: a completer may still be inside its bracket
+	// when the finalizer (which itself holds a bracket) frees the slot,
+	// and its trailing -1 must land on whatever value it incremented.
+	Pending atomic.Int64
+	_       [64 - 3*8]byte
 }
 
 const jobCountBytes = uint64(unsafe.Sizeof(JobCount{}))
@@ -150,10 +162,13 @@ func NewJobCounters(capacity uint64) *JobCounters {
 // Get returns the counter pair for slot idx.
 func (c *JobCounters) Get(idx uint32) *JobCount { return &c.cnt[idx] }
 
-// Reset zeroes slot idx's pair for reuse by a new job. Called by the
-// dispatching worker before the slot's State becomes JobRunning (no
-// task of the new job exists yet, and the old job's finalizer has
-// already read its final values), so atomic stores suffice.
+// Reset zeroes slot idx's spawn/executed pair for reuse by a new job.
+// Called by the dispatching worker before the slot's State becomes
+// JobRunning (no task of the new job exists yet, and the old job's
+// finalizer has already read its final values), so atomic stores
+// suffice. Pending is deliberately NOT reset: the previous tenant's
+// finalizer may still be inside its own completion bracket when the
+// slot is reused, and zeroing under it would drive the gauge negative.
 func (c *JobCounters) Reset(idx uint32) {
 	c.cnt[idx].Spawns.Store(0)
 	c.cnt[idx].Executed.Store(0)

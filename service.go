@@ -148,8 +148,9 @@ func ServiceCosts(c Costs) ServiceOption { return func(o *serviceOptions) { o.co
 func ServiceNet(p NetParams) ServiceOption { return func(o *serviceOptions) { o.net = &p } }
 
 // ServiceMaxJobs bounds how many jobs may be resident (dispatched, not
-// yet finalized) at once. Default 2×workers, at least 8; dist is
-// pinned to 1 by its segment layout.
+// yet finalized) at once. Default 2×workers, at least 8. Dist is
+// pinned to 1 by its one-fixed-base-segment-per-process layout, so
+// values above 1 are rejected there with UnsupportedOptionError.
 func ServiceMaxJobs(n int) ServiceOption { return func(o *serviceOptions) { o.maxJobs = n } }
 
 // ServiceQueueDepth bounds the admission queue; Submit returns
@@ -183,10 +184,12 @@ func JobSeed(seed uint64) JobOption { return func(o *jobOptions) { s := seed; o.
 // job's task tree, so co-resident jobs run at different grains.
 func JobGrain(g uint64) JobOption { return func(o *jobOptions) { o.grain = g } }
 
-// JobMaxWall bounds this job's wall-clock time from dispatch; past it
-// the job is canceled (JobCanceledError) without disturbing
-// co-resident jobs. Sim jobs have no wall clock; the option is
-// ignored there, matching WithMaxWall.
+// JobMaxWall bounds this job's wall-clock time from dispatch — the
+// clock arms only when a worker claims the job, so time spent in the
+// admission queue never counts against the budget. Past it the job is
+// canceled (JobCanceledError) without disturbing co-resident jobs.
+// Sim jobs have no wall clock; the option is ignored there, matching
+// WithMaxWall.
 func JobMaxWall(d time.Duration) JobOption { return func(o *jobOptions) { o.maxWall = d } }
 
 // JobTrace streams this job's Chrome trace to w (implies observability
@@ -281,16 +284,21 @@ func NewService(opts ...ServiceOption) (*Service, error) {
 		return nil, fmt.Errorf("uniaddr: unknown backend %q (ServiceBackend accepts %q, %q, %q)",
 			o.backend, BackendSim, BackendRT, BackendDist)
 	}
+	if o.backend == BackendDist {
+		// One fixed-base segment mapping per process: dist jobs cannot
+		// share a resident process, so they serialize through one slot —
+		// a knob value asking for more is rejected, never ignored.
+		if o.maxJobs > 1 {
+			return nil, &UnsupportedOptionError{Backend: o.backend,
+				Option: "ServiceMaxJobs > 1 (dist serializes jobs through one fixed-base segment mapping)"}
+		}
+		o.maxJobs = 1
+	}
 	if o.maxJobs <= 0 {
 		o.maxJobs = 2 * o.workers
 		if o.maxJobs < 8 {
 			o.maxJobs = 8
 		}
-	}
-	if o.backend == BackendDist {
-		// One fixed-base segment mapping per process: dist jobs cannot
-		// share a resident process, so they serialize through one slot.
-		o.maxJobs = 1
 	}
 	if o.queueDepth <= 0 {
 		o.queueDepth = o.maxJobs
@@ -325,9 +333,12 @@ func NewService(opts ...ServiceOption) (*Service, error) {
 // Submit admits fid(localsLen bytes of locals, initialised by init) as
 // one job. It never blocks on a full queue: past ServiceQueueDepth it
 // returns ErrServiceSaturated immediately. Canceling ctx cancels the
-// job — queued or mid-run — and its Wait returns a JobCanceledError;
-// on the rt pool the canceled tree's frames drain without executing
-// and co-resident jobs are untouched.
+// job and its Wait returns a JobCanceledError. On the rt pool
+// cancellation is effective queued or MID-RUN: the canceled tree's
+// frames drain without executing and co-resident jobs are untouched.
+// Sim and dist jobs run each in an ephemeral world that executes to
+// completion once launched, so there ctx cancels the job only up to
+// the moment its world starts.
 func (s *Service) Submit(ctx context.Context, fid FuncID, localsLen uint32, init func(*Env), opts ...JobOption) (*Job, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -383,20 +394,31 @@ func (s *Service) submitRT(ctx context.Context, fid FuncID, localsLen uint32, in
 	s.wg.Add(1)
 	s.mu.Unlock()
 	j := &Job{id: tk.ID(), done: make(chan struct{})}
-	var deadline *time.Timer
-	if jo.maxWall > 0 {
-		d := jo.maxWall
-		deadline = time.AfterFunc(d, func() {
-			s.pool.Cancel(tk, fmt.Errorf("job exceeded JobMaxWall %v", d))
-		})
-	}
 	go func() {
 		defer s.wg.Done()
+		var deadline *time.Timer
 		select {
 		case <-ctx.Done():
 			s.pool.Cancel(tk, ctx.Err())
 			<-tk.Done()
+		case <-tk.Dispatched():
+			// JobMaxWall bounds execution, not queueing: the deadline is
+			// armed only once a worker claims the job, so a submission
+			// that outwaits its budget in the admission queue still runs.
+			if jo.maxWall > 0 {
+				d := jo.maxWall
+				deadline = time.AfterFunc(d, func() {
+					s.pool.Cancel(tk, fmt.Errorf("job exceeded JobMaxWall %v", d))
+				})
+			}
+			select {
+			case <-ctx.Done():
+				s.pool.Cancel(tk, ctx.Err())
+				<-tk.Done()
+			case <-tk.Done():
+			}
 		case <-tk.Done():
+			// Finalized while still queued (canceled or pool failure).
 		}
 		if deadline != nil {
 			deadline.Stop()
@@ -447,6 +469,16 @@ func (s *Service) submitEphemeral(ctx context.Context, fid FuncID, localsLen uin
 		s.mu.Lock()
 		s.queued--
 		s.mu.Unlock()
+		// Last cancellation point: an ephemeral world runs to completion
+		// once launched (mid-run cancellation is an rt-pool capability),
+		// so a ctx that expired while we waited for the slot must win
+		// over the launch.
+		if err := ctx.Err(); err != nil {
+			<-s.slots
+			j.finalize(Report{Backend: s.o.backend, Workers: s.o.workers, Job: j.id},
+				&JobCanceledError{Job: j.id, Cause: err})
+			return
+		}
 		queueNS := time.Since(submitT).Nanoseconds()
 		ro := options{
 			backend: s.o.backend, workers: s.o.workers, seed: s.o.seed,

@@ -227,6 +227,75 @@ func TestServiceJobMaxWall(t *testing.T) {
 	}
 }
 
+// TestServiceJobMaxWallExcludesQueueTime pins the deadline anchor: the
+// JobMaxWall clock arms at dispatch, so a job that outwaits its whole
+// budget in the admission queue behind a long-running tenant must still
+// run — and, being near-instant, complete without a cancellation.
+func TestServiceJobMaxWallExcludesQueueTime(t *testing.T) {
+	svc, err := uniaddr.NewService(
+		uniaddr.ServiceBackend(uniaddr.BackendRT),
+		uniaddr.ServiceWorkers(2),
+		uniaddr.ServiceMaxJobs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := workloads.Fib(26, 2000)
+	j1, err := svc.Submit(context.Background(), heavy.Fid, heavy.Locals, heavy.Init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quick := workloads.Fib(10, 0)
+	budget := 15 * time.Millisecond
+	j2, err := svc.Submit(context.Background(), quick.Fid, quick.Locals, quick.Init,
+		uniaddr.JobMaxWall(budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := j2.Wait()
+	if err != nil {
+		t.Fatalf("queued job canceled by a deadline its execution never touched: %v", err)
+	}
+	if rep.Root != quick.Expected {
+		t.Fatalf("job %d: root %d, want %d", j2.ID(), rep.Root, quick.Expected)
+	}
+	// The scenario only bites if the queue wait actually exceeded the
+	// budget (the single slot was busy for the whole heavy job).
+	if rep.QueueNS <= budget.Nanoseconds() {
+		t.Logf("queue wait %v never exceeded the %v budget; scenario degenerate on this host", time.Duration(rep.QueueNS), budget)
+	}
+	if _, err := j1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceMaxJobsRejectedOnDist pins the never-silently-ignored
+// contract: dist serializes jobs through one segment mapping, so a
+// ServiceMaxJobs above 1 must be rejected, not pinned down to 1.
+func TestServiceMaxJobsRejectedOnDist(t *testing.T) {
+	var uo *uniaddr.UnsupportedOptionError
+	if _, err := uniaddr.NewService(
+		uniaddr.ServiceBackend(uniaddr.BackendDist),
+		uniaddr.ServiceMaxJobs(8)); !errors.As(err, &uo) {
+		t.Fatalf("dist ServiceMaxJobs(8): got %v, want UnsupportedOptionError", err)
+	}
+	// 1 (the layout's actual bound) and unset stay accepted.
+	for _, opts := range [][]uniaddr.ServiceOption{
+		{uniaddr.ServiceBackend(uniaddr.BackendDist), uniaddr.ServiceMaxJobs(1)},
+		{uniaddr.ServiceBackend(uniaddr.BackendDist)},
+	} {
+		svc, err := uniaddr.NewService(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestServiceOptionClasses pins the ServiceOption/JobOption split:
 // options that need a per-job world are rejected on the persistent rt
 // pool and vice versa, always with a structured UnsupportedOptionError.
